@@ -1,0 +1,67 @@
+"""Quickstart: load trajectories into TMan and run every query type.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import TMan, TManConfig, TimeRange
+from repro.datasets import TDRIVE_SPEC, QueryWorkload, tdrive_like
+
+
+def main() -> None:
+    # 1. Generate a TDrive-shaped dataset (Beijing taxis, one week).
+    trajectories = tdrive_like(n=1000, seed=42)
+    print(f"Generated {len(trajectories)} trajectories, "
+          f"{sum(len(t) for t in trajectories)} GPS points")
+
+    # 2. Stand up a TMan deployment: TShape primary index (α=β=3),
+    #    TR + IDT secondary tables, greedy shape-code encoding.
+    config = TManConfig(
+        boundary=TDRIVE_SPEC.boundary,
+        max_resolution=14,
+        num_shards=4,
+    )
+    with TMan(config) as tman:
+        report = tman.bulk_load(trajectories)
+        print(f"Loaded {report.rows_written} rows; "
+              f"optimized shape codes for {report.elements_encoded} enlarged elements "
+              f"in {report.encode_seconds:.2f}s")
+
+        workload = QueryWorkload(TDRIVE_SPEC, trajectories, seed=7)
+
+        # 3. Temporal range query: everything active in a 2-hour window.
+        (tr,) = workload.temporal_windows(2 * 3600, 1)
+        res = tman.temporal_range_query(tr)
+        print(f"\nTRQ  [{tr.start:.0f}, {tr.end:.0f}] -> {len(res)} trajectories "
+              f"({res.candidates} candidates, plan {res.plan}, "
+              f"{res.elapsed_ms:.1f} ms)")
+
+        # 4. Spatial range query: a 2 km x 2 km window near the city center.
+        (window,) = workload.spatial_windows(2.0, 1)
+        res = tman.spatial_range_query(window)
+        print(f"SRQ  {window.as_tuple()} -> {len(res)} trajectories "
+              f"({res.candidates} candidates, plan {res.plan})")
+
+        # 5. Spatio-temporal range query: the conjunction of both.
+        res = tman.st_range_query(window, tr)
+        print(f"STRQ -> {len(res)} trajectories (plan {res.plan})")
+
+        # 6. ID-temporal query: one taxi's trips over the whole week.
+        oid = trajectories[0].oid
+        week = TimeRange(0.0, TDRIVE_SPEC.time_span)
+        res = tman.id_temporal_query(oid, week)
+        print(f"IDT  {oid} -> {len(res)} trips (plan {res.plan})")
+
+        # 7. Similarity queries: trajectories like the first one.
+        query_traj = trajectories[0]
+        res = tman.threshold_similarity_query(query_traj, threshold=0.02,
+                                              measure="hausdorff")
+        print(f"Threshold similarity (Hausdorff <= 0.02 deg) -> {len(res)} matches")
+
+        res = tman.top_k_similarity_query(query_traj, k=5, measure="frechet")
+        print("Top-5 Fréchet neighbours:")
+        for traj, dist in zip(res.trajectories, res.distances):
+            print(f"  {traj.tid}  distance={dist:.4f} deg")
+
+
+if __name__ == "__main__":
+    main()

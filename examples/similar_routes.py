@@ -1,0 +1,62 @@
+"""Route similarity: carpool candidates and anomalous detours.
+
+Uses TMan's similarity machinery (TraSS-style global pruning + DP-feature
+local filtering) to (a) find trips that shadow a commuter's route — carpool
+candidates — and (b) flag a vehicle's most unusual trip by its distance to
+that vehicle's other trips.
+
+Run with:  python examples/similar_routes.py
+"""
+
+from collections import defaultdict
+
+from repro import TMan, TManConfig, TimeRange
+from repro.datasets import TDRIVE_SPEC, tdrive_like
+from repro.similarity import hausdorff_distance
+
+
+def main() -> None:
+    trajectories = tdrive_like(n=1200, seed=42)
+    config = TManConfig(boundary=TDRIVE_SPEC.boundary, max_resolution=14)
+    with TMan(config) as tman:
+        tman.bulk_load(trajectories)
+        print(f"Loaded {tman.row_count} trips\n")
+
+        # --- Carpool candidates: threshold search around a commute --------
+        commute = trajectories[10]
+        print(f"Reference commute: {commute.tid} "
+              f"({len(commute)} points, {commute.time_range.duration / 60:.0f} min)")
+
+        for measure, theta in (("hausdorff", 0.015), ("frechet", 0.03), ("dtw", 0.8)):
+            res = tman.threshold_similarity_query(commute, theta, measure)
+            print(f"  {measure:9s} <= {theta:5.3f}: {len(res):3d} similar trips "
+                  f"({res.candidates:4d} candidates scanned, {res.elapsed_ms:6.1f} ms)")
+
+        # --- Closest matches with exact distances --------------------------
+        res = tman.top_k_similarity_query(commute, k=5, measure="hausdorff")
+        print("\nTop-5 carpool candidates (Hausdorff):")
+        for traj, dist in zip(res.trajectories, res.distances):
+            overlap = commute.time_range.intersects(traj.time_range)
+            print(f"  {traj.tid}  d={dist:.4f} deg  "
+                  f"{'time-compatible' if overlap else 'different schedule'}")
+
+        # --- Anomalous trip detection per vehicle ---------------------------
+        by_vehicle: dict[str, list] = defaultdict(list)
+        for t in trajectories:
+            by_vehicle[t.oid].append(t)
+        candidates = [(oid, trips) for oid, trips in by_vehicle.items() if len(trips) >= 4]
+        oid, trips = max(candidates, key=lambda kv: len(kv[1]))
+        print(f"\nAnomaly scan for {oid} ({len(trips)} trips):")
+        scored = []
+        for trip in trips:
+            others = [t for t in trips if t.tid != trip.tid]
+            nearest = min(hausdorff_distance(trip.points, o.points) for o in others)
+            scored.append((nearest, trip))
+        scored.sort(reverse=True, key=lambda x: x[0])
+        for dist, trip in scored[:3]:
+            print(f"  {trip.tid}: nearest own-route distance {dist:.4f} deg"
+                  f"{'  <-- unusual route' if dist == scored[0][0] else ''}")
+
+
+if __name__ == "__main__":
+    main()

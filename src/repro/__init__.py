@@ -1,0 +1,51 @@
+"""TMan: a high-performance trajectory data management system on key-value stores.
+
+Reproduction of He et al., ICDE 2024.  The top-level package re-exports the
+user-facing API; subpackages hold the substrates:
+
+- :mod:`repro.model` -- trajectories, points, MBRs, time ranges;
+- :mod:`repro.core` -- the TR / TShape / IDT / ST indexes and baselines;
+- :mod:`repro.kvstore` -- the embedded range-partitioned key-value store;
+- :mod:`repro.cache` -- LFU + Redis-like index cache;
+- :mod:`repro.compression` -- lossless trajectory codecs;
+- :mod:`repro.similarity` -- Frechet / DTW / Hausdorff with pruning bounds;
+- :mod:`repro.storage` -- schema, serialization, and the :class:`TMan` facade;
+- :mod:`repro.query` -- planning, window generation, push-down execution;
+- :mod:`repro.baselines` -- TrajMesa / ST-Hadoop / TraSS / DFT / DITA / REPOSE;
+- :mod:`repro.datasets` -- seeded TDrive-like / Lorry-like generators.
+"""
+
+from repro.model import MBR, STPoint, TimeRange, Trajectory
+from repro.query.types import (
+    IDTemporalQuery,
+    QueryResult,
+    SpatialRangeQuery,
+    STRangeQuery,
+    TemporalRangeQuery,
+    ThresholdSimilarityQuery,
+    TopKSimilarityQuery,
+)
+from repro.storage.config import TManConfig
+from repro.storage.persistence import open_tman, save_tman
+from repro.storage.tman import TMan
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "TMan",
+    "TManConfig",
+    "save_tman",
+    "open_tman",
+    "STPoint",
+    "Trajectory",
+    "MBR",
+    "TimeRange",
+    "TemporalRangeQuery",
+    "SpatialRangeQuery",
+    "STRangeQuery",
+    "IDTemporalQuery",
+    "ThresholdSimilarityQuery",
+    "TopKSimilarityQuery",
+    "QueryResult",
+    "__version__",
+]

@@ -1,0 +1,11 @@
+"""Trajectory analytics over TMan query results.
+
+The paper's introduction motivates trajectory management with analysis
+tasks — movement patterns over time windows, flows between regions, speed
+behavior.  This package implements those consumers of the query API:
+origin-destination matrices, spatial visit heatmaps, and speed profiles.
+"""
+
+from repro.analytics.flows import GridSpec, heatmap, od_matrix, speed_profile
+
+__all__ = ["GridSpec", "od_matrix", "heatmap", "speed_profile"]

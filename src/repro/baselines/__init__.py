@@ -1,0 +1,35 @@
+"""Baseline trajectory systems re-implemented for the paper's comparisons.
+
+- :class:`TrajMesa` — multi-index-table NoSQL engine (XZT temporal + XZ2
+  spatial + composite spatio-temporal + id tables), client-side filtering,
+  redundant storage;
+- :class:`STHadoop` — time-sliced point storage with per-slice spatial
+  grids and a simulated scan-job executor;
+- :func:`make_trass` — TraSS as the documented special case of TMan
+  (XZ* = TShape with α=β=2, raw bitmap codes, no index cache);
+- :class:`TManXZT` / :class:`TManXZ` — the paper's retrofit ablations:
+  TMan's storage + push-down framework with the baseline XZT/XZ2 indexes;
+- :class:`DFT`, :class:`DITA`, :class:`REPOSE` — distributed in-memory
+  similarity systems reduced to their index + pruning logic.
+"""
+
+from repro.baselines.dft import DFT
+from repro.baselines.dita import DITA
+from repro.baselines.repose import REPOSE
+from repro.baselines.sthadoop import STHadoop
+from repro.baselines.tman_variants import TManXZ, TManXZT
+from repro.baselines.trajmesa import TrajMesa
+from repro.baselines.trass import make_trass
+from repro.baselines.vre import VRE
+
+__all__ = [
+    "TrajMesa",
+    "STHadoop",
+    "make_trass",
+    "TManXZT",
+    "TManXZ",
+    "VRE",
+    "DFT",
+    "DITA",
+    "REPOSE",
+]

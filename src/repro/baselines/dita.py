@@ -1,0 +1,151 @@
+"""DITA baseline (Shang et al., SIGMOD'18): pivot-based trie filtering.
+
+DITA indexes trajectories by pivot points (first point, last point, and the
+largest-deviation interior pivots) arranged in a trie of grid cells.  This
+reduction keeps the decisive pruning idea: candidates must have first/last
+points near the query's first/last points (sound for Fréchet and DTW, whose
+couplings pin both endpoints) plus MBR pruning (used alone for Hausdorff,
+which does not pin endpoints).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Sequence
+
+from repro.geometry.distance import euclidean
+from repro.model.mbr import MBR
+from repro.model.trajectory import Trajectory
+from repro.query.types import QueryResult
+from repro.similarity.measures import distance_by_name
+from repro.similarity.pruning import mbr_lower_bound
+
+
+class DITA:
+    """In-memory reduction of DITA's pivot-trie index."""
+
+    def __init__(self, boundary: MBR, grid_bits: int = 7):
+        self.boundary = boundary
+        self.grid_bits = grid_bits
+        # Two-level "trie": first-point cell -> last-point cell -> tids.
+        self._trie: dict[int, dict[int, list[str]]] = {}
+        self._trajs: dict[str, Trajectory] = {}
+
+    def __len__(self) -> int:
+        return len(self._trajs)
+
+    def _cell_of(self, lng: float, lat: float) -> int:
+        n = 1 << self.grid_bits
+        cx = min(n - 1, max(0, int((lng - self.boundary.x1) / self.boundary.width * n)))
+        cy = min(n - 1, max(0, int((lat - self.boundary.y1) / self.boundary.height * n)))
+        return cy * n + cx
+
+    def _cells_near(self, lng: float, lat: float, radius: float) -> list[int]:
+        return self._cells_for(MBR(lng - radius, lat - radius, lng + radius, lat + radius))
+
+    def _cells_for(self, window: MBR) -> list[int]:
+        n = 1 << self.grid_bits
+        x1 = max(0, int((window.x1 - self.boundary.x1) / self.boundary.width * n))
+        x2 = min(n - 1, int((window.x2 - self.boundary.x1) / self.boundary.width * n))
+        y1 = max(0, int((window.y1 - self.boundary.y1) / self.boundary.height * n))
+        y2 = min(n - 1, int((window.y2 - self.boundary.y1) / self.boundary.height * n))
+        return [cy * n + cx for cy in range(y1, y2 + 1) for cx in range(x1, x2 + 1)]
+
+    def bulk_load(self, trajs: Sequence[Trajectory]) -> int:
+        """Load a batch of trajectories into the system."""
+        for traj in trajs:
+            self._trajs[traj.tid] = traj
+            first = self._cell_of(traj.start.lng, traj.start.lat)
+            last = self._cell_of(traj.end.lng, traj.end.lat)
+            self._trie.setdefault(first, {}).setdefault(last, []).append(traj.tid)
+        return len(self._trajs)
+
+    def _endpoint_candidates(self, query: Trajectory, threshold: float) -> set[str]:
+        """Trie walk: first-point cells within θ, then last-point cells within θ."""
+        out: set[str] = set()
+        first_cells = self._cells_near(query.start.lng, query.start.lat, threshold)
+        last_cells = set(self._cells_near(query.end.lng, query.end.lat, threshold))
+        for fc in first_cells:
+            level2 = self._trie.get(fc)
+            if not level2:
+                continue
+            for lc, tids in level2.items():
+                if lc in last_cells:
+                    out.update(tids)
+        return out
+
+    def _mbr_candidates(self, query: Trajectory, threshold: float) -> set[str]:
+        window = query.mbr.expanded(threshold)
+        return {
+            tid
+            for tid, traj in self._trajs.items()
+            if traj.mbr.intersects(window)
+        }
+
+    def threshold_similarity_query(
+        self, query_traj: Trajectory, threshold: float, measure: str = "frechet"
+    ) -> QueryResult:
+        """Trajectories within ``threshold`` of the query trajectory."""
+        distance = distance_by_name(measure)
+        t0 = time.perf_counter()
+        if measure in ("frechet", "dtw"):
+            cands = self._endpoint_candidates(query_traj, threshold)
+        else:
+            cands = self._mbr_candidates(query_traj, threshold)
+        cands.discard(query_traj.tid)
+        out = []
+        for tid in sorted(cands):
+            traj = self._trajs[tid]
+            if mbr_lower_bound(query_traj.mbr, traj.mbr) > threshold:
+                continue
+            if measure in ("frechet", "dtw"):
+                # Endpoint refinement: the coupling pins both endpoints.
+                if euclidean(
+                    query_traj.start.lng, query_traj.start.lat,
+                    traj.start.lng, traj.start.lat,
+                ) > threshold:
+                    continue
+                if euclidean(
+                    query_traj.end.lng, query_traj.end.lat,
+                    traj.end.lng, traj.end.lat,
+                ) > threshold:
+                    continue
+            if distance(query_traj.points, traj.points) <= threshold:
+                out.append(traj)
+        return QueryResult(
+            trajectories=out,
+            candidates=len(cands),
+            elapsed_ms=(time.perf_counter() - t0) * 1000,
+            plan="dita/threshold",
+        )
+
+    def top_k_similarity_query(
+        self, query_traj: Trajectory, k: int, measure: str = "frechet"
+    ) -> QueryResult:
+        """Expanding-threshold top-k over the trie."""
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        distance = distance_by_name(measure)
+        t0 = time.perf_counter()
+        qmbr = query_traj.mbr
+        radius = max(1e-4, (qmbr.width**2 + qmbr.height**2) ** 0.5) / 4.0
+        span = max(self.boundary.width, self.boundary.height)
+        scored: dict[str, float] = {}
+        touched = 0
+        while True:
+            res = self.threshold_similarity_query(query_traj, radius, measure)
+            touched += res.candidates
+            for traj in res.trajectories:
+                if traj.tid not in scored:
+                    scored[traj.tid] = distance(query_traj.points, traj.points)
+            if len(scored) >= k or radius > 2 * span:
+                break
+            radius *= 2.0
+        top = sorted(scored.items(), key=lambda kv: (kv[1], kv[0]))[:k]
+        return QueryResult(
+            trajectories=[self._trajs[tid] for tid, _ in top],
+            candidates=touched,
+            elapsed_ms=(time.perf_counter() - t0) * 1000,
+            plan="dita/topk",
+            distances=[d for _, d in top],
+        )

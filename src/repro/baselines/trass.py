@@ -1,0 +1,38 @@
+"""TraSS as a configured TMan deployment.
+
+§V-F of the paper: "When α = 2 and β = 2 and we do not use the index cache,
+the TShape index is similar to an XZ* index (proposed in TraSS)".  TraSS is
+therefore reproduced as TMan with exactly those knobs — same storage schema,
+same push-down machinery, different index precision — which isolates the
+index as the only variable in similarity/SRQ comparisons.
+"""
+
+from __future__ import annotations
+
+from repro.model.mbr import MBR
+from repro.storage.config import TManConfig
+from repro.storage.tman import TMan
+
+
+def make_trass(
+    boundary: MBR,
+    max_resolution: int = 16,
+    num_shards: int = 4,
+    kv_workers: int = 4,
+    **overrides,
+) -> TMan:
+    """Build a TraSS-equivalent deployment (XZ* index, no index cache)."""
+    config = TManConfig(
+        boundary=boundary,
+        primary_index="tshape",
+        secondary_indexes=("tr", "idt"),
+        alpha=2,
+        beta=2,
+        shape_encoding="bitmap",
+        use_index_cache=False,
+        max_resolution=max_resolution,
+        num_shards=num_shards,
+        kv_workers=kv_workers,
+        **overrides,
+    )
+    return TMan(config)

@@ -1,0 +1,5 @@
+"""Benchmark support: timing, percentile stats, and table rendering."""
+
+from repro.bench.harness import ResultTable, percentile, run_queries, summarize_ms
+
+__all__ = ["ResultTable", "run_queries", "percentile", "summarize_ms"]

@@ -1,0 +1,13 @@
+"""Index-cache subsystem: LFU cache, a Redis-like server, and the shape cache.
+
+The paper persists the mapping ``<enlarged element, shape, final code>`` in
+Redis, pulls hot elements into a process-local LFU cache, and stages shapes
+for not-yet-optimized trajectories in a *buffer shape cache* that triggers
+re-encoding when full.  This package implements all three pieces.
+"""
+
+from repro.cache.index_cache import BufferShapeCache, ShapeIndexCache
+from repro.cache.lfu import LFUCache
+from repro.cache.redis_sim import RedisServer
+
+__all__ = ["LFUCache", "RedisServer", "ShapeIndexCache", "BufferShapeCache"]

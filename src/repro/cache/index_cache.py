@@ -1,0 +1,148 @@
+"""The shape index cache and the buffer shape cache.
+
+Per §IV-B(3) of the paper, only the shape codes actually used inside each
+enlarged element are encoded, and the mapping
+``<enlarged element, shape, final code>`` is persisted in Redis.  Queries
+look an enlarged element up in a process-local LFU cache first and fall back
+to Redis on a miss.  New shapes arriving through updates are staged in a
+*buffer shape cache* (§IV-C); when the buffer exceeds a threshold the whole
+element's shapes are re-encoded.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Optional
+
+from repro.cache.lfu import LFUCache
+from repro.cache.redis_sim import RedisServer
+
+DEFAULT_LOCAL_CAPACITY = 4096
+
+
+class ShapeIndexCache:
+    """Mapping from (enlarged element, raw shape bitmap) to final shape code.
+
+    The authoritative copy lives in a :class:`RedisServer` hash per element;
+    a bounded LFU cache keeps hot elements local.  ``remote_fetches`` counts
+    round trips to Redis.
+    """
+
+    def __init__(
+        self,
+        redis: Optional[RedisServer] = None,
+        local_capacity: int = DEFAULT_LOCAL_CAPACITY,
+        namespace: str = "tshape",
+    ):
+        self._redis = redis if redis is not None else RedisServer()
+        self._local: LFUCache[int, dict[int, int]] = LFUCache(local_capacity)
+        self._namespace = namespace
+        self.remote_fetches = 0
+
+    @property
+    def redis(self) -> RedisServer:
+        """The backing Redis server (for persistence and diagnostics)."""
+        return self._redis
+
+    def _key(self, element_code: int) -> str:
+        return f"{self._namespace}:elem:{element_code}"
+
+    # -- writes ---------------------------------------------------------------
+
+    def put_mapping(self, element_code: int, mapping: dict[int, int]) -> None:
+        """Persist the shape -> final-code mapping of one enlarged element."""
+        key = self._key(element_code)
+        self._redis.delete(key)
+        for shape, final_code in mapping.items():
+            self._redis.hset(key, str(shape), struct.pack(">I", final_code))
+        self._local.put(element_code, dict(mapping))
+
+    def add_shape(self, element_code: int, shape: int, final_code: int) -> None:
+        """Append one shape to an element's mapping."""
+        self._redis.hset(self._key(element_code), str(shape), struct.pack(">I", final_code))
+        cached = self._local.peek(element_code)
+        if cached is not None:
+            cached[shape] = final_code
+
+    # -- reads ----------------------------------------------------------------
+
+    def get_mapping(self, element_code: int) -> Optional[dict[int, int]]:
+        """Return the element's shape mapping, loading from Redis on a miss."""
+        cached = self._local.get(element_code)
+        if cached is not None:
+            return cached
+        raw = self._redis.hgetall(self._key(element_code))
+        if not raw:
+            return None
+        self.remote_fetches += 1
+        mapping = {int(shape): struct.unpack(">I", blob)[0] for shape, blob in raw.items()}
+        self._local.put(element_code, mapping)
+        return mapping
+
+    def lookup_final_code(self, element_code: int, shape: int) -> Optional[int]:
+        """Final code of a raw shape bitmap, or ``None`` when unknown."""
+        mapping = self.get_mapping(element_code)
+        if mapping is None:
+            return None
+        return mapping.get(shape)
+
+    def known_elements(self) -> list[int]:
+        """Every element code with a persisted mapping (diagnostics)."""
+        prefix = f"{self._namespace}:elem:"
+        return sorted(
+            int(k[len(prefix):]) for k in self._redis.keys(f"{prefix}*")
+        )
+
+    @property
+    def local_stats(self) -> tuple[int, int, int]:
+        """(hits, misses, evictions) of the process-local LFU layer."""
+        return (self._local.hits, self._local.misses, self._local.evictions)
+
+    def clear_local(self) -> None:
+        """Drop the local layer (e.g. after a re-encode invalidates codes)."""
+        self._local.clear()
+
+
+class BufferShapeCache:
+    """Staging area for shapes that have not been through optimization yet.
+
+    ``add`` returns True when the global shape count crosses ``threshold``,
+    signalling the writer to trigger a re-encode (§IV-C).
+    """
+
+    def __init__(self, threshold: int = 1024):
+        if threshold <= 0:
+            raise ValueError(f"threshold must be positive, got {threshold}")
+        self.threshold = threshold
+        self._pending: dict[int, set[int]] = {}
+        self._count = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    def contains(self, element_code: int, shape: int) -> bool:
+        """Contains."""
+        return shape in self._pending.get(element_code, ())
+
+    def add(self, element_code: int, shape: int) -> bool:
+        """Stage a shape; returns True when the re-encode threshold is hit."""
+        bucket = self._pending.setdefault(element_code, set())
+        if shape not in bucket:
+            bucket.add(shape)
+            self._count += 1
+        return self._count >= self.threshold
+
+    def pending_elements(self) -> list[int]:
+        """Pending elements."""
+        return sorted(self._pending)
+
+    def shapes_for(self, element_code: int) -> set[int]:
+        """Shapes for."""
+        return set(self._pending.get(element_code, ()))
+
+    def drain(self) -> dict[int, set[int]]:
+        """Return and clear everything staged."""
+        out = self._pending
+        self._pending = {}
+        self._count = 0
+        return out

@@ -1,0 +1,192 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``generate`` — write a synthetic dataset to CSV;
+- ``load`` — build a TMan deployment from a CSV and save it to a directory;
+- ``query`` — run a temporal/spatial/id query against a saved deployment;
+- ``info`` — show a saved deployment's configuration and statistics.
+
+CSV format: one point per line, ``oid,tid,t,lng,lat``, points of a
+trajectory contiguous and time-ordered (the format ``generate`` emits).
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import sys
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.datasets import LORRY_SPEC, TDRIVE_SPEC, generate_dataset
+from repro.model import MBR, STPoint, TimeRange, Trajectory
+from repro.storage.config import TManConfig
+from repro.storage.persistence import open_tman, save_tman
+from repro.storage.tman import TMan
+
+SPECS = {"tdrive": TDRIVE_SPEC, "lorry": LORRY_SPEC}
+
+
+def write_csv(path: Path, trajs: Iterable[Trajectory]) -> int:
+    """Write trajectories to CSV (one point per line); returns the count."""
+    count = 0
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["oid", "tid", "t", "lng", "lat"])
+        for traj in trajs:
+            for p in traj.points:
+                writer.writerow([traj.oid, traj.tid, f"{p.t:.3f}", f"{p.lng:.7f}", f"{p.lat:.7f}"])
+            count += 1
+    return count
+
+
+def read_csv(path: Path) -> Iterator[Trajectory]:
+    """Yield trajectories parsed from a CSV written by ``write_csv``."""
+    with open(path, newline="") as fh:
+        reader = csv.reader(fh)
+        header = next(reader, None)
+        if header != ["oid", "tid", "t", "lng", "lat"]:
+            raise SystemExit(f"{path}: unexpected CSV header {header}")
+        current_tid = None
+        oid = ""
+        points: list[STPoint] = []
+        for row in reader:
+            r_oid, r_tid, t, lng, lat = row
+            if r_tid != current_tid:
+                if points:
+                    yield Trajectory(oid, current_tid, points)
+                current_tid, oid, points = r_tid, r_oid, []
+            points.append(STPoint(float(t), float(lng), float(lat)))
+        if points:
+            yield Trajectory(oid, current_tid, points)
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    """``generate``: write a synthetic dataset to CSV."""
+    spec = SPECS[args.spec]
+    trajs = generate_dataset(spec, args.n, seed=args.seed)
+    count = write_csv(Path(args.output), trajs)
+    print(f"wrote {count} trajectories ({sum(len(t) for t in trajs)} points) to {args.output}")
+    return 0
+
+
+def cmd_load(args: argparse.Namespace) -> int:
+    """``load``: build a TMan deployment from CSV and save it."""
+    trajs = list(read_csv(Path(args.input)))
+    if not trajs:
+        raise SystemExit("input contains no trajectories")
+    if args.boundary:
+        x1, y1, x2, y2 = (float(v) for v in args.boundary.split(","))
+        boundary = MBR(x1, y1, x2, y2)
+    else:
+        boundary = SPECS[args.spec].boundary
+    config = TManConfig(
+        boundary=boundary,
+        alpha=args.alpha,
+        beta=args.beta,
+        max_resolution=args.max_resolution,
+        num_shards=args.shards,
+        shape_encoding=args.encoding,
+        kv_workers=1,
+    )
+    with TMan(config) as tman:
+        report = tman.bulk_load(trajs)
+        save_tman(tman, args.deployment)
+    print(
+        f"loaded {report.rows_written} trajectories "
+        f"({report.elements_encoded} elements encoded) -> {args.deployment}"
+    )
+    return 0
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    """``query``: run a query against a saved deployment."""
+    with open_tman(args.deployment) as tman:
+        if args.type == "temporal":
+            res = tman.temporal_range_query(TimeRange(args.start, args.end))
+        elif args.type == "spatial":
+            x1, y1, x2, y2 = (float(v) for v in args.window.split(","))
+            res = tman.spatial_range_query(MBR(x1, y1, x2, y2))
+        elif args.type == "st":
+            x1, y1, x2, y2 = (float(v) for v in args.window.split(","))
+            res = tman.st_range_query(MBR(x1, y1, x2, y2), TimeRange(args.start, args.end))
+        else:  # id
+            res = tman.id_temporal_query(args.oid, TimeRange(args.start, args.end))
+        print(
+            f"{len(res)} trajectories ({res.candidates} candidates, "
+            f"{res.windows} scans, plan {res.plan}, {res.elapsed_ms:.1f} ms)"
+        )
+        for traj in res.trajectories[: args.limit]:
+            tr = traj.time_range
+            print(f"  {traj.tid}  oid={traj.oid}  points={len(traj)}  "
+                  f"t=[{tr.start:.0f},{tr.end:.0f}]")
+        if len(res) > args.limit:
+            print(f"  ... and {len(res) - args.limit} more")
+    return 0
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    """``info``: describe a saved deployment."""
+    with open_tman(args.deployment) as tman:
+        doc = tman.meta.load_config() or {}
+        print(f"deployment: {args.deployment}")
+        print(f"rows: {tman.row_count}")
+        for key in sorted(doc):
+            print(f"  {key}: {doc[key]}")
+        hits, misses, evictions = tman.index_cache.local_stats
+        print(f"index cache: {len(tman.index_cache.known_elements())} elements, "
+              f"local hits={hits} misses={misses}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse CLI definition."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="TMan trajectory store CLI"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    g = sub.add_parser("generate", help="write a synthetic dataset to CSV")
+    g.add_argument("output")
+    g.add_argument("--spec", choices=sorted(SPECS), default="tdrive")
+    g.add_argument("--n", type=int, default=1000)
+    g.add_argument("--seed", type=int, default=42)
+    g.set_defaults(fn=cmd_generate)
+
+    l = sub.add_parser("load", help="build and save a TMan deployment")
+    l.add_argument("input", help="CSV produced by `generate`")
+    l.add_argument("deployment", help="output directory")
+    l.add_argument("--spec", choices=sorted(SPECS), default="tdrive")
+    l.add_argument("--boundary", help="x1,y1,x2,y2 (defaults to the spec's)")
+    l.add_argument("--alpha", type=int, default=3)
+    l.add_argument("--beta", type=int, default=3)
+    l.add_argument("--max-resolution", type=int, default=14)
+    l.add_argument("--shards", type=int, default=4)
+    l.add_argument("--encoding", choices=["bitmap", "greedy", "genetic"], default="greedy")
+    l.set_defaults(fn=cmd_load)
+
+    q = sub.add_parser("query", help="query a saved deployment")
+    q.add_argument("deployment")
+    q.add_argument("--type", choices=["temporal", "spatial", "st", "id"], required=True)
+    q.add_argument("--start", type=float, default=0.0, help="time range start (s)")
+    q.add_argument("--end", type=float, default=0.0, help="time range end (s)")
+    q.add_argument("--window", help="x1,y1,x2,y2 spatial window")
+    q.add_argument("--oid", help="object id for --type id")
+    q.add_argument("--limit", type=int, default=10)
+    q.set_defaults(fn=cmd_query)
+
+    i = sub.add_parser("info", help="describe a saved deployment")
+    i.add_argument("deployment")
+    i.set_defaults(fn=cmd_info)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Command-line entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

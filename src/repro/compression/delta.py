@@ -1,0 +1,57 @@
+"""Delta and delta-of-delta transforms over integer sequences.
+
+Trajectory timestamps are near-regular (fixed sampling intervals), so their
+second differences are tiny; coordinates drift slowly, so first differences
+are tiny.  These transforms are lossless and invertible and feed the bit
+packers (varint / simple8b / PFOR).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def delta_encode(values: Sequence[int]) -> list[int]:
+    """Return [v0, v1-v0, v2-v1, ...]; empty input stays empty."""
+    if not values:
+        return []
+    out = [values[0]]
+    out.extend(values[i] - values[i - 1] for i in range(1, len(values)))
+    return out
+
+
+def delta_decode(deltas: Sequence[int]) -> list[int]:
+    """Inverse of :func:`delta_encode`."""
+    if not deltas:
+        return []
+    out = [deltas[0]]
+    acc = deltas[0]
+    for d in deltas[1:]:
+        acc += d
+        out.append(acc)
+    return out
+
+
+def delta_of_delta_encode(values: Sequence[int]) -> list[int]:
+    """Second-difference transform: [v0, v1-v0, dd2, dd3, ...]."""
+    if len(values) <= 2:
+        return delta_encode(values)
+    out = [values[0], values[1] - values[0]]
+    prev_delta = values[1] - values[0]
+    for i in range(2, len(values)):
+        delta = values[i] - values[i - 1]
+        out.append(delta - prev_delta)
+        prev_delta = delta
+    return out
+
+
+def delta_of_delta_decode(encoded: Sequence[int]) -> list[int]:
+    """Inverse of :func:`delta_of_delta_encode`."""
+    if len(encoded) <= 2:
+        return delta_decode(encoded)
+    out = [encoded[0], encoded[0] + encoded[1]]
+    delta = encoded[1]
+    for dd in encoded[2:]:
+        delta += dd
+        out.append(out[-1] + delta)
+    return out

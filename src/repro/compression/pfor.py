@@ -1,0 +1,122 @@
+"""PFOR (patched frame-of-reference) block compression.
+
+Each block of up to 128 values is stored with a per-block base and bit width
+chosen to fit ~90% of the values; outliers ("exceptions") are patched in a
+varint side list.  Lossless for arbitrary non-negative integers.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Sequence
+
+from repro.compression.varint import decode_varint, encode_varint
+
+BLOCK = 128
+
+
+def _pack_bits(values: Sequence[int], bits: int) -> bytes:
+    out = bytearray()
+    acc = 0
+    acc_bits = 0
+    for v in values:
+        acc |= v << acc_bits
+        acc_bits += bits
+        while acc_bits >= 8:
+            out.append(acc & 0xFF)
+            acc >>= 8
+            acc_bits -= 8
+    if acc_bits:
+        out.append(acc & 0xFF)
+    return bytes(out)
+
+
+def _unpack_bits(buf: bytes, count: int, bits: int) -> list[int]:
+    values = []
+    acc = 0
+    acc_bits = 0
+    pos = 0
+    mask = (1 << bits) - 1 if bits else 0
+    for _ in range(count):
+        if bits == 0:
+            values.append(0)
+            continue
+        while acc_bits < bits:
+            if pos >= len(buf):
+                raise ValueError("truncated PFOR bit stream")
+            acc |= buf[pos] << acc_bits
+            acc_bits += 8
+            pos += 1
+        values.append(acc & mask)
+        acc >>= bits
+        acc_bits -= bits
+    return values
+
+
+def _choose_width(values: Sequence[int], base: int) -> int:
+    """Pick the smallest width covering >= 90% of the shifted values."""
+    shifted = sorted(v - base for v in values)
+    idx = max(0, min(len(shifted) - 1, int(len(shifted) * 0.9)))
+    pivot = shifted[idx]
+    return max(1, pivot.bit_length()) if pivot else 1
+
+
+def _encode_block(values: Sequence[int], out: bytearray) -> None:
+    base = min(values)
+    bits = _choose_width(values, base)
+    limit = (1 << bits) - 1
+    packed = []
+    exceptions: list[tuple[int, int]] = []
+    for i, v in enumerate(values):
+        shifted = v - base
+        if shifted > limit:
+            exceptions.append((i, shifted))
+            packed.append(0)
+        else:
+            packed.append(shifted)
+    encode_varint(len(values), out)
+    encode_varint(base, out)
+    out.append(bits)
+    bitstream = _pack_bits(packed, bits)
+    encode_varint(len(bitstream), out)
+    out += bitstream
+    encode_varint(len(exceptions), out)
+    for idx, val in exceptions:
+        encode_varint(idx, out)
+        encode_varint(val, out)
+
+
+def pfor_encode(values: Sequence[int]) -> bytes:
+    """Compress a sequence of non-negative integers."""
+    for v in values:
+        if v < 0:
+            raise ValueError(f"PFOR values must be non-negative, got {v}")
+    out = bytearray()
+    out += struct.pack(">I", len(values))
+    for start in range(0, len(values), BLOCK):
+        _encode_block(values[start : start + BLOCK], out)
+    return bytes(out)
+
+
+def pfor_decode(buf: bytes) -> list[int]:
+    """Inverse of :func:`pfor_encode`."""
+    if len(buf) < 4:
+        raise ValueError("truncated PFOR stream")
+    (n,) = struct.unpack_from(">I", buf, 0)
+    pos = 4
+    values: list[int] = []
+    while len(values) < n:
+        count, pos = decode_varint(buf, pos)
+        base, pos = decode_varint(buf, pos)
+        bits = buf[pos]
+        pos += 1
+        blen, pos = decode_varint(buf, pos)
+        block = _unpack_bits(buf[pos : pos + blen], count, bits)
+        pos += blen
+        n_exc, pos = decode_varint(buf, pos)
+        for _ in range(n_exc):
+            idx, pos = decode_varint(buf, pos)
+            val, pos = decode_varint(buf, pos)
+            block[idx] = val
+        values.extend(v + base for v in block)
+    return values

@@ -1,0 +1,98 @@
+"""Simple8b word-aligned integer packing (Anh & Moffat, 2010).
+
+Packs runs of small unsigned integers into 64-bit words.  The top 4 bits of
+each word select one of 16 layouts; the remaining 60 bits hold 1..240 values
+of equal width.  Values that do not fit in 60 bits are rejected — callers
+zigzag and delta their streams first, which keeps values tiny in practice.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Sequence
+
+# (selector, values-per-word, bits-per-value); selector 0 packs 240 zeros,
+# selector 1 packs 120 zeros — the classic simple8b table.
+_SELECTORS: list[tuple[int, int, int]] = [
+    (0, 240, 0),
+    (1, 120, 0),
+    (2, 60, 1),
+    (3, 30, 2),
+    (4, 20, 3),
+    (5, 15, 4),
+    (6, 12, 5),
+    (7, 10, 6),
+    (8, 8, 7),
+    (9, 7, 8),
+    (10, 6, 10),
+    (11, 5, 12),
+    (12, 4, 15),
+    (13, 3, 20),
+    (14, 2, 30),
+    (15, 1, 60),
+]
+_BY_SELECTOR = {sel: (count, bits) for sel, count, bits in _SELECTORS}
+_MAX_VALUE = (1 << 60) - 1
+
+
+def _fits(values: Sequence[int], start: int, count: int, bits: int) -> bool:
+    if start + count > len(values):
+        return False
+    if bits == 0:
+        return all(values[start + i] == 0 for i in range(count))
+    limit = (1 << bits) - 1
+    return all(values[start + i] <= limit for i in range(count))
+
+
+def simple8b_encode(values: Sequence[int]) -> bytes:
+    """Pack non-negative integers (< 2^60 each) into simple8b words."""
+    for v in values:
+        if v < 0:
+            raise ValueError(f"simple8b values must be non-negative, got {v}")
+        if v > _MAX_VALUE:
+            raise ValueError(f"value {v} exceeds 60 bits; pre-transform the stream")
+
+    words: list[int] = []
+    i = 0
+    n = len(values)
+    while i < n:
+        for sel, count, bits in _SELECTORS:
+            if _fits(values, i, count, bits):
+                word = sel << 60
+                if bits:
+                    for j in range(count):
+                        word |= values[i + j] << (j * bits)
+                words.append(word)
+                i += count
+                break
+        else:  # pragma: no cover - table always matches via selector 15
+            raise AssertionError("no simple8b selector matched")
+    out = bytearray()
+    out += struct.pack(">I", n)
+    for word in words:
+        out += struct.pack(">Q", word)
+    return bytes(out)
+
+
+def simple8b_decode(buf: bytes) -> list[int]:
+    """Inverse of :func:`simple8b_encode`."""
+    if len(buf) < 4:
+        raise ValueError("truncated simple8b stream")
+    (n,) = struct.unpack_from(">I", buf, 0)
+    values: list[int] = []
+    pos = 4
+    while len(values) < n:
+        if pos + 8 > len(buf):
+            raise ValueError("truncated simple8b stream")
+        (word,) = struct.unpack_from(">Q", buf, pos)
+        pos += 8
+        sel = word >> 60
+        count, bits = _BY_SELECTOR[sel]
+        take = min(count, n - len(values))
+        if bits == 0:
+            values.extend([0] * take)
+        else:
+            mask = (1 << bits) - 1
+            for j in range(take):
+                values.append((word >> (j * bits)) & mask)
+    return values

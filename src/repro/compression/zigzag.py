@@ -1,0 +1,25 @@
+"""ZigZag mapping between signed and unsigned integers.
+
+Maps small-magnitude signed values (delta streams are full of them) to small
+unsigned values so that varint/simple8b/PFOR can pack them tightly:
+0 -> 0, -1 -> 1, 1 -> 2, -2 -> 3, ...
+"""
+
+from __future__ import annotations
+
+
+def zigzag_encode(value: int) -> int:
+    """Signed -> unsigned zigzag value (arbitrary precision)."""
+    return (value << 1) ^ (value >> 63) if -(1 << 63) <= value < (1 << 63) else _zz_big(value)
+
+
+def _zz_big(value: int) -> int:
+    # Fallback for values beyond 64 bits: same mapping, no width assumption.
+    return value * 2 if value >= 0 else -value * 2 - 1
+
+
+def zigzag_decode(value: int) -> int:
+    """Unsigned zigzag value -> signed integer."""
+    if value < 0:
+        raise ValueError(f"zigzag values are unsigned, got {value}")
+    return (value >> 1) ^ -(value & 1)

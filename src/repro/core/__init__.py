@@ -1,0 +1,29 @@
+"""TMan's core contribution: the TR, TShape, IDT and ST indexes.
+
+Each index maps a trajectory's spatio-temporal features to one-dimensional,
+order-preserving integer keys, plus the inverse: turning a query into a small
+set of contiguous key ranges.
+"""
+
+from repro.core.idt import IDTIndex
+from repro.core.quadtree import QuadTreeGrid
+from repro.core.shape_encoding import (
+    ShapeEncoder,
+    cumulative_similarity,
+    jaccard_similarity,
+)
+from repro.core.st import STIndex
+from repro.core.temporal import TimeBinOverflowError, TRIndex
+from repro.core.tshape import TShapeIndex
+
+__all__ = [
+    "TRIndex",
+    "TimeBinOverflowError",
+    "QuadTreeGrid",
+    "TShapeIndex",
+    "IDTIndex",
+    "STIndex",
+    "ShapeEncoder",
+    "jaccard_similarity",
+    "cumulative_similarity",
+]

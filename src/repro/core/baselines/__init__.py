@@ -1,0 +1,26 @@
+"""Baseline index structures re-implemented for head-to-head comparison.
+
+- :class:`~repro.core.baselines.xzt.XZTIndex` — TrajMesa's temporal index;
+- :class:`~repro.core.baselines.xz2.XZ2Index` — classic XZ-ordering (GeoMesa /
+  TrajMesa / JUST spatial index);
+- :class:`~repro.core.baselines.xzstar.XZStarIndex` — TraSS's XZ* index;
+- :class:`~repro.core.baselines.fixed_bins.FixedBinIndex` — ST-Hadoop-style
+  fixed time slicing with redundant storage;
+- :class:`~repro.core.baselines.start_time.StartTimeSegmentIndex` — VRE-style
+  segment start-time index.
+"""
+
+from repro.core.baselines.fixed_bins import FixedBinIndex
+from repro.core.baselines.start_time import StartTimeSegmentIndex
+from repro.core.baselines.xz2 import XZ2Index
+from repro.core.baselines.xzstar import XZStarIndex
+from repro.core.baselines.xzt import XZTIndex, XZTOverflowError
+
+__all__ = [
+    "XZTIndex",
+    "XZTOverflowError",
+    "XZ2Index",
+    "XZStarIndex",
+    "FixedBinIndex",
+    "StartTimeSegmentIndex",
+]

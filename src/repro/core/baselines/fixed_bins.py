@@ -1,0 +1,50 @@
+"""Fixed time-bin partitioning (ST-Hadoop style).
+
+Time is cut into adjacent fixed slices; a trajectory (or its points) is
+stored once per intersecting slice.  Queries are trivial — scan every slice
+overlapping the range — but storage is redundant and results must be
+deduplicated, the two drawbacks §II-1 of the paper calls out.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.model.timerange import TimeRange
+
+
+@dataclass(frozen=True)
+class FixedBinIndex:
+    """Maps time ranges to the list of fixed bins they intersect."""
+
+    period_seconds: float
+    origin: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.period_seconds <= 0:
+            raise ValueError(f"period_seconds must be positive: {self.period_seconds}")
+
+    def bin_of(self, t: float) -> int:
+        """Index of the fixed bin containing instant ``t``."""
+        b = math.floor((t - self.origin) / self.period_seconds)
+        if b < 0:
+            raise ValueError(f"instant {t} precedes origin {self.origin}")
+        return b
+
+    def bins_for_range(self, tr: TimeRange) -> list[int]:
+        """Every bin the range intersects — one stored copy per bin."""
+        return list(range(self.bin_of(tr.start), self.bin_of(tr.end) + 1))
+
+    def replication_factor(self, tr: TimeRange) -> int:
+        """How many copies of the trajectory this scheme stores."""
+        return len(self.bins_for_range(tr))
+
+    def query_bins(self, tr: TimeRange) -> list[int]:
+        """Bins to scan for a temporal range query (same as storage bins)."""
+        return self.bins_for_range(tr)
+
+    def bin_span(self, b: int) -> TimeRange:
+        """The temporal extent of one bin."""
+        start = self.origin + b * self.period_seconds
+        return TimeRange(start, start + self.period_seconds)

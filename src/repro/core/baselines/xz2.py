@@ -1,0 +1,95 @@
+"""Classic XZ-ordering (Böhm et al.) — the spatial baseline.
+
+Each quad-tree cell is doubled (2w × 2h anchored at the cell) to form an
+*enlarged element*; a trajectory is represented by the smallest enlarged
+element covering its MBR.  Unlike TShape, the element is always a rectangle:
+the index knows nothing about the trajectory's actual shape, which is
+exactly the imprecision TShape removes.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.quadtree import Cell, QuadTreeGrid, cell_code, subtree_size
+from repro.core.ranges import merge_ranges
+from repro.geometry.relations import SpatialRelation, rect_relation
+from repro.model.mbr import MBR
+from repro.model.trajectory import Trajectory
+
+
+class XZ2Index:
+    """Encoder and query planner for XZ-ordering over a quad-tree grid."""
+
+    def __init__(self, grid: QuadTreeGrid):
+        self.grid = grid
+
+    # -- geometry -------------------------------------------------------------
+
+    def element_rect(self, anchor: Cell) -> MBR:
+        """The doubled cell anchored at ``anchor`` (2w × 2h)."""
+        w = anchor.size
+        return MBR(anchor.ix * w, anchor.iy * w, (anchor.ix + 2) * w, (anchor.iy + 2) * w)
+
+    # -- resolution selection ---------------------------------------------------
+
+    def resolution_for(self, nmbr: MBR) -> int:
+        """Smallest-cell resolution whose doubled cell covers ``nmbr``."""
+        g = self.grid.max_resolution
+        extent = max(nmbr.width, nmbr.height)
+        if extent <= 0:
+            level = g
+        else:
+            level = min(g, int(math.floor(math.log(extent, 0.5))))
+        level = max(1, level)
+        while level > 1 and not self._anchor_covers(nmbr, level):
+            level -= 1
+        return level
+
+    def _anchor_covers(self, nmbr: MBR, resolution: int) -> bool:
+        w = 0.5 ** resolution
+        anchor = self.grid.cell_containing(nmbr.x1, nmbr.y1, resolution)
+        return anchor.ix * w + 2 * w >= nmbr.x2 and anchor.iy * w + 2 * w >= nmbr.y2
+
+    # -- indexing ---------------------------------------------------------------
+
+    def index_mbr(self, mbr: MBR) -> int:
+        """Index value (the Eq. 2 sequence code) of an MBR."""
+        nmbr = self.grid.normalize_mbr(mbr)
+        r = self.resolution_for(nmbr)
+        anchor = self.grid.cell_containing(nmbr.x1, nmbr.y1, r)
+        return cell_code(anchor, self.grid.max_resolution)
+
+    def index_trajectory(self, traj: Trajectory) -> int:
+        """Compute the index key of a trajectory."""
+        return self.index_mbr(traj.mbr)
+
+    # -- query expansion -----------------------------------------------------------
+
+    def query_ranges(self, spatial_range: MBR) -> list[tuple[int, int]]:
+        """Candidate half-open value ranges for a spatial range query."""
+        sr = self.grid.normalize_mbr(spatial_range)
+        g = self.grid.max_resolution
+        unit = MBR(0.0, 0.0, 1.0, 1.0)
+        ranges: list[tuple[int, int]] = []
+        frontier: list[Cell] = list(Cell(0, 0, 0).children())
+        while frontier:
+            next_frontier: list[Cell] = []
+            for cell in frontier:
+                # Doubled elements at the right/top edge extend beyond the
+                # unit square; classify on the in-space part only.
+                clipped = self.element_rect(cell).intersection(unit)
+                if clipped is None:  # pragma: no cover - anchors are in-space
+                    continue
+                relation = rect_relation(sr, clipped)
+                if relation is SpatialRelation.DISJOINT:
+                    continue
+                code = cell_code(cell, g)
+                if relation is SpatialRelation.CONTAINS:
+                    ranges.append((code, code + subtree_size(g, cell.resolution)))
+                    continue
+                ranges.append((code, code + 1))
+                if cell.resolution < g:
+                    next_frontier.extend(cell.children())
+            frontier = next_frontier
+        return merge_ranges(ranges)

@@ -1,0 +1,182 @@
+"""The XZT temporal index of TrajMesa (baseline for the TR index).
+
+Time is cut into large fixed periods (e.g., one week).  Each period is
+recursively bisected into binary *elements*; the element at level ``v``,
+offset ``m`` covers ``[m*P/2^v, (m+1)*P/2^v)`` within its period, and its
+*XElement* doubles that span to the right.  A trajectory's time range is
+represented by the deepest element (anchored at the period containing the
+start time) whose XElement covers the range.  Because the XElement doubles
+the element, the dead region can reach one half of the XElement — the
+imprecision the TR index removes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.model.timerange import TimeRange
+
+DEFAULT_PERIOD_SECONDS = 7 * 24 * 3600.0  # one week
+DEFAULT_MAX_LEVEL = 16
+
+
+class XZTOverflowError(ValueError):
+    """Raised when a time range exceeds even the root XElement (2 periods)."""
+
+
+@dataclass(frozen=True)
+class XZTIndex:
+    """Encoder and query planner for the XZT index."""
+
+    period_seconds: float = DEFAULT_PERIOD_SECONDS
+    max_level: int = DEFAULT_MAX_LEVEL
+    origin: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.period_seconds <= 0:
+            raise ValueError(f"period_seconds must be positive: {self.period_seconds}")
+        if not 1 <= self.max_level <= 40:
+            raise ValueError(f"max_level out of range: {self.max_level}")
+
+    # -- structure helpers -------------------------------------------------
+
+    @property
+    def tree_size(self) -> int:
+        """Number of elements per period (full binary tree incl. the root)."""
+        return (1 << (self.max_level + 1)) - 1
+
+    def _subtree(self, level: int) -> int:
+        """Elements in a subtree rooted at ``level`` (self included)."""
+        return (1 << (self.max_level - level + 1)) - 1
+
+    def period_of(self, t: float) -> int:
+        """Period of."""
+        p = math.floor((t - self.origin) / self.period_seconds)
+        if p < 0:
+            raise ValueError(f"instant {t} precedes origin {self.origin}")
+        return p
+
+    def _sequence_code(self, bits: tuple[int, ...]) -> int:
+        """Pre-order position of an element within its period tree (root = 0)."""
+        code = 0
+        for i, b in enumerate(bits, start=1):
+            code += b * self._subtree(i) + 1
+        return code
+
+    def _decode_sequence(self, code: int) -> tuple[int, ...]:
+        bits: list[int] = []
+        level = 0
+        while code > 0:
+            code -= 1
+            level += 1
+            sub = self._subtree(level)
+            b = code // sub
+            bits.append(b)
+            code -= b * sub
+        return tuple(bits)
+
+    def _element_span(self, period: int, bits: tuple[int, ...]) -> tuple[float, float]:
+        """The (undoubled) element interval ``[start, start + length)``."""
+        start = self.origin + period * self.period_seconds
+        length = self.period_seconds
+        for b in bits:
+            length /= 2.0
+            start += b * length
+        return start, length
+
+    # -- indexing ------------------------------------------------------------
+
+    def index_time_range(self, tr: TimeRange) -> int:
+        """Value of the smallest XElement covering ``tr``."""
+        period = self.period_of(tr.start)
+        p0 = self.origin + period * self.period_seconds
+        duration = tr.end - tr.start
+        if tr.end > p0 + 2 * self.period_seconds:
+            raise XZTOverflowError(
+                f"time range of {duration}s exceeds the root XElement "
+                f"(2 × {self.period_seconds}s)"
+            )
+        # Deepest level whose doubled element could cover the range:
+        # 2 * P / 2^v >= duration  <=>  v <= log2(2P / duration).
+        min_duration = 2 * self.period_seconds / (1 << self.max_level)
+        if duration <= min_duration:
+            level = self.max_level
+        else:
+            level = int(math.floor(math.log2(2 * self.period_seconds / duration)))
+        level = max(0, min(self.max_level, level))
+        while level > 0:
+            length = self.period_seconds / (1 << level)
+            m = int((tr.start - p0) / length)
+            if p0 + m * length + 2 * length >= tr.end:
+                break
+            level -= 1
+        bits = self._bits_for(tr.start, p0, level)
+        return period * self.tree_size + self._sequence_code(bits)
+
+    def _bits_for(self, ts: float, p0: float, level: int) -> tuple[int, ...]:
+        bits: list[int] = []
+        lo = p0
+        length = self.period_seconds
+        for _ in range(level):
+            length /= 2.0
+            if ts >= lo + length:
+                bits.append(1)
+                lo += length
+            else:
+                bits.append(0)
+        return tuple(bits)
+
+    def xelement_span(self, value: int) -> TimeRange:
+        """The XElement interval behind an index value (for refinement)."""
+        period, code = divmod(value, self.tree_size)
+        bits = self._decode_sequence(code)
+        start, length = self._element_span(period, bits)
+        return TimeRange(start, start + 2 * length)
+
+    def value_matches(self, value: int, tr: TimeRange) -> bool:
+        """Coarse test: does the XElement overlap the query?"""
+        return self.xelement_span(value).intersects(tr)
+
+    # -- query expansion --------------------------------------------------------
+
+    def query_ranges(self, tr: TimeRange) -> list[tuple[int, int]]:
+        """Candidate value intervals (inclusive) for a temporal range query.
+
+        Walks the binary element tree of every period whose XElements can
+        reach the query: contained XElements contribute whole pre-order
+        subtree ranges, intersecting ones contribute themselves and recurse.
+        """
+        first = max(0, self.period_of(tr.start) - 1)
+        last = self.period_of(tr.end)
+        out: list[tuple[int, int]] = []
+        for period in range(first, last + 1):
+            base = period * self.tree_size
+            stack: list[tuple[int, tuple[int, ...]]] = [(0, ())]
+            while stack:
+                level, bits = stack.pop()
+                start, length = self._element_span(period, bits)
+                xel = TimeRange(start, start + 2 * length)
+                if not xel.intersects(tr):
+                    continue
+                code = self._sequence_code(bits)
+                if tr.contains(xel):
+                    sub = self._subtree(level) if level else self.tree_size
+                    out.append((base + code, base + code + sub - 1))
+                    continue
+                out.append((base + code, base + code))
+                if level < self.max_level:
+                    stack.append((level + 1, bits + (0,)))
+                    stack.append((level + 1, bits + (1,)))
+        out.sort()
+        merged: list[tuple[int, int]] = []
+        for lo, hi in out:
+            if merged and lo <= merged[-1][1] + 1:
+                merged[-1] = (merged[-1][0], max(merged[-1][1], hi))
+            else:
+                merged.append((lo, hi))
+        return merged
+
+    def candidate_bin_count(self, tr: TimeRange) -> int:
+        """Number of candidate elements a query touches."""
+        return sum(hi - lo + 1 for lo, hi in self.query_ranges(tr))

@@ -1,0 +1,29 @@
+"""The IDT index (§IV-A3): object id concatenated with the TR value.
+
+``IDT(T) = T.oid :: TR(TB(i, j))`` supports "give me object X's trajectories
+in time range Y" with a handful of short scans, because all bins of one
+object are clustered under its id prefix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.temporal import TRIndex
+from repro.model.timerange import TimeRange
+from repro.model.trajectory import Trajectory
+
+
+@dataclass(frozen=True)
+class IDTIndex:
+    """Composes the TR index with the object identifier."""
+
+    tr: TRIndex
+
+    def index(self, traj: Trajectory) -> tuple[str, int]:
+        """Return ``(oid, TR value)`` — the two rowkey components."""
+        return traj.oid, self.tr.index_time_range(traj.time_range)
+
+    def query_ranges(self, oid: str, tr: TimeRange) -> list[tuple[str, int, int]]:
+        """Candidate ``(oid, lo, hi)`` triples (inclusive TR bounds)."""
+        return [(oid, lo, hi) for lo, hi in self.tr.query_ranges(tr)]

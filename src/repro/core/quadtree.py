@@ -1,0 +1,166 @@
+"""Quad-tree cells, quadrant sequences, and the XZ sequence code (Eq. 2).
+
+The unit square ``[0,1]²`` is divided recursively: each cell splits into four
+sub-cells numbered 0-3 (``q = xbit + 2*ybit``: 0 = lower-left, 1 = lower-
+right, 2 = upper-left, 3 = upper-right).  A cell at resolution ``r`` is
+identified by its quadrant sequence ``q1 q2 ... qr`` or equivalently by its
+integer grid coordinates ``(ix, iy)`` with ``0 <= ix, iy < 2^r``.
+
+Eq. 2 maps a sequence to its depth-first pre-order position among all cells
+up to resolution ``g``, which preserves lexicographic order of sequences —
+the property the contains-case of Algorithm 2 relies on (all descendants of
+an element occupy one contiguous code interval).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.model.mbr import MBR
+
+
+def subtree_size(g: int, r: int) -> int:
+    """Number of cells with sequences prefixed by one at resolution ``r``.
+
+    This is the paper's ``EN(E)``: sum over resolutions r..g of 4^(i-r),
+    i.e. the element itself plus all its descendants.
+    """
+    if r > g:
+        raise ValueError(f"resolution {r} exceeds max resolution {g}")
+    return (4 ** (g - r + 1) - 1) // 3
+
+
+@dataclass(frozen=True)
+class Cell:
+    """A quad-tree cell at ``resolution`` with grid coordinates (ix, iy)."""
+
+    resolution: int
+    ix: int
+    iy: int
+
+    def __post_init__(self) -> None:
+        n = 1 << self.resolution
+        if not (0 <= self.ix < n and 0 <= self.iy < n):
+            raise ValueError(
+                f"cell ({self.ix},{self.iy}) out of grid 2^{self.resolution}"
+            )
+
+    @property
+    def size(self) -> float:
+        """Edge length of the cell in normalized space."""
+        return 0.5 ** self.resolution
+
+    def rect(self) -> MBR:
+        """The cell's extent in normalized space."""
+        w = self.size
+        return MBR(self.ix * w, self.iy * w, (self.ix + 1) * w, (self.iy + 1) * w)
+
+    def children(self) -> tuple["Cell", "Cell", "Cell", "Cell"]:
+        """The four sub-cells in quadrant order 0..3."""
+        r = self.resolution + 1
+        x2, y2 = self.ix * 2, self.iy * 2
+        return (
+            Cell(r, x2, y2),
+            Cell(r, x2 + 1, y2),
+            Cell(r, x2, y2 + 1),
+            Cell(r, x2 + 1, y2 + 1),
+        )
+
+    def quadrant_sequence(self) -> tuple[int, ...]:
+        """The digits q1..qr from the root down to this cell."""
+        digits = []
+        for level in range(self.resolution - 1, -1, -1):
+            xbit = (self.ix >> level) & 1
+            ybit = (self.iy >> level) & 1
+            digits.append(xbit + 2 * ybit)
+        return tuple(digits)
+
+    @classmethod
+    def from_sequence(cls, digits: tuple[int, ...]) -> "Cell":
+        """Build the cell identified by a quadrant sequence."""
+        ix = iy = 0
+        for q in digits:
+            if not 0 <= q <= 3:
+                raise ValueError(f"quadrant digit out of range: {q}")
+            ix = (ix << 1) | (q & 1)
+            iy = (iy << 1) | (q >> 1)
+        return cls(len(digits), ix, iy)
+
+
+def sequence_code(digits: tuple[int, ...], g: int) -> int:
+    """Eq. 2: the depth-first pre-order code of a quadrant sequence.
+
+    ``code(Q) = sum_i (q_i * (4^(g-i+1) - 1) / 3 + 1) - 1`` — the number of
+    cells visited strictly before ``Q`` in a pre-order walk of the depth-g
+    quad-tree (root excluded), so codes are dense in
+    ``[0, subtree_size(g, 1) * 4)`` and lexicographically ordered.
+    """
+    r = len(digits)
+    if r == 0:
+        raise ValueError("the root has no sequence code (resolution >= 1)")
+    if r > g:
+        raise ValueError(f"sequence length {r} exceeds max resolution {g}")
+    code = 0
+    for i, q in enumerate(digits, start=1):
+        if not 0 <= q <= 3:
+            raise ValueError(f"quadrant digit out of range: {q}")
+        code += q * ((4 ** (g - i + 1) - 1) // 3) + 1
+    return code - 1
+
+
+def cell_code(cell: Cell, g: int) -> int:
+    """Sequence code of a cell (Eq. 2)."""
+    return sequence_code(cell.quadrant_sequence(), g)
+
+
+def max_sequence_code(g: int) -> int:
+    """Largest code produced at max resolution ``g`` (all digits = 3)."""
+    return sequence_code(tuple([3] * g), g)
+
+
+@dataclass(frozen=True)
+class QuadTreeGrid:
+    """Maps lng/lat space onto the normalized quad-tree square.
+
+    ``boundary`` is the dataset's spatial extent; all cell geometry is done
+    in normalized coordinates and mapped back on demand.
+    """
+
+    boundary: MBR
+    max_resolution: int
+
+    def __post_init__(self) -> None:
+        if self.boundary.width <= 0 or self.boundary.height <= 0:
+            raise ValueError("grid boundary must have positive area")
+        if not 1 <= self.max_resolution <= 28:
+            raise ValueError(
+                f"max_resolution must be in [1, 28], got {self.max_resolution}"
+            )
+
+    def normalize(self, x: float, y: float) -> tuple[float, float]:
+        """Map a lng/lat point into [0,1]²; points outside are clamped."""
+        nx = (x - self.boundary.x1) / self.boundary.width
+        ny = (y - self.boundary.y1) / self.boundary.height
+        return min(1.0, max(0.0, nx)), min(1.0, max(0.0, ny))
+
+    def normalize_mbr(self, mbr: MBR) -> MBR:
+        """Normalize mbr."""
+        x1, y1 = self.normalize(mbr.x1, mbr.y1)
+        x2, y2 = self.normalize(mbr.x2, mbr.y2)
+        return MBR(x1, y1, x2, y2)
+
+    def denormalize_mbr(self, mbr: MBR) -> MBR:
+        """Map a normalized rectangle back to lng/lat space."""
+        return MBR(
+            self.boundary.x1 + mbr.x1 * self.boundary.width,
+            self.boundary.y1 + mbr.y1 * self.boundary.height,
+            self.boundary.x1 + mbr.x2 * self.boundary.width,
+            self.boundary.y1 + mbr.y2 * self.boundary.height,
+        )
+
+    def cell_containing(self, nx: float, ny: float, resolution: int) -> Cell:
+        """The cell at ``resolution`` containing a normalized point."""
+        n = 1 << resolution
+        ix = min(n - 1, int(nx * n))
+        iy = min(n - 1, int(ny * n))
+        return Cell(resolution, ix, iy)

@@ -1,0 +1,33 @@
+"""Half-open integer range utilities shared by the index query planners."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+
+def merge_ranges(ranges: Iterable[tuple[int, int]]) -> list[tuple[int, int]]:
+    """Merge overlapping/adjacent half-open ``[lo, hi)`` ranges.
+
+    Adjacent ranges (``a.hi == b.lo``) coalesce, so the output is the
+    minimal set of disjoint scans a query needs to issue.  Empty ranges are
+    dropped.
+    """
+    cleaned = sorted((lo, hi) for lo, hi in ranges if hi > lo)
+    merged: list[tuple[int, int]] = []
+    for lo, hi in cleaned:
+        if merged and lo <= merged[-1][1]:
+            if hi > merged[-1][1]:
+                merged[-1] = (merged[-1][0], hi)
+        else:
+            merged.append((lo, hi))
+    return merged
+
+
+def ranges_total(ranges: Iterable[tuple[int, int]]) -> int:
+    """Total number of integers covered by half-open ranges."""
+    return sum(hi - lo for lo, hi in ranges)
+
+
+def value_in_ranges(value: int, ranges: Iterable[tuple[int, int]]) -> bool:
+    """Membership test against half-open ranges (linear; diagnostics only)."""
+    return any(lo <= value < hi for lo, hi in ranges)

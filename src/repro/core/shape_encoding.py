@@ -1,0 +1,175 @@
+"""Shape-code optimization (§IV-A2(3) of the paper).
+
+An enlarged element with ``α*β`` cells admits ``2^(α*β)`` raw shape bitmaps,
+but real data uses only a handful per element.  Used shapes are renumbered
+``0..M-1`` so that spatially similar shapes (Jaccard similarity, Eq. 4) get
+adjacent final codes, maximizing the cumulative similarity of the order
+(Eq. 5) — a maximum-weight Hamiltonian path, i.e. a TSP variant.  The paper
+solves it with a greedy heuristic and a genetic algorithm; both are here,
+plus the raw-bitmap identity ordering used as the ablation baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Literal, Optional, Sequence
+
+import numpy as np
+
+EncodingMethod = Literal["bitmap", "greedy", "genetic"]
+
+
+def jaccard_similarity(s1: int, s2: int) -> float:
+    """Eq. 4: |cells(s1) ∩ cells(s2)| / |cells(s1) ∪ cells(s2)|.
+
+    Shapes are cell bitmaps; two empty shapes are defined as similarity 1.
+    """
+    union = s1 | s2
+    if union == 0:
+        return 1.0
+    inter = s1 & s2
+    return bin(inter).count("1") / bin(union).count("1")
+
+
+def cumulative_similarity(order: Sequence[int]) -> float:
+    """Eq. 5's objective: sum of similarities between adjacent shapes."""
+    return sum(
+        jaccard_similarity(a, b) for a, b in zip(order, order[1:])
+    )
+
+
+def _similarity_matrix(shapes: Sequence[int]) -> np.ndarray:
+    m = len(shapes)
+    sim = np.zeros((m, m))
+    for i in range(m):
+        for j in range(i + 1, m):
+            s = jaccard_similarity(shapes[i], shapes[j])
+            sim[i, j] = sim[j, i] = s
+    return sim
+
+
+def greedy_order(shapes: Sequence[int]) -> list[int]:
+    """Greedy max-similarity path: repeatedly append the most similar unvisited shape.
+
+    Tries every shape as the starting point and keeps the best path, which
+    costs O(M³) but M is small (used shapes per element are few — Fig. 16a).
+    """
+    m = len(shapes)
+    if m <= 2:
+        return list(shapes)
+    sim = _similarity_matrix(shapes)
+
+    best_order: Optional[list[int]] = None
+    best_score = -1.0
+    for start in range(m):
+        visited = [start]
+        remaining = set(range(m)) - {start}
+        score = 0.0
+        while remaining:
+            cur = visited[-1]
+            nxt = max(remaining, key=lambda idx: (sim[cur, idx], -idx))
+            score += sim[cur, nxt]
+            visited.append(nxt)
+            remaining.remove(nxt)
+        if score > best_score:
+            best_score = score
+            best_order = visited
+    assert best_order is not None
+    return [shapes[i] for i in best_order]
+
+
+def _order_crossover(p1: np.ndarray, p2: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+    """OX crossover: copy a slice from p1, fill the rest in p2's order."""
+    m = len(p1)
+    a, b = sorted(rng.integers(0, m, size=2))
+    child = np.full(m, -1, dtype=np.int64)
+    child[a : b + 1] = p1[a : b + 1]
+    taken = set(child[a : b + 1].tolist())
+    fill = [g for g in p2 if g not in taken]
+    pos = 0
+    for i in range(m):
+        if child[i] == -1:
+            child[i] = fill[pos]
+            pos += 1
+    return child
+
+
+def genetic_order(
+    shapes: Sequence[int],
+    rng: Optional[np.random.Generator] = None,
+    population: int = 40,
+    generations: int = 120,
+    mutation_rate: float = 0.2,
+    elite: int = 4,
+) -> list[int]:
+    """Genetic-algorithm solver for the max-similarity path (Eq. 5).
+
+    Permutation chromosomes, tournament selection, OX crossover, swap
+    mutation, elitism.  The greedy path is injected into the initial
+    population so the GA never does worse than the greedy heuristic.
+    """
+    m = len(shapes)
+    if m <= 3:
+        return greedy_order(shapes)
+    if rng is None:
+        rng = np.random.default_rng(7)
+    sim = _similarity_matrix(shapes)
+
+    def fitness(perm: np.ndarray) -> float:
+        """Fitness."""
+        return float(sim[perm[:-1], perm[1:]].sum())
+
+    greedy = greedy_order(shapes)
+    index_of = {s: i for i, s in enumerate(shapes)}
+    seed_perm = np.array([index_of[s] for s in greedy], dtype=np.int64)
+
+    pop = [seed_perm] + [rng.permutation(m) for _ in range(population - 1)]
+    scores = np.array([fitness(p) for p in pop])
+
+    for _ in range(generations):
+        order = np.argsort(scores)[::-1]
+        pop = [pop[i] for i in order]
+        scores = scores[order]
+        next_pop = pop[:elite]
+        while len(next_pop) < population:
+            # Tournament selection of two parents.
+            contenders = rng.integers(0, population, size=4)
+            pa = pop[min(contenders[0], contenders[1])]
+            pb = pop[min(contenders[2], contenders[3])]
+            child = _order_crossover(pa, pb, rng)
+            if rng.random() < mutation_rate:
+                i, j = rng.integers(0, m, size=2)
+                child[i], child[j] = child[j], child[i]
+            next_pop.append(child)
+        pop = next_pop
+        scores = np.array([fitness(p) for p in pop])
+
+    best = pop[int(np.argmax(scores))]
+    return [shapes[i] for i in best]
+
+
+class ShapeEncoder:
+    """Produces the shape -> final-code mapping for one enlarged element."""
+
+    def __init__(self, method: EncodingMethod = "greedy", seed: int = 7):
+        if method not in ("bitmap", "greedy", "genetic"):
+            raise ValueError(f"unknown encoding method {method!r}")
+        self.method = method
+        self._seed = seed
+
+    def encode(self, shapes: Sequence[int]) -> dict[int, int]:
+        """Map each used raw shape bitmap to its final code.
+
+        ``bitmap`` keeps raw bitmaps as codes (the unoptimized baseline);
+        ``greedy``/``genetic`` renumber along the optimized path so similar
+        shapes get adjacent codes.
+        """
+        unique = sorted(set(shapes))
+        if not unique:
+            return {}
+        if self.method == "bitmap":
+            return {s: s for s in unique}
+        if self.method == "greedy":
+            order = greedy_order(unique)
+        else:
+            order = genetic_order(unique, rng=np.random.default_rng(self._seed))
+        return {shape: code for code, shape in enumerate(order)}

@@ -1,0 +1,268 @@
+"""The TShape index (§IV-A2 of the paper).
+
+A trajectory's spatial footprint is represented by the subset of cells it
+touches inside an *enlarged element* — an ``α × β`` block of same-resolution
+quad-tree cells anchored at the cell containing the MBR's lower-left corner.
+Resolution selection follows Lemmas 3-4; the anchor cell's quadrant sequence
+becomes an integer via Eq. 2, the touched-cell bitmap is the *shape code*,
+and the final 64-bit index value packs both (Eq. 3):
+
+    TShape(code(E), s) = (code(E) << α*β) | s
+
+Spatial range queries (Algorithm 2) walk the quad-tree breadth-first and
+emit contiguous value ranges for contained elements plus exact values for
+shapes that intersect the query window.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Iterable, Optional, Sequence
+
+from repro.core.quadtree import Cell, QuadTreeGrid, cell_code, subtree_size
+from repro.core.ranges import merge_ranges
+from repro.geometry.relations import (
+    SpatialRelation,
+    rect_relation,
+    segment_intersects_rect,
+)
+from repro.model.mbr import MBR
+from repro.model.trajectory import Trajectory
+
+
+@dataclass(frozen=True)
+class TShapeKey:
+    """The indexing outcome for one trajectory."""
+
+    element_code: int  # Eq. 2 code of the enlarged element's anchor cell
+    resolution: int
+    raw_shape: int  # the touched-cell bitmap before optimization
+    anchor: Cell
+
+
+class TShapeIndex:
+    """Encoder and query planner for the TShape index."""
+
+    def __init__(self, grid: QuadTreeGrid, alpha: int = 3, beta: int = 3):
+        if alpha < 2 or beta < 2:
+            raise ValueError(f"alpha and beta must be >= 2, got {alpha}x{beta}")
+        g = grid.max_resolution
+        # Eq. 3's budget: quadrant code needs 2g+1 bits, shape needs α*β.
+        if 2 * g + 1 + alpha * beta > 64:
+            raise ValueError(
+                f"index value overflows 64 bits: 2*{g}+1+{alpha}*{beta} > 64"
+            )
+        self.grid = grid
+        self.alpha = alpha
+        self.beta = beta
+        self.shape_bits = alpha * beta
+
+    # -- value packing (Eq. 3) ----------------------------------------------
+
+    def pack(self, element_code: int, shape: int) -> int:
+        """Eq. 3: combine element code and shape code into one integer."""
+        if shape < 0 or shape >= (1 << self.shape_bits):
+            raise ValueError(f"shape code out of {self.shape_bits}-bit range: {shape}")
+        return (element_code << self.shape_bits) | shape
+
+    def unpack(self, value: int) -> tuple[int, int]:
+        """Inverse of :meth:`pack`: value -> (element code, shape code)."""
+        return value >> self.shape_bits, value & ((1 << self.shape_bits) - 1)
+
+    # -- resolution selection (Lemmas 3-4) -----------------------------------
+
+    def resolution_for(self, nmbr: MBR) -> int:
+        """Smallest-cell resolution whose enlarged element covers ``nmbr``."""
+        g = self.grid.max_resolution
+        extent = max(nmbr.width / self.alpha, nmbr.height / self.beta)
+        if extent <= 0:
+            level = g
+        else:
+            level = min(g, int(math.floor(math.log(extent, 0.5))))
+        level = max(1, level)
+        while level > 1 and not self._anchor_covers(nmbr, level):
+            level -= 1
+        return level
+
+    def _anchor_covers(self, nmbr: MBR, resolution: int) -> bool:
+        """Lemma 4's position check at a candidate resolution."""
+        w = 0.5 ** resolution
+        anchor = self.grid.cell_containing(nmbr.x1, nmbr.y1, resolution)
+        return (
+            anchor.ix * w + self.alpha * w >= nmbr.x2
+            and anchor.iy * w + self.beta * w >= nmbr.y2
+        )
+
+    def anchor_cell(self, nmbr: MBR) -> Cell:
+        """The enlarged element's anchor (lower-left) cell for an MBR."""
+        r = self.resolution_for(nmbr)
+        return self.grid.cell_containing(nmbr.x1, nmbr.y1, r)
+
+    # -- element geometry ------------------------------------------------------
+
+    def element_rect(self, anchor: Cell) -> MBR:
+        """Normalized extent of the enlarged element anchored at ``anchor``."""
+        w = anchor.size
+        return MBR(
+            anchor.ix * w,
+            anchor.iy * w,
+            (anchor.ix + self.alpha) * w,
+            (anchor.iy + self.beta) * w,
+        )
+
+    def cell_rect(self, anchor: Cell, a: int, b: int) -> MBR:
+        """Normalized extent of local cell ``(a, b)`` inside an element."""
+        if not (0 <= a < self.alpha and 0 <= b < self.beta):
+            raise ValueError(f"local cell ({a},{b}) outside {self.alpha}x{self.beta}")
+        w = anchor.size
+        return MBR(
+            (anchor.ix + a) * w,
+            (anchor.iy + b) * w,
+            (anchor.ix + a + 1) * w,
+            (anchor.iy + b + 1) * w,
+        )
+
+    # -- shape codes --------------------------------------------------------------
+
+    def shape_bitmap(self, anchor: Cell, npoints: Sequence[tuple[float, float]]) -> int:
+        """Bitmap of element cells touched by the normalized polyline.
+
+        Bit ``b*α + a`` is set when local cell ``(a, b)`` intersects any
+        vertex or edge.  The bitmap is conservative (closed-rectangle
+        predicates), so the query side never misses a trajectory.
+        """
+        w = anchor.size
+        ox = anchor.ix * w
+        oy = anchor.iy * w
+        bitmap = 0
+
+        def local_cell(x: float, y: float) -> tuple[int, int]:
+            """Local cell."""
+            a = min(self.alpha - 1, max(0, int((x - ox) / w)))
+            b = min(self.beta - 1, max(0, int((y - oy) / w)))
+            return a, b
+
+        if len(npoints) == 1:
+            a, b = local_cell(*npoints[0])
+            return 1 << (b * self.alpha + a)
+
+        for (x0, y0), (x1, y1) in zip(npoints, npoints[1:]):
+            a0, b0 = local_cell(x0, y0)
+            a1, b1 = local_cell(x1, y1)
+            lo_a, hi_a = min(a0, a1), max(a0, a1)
+            lo_b, hi_b = min(b0, b1), max(b0, b1)
+            if lo_a == hi_a and lo_b == hi_b:
+                bitmap |= 1 << (lo_b * self.alpha + lo_a)
+                continue
+            for b in range(lo_b, hi_b + 1):
+                for a in range(lo_a, hi_a + 1):
+                    bit = 1 << (b * self.alpha + a)
+                    if bitmap & bit:
+                        continue
+                    if segment_intersects_rect(x0, y0, x1, y1, self.cell_rect(anchor, a, b)):
+                        bitmap |= bit
+        return bitmap
+
+    def shape_intersects(self, anchor: Cell, shape: int, query: MBR) -> bool:
+        """True when any set-bit cell of a shape touches the query window."""
+        for b in range(self.beta):
+            for a in range(self.alpha):
+                if shape & (1 << (b * self.alpha + a)):
+                    if query.intersects(self.cell_rect(anchor, a, b)):
+                        return True
+        return False
+
+    # -- indexing a trajectory -----------------------------------------------------
+
+    def index_trajectory(self, traj: Trajectory) -> TShapeKey:
+        """Compute the element code and raw shape bitmap of a trajectory."""
+        npoints = [self.grid.normalize(p.lng, p.lat) for p in traj.points]
+        nmbr = MBR.of_points(npoints)
+        anchor = self.anchor_cell(nmbr)
+        shape = self.shape_bitmap(anchor, npoints)
+        code = cell_code(anchor, self.grid.max_resolution)
+        return TShapeKey(code, anchor.resolution, shape, anchor)
+
+    def index_value(self, key: TShapeKey, final_code: Optional[int] = None) -> int:
+        """Pack a key into the stored 64-bit value (optionally optimized)."""
+        shape = key.raw_shape if final_code is None else final_code
+        return self.pack(key.element_code, shape)
+
+    # -- spatial range query (Algorithm 2) ---------------------------------------------
+
+    def query_ranges(
+        self,
+        spatial_range: MBR,
+        shapes_of: Optional[Callable[[int], Optional[dict[int, int]]]] = None,
+        use_cache: bool = True,
+    ) -> list[tuple[int, int]]:
+        """Candidate index-value ranges (half-open) for a spatial range query.
+
+        ``shapes_of`` maps an element code to its ``{raw_shape: final_code}``
+        mapping (normally the index cache).  With ``use_cache=False`` the
+        planner enumerates all ``2^(α*β)`` possible shapes per intersecting
+        element — the expensive ablation of Fig. 16(b).
+        """
+        sr = self.grid.normalize_mbr(spatial_range)
+        g = self.grid.max_resolution
+        unit = MBR(0.0, 0.0, 1.0, 1.0)
+        ranges: list[tuple[int, int]] = []
+        frontier: list[Cell] = list(Cell(0, 0, 0).children())
+
+        while frontier:
+            next_frontier: list[Cell] = []
+            for cell in frontier:
+                # Enlarged elements near the right/top edge extend beyond the
+                # unit square; only the in-space part can hold data, so the
+                # relation is evaluated on the clipped rectangle.
+                clipped = self.element_rect(cell).intersection(unit)
+                if clipped is None:  # pragma: no cover - anchors are in-space
+                    continue
+                relation = rect_relation(sr, clipped)
+                if relation is SpatialRelation.DISJOINT:
+                    continue
+                code = cell_code(cell, g)
+                if relation is SpatialRelation.CONTAINS:
+                    count = subtree_size(g, cell.resolution)
+                    ranges.append((self.pack(code, 0), self.pack(code + count, 0)))
+                    continue
+                # INTERSECTS: pick out shapes that touch the window.
+                if use_cache:
+                    mapping = shapes_of(code) if shapes_of is not None else None
+                    if mapping:
+                        for raw_shape, final_code in mapping.items():
+                            if self.shape_intersects(cell, raw_shape, sr):
+                                value = self.pack(code, final_code)
+                                ranges.append((value, value + 1))
+                else:
+                    for raw_shape in range(1, 1 << self.shape_bits):
+                        if self.shape_intersects(cell, raw_shape, sr):
+                            value = self.pack(code, raw_shape)
+                            ranges.append((value, value + 1))
+                if cell.resolution < g:
+                    next_frontier.extend(cell.children())
+            frontier = next_frontier
+        return merge_ranges(ranges)
+
+    def intersecting_elements(self, spatial_range: MBR) -> list[tuple[Cell, SpatialRelation]]:
+        """Element anchors touching the query window (diagnostics and stats)."""
+        sr = self.grid.normalize_mbr(spatial_range)
+        g = self.grid.max_resolution
+        unit = MBR(0.0, 0.0, 1.0, 1.0)
+        out: list[tuple[Cell, SpatialRelation]] = []
+        frontier: list[Cell] = list(Cell(0, 0, 0).children())
+        while frontier:
+            next_frontier: list[Cell] = []
+            for cell in frontier:
+                clipped = self.element_rect(cell).intersection(unit)
+                if clipped is None:  # pragma: no cover
+                    continue
+                relation = rect_relation(sr, clipped)
+                if relation is SpatialRelation.DISJOINT:
+                    continue
+                out.append((cell, relation))
+                if relation is SpatialRelation.INTERSECTS and cell.resolution < g:
+                    next_frontier.extend(cell.children())
+            frontier = next_frontier
+        return out

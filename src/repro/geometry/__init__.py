@@ -1,0 +1,22 @@
+"""Computational-geometry helpers shared by indexes and query processing."""
+
+from repro.geometry.distance import euclidean, haversine_km
+from repro.geometry.dp import DPFeature, douglas_peucker, extract_dp_feature
+from repro.geometry.relations import (
+    polyline_intersects_rect,
+    rect_relation,
+    segment_intersects_rect,
+    SpatialRelation,
+)
+
+__all__ = [
+    "euclidean",
+    "haversine_km",
+    "douglas_peucker",
+    "extract_dp_feature",
+    "DPFeature",
+    "segment_intersects_rect",
+    "polyline_intersects_rect",
+    "rect_relation",
+    "SpatialRelation",
+]

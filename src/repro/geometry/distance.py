@@ -1,0 +1,62 @@
+"""Point-to-point distance functions."""
+
+from __future__ import annotations
+
+import math
+
+EARTH_RADIUS_KM = 6371.0088
+
+
+def euclidean(ax: float, ay: float, bx: float, by: float) -> float:
+    """Planar Euclidean distance in coordinate units (degrees for lng/lat)."""
+    dx = ax - bx
+    dy = ay - by
+    return math.hypot(dx, dy)
+
+
+def point_to_segment(
+    px: float, py: float, ax: float, ay: float, bx: float, by: float
+) -> float:
+    """Distance from point P to the closed segment AB (planar)."""
+    dx = bx - ax
+    dy = by - ay
+    seg_len_sq = dx * dx + dy * dy
+    if seg_len_sq == 0.0:
+        return math.hypot(px - ax, py - ay)
+    t = ((px - ax) * dx + (py - ay) * dy) / seg_len_sq
+    t = max(0.0, min(1.0, t))
+    return math.hypot(px - (ax + t * dx), py - (ay + t * dy))
+
+
+def point_to_polyline(px: float, py: float, points) -> float:
+    """Distance from a point to a polyline (sequence of (x, y) pairs)."""
+    if not points:
+        raise ValueError("empty polyline")
+    if len(points) == 1:
+        return math.hypot(px - points[0][0], py - points[0][1])
+    return min(
+        point_to_segment(px, py, ax, ay, bx, by)
+        for (ax, ay), (bx, by) in zip(points, points[1:])
+    )
+
+
+def haversine_km(lng1: float, lat1: float, lng2: float, lat2: float) -> float:
+    """Great-circle distance in kilometres between two lng/lat fixes."""
+    phi1 = math.radians(lat1)
+    phi2 = math.radians(lat2)
+    dphi = phi2 - phi1
+    dlmb = math.radians(lng2 - lng1)
+    a = math.sin(dphi / 2) ** 2 + math.cos(phi1) * math.cos(phi2) * math.sin(dlmb / 2) ** 2
+    return 2 * EARTH_RADIUS_KM * math.asin(min(1.0, math.sqrt(a)))
+
+
+def degrees_for_km(km: float, at_lat: float = 0.0) -> float:
+    """Approximate degree span of ``km`` kilometres at latitude ``at_lat``.
+
+    Uses the longitude circle at the given latitude, which is the wider
+    (more conservative) conversion for query windows.
+    """
+    if abs(at_lat) >= 89.9:
+        raise ValueError(f"degenerate latitude for conversion: {at_lat}")
+    km_per_degree = (math.pi / 180.0) * EARTH_RADIUS_KM * math.cos(math.radians(at_lat))
+    return km / km_per_degree

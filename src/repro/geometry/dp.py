@@ -1,0 +1,114 @@
+"""Douglas-Peucker simplification and DP-features.
+
+TraSS (and TMan, which adopts its similarity machinery) stores *DP-features*
+alongside each trajectory: the representative points chosen by a
+Douglas-Peucker pass plus the bounding box of each simplified span.  The
+features give cheap lower/upper distance bounds used by the similarity
+query's local filter, avoiding full distance computations for most
+candidates.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.model.mbr import MBR
+from repro.model.point import STPoint
+
+
+def _perpendicular_distance(
+    px: float, py: float, ax: float, ay: float, bx: float, by: float
+) -> float:
+    """Distance from point P to segment AB."""
+    dx = bx - ax
+    dy = by - ay
+    seg_len_sq = dx * dx + dy * dy
+    if seg_len_sq == 0.0:
+        return math.hypot(px - ax, py - ay)
+    t = ((px - ax) * dx + (py - ay) * dy) / seg_len_sq
+    t = max(0.0, min(1.0, t))
+    cx = ax + t * dx
+    cy = ay + t * dy
+    return math.hypot(px - cx, py - cy)
+
+
+def douglas_peucker(points: Sequence[STPoint], epsilon: float) -> list[int]:
+    """Return indexes of the points kept by Douglas-Peucker simplification.
+
+    The first and last point are always kept.  ``epsilon`` is the maximum
+    allowed perpendicular deviation in coordinate units.
+    """
+    n = len(points)
+    if n == 0:
+        return []
+    if n <= 2:
+        return list(range(n))
+
+    keep = [False] * n
+    keep[0] = keep[n - 1] = True
+    stack: list[tuple[int, int]] = [(0, n - 1)]
+    while stack:
+        lo, hi = stack.pop()
+        if hi <= lo + 1:
+            continue
+        ax, ay = points[lo].xy
+        bx, by = points[hi].xy
+        best = -1.0
+        best_idx = -1
+        for i in range(lo + 1, hi):
+            d = _perpendicular_distance(points[i].lng, points[i].lat, ax, ay, bx, by)
+            if d > best:
+                best = d
+                best_idx = i
+        if best > epsilon:
+            keep[best_idx] = True
+            stack.append((lo, best_idx))
+            stack.append((best_idx, hi))
+    return [i for i, k in enumerate(keep) if k]
+
+
+@dataclass(frozen=True)
+class DPFeature:
+    """A trajectory's DP-feature: representative points + per-span boxes.
+
+    ``rep_indexes[i] .. rep_indexes[i+1]`` is the i-th span; ``span_boxes[i]``
+    is the tight bounding box of the raw points in that span.  The feature is
+    small (a handful of points) and gives sound distance bounds:
+
+    - Any raw point of span i lies inside ``span_boxes[i]``, so the distance
+      from an external point to the span is bounded below by the distance to
+      the box, and above by the distance to the box's farthest corner.
+    """
+
+    rep_points: tuple[STPoint, ...]
+    rep_indexes: tuple[int, ...]
+    span_boxes: tuple[MBR, ...]
+
+    @property
+    def mbr(self) -> MBR:
+        """Mbr."""
+        box = self.span_boxes[0]
+        for other in self.span_boxes[1:]:
+            box = box.union_hull(other)
+        return box
+
+    def min_distance_to_point(self, x: float, y: float) -> float:
+        """Lower bound on the distance from (x, y) to any raw point."""
+        return min(box.min_distance_point(x, y) for box in self.span_boxes)
+
+
+def extract_dp_feature(points: Sequence[STPoint], epsilon: float) -> DPFeature:
+    """Compute the DP-feature of a raw point sequence."""
+    if not points:
+        raise ValueError("cannot extract DP-features from zero points")
+    idxs = douglas_peucker(points, epsilon)
+    if len(idxs) == 1:
+        idxs = [0, 0]
+    boxes: list[MBR] = []
+    for lo, hi in zip(idxs, idxs[1:]):
+        span = points[lo : hi + 1] if hi >= lo else points[lo : lo + 1]
+        boxes.append(MBR.of_points(p.xy for p in span))
+    reps = tuple(points[i] for i in idxs)
+    return DPFeature(reps, tuple(idxs), tuple(boxes))

@@ -1,0 +1,111 @@
+"""Spatial predicates between rectangles, segments, and polylines.
+
+The TShape index (Algorithm 2 of the paper) classifies each enlarged element
+against the query rectangle as *contains* / *intersects* / *disjoint*, and the
+shape-code construction must know which grid cells a trajectory's polyline
+touches.  Everything here operates on plain floats in normalized or lng/lat
+space — the callers decide the coordinate frame.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Sequence
+
+from repro.model.mbr import MBR
+
+
+class SpatialRelation(enum.Enum):
+    """Relation of a query rectangle to an index element."""
+
+    CONTAINS = "contains"
+    INTERSECTS = "intersects"
+    DISJOINT = "disjoint"
+
+
+def rect_relation(query: MBR, element: MBR) -> SpatialRelation:
+    """Classify ``element`` against ``query`` per Algorithm 2 of the paper."""
+    if query.contains(element):
+        return SpatialRelation.CONTAINS
+    if query.intersects(element):
+        return SpatialRelation.INTERSECTS
+    return SpatialRelation.DISJOINT
+
+
+def _on_segment(px: float, py: float, qx: float, qy: float, rx: float, ry: float) -> bool:
+    """True when collinear point q lies on segment pr."""
+    return (
+        min(px, rx) <= qx <= max(px, rx)
+        and min(py, ry) <= qy <= max(py, ry)
+    )
+
+
+def _orientation(px: float, py: float, qx: float, qy: float, rx: float, ry: float) -> int:
+    """0 collinear, 1 clockwise, 2 counter-clockwise."""
+    val = (qy - py) * (rx - qx) - (qx - px) * (ry - qy)
+    if val == 0:
+        return 0
+    return 1 if val > 0 else 2
+
+
+def segments_intersect(
+    ax: float, ay: float, bx: float, by: float,
+    cx: float, cy: float, dx: float, dy: float,
+) -> bool:
+    """True when closed segments AB and CD share at least one point."""
+    o1 = _orientation(ax, ay, bx, by, cx, cy)
+    o2 = _orientation(ax, ay, bx, by, dx, dy)
+    o3 = _orientation(cx, cy, dx, dy, ax, ay)
+    o4 = _orientation(cx, cy, dx, dy, bx, by)
+
+    if o1 != o2 and o3 != o4:
+        return True
+    if o1 == 0 and _on_segment(ax, ay, cx, cy, bx, by):
+        return True
+    if o2 == 0 and _on_segment(ax, ay, dx, dy, bx, by):
+        return True
+    if o3 == 0 and _on_segment(cx, cy, ax, ay, dx, dy):
+        return True
+    if o4 == 0 and _on_segment(cx, cy, bx, by, dx, dy):
+        return True
+    return False
+
+
+def segment_intersects_rect(
+    ax: float, ay: float, bx: float, by: float, rect: MBR
+) -> bool:
+    """True when the closed segment AB touches the closed rectangle."""
+    # Quick accept: either endpoint inside.
+    if rect.contains_point(ax, ay) or rect.contains_point(bx, by):
+        return True
+    # Quick reject: segment bounding box misses the rectangle.
+    if max(ax, bx) < rect.x1 or min(ax, bx) > rect.x2:
+        return False
+    if max(ay, by) < rect.y1 or min(ay, by) > rect.y2:
+        return False
+    # Full test against the four rectangle edges.
+    corners = (
+        (rect.x1, rect.y1, rect.x2, rect.y1),
+        (rect.x2, rect.y1, rect.x2, rect.y2),
+        (rect.x2, rect.y2, rect.x1, rect.y2),
+        (rect.x1, rect.y2, rect.x1, rect.y1),
+    )
+    for cx, cy, dx, dy in corners:
+        if segments_intersect(ax, ay, bx, by, cx, cy, dx, dy):
+            return True
+    return False
+
+
+def polyline_intersects_rect(points: Sequence[tuple[float, float]], rect: MBR) -> bool:
+    """True when any vertex or edge of the polyline touches the rectangle.
+
+    A single-point polyline degrades to a point-in-rect test.
+    """
+    if not points:
+        return False
+    if len(points) == 1:
+        return rect.contains_point(points[0][0], points[0][1])
+    for (ax, ay), (bx, by) in zip(points, points[1:]):
+        if segment_intersects_rect(ax, ay, bx, by, rect):
+            return True
+    return False

@@ -1,0 +1,39 @@
+"""An embedded, range-partitioned key-value store with push-down filters.
+
+This package is the reproduction's stand-in for HBase: byte-ordered keys,
+LSM-tree storage (memtable + immutable SSTables + compaction), range
+*regions* hosted on region servers, ordered scans with start/stop keys,
+server-side (push-down) filters, and detailed I/O accounting.  Everything the
+paper's experiments measure — rows retrieved, ranges scanned, data
+transferred — is surfaced through :class:`~repro.kvstore.stats.IOStats`.
+"""
+
+from repro.kvstore.cluster import Cluster
+from repro.kvstore.durable import DurableLSMStore
+from repro.kvstore.errors import KVError, RegionError, TableExistsError, TableNotFoundError
+from repro.kvstore.filters import Filter, FilterChain, PrefixFilter, TrueFilter
+from repro.kvstore.lsm import LSMStore
+from repro.kvstore.scan import Scan
+from repro.kvstore.snapshot import load_cluster, save_cluster
+from repro.kvstore.stats import CostModel, IOStats
+from repro.kvstore.table import Table
+
+__all__ = [
+    "Cluster",
+    "Table",
+    "Scan",
+    "LSMStore",
+    "DurableLSMStore",
+    "save_cluster",
+    "load_cluster",
+    "Filter",
+    "FilterChain",
+    "TrueFilter",
+    "PrefixFilter",
+    "IOStats",
+    "CostModel",
+    "KVError",
+    "TableNotFoundError",
+    "TableExistsError",
+    "RegionError",
+]

@@ -1,0 +1,93 @@
+"""The cluster facade: a namespace of tables sharing stats and threads."""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Optional
+
+from repro.kvstore.errors import TableExistsError, TableNotFoundError
+from repro.kvstore.stats import IOStats
+from repro.kvstore.table import Table
+
+
+class Cluster:
+    """An embedded key-value cluster.
+
+    Owns the shared :class:`IOStats`, an optional worker pool used for
+    parallel region scans, and the table catalog.  One ``Cluster`` per TMan
+    deployment; baselines get their own so counters never mix.
+    """
+
+    def __init__(self, workers: int = 4, split_rows: int = 200_000, data_dir=None):
+        self.stats = IOStats()
+        self._split_rows = split_rows
+        self._data_dir = data_dir
+        self._executor: Optional[ThreadPoolExecutor] = (
+            ThreadPoolExecutor(max_workers=workers, thread_name_prefix="kv-scan")
+            if workers > 1
+            else None
+        )
+        self._tables: dict[str, Table] = {}
+        if data_dir is not None:
+            self._discover_tables()
+
+    def _discover_tables(self) -> None:
+        """Reopen durable tables found under the data directory."""
+        from pathlib import Path
+
+        root = Path(self._data_dir)
+        if not root.exists():
+            return
+        for layout in sorted(root.glob("*/regions.json")):
+            self.create_table(layout.parent.name, if_not_exists=True)
+
+    def create_table(self, name: str, if_not_exists: bool = False) -> Table:
+        """Create a table; with ``if_not_exists`` return the existing one."""
+        if name in self._tables:
+            if if_not_exists:
+                return self._tables[name]
+            raise TableExistsError(name)
+        table = Table(
+            name,
+            self.stats,
+            split_rows=self._split_rows,
+            executor=self._executor,
+            data_dir=self._data_dir,
+        )
+        self._tables[name] = table
+        return table
+
+    def table(self, name: str) -> Table:
+        """Look a table up by name."""
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise TableNotFoundError(name) from None
+
+    def has_table(self, name: str) -> bool:
+        """True when a table with this name exists."""
+        return name in self._tables
+
+    def drop_table(self, name: str) -> None:
+        """Remove a table from the catalog."""
+        if name not in self._tables:
+            raise TableNotFoundError(name)
+        del self._tables[name]
+
+    def table_names(self) -> list[str]:
+        """Sorted names of all tables."""
+        return sorted(self._tables)
+
+    def close(self) -> None:
+        """Shut down the worker pool and close durable tables (idempotent)."""
+        for table in self._tables.values():
+            table.close()
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def __enter__(self) -> "Cluster":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

@@ -1,0 +1,155 @@
+"""Immutable on-disk sorted tables.
+
+File layout (big-endian):
+
+    magic b"TMSST\x01"
+    data section:    records  u32 key_len | key | u32 value_len | value
+    index section:   u32 entry_count, then per sparse-index entry
+                     u32 key_len | key | u64 file_offset
+                     (one entry per SPARSE_EVERY records, first record always)
+    footer:          u64 index_offset, u64 record_count, u32 crc of index
+
+Reads never load the whole file: point gets binary-search the sparse index
+(held in memory after open) and scan forward at most ``SPARSE_EVERY``
+records; range scans seek to the floor index entry and stream.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from pathlib import Path
+from typing import Iterator, Optional, Sequence, Union
+
+from repro.kvstore.errors import CorruptionError
+from repro.kvstore.stats import IOStats
+
+MAGIC = b"TMSST\x01"
+SPARSE_EVERY = 32
+_LEN = struct.Struct(">I")
+_OFFSET = struct.Struct(">Q")
+_FOOTER = struct.Struct(">QQI")
+
+
+def write_disk_sstable(
+    path: Union[str, Path], entries: Sequence[tuple[bytes, bytes]]
+) -> None:
+    """Write a sorted run to ``path``; entries must be sorted and unique."""
+    keys = [k for k, _ in entries]
+    if any(b <= a for a, b in zip(keys, keys[1:])):
+        raise ValueError("disk SSTable entries must be strictly sorted")
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    sparse: list[tuple[bytes, int]] = []
+    with open(path, "wb") as fh:
+        fh.write(MAGIC)
+        for i, (key, value) in enumerate(entries):
+            if i % SPARSE_EVERY == 0:
+                sparse.append((key, fh.tell()))
+            fh.write(_LEN.pack(len(key)) + key + _LEN.pack(len(value)) + value)
+        index_offset = fh.tell()
+        index = bytearray(_LEN.pack(len(sparse)))
+        for key, offset in sparse:
+            index += _LEN.pack(len(key)) + key + _OFFSET.pack(offset)
+        fh.write(index)
+        fh.write(_FOOTER.pack(index_offset, len(entries), zlib.crc32(bytes(index)) & 0xFFFFFFFF))
+
+
+class DiskSSTable:
+    """Read-only view over a disk SSTable file."""
+
+    def __init__(self, path: Union[str, Path], stats: Optional[IOStats] = None):
+        self.path = Path(path)
+        self._stats = stats
+        with open(self.path, "rb") as fh:
+            if fh.read(len(MAGIC)) != MAGIC:
+                raise CorruptionError(f"{self.path} is not a disk SSTable")
+            fh.seek(-_FOOTER.size, 2)
+            footer = fh.read(_FOOTER.size)
+            index_offset, self.record_count, crc = _FOOTER.unpack(footer)
+            file_size = self.path.stat().st_size
+            if not len(MAGIC) <= index_offset <= file_size - _FOOTER.size:
+                raise CorruptionError(f"{self.path}: footer index offset out of range")
+            fh.seek(index_offset)
+            index_raw = fh.read(file_size - index_offset - _FOOTER.size)
+        if zlib.crc32(index_raw) & 0xFFFFFFFF != crc:
+            raise CorruptionError(f"{self.path}: index checksum mismatch")
+        self._sparse_keys: list[bytes] = []
+        self._sparse_offsets: list[int] = []
+        (count,) = _LEN.unpack_from(index_raw, 0)
+        pos = 4
+        for _ in range(count):
+            (key_len,) = _LEN.unpack_from(index_raw, pos)
+            pos += 4
+            key = index_raw[pos : pos + key_len]
+            pos += key_len
+            (offset,) = _OFFSET.unpack_from(index_raw, pos)
+            pos += 8
+            self._sparse_keys.append(key)
+            self._sparse_offsets.append(offset)
+        self._data_end = index_offset
+
+    def __len__(self) -> int:
+        return self.record_count
+
+    @property
+    def min_key(self) -> Optional[bytes]:
+        """Smallest key in the table, or ``None`` when empty."""
+        return self._sparse_keys[0] if self._sparse_keys else None
+
+    def _floor_offset(self, key: Optional[bytes]) -> int:
+        """File offset of the sparse entry at or before ``key``."""
+        import bisect
+
+        if key is None or not self._sparse_keys:
+            return len(MAGIC)
+        idx = bisect.bisect_right(self._sparse_keys, key) - 1
+        if idx < 0:
+            return len(MAGIC)
+        return self._sparse_offsets[idx]
+
+    def _records_from(self, offset: int) -> Iterator[tuple[bytes, bytes]]:
+        with open(self.path, "rb") as fh:
+            fh.seek(offset)
+            while fh.tell() < self._data_end:
+                header = fh.read(4)
+                if len(header) < 4:
+                    raise CorruptionError(f"{self.path}: torn record header")
+                (key_len,) = _LEN.unpack(header)
+                key = fh.read(key_len)
+                (value_len,) = _LEN.unpack(fh.read(4))
+                value = fh.read(value_len)
+                if len(key) != key_len or len(value) != value_len:
+                    raise CorruptionError(f"{self.path}: torn record body")
+                if self._stats is not None:
+                    self._stats.add(block_reads=1)
+                yield key, value
+
+    def get(self, key: bytes) -> Optional[bytes]:
+        """Return the value stored under ``key``, or ``None`` when absent."""
+        for k, v in self._records_from(self._floor_offset(key)):
+            if k == key:
+                return v
+            if k > key:
+                return None
+        return None
+
+    def scan(
+        self, start: Optional[bytes] = None, stop: Optional[bytes] = None
+    ) -> Iterator[tuple[bytes, bytes]]:
+        """Yield ``(key, value)`` pairs in ``[start, stop)`` in key order."""
+        for k, v in self._records_from(self._floor_offset(start)):
+            if start is not None and k < start:
+                continue
+            if stop is not None and k >= stop:
+                return
+            yield k, v
+
+    def overlaps(self, start: Optional[bytes], stop: Optional[bytes]) -> bool:
+        """True when the table's key span intersects ``[start, stop)``."""
+        if not self._sparse_keys:
+            return False
+        if stop is not None and self._sparse_keys[0] >= stop:
+            return False
+        # The max key is unknown without a scan; be conservative.
+        return True

@@ -1,0 +1,157 @@
+"""Durable LSM store: WAL-protected memtable over on-disk SSTables.
+
+The same contract as :class:`repro.kvstore.lsm.LSMStore`, but writes survive
+process crashes: every mutation hits the write-ahead log before the
+memtable, flushes produce numbered ``sst-<n>.sst`` files, and opening a
+directory replays the WAL and discovers existing runs.
+"""
+
+from __future__ import annotations
+
+import heapq
+from pathlib import Path
+from typing import Iterator, Optional, Union
+
+from repro.kvstore.disk_sstable import DiskSSTable, write_disk_sstable
+from repro.kvstore.memtable import TOMBSTONE, MemTable
+from repro.kvstore.stats import IOStats
+from repro.kvstore.wal import OP_DELETE, OP_PUT, WriteAheadLog
+
+DEFAULT_FLUSH_BYTES = 4 * 1024 * 1024
+DEFAULT_MAX_TABLES = 8
+
+
+class DurableLSMStore:
+    """Crash-safe LSM store rooted at a directory."""
+
+    def __init__(
+        self,
+        data_dir: Union[str, Path],
+        stats: Optional[IOStats] = None,
+        flush_bytes: int = DEFAULT_FLUSH_BYTES,
+        max_tables: int = DEFAULT_MAX_TABLES,
+        sync: bool = True,
+    ):
+        self.data_dir = Path(data_dir)
+        self.data_dir.mkdir(parents=True, exist_ok=True)
+        self._stats = stats
+        self._flush_bytes = flush_bytes
+        self._max_tables = max_tables
+        self._sync = sync
+        self._memtable = MemTable()
+
+        # Discover existing runs (oldest first by sequence number).
+        self._sstables: list[DiskSSTable] = []
+        self._next_seq = 0
+        for path in sorted(self.data_dir.glob("sst-*.sst")):
+            self._sstables.append(DiskSSTable(path, stats))
+            self._next_seq = max(self._next_seq, int(path.stem.split("-")[1]) + 1)
+
+        # Recover un-flushed writes from the WAL.
+        self._wal = WriteAheadLog(self.data_dir / "wal.log", sync=sync)
+        for op, key, value in self._wal.replay():
+            if op == OP_PUT:
+                self._memtable.put(key, value)
+            else:
+                self._memtable.delete(key)
+
+    # -- writes -------------------------------------------------------------
+
+    def put(self, key: bytes, value: bytes) -> None:
+        """Insert or overwrite ``key`` with ``value``."""
+        if value == TOMBSTONE:
+            raise ValueError("the tombstone sentinel cannot be stored as a value")
+        self._wal.append(OP_PUT, key, value)
+        self._memtable.put(key, value)
+        if self._memtable.approx_bytes >= self._flush_bytes:
+            self.flush()
+
+    def delete(self, key: bytes) -> None:
+        """Remove ``key``."""
+        self._wal.append(OP_DELETE, key)
+        self._memtable.delete(key)
+        if self._memtable.approx_bytes >= self._flush_bytes:
+            self.flush()
+
+    def flush(self) -> None:
+        """Freeze the memtable to a new disk SSTable and reset the WAL."""
+        if len(self._memtable) == 0:
+            return
+        path = self.data_dir / f"sst-{self._next_seq:06d}.sst"
+        self._next_seq += 1
+        write_disk_sstable(path, list(self._memtable.items()))
+        self._sstables.append(DiskSSTable(path, self._stats))
+        self._memtable = MemTable()
+        self._wal.truncate()
+        if len(self._sstables) > self._max_tables:
+            self.compact()
+
+    def compact(self) -> None:
+        """Merge every run into one file, dropping shadowed/tombstoned keys."""
+        merged: dict[bytes, bytes] = {}
+        for table in self._sstables:  # oldest first; later wins
+            for k, v in table.scan():
+                merged[k] = v
+        live = sorted((k, v) for k, v in merged.items() if v != TOMBSTONE)
+        old_paths = [t.path for t in self._sstables]
+        path = self.data_dir / f"sst-{self._next_seq:06d}.sst"
+        self._next_seq += 1
+        write_disk_sstable(path, live)
+        self._sstables = [DiskSSTable(path, self._stats)]
+        for old in old_paths:
+            old.unlink(missing_ok=True)
+
+    # -- reads --------------------------------------------------------------
+
+    def get(self, key: bytes) -> Optional[bytes]:
+        """Return the value stored under ``key``, or ``None`` when absent."""
+        if self._stats is not None:
+            self._stats.add(point_gets=1)
+        value = self._memtable.get(key)
+        if value is not None:
+            return None if value == TOMBSTONE else value
+        for table in reversed(self._sstables):
+            value = table.get(key)
+            if value is not None:
+                return None if value == TOMBSTONE else value
+        return None
+
+    def scan(
+        self, start: Optional[bytes] = None, stop: Optional[bytes] = None
+    ) -> Iterator[tuple[bytes, bytes]]:
+        """Yield ``(key, value)`` pairs in ``[start, stop)`` in key order."""
+        sources = [(0, self._memtable.scan(start, stop))]
+        for age, table in enumerate(reversed(self._sstables), start=1):
+            if table.overlaps(start, stop):
+                sources.append((age, table.scan(start, stop)))
+
+        heap: list[tuple[bytes, int, bytes, Iterator[tuple[bytes, bytes]]]] = []
+        for priority, it in sources:
+            first = next(it, None)
+            if first is not None:
+                heapq.heappush(heap, (first[0], priority, first[1], it))
+
+        last_key: Optional[bytes] = None
+        while heap:
+            key, priority, value, it = heapq.heappop(heap)
+            nxt = next(it, None)
+            if nxt is not None:
+                heapq.heappush(heap, (nxt[0], priority, nxt[1], it))
+            if key == last_key:
+                continue
+            last_key = key
+            if value == TOMBSTONE:
+                continue
+            yield key, value
+
+    def close(self) -> None:
+        """Release the resources held by this object (idempotent)."""
+        if not self._sync:
+            self._wal.fsync()
+        self._wal.close()
+
+    def __enter__(self) -> "DurableLSMStore":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

@@ -1,0 +1,21 @@
+"""Key-value store exception hierarchy."""
+
+
+class KVError(Exception):
+    """Base class for all key-value store errors."""
+
+
+class TableNotFoundError(KVError):
+    """Raised when operating on a table that does not exist."""
+
+
+class TableExistsError(KVError):
+    """Raised when creating a table whose name is taken."""
+
+
+class RegionError(KVError):
+    """Raised on region-routing inconsistencies (key outside all regions)."""
+
+
+class CorruptionError(KVError):
+    """Raised when stored bytes fail to decode."""

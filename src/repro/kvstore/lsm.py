@@ -1,0 +1,132 @@
+"""LSM-tree store: memtable + tiered SSTables with compaction."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterator, Optional
+
+from repro.kvstore.memtable import TOMBSTONE, MemTable
+from repro.kvstore.sstable import SSTable
+from repro.kvstore.stats import IOStats
+
+DEFAULT_FLUSH_BYTES = 4 * 1024 * 1024
+DEFAULT_MAX_TABLES = 8
+
+
+class LSMStore:
+    """A single-range log-structured merge store.
+
+    Writes go to the memtable; when it exceeds ``flush_bytes`` it becomes an
+    immutable SSTable.  When more than ``max_tables`` SSTables accumulate,
+    they are merged (size-tiered full compaction), dropping tombstones.
+    Scans merge the memtable and every overlapping SSTable, newest first.
+    """
+
+    def __init__(
+        self,
+        stats: Optional[IOStats] = None,
+        flush_bytes: int = DEFAULT_FLUSH_BYTES,
+        max_tables: int = DEFAULT_MAX_TABLES,
+    ):
+        self._stats = stats
+        self._flush_bytes = flush_bytes
+        self._max_tables = max_tables
+        self._memtable = MemTable()
+        self._sstables: list[SSTable] = []  # newest last
+
+    def __len__(self) -> int:
+        """Upper bound on live entries (duplicates across levels counted once per scan)."""
+        return sum(1 for _ in self.scan())
+
+    @property
+    def sstable_count(self) -> int:
+        """Number of immutable runs currently on disk/in memory."""
+        return len(self._sstables)
+
+    # -- writes -------------------------------------------------------------
+
+    def put(self, key: bytes, value: bytes) -> None:
+        """Insert or overwrite ``key`` with ``value``."""
+        if value == TOMBSTONE:
+            raise ValueError("the tombstone sentinel cannot be stored as a value")
+        self._memtable.put(key, value)
+        self._maybe_flush()
+
+    def delete(self, key: bytes) -> None:
+        """Remove ``key``."""
+        self._memtable.delete(key)
+        self._maybe_flush()
+
+    def _maybe_flush(self) -> None:
+        if self._memtable.approx_bytes >= self._flush_bytes:
+            self.flush()
+
+    def flush(self) -> None:
+        """Freeze the memtable into an SSTable (no-op when empty)."""
+        if len(self._memtable) == 0:
+            return
+        entries = list(self._memtable.items())
+        self._sstables.append(SSTable(entries, self._stats))
+        self._memtable = MemTable()
+        if len(self._sstables) > self._max_tables:
+            self.compact()
+
+    def compact(self) -> None:
+        """Merge every SSTable into one, dropping shadowed values and tombstones."""
+        merged: dict[bytes, bytes] = {}
+        for table in self._sstables:  # oldest first; later wins
+            for k, v in table.scan():
+                merged[k] = v
+        live = sorted((k, v) for k, v in merged.items() if v != TOMBSTONE)
+        self._sstables = [SSTable(live, self._stats)] if live else []
+
+    # -- reads --------------------------------------------------------------
+
+    def get(self, key: bytes) -> Optional[bytes]:
+        """Return the live value for ``key`` or ``None``."""
+        if self._stats is not None:
+            self._stats.add(point_gets=1)
+        value = self._memtable.get(key)
+        if value is not None:
+            return None if value == TOMBSTONE else value
+        for table in reversed(self._sstables):
+            value = table.get(key)
+            if value is not None:
+                return None if value == TOMBSTONE else value
+        return None
+
+    def scan(
+        self, start: Optional[bytes] = None, stop: Optional[bytes] = None
+    ) -> Iterator[tuple[bytes, bytes]]:
+        """Yield live entries in ``[start, stop)`` in key order.
+
+        Sources are merged with a heap; for duplicate keys the newest source
+        (memtable, then youngest SSTable) wins, and tombstones suppress the
+        key entirely.
+        """
+        # Priority: lower number = newer = wins on ties.
+        sources: list[tuple[int, Iterator[tuple[bytes, bytes]]]] = [
+            (0, self._memtable.scan(start, stop))
+        ]
+        for age, table in enumerate(reversed(self._sstables), start=1):
+            if table.overlaps(start, stop):
+                sources.append((age, table.scan(start, stop)))
+
+        heap: list[tuple[bytes, int, bytes, Iterator[tuple[bytes, bytes]]]] = []
+        for priority, it in sources:
+            first = next(it, None)
+            if first is not None:
+                heapq.heappush(heap, (first[0], priority, first[1], it))
+
+        last_key: Optional[bytes] = None
+        while heap:
+            key, priority, value, it = heapq.heappop(heap)
+            nxt = next(it, None)
+            if nxt is not None:
+                heapq.heappush(heap, (nxt[0], priority, nxt[1], it))
+            if key == last_key:
+                continue  # an older shadowed version
+            last_key = key
+            if value == TOMBSTONE:
+                continue
+            yield key, value

@@ -1,0 +1,65 @@
+"""In-memory sorted write buffer (the LSM tree's memtable)."""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterator, Optional
+
+TOMBSTONE = b"\x00__tombstone__\x00"
+
+
+class MemTable:
+    """A sorted map from byte keys to byte values supporting range scans.
+
+    Implemented with a parallel sorted key list + dict, which keeps put/get
+    at O(log n)/O(1) amortized and scans at O(log n + k).  Deletions write
+    :data:`TOMBSTONE` markers so they mask older SSTable entries during
+    merges.
+    """
+
+    def __init__(self) -> None:
+        self._keys: list[bytes] = []
+        self._map: dict[bytes, bytes] = {}
+        self._approx_bytes = 0
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    @property
+    def approx_bytes(self) -> int:
+        """Rough heap footprint used by the flush policy."""
+        return self._approx_bytes
+
+    def put(self, key: bytes, value: bytes) -> None:
+        """Insert or overwrite ``key``."""
+        if key not in self._map:
+            bisect.insort(self._keys, key)
+        else:
+            self._approx_bytes -= len(self._map[key])
+        self._map[key] = value
+        self._approx_bytes += len(key) + len(value)
+
+    def delete(self, key: bytes) -> None:
+        """Write a tombstone for ``key``."""
+        self.put(key, TOMBSTONE)
+
+    def get(self, key: bytes) -> Optional[bytes]:
+        """Return the stored value, a tombstone, or ``None`` when absent."""
+        return self._map.get(key)
+
+    def scan(
+        self, start: Optional[bytes] = None, stop: Optional[bytes] = None
+    ) -> Iterator[tuple[bytes, bytes]]:
+        """Yield ``(key, value)`` pairs in ``[start, stop)`` in key order.
+
+        Tombstones are yielded too; the merge layer resolves them.
+        """
+        lo = bisect.bisect_left(self._keys, start) if start is not None else 0
+        hi = bisect.bisect_left(self._keys, stop) if stop is not None else len(self._keys)
+        for i in range(lo, hi):
+            key = self._keys[i]
+            yield key, self._map[key]
+
+    def items(self) -> Iterator[tuple[bytes, bytes]]:
+        """All entries in key order (flush path)."""
+        return self.scan()

@@ -1,0 +1,164 @@
+"""Regions: contiguous key-range shards of a table."""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Protocol
+
+from repro.kvstore.lsm import LSMStore
+from repro.kvstore.scan import Scan
+from repro.kvstore.stats import IOStats
+
+
+class KVStoreEngine(Protocol):
+    """The storage contract a region needs (LSMStore and DurableLSMStore)."""
+
+    def put(self, key: bytes, value: bytes) -> None:
+        """Insert or overwrite ``key`` with ``value``."""
+
+    def delete(self, key: bytes) -> None:
+        """Remove ``key``."""
+
+    def get(self, key: bytes) -> Optional[bytes]:
+        """Return the value stored under ``key``, or ``None`` when absent."""
+
+    def scan(
+        self, start: Optional[bytes] = None, stop: Optional[bytes] = None
+    ) -> Iterator[tuple[bytes, bytes]]:
+        """Yield ``(key, value)`` pairs in ``[start, stop)`` in key order."""
+
+    def flush(self) -> None:
+        """Persist buffered writes."""
+
+
+class Region:
+    """One key range ``[start_key, end_key)`` of a table with its own store.
+
+    ``start_key=None`` means unbounded low, ``end_key=None`` unbounded high.
+    The region executes push-down filters locally, updating the shared
+    :class:`IOStats` so a query's candidate and transfer counts are exact.
+    The backing engine defaults to the in-memory LSM; tables opened with a
+    ``data_dir`` supply durable engines instead.
+    """
+
+    def __init__(
+        self,
+        start_key: Optional[bytes],
+        end_key: Optional[bytes],
+        stats: IOStats,
+        flush_bytes: int = 4 * 1024 * 1024,
+        store: Optional[KVStoreEngine] = None,
+    ):
+        if start_key is not None and end_key is not None and end_key <= start_key:
+            raise ValueError("region end_key must be greater than start_key")
+        self.start_key = start_key
+        self.end_key = end_key
+        self._stats = stats
+        self._store = store if store is not None else LSMStore(stats, flush_bytes=flush_bytes)
+        self._row_count = 0
+        # Recover the row estimate for pre-existing durable stores.
+        if store is not None:
+            self._row_count = sum(1 for _ in self._store.scan())
+
+    def __repr__(self) -> str:
+        return f"Region([{self.start_key!r}, {self.end_key!r}), rows~{self._row_count})"
+
+    @property
+    def approx_rows(self) -> int:
+        """Rows written minus deleted (approximate; duplicates not tracked)."""
+        return self._row_count
+
+    def owns(self, key: bytes) -> bool:
+        """True when ``key`` routes to this region."""
+        if self.start_key is not None and key < self.start_key:
+            return False
+        if self.end_key is not None and key >= self.end_key:
+            return False
+        return True
+
+    def put(self, key: bytes, value: bytes) -> None:
+        """Insert or overwrite ``key`` with ``value``."""
+        self._store.put(key, value)
+        self._row_count += 1
+
+    def delete(self, key: bytes) -> None:
+        """Remove ``key``."""
+        self._store.delete(key)
+        self._row_count = max(0, self._row_count - 1)
+
+    def get(self, key: bytes) -> Optional[bytes]:
+        """Return the value stored under ``key``, or ``None`` when absent."""
+        value = self._store.get(key)
+        if value is not None:
+            self._stats.add(
+                rows_scanned=1, rows_returned=1, bytes_transferred=len(key) + len(value)
+            )
+        return value
+
+    def clamp(self, scan: Scan) -> tuple[Optional[bytes], Optional[bytes]]:
+        """Intersect the scan range with this region's key range."""
+        start = scan.start
+        stop = scan.stop
+        if self.start_key is not None and (start is None or start < self.start_key):
+            start = self.start_key
+        if self.end_key is not None and (stop is None or stop > self.end_key):
+            stop = self.end_key
+        return start, stop
+
+    def execute_scan(self, scan: Scan) -> Iterator[tuple[bytes, bytes]]:
+        """Run the scan's portion that falls inside this region.
+
+        Every row touched counts as scanned; rows passing the push-down
+        filter are transferred (and counted) to the caller.
+        """
+        start, stop = self.clamp(scan)
+        if start is not None and stop is not None and stop <= start:
+            return
+        self._stats.add(range_scans=1)
+        returned = 0
+        for key, value in self._store.scan(start, stop):
+            self._stats.add(rows_scanned=1)
+            if scan.server_filter is not None:
+                self._stats.add(filter_evals=1)
+                if not scan.server_filter.test(key, value):
+                    continue
+            self._stats.add(rows_returned=1, bytes_transferred=len(key) + len(value))
+            yield key, value
+            returned += 1
+            if scan.limit is not None and returned >= scan.limit:
+                return
+
+    def split_key(self) -> Optional[bytes]:
+        """Median key of the region, or None when too small to split."""
+        self._store.flush()
+        keys = [k for k, _ in self._store.scan()]
+        if len(keys) < 2:
+            return None
+        mid = keys[len(keys) // 2]
+        if mid == keys[0]:
+            return None
+        return mid
+
+    def drain(self) -> list[tuple[bytes, bytes]]:
+        """Return all live entries (used when splitting)."""
+        return list(self._store.scan())
+
+    def retire(self) -> None:
+        """Release the region's resources after a split replaced it.
+
+        Durable engines are closed and their directory removed; the
+        in-memory engine needs nothing.
+        """
+        close = getattr(self._store, "close", None)
+        if callable(close):
+            close()
+        data_dir = getattr(self._store, "data_dir", None)
+        if data_dir is not None:
+            import shutil
+
+            shutil.rmtree(data_dir, ignore_errors=True)
+
+    def close(self) -> None:
+        """Close the backing engine without deleting data."""
+        close = getattr(self._store, "close", None)
+        if callable(close):
+            close()

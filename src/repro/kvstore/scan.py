@@ -1,0 +1,34 @@
+"""Scan specifications."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.kvstore.filters import Filter
+
+
+@dataclass
+class Scan:
+    """Describes one ordered range read.
+
+    ``start`` is inclusive, ``stop`` exclusive (``None`` = unbounded).  When
+    ``server_filter`` is set, it is evaluated inside the region (push-down);
+    rejected rows count as scanned but are not transferred.  ``limit`` caps
+    the number of returned rows.
+    """
+
+    start: Optional[bytes] = None
+    stop: Optional[bytes] = None
+    server_filter: Optional[Filter] = None
+    limit: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if (
+            self.start is not None
+            and self.stop is not None
+            and self.stop < self.start
+        ):
+            raise ValueError(f"scan stop < start: {self.stop!r} < {self.start!r}")
+        if self.limit is not None and self.limit < 0:
+            raise ValueError(f"negative scan limit: {self.limit}")

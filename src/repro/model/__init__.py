@@ -1,0 +1,15 @@
+"""Trajectory data model.
+
+The model layer defines the small set of value types shared by every other
+subsystem: spatio-temporal points, trajectories, minimum bounding rectangles
+and time ranges.  All types are immutable-by-convention plain objects so they
+can be hashed, serialized, and passed freely between the storage and query
+layers.
+"""
+
+from repro.model.mbr import MBR
+from repro.model.point import STPoint
+from repro.model.timerange import TimeRange
+from repro.model.trajectory import Trajectory
+
+__all__ = ["STPoint", "Trajectory", "MBR", "TimeRange"]

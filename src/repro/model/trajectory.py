@@ -1,0 +1,145 @@
+"""Trajectories: time-ordered sequences of spatio-temporal points."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+from repro.model.mbr import MBR
+from repro.model.point import STPoint
+from repro.model.timerange import TimeRange
+
+
+class Trajectory:
+    """A trajectory is an immutable, time-ordered point sequence with identity.
+
+    ``oid`` identifies the moving object (e.g., a taxi), ``tid`` identifies
+    this particular trip of that object.  The MBR and time range are computed
+    lazily and cached since the index layer asks for them repeatedly.
+    """
+
+    __slots__ = ("oid", "tid", "_points", "_mbr", "_time_range")
+
+    def __init__(self, oid: str, tid: str, points: Sequence[STPoint]):
+        if not points:
+            raise ValueError("a trajectory needs at least one point")
+        pts = tuple(points)
+        for prev, cur in zip(pts, pts[1:]):
+            if cur.t < prev.t:
+                raise ValueError(
+                    f"trajectory {tid}: points not time-ordered "
+                    f"({prev.t} followed by {cur.t})"
+                )
+        self.oid = oid
+        self.tid = tid
+        self._points = pts
+        self._mbr: MBR | None = None
+        self._time_range: TimeRange | None = None
+
+    @property
+    def points(self) -> tuple[STPoint, ...]:
+        """The trajectory's point sequence."""
+        return self._points
+
+    @property
+    def mbr(self) -> MBR:
+        """The tight bounding rectangle of the trajectory's points."""
+        if self._mbr is None:
+            self._mbr = MBR.of_points(p.xy for p in self._points)
+        return self._mbr
+
+    @property
+    def time_range(self) -> TimeRange:
+        """The closed interval from the first to the last fix."""
+        if self._time_range is None:
+            self._time_range = TimeRange(self._points[0].t, self._points[-1].t)
+        return self._time_range
+
+    @property
+    def start(self) -> STPoint:
+        """The first fix."""
+        return self._points[0]
+
+    @property
+    def end(self) -> STPoint:
+        """The last fix."""
+        return self._points[-1]
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def __iter__(self) -> Iterator[STPoint]:
+        return iter(self._points)
+
+    def __getitem__(self, idx: int) -> STPoint:
+        return self._points[idx]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Trajectory):
+            return NotImplemented
+        return (
+            self.oid == other.oid
+            and self.tid == other.tid
+            and self._points == other._points
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.oid, self.tid, len(self._points), self._points[0]))
+
+    def __repr__(self) -> str:
+        return (
+            f"Trajectory(oid={self.oid!r}, tid={self.tid!r}, "
+            f"n={len(self._points)}, tr=[{self.time_range.start:.0f},"
+            f"{self.time_range.end:.0f}])"
+        )
+
+    def segments(self) -> Iterator[tuple[STPoint, STPoint]]:
+        """Yield consecutive point pairs (the trajectory's line segments)."""
+        return zip(self._points, self._points[1:])
+
+    def xy_arrays(self) -> tuple[list[float], list[float], list[float]]:
+        """Return parallel (t, lng, lat) lists — the codec's native layout."""
+        ts = [p.t for p in self._points]
+        lngs = [p.lng for p in self._points]
+        lats = [p.lat for p in self._points]
+        return ts, lngs, lats
+
+    def shifted(self, dt: float = 0.0, dlng: float = 0.0, dlat: float = 0.0,
+                oid: str | None = None, tid: str | None = None) -> "Trajectory":
+        """Return a space/time-offset copy (dataset replication uses this)."""
+        return Trajectory(
+            oid if oid is not None else self.oid,
+            tid if tid is not None else self.tid,
+            [p.shifted(dt, dlng, dlat) for p in self._points],
+        )
+
+    def slice_time(self, tr: TimeRange) -> "Trajectory | None":
+        """Return the sub-trajectory whose fixes fall inside ``tr``.
+
+        Used by segment-based baselines (VRE-style) to split trajectories.
+        Returns ``None`` when no point falls inside.
+        """
+        pts = [p for p in self._points if tr.contains_instant(p.t)]
+        if not pts:
+            return None
+        return Trajectory(self.oid, self.tid, pts)
+
+
+def concat_trajectories(parts: Iterable[Trajectory]) -> Trajectory:
+    """Reassemble a trajectory from time-ordered segments with the same tid.
+
+    This is the reassembly step segment-storing baselines must pay; TMan
+    stores intact rows and never calls it on the hot path.
+    """
+    ordered = sorted(parts, key=lambda t: t.time_range.start)
+    if not ordered:
+        raise ValueError("cannot concatenate zero segments")
+    first = ordered[0]
+    pts: list[STPoint] = []
+    for part in ordered:
+        if part.tid != first.tid:
+            raise ValueError(f"mixed tids: {part.tid} vs {first.tid}")
+        for p in part.points:
+            if not pts or p.t > pts[-1].t or (p.t == pts[-1].t and p != pts[-1]):
+                if not pts or p != pts[-1]:
+                    pts.append(p)
+    return Trajectory(first.oid, first.tid, pts)

@@ -1,0 +1,25 @@
+"""Trajectory preprocessing.
+
+The paper assumes preprocessed input ("after preprocessing, almost all
+trajectories do not have a time range longer than 48 hours", §IV-A1).  This
+package supplies that pipeline: gap-based trip splitting, duration capping,
+physically-impossible-fix removal, and staypoint detection.
+"""
+
+from repro.preprocess.cleaning import (
+    PreprocessPipeline,
+    cap_duration,
+    detect_staypoints,
+    remove_speed_outliers,
+    split_by_gap,
+    Staypoint,
+)
+
+__all__ = [
+    "split_by_gap",
+    "cap_duration",
+    "remove_speed_outliers",
+    "detect_staypoints",
+    "Staypoint",
+    "PreprocessPipeline",
+]

@@ -1,0 +1,162 @@
+"""Cleaning and segmentation operators for raw GPS streams."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+from repro.geometry.distance import haversine_km
+from repro.model.point import STPoint
+from repro.model.trajectory import Trajectory
+
+
+def _renumber(base_tid: str, parts: list[list[STPoint]], oid: str) -> list[Trajectory]:
+    out = []
+    for i, pts in enumerate(parts):
+        if len(pts) >= 1:
+            tid = base_tid if len(parts) == 1 else f"{base_tid}#{i}"
+            out.append(Trajectory(oid, tid, pts))
+    return out
+
+
+def split_by_gap(traj: Trajectory, max_gap_seconds: float) -> list[Trajectory]:
+    """Split a trajectory wherever consecutive fixes are far apart in time.
+
+    Long gaps usually mean the device was off between two genuinely distinct
+    trips; storing them as one trajectory would inflate its time bin.
+    """
+    if max_gap_seconds <= 0:
+        raise ValueError(f"max_gap_seconds must be positive: {max_gap_seconds}")
+    parts: list[list[STPoint]] = [[traj.points[0]]]
+    for prev, cur in traj.segments():
+        if cur.t - prev.t > max_gap_seconds:
+            parts.append([])
+        parts[-1].append(cur)
+    return _renumber(traj.tid, parts, traj.oid)
+
+
+def cap_duration(traj: Trajectory, max_duration_seconds: float) -> list[Trajectory]:
+    """Split a trajectory into chunks no longer than ``max_duration_seconds``.
+
+    This enforces the TR index precondition that no time range exceeds
+    ``N`` periods (§IV-A1).
+    """
+    if max_duration_seconds <= 0:
+        raise ValueError(f"max_duration_seconds must be positive: {max_duration_seconds}")
+    parts: list[list[STPoint]] = [[traj.points[0]]]
+    chunk_start = traj.points[0].t
+    for _, cur in traj.segments():
+        if cur.t - chunk_start > max_duration_seconds:
+            parts.append([])
+            chunk_start = cur.t
+        parts[-1].append(cur)
+    return _renumber(traj.tid, parts, traj.oid)
+
+
+def remove_speed_outliers(traj: Trajectory, max_speed_kmh: float) -> Trajectory:
+    """Drop fixes that would require impossible travel speed to reach.
+
+    Walks the sequence keeping a fix only when the speed from the last kept
+    fix is feasible, which also discards bursts of noise after a bad fix.
+    A trajectory is never emptied: the first fix is always kept.
+    """
+    if max_speed_kmh <= 0:
+        raise ValueError(f"max_speed_kmh must be positive: {max_speed_kmh}")
+    kept = [traj.points[0]]
+    for p in traj.points[1:]:
+        prev = kept[-1]
+        dt_h = (p.t - prev.t) / 3600.0
+        if dt_h <= 0:
+            continue  # duplicate timestamp: keep the first fix only
+        speed = haversine_km(prev.lng, prev.lat, p.lng, p.lat) / dt_h
+        if speed <= max_speed_kmh:
+            kept.append(p)
+    return Trajectory(traj.oid, traj.tid, kept)
+
+
+@dataclass(frozen=True)
+class Staypoint:
+    """A dwell: the trajectory stayed within ``radius_km`` for ``duration``."""
+
+    start_index: int
+    end_index: int
+    center_lng: float
+    center_lat: float
+    duration: float
+
+
+def detect_staypoints(
+    traj: Trajectory, radius_km: float, min_duration_seconds: float
+) -> list[Staypoint]:
+    """Classic staypoint detection (Li et al. / Zheng et al.).
+
+    Greedy forward scan: anchor at point i, extend j while every point stays
+    within ``radius_km`` of the anchor; if the dwell lasted at least
+    ``min_duration_seconds``, emit a staypoint and restart after it.
+    """
+    if radius_km <= 0 or min_duration_seconds <= 0:
+        raise ValueError("radius_km and min_duration_seconds must be positive")
+    points = traj.points
+    out: list[Staypoint] = []
+    i = 0
+    n = len(points)
+    while i < n - 1:
+        j = i + 1
+        while j < n and haversine_km(
+            points[i].lng, points[i].lat, points[j].lng, points[j].lat
+        ) <= radius_km:
+            j += 1
+        duration = points[j - 1].t - points[i].t
+        if j - 1 > i and duration >= min_duration_seconds:
+            span = points[i:j]
+            out.append(
+                Staypoint(
+                    start_index=i,
+                    end_index=j - 1,
+                    center_lng=sum(p.lng for p in span) / len(span),
+                    center_lat=sum(p.lat for p in span) / len(span),
+                    duration=duration,
+                )
+            )
+            i = j
+        else:
+            i += 1
+    return out
+
+
+class PreprocessPipeline:
+    """Composable cleaning pipeline producing index-ready trajectories.
+
+    >>> pipeline = PreprocessPipeline(max_speed_kmh=200, max_gap_seconds=1800,
+    ...                               max_duration_seconds=48 * 3600)
+    >>> clean = pipeline.run(raw_trajectories)        # doctest: +SKIP
+    """
+
+    def __init__(
+        self,
+        max_speed_kmh: float = 200.0,
+        max_gap_seconds: float = 1800.0,
+        max_duration_seconds: float = 48 * 3600.0,
+        min_points: int = 2,
+    ):
+        self.max_speed_kmh = max_speed_kmh
+        self.max_gap_seconds = max_gap_seconds
+        self.max_duration_seconds = max_duration_seconds
+        self.min_points = min_points
+
+    def run_one(self, traj: Trajectory) -> list[Trajectory]:
+        """Preprocess a single trajectory into clean trips."""
+        cleaned = remove_speed_outliers(traj, self.max_speed_kmh)
+        out: list[Trajectory] = []
+        for by_gap in split_by_gap(cleaned, self.max_gap_seconds):
+            for chunk in cap_duration(by_gap, self.max_duration_seconds):
+                if len(chunk) >= self.min_points:
+                    out.append(chunk)
+        return out
+
+    def run(self, trajs: Iterable[Trajectory]) -> list[Trajectory]:
+        """Preprocess an iterable of trajectories."""
+        out: list[Trajectory] = []
+        for traj in trajs:
+            out.extend(self.run_one(traj))
+        return out

@@ -1,0 +1,33 @@
+"""Query processing: descriptors, push-down filters, planning, execution.
+
+A query flows through the three steps of §V: candidate index-value
+calculation (done by the core index planners), query-window generation
+(:mod:`repro.query.windows`), and push-down filtering inside regions
+(:mod:`repro.query.filters`).  The rule/cost-based optimizer lives in
+:mod:`repro.query.planner`.
+"""
+
+from repro.query.filters import IdFilter, SimilarityFilter, SpatialFilter, TemporalFilter
+from repro.query.types import (
+    IDTemporalQuery,
+    QueryResult,
+    SpatialRangeQuery,
+    STRangeQuery,
+    TemporalRangeQuery,
+    ThresholdSimilarityQuery,
+    TopKSimilarityQuery,
+)
+
+__all__ = [
+    "TemporalRangeQuery",
+    "SpatialRangeQuery",
+    "STRangeQuery",
+    "IDTemporalQuery",
+    "ThresholdSimilarityQuery",
+    "TopKSimilarityQuery",
+    "QueryResult",
+    "TemporalFilter",
+    "SpatialFilter",
+    "IdFilter",
+    "SimilarityFilter",
+]

@@ -1,0 +1,137 @@
+"""Trajectory-aware push-down filters (§V-G(2)).
+
+Each filter decodes as little of the row as its decision needs — a
+refinement ladder:
+
+1. the fixed header (time range, MBR) decides most rows;
+2. DP-features decide most of the rest (the polyline is contained in the
+   union of span boxes, so box-level tests are sound both ways);
+3. only truly ambiguous rows pay full point decompression.
+
+Filters compose with :class:`repro.kvstore.filters.FilterChain`, giving the
+paper's temporal + spatial + similarity filter chains.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.geometry.relations import polyline_intersects_rect
+from repro.kvstore.filters import Filter
+from repro.model.mbr import MBR
+from repro.model.point import STPoint
+from repro.model.timerange import TimeRange
+from repro.similarity.measures import distance_by_name
+from repro.similarity.pruning import dp_lower_bound, dp_upper_bound, mbr_lower_bound
+from repro.storage.serializer import RowSerializer
+
+
+class TemporalFilter(Filter):
+    """Exact temporal predicate from the row header."""
+
+    def __init__(self, time_range: TimeRange):
+        self.time_range = time_range
+
+    def test(self, key: bytes, value: bytes) -> bool:
+        """Return True to keep the row (push-down predicate)."""
+        header = RowSerializer.decode_header(value)
+        return header.time_range.intersects(self.time_range)
+
+
+class IdFilter(Filter):
+    """Keeps rows produced by one moving object."""
+
+    def __init__(self, oid: str):
+        self.oid = oid
+
+    def test(self, key: bytes, value: bytes) -> bool:
+        """Return True to keep the row (push-down predicate)."""
+        return RowSerializer.decode_header(value).oid == self.oid
+
+
+class SpatialFilter(Filter):
+    """Exact spatial intersection via the header/feature/points ladder."""
+
+    def __init__(self, window: MBR, serializer: RowSerializer):
+        self.window = window
+        self._serializer = serializer
+        # Ladder statistics, useful for ablation reporting.
+        self.decided_by_header = 0
+        self.decided_by_feature = 0
+        self.decided_by_points = 0
+
+    def test(self, key: bytes, value: bytes) -> bool:
+        """Return True to keep the row (push-down predicate)."""
+        header = RowSerializer.decode_header(value)
+        if not header.mbr.intersects(self.window):
+            self.decided_by_header += 1
+            return False
+        if self.window.contains(header.mbr):
+            self.decided_by_header += 1
+            return True
+
+        feature = RowSerializer.decode_feature(value, header)
+        touching = [b for b in feature.span_boxes if b.intersects(self.window)]
+        if not touching:
+            # The polyline lives inside the span boxes; none touch the window.
+            self.decided_by_feature += 1
+            return False
+        if any(self.window.contains(b) for b in touching) or any(
+            self.window.contains_point(p.lng, p.lat) for p in feature.rep_points
+        ):
+            self.decided_by_feature += 1
+            return True
+
+        self.decided_by_points += 1
+        points = [(p.lng, p.lat) for p in self._serializer.decode(value).trajectory.points]
+        return polyline_intersects_rect(points, self.window)
+
+
+class SimilarityFilter(Filter):
+    """Exact threshold-similarity predicate with bound short-circuits.
+
+    Keeps a row iff its exact distance to the query is <= ``threshold``.
+    MBR and DP-feature bounds decide most candidates without computing the
+    exact measure (the paper's global pruning + local filter).
+    """
+
+    def __init__(
+        self,
+        query_points: Sequence[STPoint],
+        threshold: float,
+        measure: str,
+        serializer: RowSerializer,
+    ):
+        if threshold < 0:
+            raise ValueError(f"threshold must be non-negative, got {threshold}")
+        self.query_points = list(query_points)
+        self.query_mbr = MBR.of_points(p.xy for p in self.query_points)
+        self.threshold = threshold
+        self.measure = measure
+        self._distance = distance_by_name(measure)
+        self._serializer = serializer
+        self.pruned_by_mbr = 0
+        self.pruned_by_feature = 0
+        self.accepted_by_feature = 0
+        self.exact_computations = 0
+
+    def test(self, key: bytes, value: bytes) -> bool:
+        """Return True to keep the row (push-down predicate)."""
+        header = RowSerializer.decode_header(value)
+        if mbr_lower_bound(self.query_mbr, header.mbr) > self.threshold:
+            self.pruned_by_mbr += 1
+            return False
+
+        feature = RowSerializer.decode_feature(value, header)
+        aggregate = "sum" if self.measure == "dtw" else "max"
+        if dp_lower_bound(self.query_points, feature, aggregate) > self.threshold:
+            self.pruned_by_feature += 1
+            return False
+        if self.measure in ("frechet", "hausdorff"):
+            if dp_upper_bound(self.query_points, feature, self._distance) <= self.threshold:
+                self.accepted_by_feature += 1
+                return True
+
+        self.exact_computations += 1
+        stored = self._serializer.decode(value)
+        return self._distance(self.query_points, stored.trajectory.points) <= self.threshold

@@ -1,0 +1,179 @@
+"""Rule-based and cost-based query optimization (§V-A).
+
+The RBO encodes the paper's priority ``IDT > primary indexes > secondary
+indexes``.  For spatio-temporal queries on deployments whose primary index
+serves only one dimension, the CBO compares the estimated candidate count of
+the primary-index route against the secondary-index route (which pays a
+key-lookup round trip per match, modeled as a cost multiplier).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.model.mbr import MBR
+from repro.model.timerange import TimeRange
+from repro.query.types import (
+    IDTemporalQuery,
+    KNNPointQuery,
+    SpatialRangeQuery,
+    STRangeQuery,
+    TemporalRangeQuery,
+    ThresholdSimilarityQuery,
+    TopKSimilarityQuery,
+)
+from repro.storage.config import TManConfig
+
+Query = Union[
+    TemporalRangeQuery,
+    SpatialRangeQuery,
+    STRangeQuery,
+    IDTemporalQuery,
+    ThresholdSimilarityQuery,
+    TopKSimilarityQuery,
+]
+
+SECONDARY_LOOKUP_PENALTY = 3.0
+
+
+@dataclass(frozen=True)
+class DataStatistics:
+    """Dataset statistics the CBO uses for selectivity estimates.
+
+    When a reservoir ``sample`` of (MBR, TimeRange) row summaries is
+    available, selectivities are estimated as the matching fraction of the
+    sample (unbiased, distribution-aware); otherwise the estimator falls
+    back to coarse extent ratios.
+    """
+
+    row_count: int
+    time_span: TimeRange
+    dense_region: MBR
+    sample: tuple[tuple[MBR, TimeRange], ...] = ()
+
+    def temporal_selectivity(self, tr: TimeRange) -> float:
+        """Estimated fraction of rows whose time range hits ``tr``."""
+        if self.sample:
+            hits = sum(1 for _, row_tr in self.sample if row_tr.intersects(tr))
+            return hits / len(self.sample)
+        span = max(1e-9, self.time_span.duration)
+        overlap = tr.intersection(self.time_span)
+        return (overlap.duration / span) if overlap else 0.0
+
+    def spatial_selectivity(self, window: MBR) -> float:
+        """Estimated fraction of rows whose MBR hits ``window``."""
+        if self.sample:
+            hits = sum(1 for mbr, _ in self.sample if mbr.intersects(window))
+            return hits / len(self.sample)
+        area = max(1e-18, self.dense_region.area)
+        overlap = window.intersection(self.dense_region)
+        return min(1.0, (overlap.area / area)) if overlap else 0.0
+
+
+@dataclass(frozen=True)
+class QueryPlan:
+    """The optimizer's decision: which index, via which route."""
+
+    index: str  # tr | tshape | st | idt | scan
+    route: str  # primary | secondary | scan
+    reason: str
+
+
+class QueryPlanner:
+    """Maps a query to the cheapest applicable index."""
+
+    def __init__(self, config: TManConfig, stats: Optional[DataStatistics] = None):
+        self.config = config
+        self.stats = stats
+
+    def update_statistics(self, stats: DataStatistics) -> None:
+        """Replace the statistics snapshot the CBO plans with."""
+        self.stats = stats
+
+    # -- route helpers -------------------------------------------------------
+
+    def _route(self, index: str) -> Optional[str]:
+        if index == self.config.primary_index:
+            return "primary"
+        if index in self.config.secondary_indexes:
+            return "secondary"
+        return None
+
+    def _first_available(self, *indexes: str) -> Optional[QueryPlan]:
+        for index in indexes:
+            route = self._route(index)
+            if route == "primary":
+                return QueryPlan(index, route, f"RBO: {index} is the primary index")
+            if route == "secondary":
+                return QueryPlan(index, route, f"RBO: {index} available as secondary")
+        return None
+
+    # -- planning -------------------------------------------------------------
+
+    def plan(self, query: Query) -> QueryPlan:
+        """Choose the index and route for a query (RBO + CBO)."""
+        if isinstance(query, IDTemporalQuery):
+            # IDT has the highest RBO priority (§V-A).
+            plan = self._first_available("idt")
+            if plan:
+                return plan
+            plan = self._first_available("tr", "st")
+            return plan or QueryPlan("scan", "scan", "no temporal index available")
+
+        if isinstance(query, TemporalRangeQuery):
+            # The ST index's TR prefix also serves pure temporal queries.
+            plan = self._first_available("tr", "st")
+            return plan or QueryPlan("scan", "scan", "no temporal index available")
+
+        if isinstance(query, SpatialRangeQuery):
+            plan = self._first_available("tshape")
+            return plan or QueryPlan("scan", "scan", "no spatial index available")
+
+        if isinstance(query, STRangeQuery):
+            return self._plan_strq(query)
+
+        if isinstance(query, (ThresholdSimilarityQuery, TopKSimilarityQuery, KNNPointQuery)):
+            plan = self._first_available("tshape")
+            return plan or QueryPlan("scan", "scan", "no spatial index available")
+
+        raise TypeError(f"unknown query type: {type(query).__name__}")
+
+    def _plan_strq(self, query: STRangeQuery) -> QueryPlan:
+        if self.config.primary_index == "st":
+            return QueryPlan("st", "primary", "RBO: ST primary serves STRQ directly")
+
+        spatial = self._route("tshape")
+        temporal = self._route("tr")
+        if spatial is None and temporal is None:
+            return QueryPlan("scan", "scan", "no applicable index")
+        if spatial is None:
+            return QueryPlan("tr", temporal, "only a temporal index is available")
+        if temporal is None:
+            return QueryPlan("tshape", spatial, "only a spatial index is available")
+
+        # CBO: estimated rows touched on each route; secondary routes pay a
+        # lookup penalty per candidate.
+        if self.stats is None:
+            # Without statistics fall back to the RBO priority: primary wins.
+            if spatial == "primary":
+                return QueryPlan("tshape", "primary", "RBO: primary over secondary")
+            return QueryPlan("tr", temporal, "RBO: primary over secondary")
+
+        n = self.stats.row_count
+        cost_spatial = n * self.stats.spatial_selectivity(query.window)
+        if spatial == "secondary":
+            cost_spatial *= SECONDARY_LOOKUP_PENALTY
+        cost_temporal = n * self.stats.temporal_selectivity(query.time_range)
+        if temporal == "secondary":
+            cost_temporal *= SECONDARY_LOOKUP_PENALTY
+
+        if cost_spatial <= cost_temporal:
+            return QueryPlan(
+                "tshape", spatial,
+                f"CBO: spatial route ~{cost_spatial:.0f} rows <= temporal ~{cost_temporal:.0f}",
+            )
+        return QueryPlan(
+            "tr", temporal,
+            f"CBO: temporal route ~{cost_temporal:.0f} rows < spatial ~{cost_spatial:.0f}",
+        )

@@ -1,0 +1,96 @@
+"""Query descriptors and results."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.model.mbr import MBR
+from repro.model.timerange import TimeRange
+from repro.model.trajectory import Trajectory
+
+
+@dataclass(frozen=True)
+class TemporalRangeQuery:
+    """All trajectories whose time range intersects ``time_range`` (TRQ)."""
+
+    time_range: TimeRange
+
+
+@dataclass(frozen=True)
+class SpatialRangeQuery:
+    """All trajectories intersecting the spatial ``window`` (SRQ)."""
+
+    window: MBR
+
+
+@dataclass(frozen=True)
+class STRangeQuery:
+    """Conjunction of a spatial window and a time range (STRQ)."""
+
+    window: MBR
+    time_range: TimeRange
+
+
+@dataclass(frozen=True)
+class IDTemporalQuery:
+    """Trajectories of one object intersecting a time range."""
+
+    oid: str
+    time_range: TimeRange
+
+
+@dataclass(frozen=True)
+class KNNPointQuery:
+    """The ``k`` trajectories passing closest to a point (extension query).
+
+    Distance is the minimum planar distance from the point to the
+    trajectory's polyline.  Not in the paper's six query types; listed there
+    as future work ("handling more query types").
+    """
+
+    x: float
+    y: float
+    k: int
+
+
+@dataclass(frozen=True)
+class ThresholdSimilarityQuery:
+    """Trajectories within distance ``threshold`` of ``query`` (measure-named)."""
+
+    query: Trajectory
+    threshold: float
+    measure: str = "frechet"
+
+
+@dataclass(frozen=True)
+class TopKSimilarityQuery:
+    """The ``k`` trajectories most similar to ``query``."""
+
+    query: Trajectory
+    k: int
+    measure: str = "frechet"
+
+
+@dataclass
+class QueryResult:
+    """Query output plus execution accounting.
+
+    ``candidates`` is the number of rows the storage layer touched (the
+    paper's retrieval count); ``windows`` the number of range scans issued;
+    ``elapsed_ms`` wall-clock time of the embedded store; ``simulated_ms``
+    modeled disk-cluster latency; ``plan`` the index the optimizer chose.
+    """
+
+    trajectories: list[Trajectory] = field(default_factory=list)
+    count: int = 0
+    candidates: int = 0
+    transferred_rows: int = 0
+    windows: int = 0
+    elapsed_ms: float = 0.0
+    simulated_ms: float = 0.0
+    plan: str = ""
+    distances: Optional[list[float]] = None
+
+    def __len__(self) -> int:
+        return len(self.trajectories)

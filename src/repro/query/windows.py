@@ -1,0 +1,69 @@
+"""Query-window generation (§V-G(1)).
+
+Turns candidate index-value ranges into byte-key scan windows.  Primary
+windows are replicated per shard (Eq. 6 puts the shard byte first);
+secondary windows are shard-free.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.core.st import STWindow
+from repro.storage.schema import RowKeyCodec, encode_u64
+
+
+def primary_windows_u64(
+    codec: RowKeyCodec, ranges: Iterable[tuple[int, int]]
+) -> list[tuple[bytes, bytes]]:
+    """Per-shard windows for half-open u64 index ranges on the primary table."""
+    windows = []
+    for lo, hi in ranges:
+        lo_b, hi_b = encode_u64(lo), encode_u64(hi)
+        for shard in codec.all_shards():
+            windows.append(codec.primary_window(shard, lo_b, hi_b))
+    return windows
+
+
+def primary_windows_inclusive(
+    codec: RowKeyCodec, ranges: Iterable[tuple[int, int]]
+) -> list[tuple[bytes, bytes]]:
+    """Same for inclusive integer ranges ``[lo, hi]`` (TR planner output)."""
+    return primary_windows_u64(codec, ((lo, hi + 1) for lo, hi in ranges))
+
+
+def secondary_windows_u64(ranges: Iterable[tuple[int, int]]) -> list[tuple[bytes, bytes]]:
+    """Windows over a secondary table keyed by a bare u64 index value."""
+    return [(encode_u64(lo), encode_u64(hi)) for lo, hi in ranges]
+
+
+def secondary_windows_inclusive(
+    ranges: Iterable[tuple[int, int]]
+) -> list[tuple[bytes, bytes]]:
+    """Secondary windows inclusive."""
+    return secondary_windows_u64((lo, hi + 1) for lo, hi in ranges)
+
+
+def st_primary_windows(
+    codec: RowKeyCodec, st_windows: Sequence[STWindow]
+) -> list[tuple[bytes, bytes]]:
+    """Composite windows for the 16-byte ST primary index.
+
+    Fine windows (one TR value + explicit TShape ranges) become precise
+    two-component scans; coarse windows span the whole TShape space of a TR
+    interval (the spatial predicate is then enforced by push-down).
+    """
+    windows: list[tuple[bytes, bytes]] = []
+    for w in st_windows:
+        if w.shape_ranges is None:
+            lo_b = encode_u64(w.tr_lo) + encode_u64(0)
+            hi_b = encode_u64(w.tr_hi + 1) + encode_u64(0)
+            for shard in codec.all_shards():
+                windows.append(codec.primary_window(shard, lo_b, hi_b))
+        else:
+            for slo, shi in w.shape_ranges:
+                lo_b = encode_u64(w.tr_lo) + encode_u64(slo)
+                hi_b = encode_u64(w.tr_lo) + encode_u64(shi)
+                for shard in codec.all_shards():
+                    windows.append(codec.primary_window(shard, lo_b, hi_b))
+    return windows

@@ -1,0 +1,41 @@
+"""Dynamic time warping distance."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.model.point import STPoint
+
+
+def dtw_distance(
+    a: Sequence[STPoint], b: Sequence[STPoint], window: Optional[int] = None
+) -> float:
+    """DTW distance (sum of matched point distances) with optional Sakoe-Chiba band.
+
+    ``window`` constrains ``|i - j|`` which both speeds the computation and
+    regularizes pathological alignments; ``None`` means unconstrained.
+    """
+    if not a or not b:
+        raise ValueError("DTW needs non-empty trajectories")
+    n, m = len(a), len(b)
+    ax = np.array([p.lng for p in a])
+    ay = np.array([p.lat for p in a])
+    bx = np.array([p.lng for p in b])
+    by = np.array([p.lat for p in b])
+
+    w = max(window, abs(n - m)) if window is not None else None
+    inf = float("inf")
+    prev = np.full(m + 1, inf)
+    prev[0] = 0.0
+    for i in range(1, n + 1):
+        cur = np.full(m + 1, inf)
+        dist_row = np.hypot(ax[i - 1] - bx, ay[i - 1] - by)
+        lo = 1 if w is None else max(1, i - w)
+        hi = m if w is None else min(m, i + w)
+        for j in range(lo, hi + 1):
+            best = min(prev[j], cur[j - 1], prev[j - 1])
+            cur[j] = dist_row[j - 1] + best
+        prev = cur
+    return float(prev[m])

@@ -1,0 +1,41 @@
+"""Discrete Fréchet distance."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.model.point import STPoint
+
+
+def frechet_distance(a: Sequence[STPoint], b: Sequence[STPoint]) -> float:
+    """Discrete Fréchet distance between two trajectories (planar degrees).
+
+    Dynamic program over the coupling matrix:
+    ``D[i,j] = max(d(a_i, b_j), min(D[i-1,j], D[i,j-1], D[i-1,j-1]))``.
+    O(|a|·|b|) time, O(|b|) memory.
+    """
+    if not a or not b:
+        raise ValueError("Fréchet distance needs non-empty trajectories")
+    ax = np.array([p.lng for p in a])
+    ay = np.array([p.lat for p in a])
+    bx = np.array([p.lng for p in b])
+    by = np.array([p.lat for p in b])
+
+    # Pairwise distances row by row to keep memory at O(|b|).
+    prev = None
+    for i in range(len(a)):
+        dist_row = np.hypot(ax[i] - bx, ay[i] - by)
+        cur = np.empty(len(b))
+        if prev is None:
+            cur[0] = dist_row[0]
+            for j in range(1, len(b)):
+                cur[j] = max(cur[j - 1], dist_row[j])
+        else:
+            cur[0] = max(prev[0], dist_row[0])
+            for j in range(1, len(b)):
+                reach = min(prev[j], cur[j - 1], prev[j - 1])
+                cur[j] = max(reach, dist_row[j])
+        prev = cur
+    return float(prev[-1])

@@ -1,0 +1,21 @@
+"""Symmetric Hausdorff distance between point sets."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.model.point import STPoint
+
+
+def hausdorff_distance(a: Sequence[STPoint], b: Sequence[STPoint]) -> float:
+    """max(h(A,B), h(B,A)) where h(A,B) = max_a min_b d(a, b)."""
+    if not a or not b:
+        raise ValueError("Hausdorff distance needs non-empty trajectories")
+    pa = np.array([[p.lng, p.lat] for p in a])
+    pb = np.array([[p.lng, p.lat] for p in b])
+    # Pairwise distance matrix; trajectories are short enough post-DP.
+    diff = pa[:, None, :] - pb[None, :, :]
+    d = np.hypot(diff[..., 0], diff[..., 1])
+    return float(max(d.min(axis=1).max(), d.min(axis=0).max()))

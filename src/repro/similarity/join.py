@@ -1,0 +1,86 @@
+"""Threshold similarity self-join (extension: the paper's "more query types").
+
+Finds all pairs of trajectories within distance θ of each other without the
+O(n²) pair enumeration: trajectories are bucketed on a grid coarse enough
+that any qualifying pair shares a bucket after θ-expansion, candidate pairs
+get MBR and DP-feature lower-bound checks, and only survivors pay the exact
+distance computation.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+from repro.geometry.dp import extract_dp_feature
+from repro.model.trajectory import Trajectory
+from repro.similarity.measures import distance_by_name
+from repro.similarity.pruning import dp_lower_bound, mbr_lower_bound
+
+
+def threshold_self_join(
+    trajs: Sequence[Trajectory],
+    threshold: float,
+    measure: str = "frechet",
+    dp_epsilon: Optional[float] = None,
+) -> list[tuple[str, str, float]]:
+    """All pairs ``(tid_a, tid_b, distance)`` with distance <= threshold.
+
+    Pairs are emitted once with ``tid_a < tid_b``.  ``dp_epsilon`` controls
+    the DP-feature granularity for the local filter (defaults to θ/4).
+    """
+    if threshold < 0:
+        raise ValueError(f"threshold must be non-negative, got {threshold}")
+    distance = distance_by_name(measure)
+    eps = dp_epsilon if dp_epsilon is not None else max(1e-9, threshold / 4)
+    aggregate = "sum" if measure == "dtw" else "max"
+
+    items = sorted(trajs, key=lambda t: t.tid)
+    features = {t.tid: extract_dp_feature(t.points, eps) for t in items}
+
+    # Grid bucketing: the cell side must cover both θ and the largest
+    # trajectory extent, otherwise the neighbor loop below would have to
+    # visit reach/cell ~ extent/θ cells per trajectory (unbounded as θ→0).
+    max_extent = max(
+        (max(t.mbr.width, t.mbr.height) for t in items), default=0.0
+    )
+    cell = max(threshold, max_extent, 1e-9)
+    buckets: dict[tuple[int, int], list[int]] = {}
+    for idx, t in enumerate(items):
+        cx, cy = t.mbr.center
+        buckets.setdefault((math.floor(cx / cell), math.floor(cy / cell)), []).append(idx)
+
+    def neighbor_indexes(t: Trajectory) -> set[int]:
+        """Neighbor indexes."""
+        cx, cy = t.mbr.center
+        # A qualifying partner's center is within θ + both half-diagonals of
+        # this center; conservatively widen by each candidate's own extent
+        # when checking MBR distance below.
+        reach = threshold + max(t.mbr.width, t.mbr.height)
+        lo_x = math.floor((cx - reach) / cell)
+        hi_x = math.floor((cx + reach) / cell)
+        lo_y = math.floor((cy - reach) / cell)
+        hi_y = math.floor((cy + reach) / cell)
+        out: set[int] = set()
+        for gx in range(lo_x, hi_x + 1):
+            for gy in range(lo_y, hi_y + 1):
+                out.update(buckets.get((gx, gy), ()))
+        return out
+
+    results: list[tuple[str, str, float]] = []
+    for i, a in enumerate(items):
+        candidates = neighbor_indexes(a)
+        for j in sorted(candidates):
+            if j <= i:
+                continue
+            b = items[j]
+            if mbr_lower_bound(a.mbr, b.mbr) > threshold:
+                continue
+            if dp_lower_bound(a.points, features[b.tid], aggregate) > threshold:
+                continue
+            if dp_lower_bound(b.points, features[a.tid], aggregate) > threshold:
+                continue
+            d = distance(a.points, b.points)
+            if d <= threshold:
+                results.append((a.tid, b.tid, d))
+    return results

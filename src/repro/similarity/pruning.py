@@ -1,0 +1,88 @@
+"""Distance bounds for similarity-query pruning.
+
+The TraSS pipeline (adopted by TMan) never computes an exact distance unless
+cheap bounds fail to decide a candidate:
+
+1. *Global pruning* — the spatial index only returns candidates whose index
+   space intersects the query trajectory's MBR expanded by the threshold;
+   :func:`mbr_lower_bound` is the underlying bound.
+2. *Local filter* — DP-features stored in the row give tighter bounds:
+   :func:`dp_lower_bound` (candidate cannot be within θ) and
+   :func:`dp_upper_bound` (candidate certainly within θ).
+
+Soundness notes (see the tests, which verify these empirically):
+
+- Fréchet and Hausdorff distances are bounded below by the directed bound
+  ``max over a in A of min-distance(a, B's span boxes)`` because every point
+  of A is matched/measured against some raw point of B, and every raw point
+  of B lies inside one of its span boxes.
+- DTW (a sum) is bounded below by the *sum* of the same per-point bounds.
+- Upper bounds evaluate the exact measure on B's representative points
+  (a subsequence of B) and add the largest span-box diameter, which bounds
+  how far any raw point strays from its nearest representative.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Sequence
+
+from repro.geometry.dp import DPFeature
+from repro.model.mbr import MBR
+from repro.model.point import STPoint
+
+
+def mbr_lower_bound(a: MBR, b: MBR) -> float:
+    """Minimum possible point-pair distance between two MBRs.
+
+    A valid lower bound for Fréchet, Hausdorff, and DTW (any measure that is
+    at least the distance of one matched pair).
+    """
+    return a.min_distance(b)
+
+
+def dp_lower_bound(
+    points_a: Sequence[STPoint], feature_b: DPFeature, aggregate: str = "max"
+) -> float:
+    """Directed DP-feature lower bound from raw points A to feature of B.
+
+    ``aggregate='max'`` bounds max-style measures (Fréchet, Hausdorff);
+    ``aggregate='sum'`` bounds DTW.
+    """
+    if aggregate not in ("max", "sum"):
+        raise ValueError(f"aggregate must be 'max' or 'sum', got {aggregate!r}")
+    per_point = (
+        feature_b.min_distance_to_point(p.lng, p.lat) for p in points_a
+    )
+    return max(per_point) if aggregate == "max" else sum(per_point)
+
+
+def _max_span_diameter(feature: DPFeature) -> float:
+    """Largest diameter among spans that actually dropped interior points.
+
+    A span with no interior raw points contributes no approximation error,
+    so the bound stays tight when the representatives are the whole
+    trajectory.
+    """
+    worst = 0.0
+    for i, box in enumerate(feature.span_boxes):
+        lo, hi = feature.rep_indexes[i], feature.rep_indexes[i + 1]
+        if hi > lo + 1:
+            worst = max(worst, math.hypot(box.width, box.height))
+    return worst
+
+
+def dp_upper_bound(
+    points_a: Sequence[STPoint],
+    feature_b: DPFeature,
+    distance_fn: Callable[[Sequence[STPoint], Sequence[STPoint]], float],
+) -> float:
+    """Upper bound: exact measure against B's representatives plus slack.
+
+    Valid for Fréchet and Hausdorff: raw points of B are within the largest
+    span-box diameter of some representative, so any coupling through the
+    representatives extends to the raw sequence with at most that much extra
+    distance per pair.
+    """
+    base = distance_fn(points_a, feature_b.rep_points)
+    return base + _max_span_diameter(feature_b)

@@ -1,0 +1,25 @@
+"""TMan's storage layer: schema, serialization, tables, and the facade.
+
+One *primary table* stores intact trajectories under the configured primary
+index (Figure 11 of the paper uses TShape); *secondary tables* map secondary
+index values to primary rowkeys; a *metadata table* records index
+parameters; the *index cache* holds shape-code mappings.  The
+:class:`~repro.storage.tman.TMan` facade wires everything together.
+
+``TMan`` is exposed lazily to avoid an import cycle: the facade imports the
+query layer, which imports the row serializer from this package.
+"""
+
+from repro.storage.config import TManConfig
+from repro.storage.schema import RowKeyCodec
+from repro.storage.serializer import RowSerializer, StoredTrajectory
+
+__all__ = ["TMan", "TManConfig", "RowKeyCodec", "RowSerializer", "StoredTrajectory"]
+
+
+def __getattr__(name: str):
+    if name == "TMan":
+        from repro.storage.tman import TMan
+
+        return TMan
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,70 @@
+"""TMan deployment configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.model.mbr import MBR
+
+VALID_INDEXES = ("tshape", "tr", "st")
+VALID_SECONDARY = ("tr", "idt", "st", "tshape")
+
+
+@dataclass(frozen=True)
+class TManConfig:
+    """All index, storage, and query-processing knobs of one deployment.
+
+    Defaults mirror the paper's storage-schema figure: TShape as the primary
+    index with TR and IDT secondary tables, ``α = β = 3``, 30-minute TR
+    periods capped at ``N = 48``, greedy shape encoding, push-down enabled.
+    """
+
+    boundary: MBR
+    primary_index: str = "tshape"
+    secondary_indexes: tuple[str, ...] = ("tr", "idt")
+    # TShape
+    alpha: int = 3
+    beta: int = 3
+    max_resolution: int = 16
+    shape_encoding: str = "greedy"  # bitmap | greedy | genetic
+    use_index_cache: bool = True
+    index_cache_capacity: int = 4096
+    # TR
+    tr_period_seconds: float = 1800.0
+    tr_max_periods: int = 48
+    time_origin: float = 0.0
+    # storage
+    num_shards: int = 4
+    codec: str = "simple8b"
+    dp_epsilon: float = 0.002
+    buffer_shape_threshold: int = 512
+    # query processing
+    push_down: bool = True
+    st_window_budget: int = 4096
+    kv_workers: int = 4
+    split_rows: int = 200_000
+
+    def __post_init__(self) -> None:
+        if self.primary_index not in VALID_INDEXES:
+            raise ValueError(
+                f"primary_index must be one of {VALID_INDEXES}, got {self.primary_index!r}"
+            )
+        for sec in self.secondary_indexes:
+            if sec not in VALID_SECONDARY:
+                raise ValueError(f"unknown secondary index {sec!r}")
+        if self.primary_index in self.secondary_indexes:
+            raise ValueError(
+                f"{self.primary_index!r} cannot be both primary and secondary"
+            )
+        if self.shape_encoding not in ("bitmap", "greedy", "genetic"):
+            raise ValueError(f"unknown shape_encoding {self.shape_encoding!r}")
+
+    @property
+    def primary_index_width(self) -> int:
+        """Byte width of the primary key's index-value portion."""
+        return 16 if self.primary_index == "st" else 8
+
+    def available_indexes(self) -> tuple[str, ...]:
+        """Every index this deployment can answer queries with."""
+        return (self.primary_index,) + self.secondary_indexes

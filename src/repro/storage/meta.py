@@ -1,0 +1,42 @@
+"""The metadata table (§IV-B(4)).
+
+Stores index parameters and table descriptors as JSON rows in the key-value
+store so a deployment can be reopened against the same cluster with
+consistent encoding parameters.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Optional
+
+from repro.kvstore.cluster import Cluster
+from repro.kvstore.table import Table
+
+META_TABLE = "tman_meta"
+
+
+class MetadataTable:
+    """Thin JSON document store over one KV table."""
+
+    def __init__(self, cluster: Cluster):
+        self._table: Table = cluster.create_table(META_TABLE, if_not_exists=True)
+
+    def put(self, key: str, doc: dict[str, Any]) -> None:
+        """Insert or overwrite ``key`` with ``value``."""
+        self._table.put(key.encode("utf-8"), json.dumps(doc, sort_keys=True).encode("utf-8"))
+
+    def get(self, key: str) -> Optional[dict[str, Any]]:
+        """Return the value stored under ``key``, or ``None`` when absent."""
+        raw = self._table.get(key.encode("utf-8"))
+        if raw is None:
+            return None
+        return json.loads(raw.decode("utf-8"))
+
+    def record_config(self, config_doc: dict[str, Any]) -> None:
+        """Persist the deployment's index parameters (α, β, periods, ...)."""
+        self.put("config", config_doc)
+
+    def load_config(self) -> Optional[dict[str, Any]]:
+        """Load config."""
+        return self.get("config")

@@ -1,0 +1,84 @@
+"""Save and reopen whole TMan deployments.
+
+A deployment directory holds three artifacts:
+
+- ``config.json`` — the :class:`TManConfig` fields (boundary as a tuple);
+- ``tables.snap`` — every KV table (primary, secondaries, metadata);
+- ``cache.rdb`` — the Redis-backed shape index cache.
+
+``save_tman`` / ``open_tman`` round-trip all state needed to keep querying:
+index parameters, every stored row, and the shape-code mappings.  The
+volatile buffer shape cache is intentionally not persisted (the paper's
+update protocol re-stages unknown shapes on demand).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.cache.redis_sim import RedisServer
+from repro.kvstore.snapshot import load_cluster, save_cluster
+from repro.model.mbr import MBR
+from repro.storage.config import TManConfig
+from repro.storage.tman import TMan
+
+CONFIG_FILE = "config.json"
+TABLES_FILE = "tables.snap"
+CACHE_FILE = "cache.rdb"
+
+
+def save_tman(tman: TMan, directory: Union[str, Path]) -> None:
+    """Persist a deployment (tables + index cache + config) to a directory."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+
+    cfg = tman.config
+    doc = {
+        "boundary": cfg.boundary.as_tuple(),
+        "primary_index": cfg.primary_index,
+        "secondary_indexes": list(cfg.secondary_indexes),
+        "alpha": cfg.alpha,
+        "beta": cfg.beta,
+        "max_resolution": cfg.max_resolution,
+        "shape_encoding": cfg.shape_encoding,
+        "use_index_cache": cfg.use_index_cache,
+        "index_cache_capacity": cfg.index_cache_capacity,
+        "tr_period_seconds": cfg.tr_period_seconds,
+        "tr_max_periods": cfg.tr_max_periods,
+        "time_origin": cfg.time_origin,
+        "num_shards": cfg.num_shards,
+        "codec": cfg.codec,
+        "dp_epsilon": cfg.dp_epsilon,
+        "buffer_shape_threshold": cfg.buffer_shape_threshold,
+        "push_down": cfg.push_down,
+        "st_window_budget": cfg.st_window_budget,
+        "kv_workers": cfg.kv_workers,
+        "split_rows": cfg.split_rows,
+        "row_count": tman.row_count,
+    }
+    (directory / CONFIG_FILE).write_text(json.dumps(doc, indent=2))
+    save_cluster(tman.cluster, directory / TABLES_FILE)
+    (directory / CACHE_FILE).write_bytes(tman.index_cache.redis.dump())
+
+
+def open_tman(directory: Union[str, Path]) -> TMan:
+    """Reopen a deployment saved with :func:`save_tman`."""
+    directory = Path(directory)
+    doc = json.loads((directory / CONFIG_FILE).read_text())
+    row_count = doc.pop("row_count", 0)
+    boundary = MBR(*doc.pop("boundary"))
+    doc["secondary_indexes"] = tuple(doc["secondary_indexes"])
+    config = TManConfig(boundary=boundary, **doc)
+
+    cluster = load_cluster(
+        directory / TABLES_FILE,
+        workers=config.kv_workers,
+        split_rows=config.split_rows,
+    )
+    redis = RedisServer.from_dump((directory / CACHE_FILE).read_bytes())
+    tman = TMan(config, cluster=cluster, redis=redis)
+    tman._owns_cluster = True  # the restored cluster belongs to this facade
+    tman.rebuild_statistics()
+    return tman

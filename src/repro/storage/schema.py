@@ -1,0 +1,129 @@
+"""Rowkey construction and parsing (Eq. 6: ``shard :: index value :: tid``).
+
+Keys are plain bytes ordered lexicographically; index values are packed
+big-endian so numeric order equals byte order.  The leading shard byte
+spreads writes across regions to avoid hot-spotting; every query window is
+replicated per shard.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from dataclasses import dataclass
+
+SEPARATOR = b"\x00"
+
+
+def encode_u64(value: int) -> bytes:
+    """Big-endian 8-byte encoding (order-preserving for 0 <= v < 2^64)."""
+    if not 0 <= value < (1 << 64):
+        raise ValueError(f"value out of u64 range: {value}")
+    return struct.pack(">Q", value)
+
+
+def decode_u64(buf: bytes) -> int:
+    """Decode u64."""
+    if len(buf) != 8:
+        raise ValueError(f"expected 8 bytes, got {len(buf)}")
+    return struct.unpack(">Q", buf)[0]
+
+
+def shard_of(tid: str, num_shards: int) -> int:
+    """Stable shard assignment from the trajectory id."""
+    digest = hashlib.blake2b(tid.encode("utf-8"), digest_size=2).digest()
+    return int.from_bytes(digest, "big") % num_shards
+
+
+@dataclass(frozen=True)
+class ParsedKey:
+    """A decoded primary rowkey."""
+
+    shard: int
+    index_bytes: bytes
+    tid: str
+
+
+class RowKeyCodec:
+    """Builds and parses the byte rowkeys of every TMan table.
+
+    ``index_width`` is the fixed byte width of the index-value portion of
+    primary keys (8 for single-index tables, 16 for the composite ST index).
+    """
+
+    def __init__(self, num_shards: int, index_width: int = 8):
+        if not 1 <= num_shards <= 255:
+            raise ValueError(f"num_shards must be in [1, 255], got {num_shards}")
+        if index_width not in (8, 16):
+            raise ValueError(f"index_width must be 8 or 16, got {index_width}")
+        self.num_shards = num_shards
+        self.index_width = index_width
+
+    # -- primary table ---------------------------------------------------
+
+    def primary_key(self, index_bytes: bytes, tid: str) -> bytes:
+        """Eq. 6: ``shard :: index value :: tid``."""
+        if len(index_bytes) != self.index_width:
+            raise ValueError(
+                f"index bytes must be {self.index_width} wide, got {len(index_bytes)}"
+            )
+        shard = shard_of(tid, self.num_shards)
+        return bytes([shard]) + index_bytes + SEPARATOR + tid.encode("utf-8")
+
+    def parse_primary(self, key: bytes) -> ParsedKey:
+        """Parse primary."""
+        shard = key[0]
+        index_bytes = key[1 : 1 + self.index_width]
+        rest = key[1 + self.index_width :]
+        if not rest.startswith(SEPARATOR):
+            raise ValueError(f"malformed primary key: {key!r}")
+        return ParsedKey(shard, index_bytes, rest[1:].decode("utf-8"))
+
+    def primary_window(
+        self, shard: int, lo_bytes: bytes, hi_bytes: bytes
+    ) -> tuple[bytes, bytes]:
+        """Scan window over one shard for index values in ``[lo, hi)`` bytes."""
+        return bytes([shard]) + lo_bytes, bytes([shard]) + hi_bytes
+
+    def all_shards(self) -> range:
+        """All shards."""
+        return range(self.num_shards)
+
+    # -- secondary tables ----------------------------------------------------
+
+    @staticmethod
+    def secondary_key(index_bytes: bytes, tid: str) -> bytes:
+        """Secondary rowkey: ``index value :: tid`` (no shard byte)."""
+        return index_bytes + SEPARATOR + tid.encode("utf-8")
+
+    @staticmethod
+    def parse_secondary(key: bytes, index_width: int) -> tuple[bytes, str]:
+        """Parse secondary."""
+        index_bytes = key[:index_width]
+        rest = key[index_width:]
+        if not rest.startswith(SEPARATOR):
+            raise ValueError(f"malformed secondary key: {key!r}")
+        return index_bytes, rest[1:].decode("utf-8")
+
+    # -- IDT table ----------------------------------------------------------------
+
+    @staticmethod
+    def idt_key(oid: str, tr_value: int, tid: str) -> bytes:
+        """IDT rowkey: ``oid :: TR value :: tid``."""
+        oid_bytes = oid.encode("utf-8")
+        if SEPARATOR in oid_bytes:
+            raise ValueError(f"object ids must not contain NUL bytes: {oid!r}")
+        return oid_bytes + SEPARATOR + encode_u64(tr_value) + SEPARATOR + tid.encode("utf-8")
+
+    @staticmethod
+    def idt_window(oid: str, tr_lo: int, tr_hi: int) -> tuple[bytes, bytes]:
+        """Scan window for one object over inclusive TR values [lo, hi]."""
+        oid_bytes = oid.encode("utf-8") + SEPARATOR
+        return oid_bytes + encode_u64(tr_lo), oid_bytes + encode_u64(tr_hi + 1)
+
+    # -- composite ST index ------------------------------------------------------------
+
+    @staticmethod
+    def st_index_bytes(tr_value: int, tshape_value: int) -> bytes:
+        """16-byte composite: TR (prefix) then TShape."""
+        return encode_u64(tr_value) + encode_u64(tshape_value)

@@ -1,0 +1,158 @@
+"""Row value serialization for the primary table.
+
+Figure 11 of the paper stores per row: ``oid``, ``tid``, compressed
+``points``, the ``tr`` index value, and DP ``features``.  The layout here
+front-loads a fixed-size header (time range + MBR) so push-down filters can
+evaluate coarse predicates without decompressing anything, then the
+DP-features (for the spatial/similarity refinement ladder), then the
+compressed point arrays:
+
+    magic(1) version(1)
+    t_start f64  t_end f64  mbr x1 y1 x2 y2 (4 × f64)
+    tr_value varint
+    oid (varint len + utf8)   tid (varint len + utf8)
+    features: n_reps, rep indexes (varints), reps (t,lng,lat f64 each),
+              boxes (4 × f64 each, one per rep span)
+    points: varint len + TrajectoryCodec blob
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.compression.traj_codec import TrajectoryCodec
+from repro.compression.varint import decode_varint, encode_varint
+from repro.geometry.dp import DPFeature, extract_dp_feature
+from repro.kvstore.errors import CorruptionError
+from repro.model.mbr import MBR
+from repro.model.point import STPoint
+from repro.model.timerange import TimeRange
+from repro.model.trajectory import Trajectory
+
+MAGIC = 0x54  # 'T'
+VERSION = 1
+_HEADER = struct.Struct(">dddddd")  # t_start, t_end, x1, y1, x2, y2
+
+
+@dataclass(frozen=True)
+class RowHeader:
+    """The cheap-to-decode prefix of a row value."""
+
+    time_range: TimeRange
+    mbr: MBR
+    tr_value: int
+    oid: str
+    tid: str
+    body_offset: int  # where the features section starts
+
+
+@dataclass(frozen=True)
+class StoredTrajectory:
+    """A fully decoded row."""
+
+    trajectory: Trajectory
+    tr_value: int
+    feature: DPFeature
+
+
+class RowSerializer:
+    """Encode/decode primary-table row values.
+
+    ``dp_epsilon`` controls DP-feature extraction granularity, in degrees.
+    """
+
+    def __init__(self, codec: Optional[TrajectoryCodec] = None, dp_epsilon: float = 0.002):
+        self.codec = codec if codec is not None else TrajectoryCodec()
+        self.dp_epsilon = dp_epsilon
+
+    # -- encoding ----------------------------------------------------------
+
+    def encode(self, traj: Trajectory, tr_value: int) -> bytes:
+        """Serialize one trajectory row."""
+        out = bytearray([MAGIC, VERSION])
+        tr = traj.time_range
+        m = traj.mbr
+        out += _HEADER.pack(tr.start, tr.end, m.x1, m.y1, m.x2, m.y2)
+        encode_varint(tr_value, out)
+        for text in (traj.oid, traj.tid):
+            raw = text.encode("utf-8")
+            encode_varint(len(raw), out)
+            out += raw
+
+        feature = extract_dp_feature(traj.points, self.dp_epsilon)
+        encode_varint(len(feature.rep_points), out)
+        for idx in feature.rep_indexes:
+            encode_varint(idx, out)
+        for p in feature.rep_points:
+            out += struct.pack(">ddd", p.t, p.lng, p.lat)
+        for box in feature.span_boxes:
+            out += struct.pack(">dddd", *box.as_tuple())
+
+        blob = self.codec.encode_points(traj.points)
+        encode_varint(len(blob), out)
+        out += blob
+        return bytes(out)
+
+    # -- decoding ------------------------------------------------------------
+
+    @staticmethod
+    def decode_header(buf: bytes) -> RowHeader:
+        """Decode only the fixed header + ids; O(1) in trajectory length."""
+        if len(buf) < 2 + _HEADER.size or buf[0] != MAGIC:
+            raise CorruptionError("not a TMan row")
+        if buf[1] != VERSION:
+            raise CorruptionError(f"unsupported row version {buf[1]}")
+        t_start, t_end, x1, y1, x2, y2 = _HEADER.unpack_from(buf, 2)
+        pos = 2 + _HEADER.size
+        tr_value, pos = decode_varint(buf, pos)
+        n, pos = decode_varint(buf, pos)
+        oid = buf[pos : pos + n].decode("utf-8")
+        pos += n
+        n, pos = decode_varint(buf, pos)
+        tid = buf[pos : pos + n].decode("utf-8")
+        pos += n
+        return RowHeader(
+            TimeRange(t_start, t_end), MBR(x1, y1, x2, y2), tr_value, oid, tid, pos
+        )
+
+    @staticmethod
+    def _decode_feature_at(buf: bytes, pos: int) -> tuple[DPFeature, int]:
+        n_reps, pos = decode_varint(buf, pos)
+        indexes = []
+        for _ in range(n_reps):
+            idx, pos = decode_varint(buf, pos)
+            indexes.append(idx)
+        reps = []
+        for _ in range(n_reps):
+            t, lng, lat = struct.unpack_from(">ddd", buf, pos)
+            pos += 24
+            reps.append(STPoint(t, lng, lat))
+        boxes = []
+        for _ in range(max(0, n_reps - 1)):
+            x1, y1, x2, y2 = struct.unpack_from(">dddd", buf, pos)
+            pos += 32
+            boxes.append(MBR(x1, y1, x2, y2))
+        return DPFeature(tuple(reps), tuple(indexes), tuple(boxes)), pos
+
+    @staticmethod
+    def decode_feature(buf: bytes, header: Optional[RowHeader] = None) -> DPFeature:
+        """Decode the DP-features without touching the points blob."""
+        if header is None:
+            header = RowSerializer.decode_header(buf)
+        feature, _ = RowSerializer._decode_feature_at(buf, header.body_offset)
+        return feature
+
+    def decode(self, buf: bytes) -> StoredTrajectory:
+        """Fully decode a row back into a trajectory."""
+        header = self.decode_header(buf)
+        feature, pos = self._decode_feature_at(buf, header.body_offset)
+        blob_len, pos = decode_varint(buf, pos)
+        points = self.codec.decode_points(buf[pos : pos + blob_len])
+        traj = Trajectory(header.oid, header.tid, points)
+        return StoredTrajectory(traj, header.tr_value, feature)
+
+    def decode_points(self, buf: bytes) -> list[STPoint]:
+        """Decode just the raw point sequence (exact-filter path)."""
+        return list(self.decode(buf).trajectory.points)

@@ -1,0 +1,264 @@
+"""The TMan system facade.
+
+``TMan`` wires the indexes, the key-value cluster, the index cache, the
+write paths, and the query processor into the system of Figure 3: a storage
+layer (primary + secondary + metadata tables, index cache) under a query
+processing layer (RBO/CBO planning, window generation, push-down parallel
+execution).
+
+>>> from repro import TMan, TManConfig
+>>> from repro.model import MBR
+>>> tman = TMan(TManConfig(boundary=MBR(110, 35, 125, 45)))
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.cache.index_cache import BufferShapeCache, ShapeIndexCache
+from repro.cache.redis_sim import RedisServer
+from repro.core.idt import IDTIndex
+from repro.core.quadtree import QuadTreeGrid
+from repro.core.shape_encoding import ShapeEncoder
+from repro.core.st import STIndex
+from repro.core.temporal import TRIndex
+from repro.core.tshape import TShapeIndex
+from repro.compression.traj_codec import TrajectoryCodec
+from repro.kvstore.cluster import Cluster
+from repro.kvstore.stats import CostModel
+from repro.model.mbr import MBR
+from repro.model.timerange import TimeRange
+from repro.model.trajectory import Trajectory
+from repro.query.executor import QueryExecutor
+from repro.query.planner import DataStatistics, QueryPlanner
+from repro.query.types import (
+    IDTemporalQuery,
+    KNNPointQuery,
+    QueryResult,
+    SpatialRangeQuery,
+    STRangeQuery,
+    TemporalRangeQuery,
+    ThresholdSimilarityQuery,
+    TopKSimilarityQuery,
+)
+from repro.storage.config import TManConfig
+from repro.storage.meta import MetadataTable
+from repro.storage.schema import RowKeyCodec
+from repro.storage.serializer import RowSerializer
+from repro.storage.writer import StorageWriter, WriteReport
+
+PRIMARY_TABLE = "tman_primary"
+
+
+class TMan:
+    """A TMan deployment over one embedded key-value cluster."""
+
+    def __init__(
+        self,
+        config: TManConfig,
+        cluster: Optional[Cluster] = None,
+        redis: Optional[RedisServer] = None,
+        cost_model: Optional[CostModel] = None,
+    ):
+        self.config = config
+        self.cluster = cluster if cluster is not None else Cluster(
+            workers=config.kv_workers, split_rows=config.split_rows
+        )
+        self._owns_cluster = cluster is None
+
+        # Indexes.
+        self.tr_index = TRIndex(
+            config.tr_period_seconds, config.tr_max_periods, config.time_origin
+        )
+        self.grid = QuadTreeGrid(config.boundary, config.max_resolution)
+        self.tshape_index = TShapeIndex(self.grid, config.alpha, config.beta)
+        self.idt_index = IDTIndex(self.tr_index)
+        self.st_index = STIndex(self.tr_index, self.tshape_index, config.st_window_budget)
+
+        # Storage plumbing.
+        self.serializer = RowSerializer(TrajectoryCodec(config.codec), config.dp_epsilon)
+        self.keys = RowKeyCodec(config.num_shards, config.primary_index_width)
+        self.index_cache = ShapeIndexCache(redis, config.index_cache_capacity)
+        self.buffer_cache = BufferShapeCache(config.buffer_shape_threshold)
+        self.encoder = ShapeEncoder(config.shape_encoding)
+
+        self.primary_table = self.cluster.create_table(PRIMARY_TABLE, if_not_exists=True)
+        self.secondary_tables = {
+            name: self.cluster.create_table(f"tman_sec_{name}", if_not_exists=True)
+            for name in config.secondary_indexes
+        }
+        self.meta = MetadataTable(self.cluster)
+        self.meta.record_config(
+            {
+                "primary_index": config.primary_index,
+                "secondary_indexes": list(config.secondary_indexes),
+                "alpha": config.alpha,
+                "beta": config.beta,
+                "max_resolution": config.max_resolution,
+                "tr_period_seconds": config.tr_period_seconds,
+                "tr_max_periods": config.tr_max_periods,
+                "num_shards": config.num_shards,
+                "shape_encoding": config.shape_encoding,
+                "boundary": config.boundary.as_tuple(),
+            }
+        )
+
+        # Query processing.
+        self.planner = QueryPlanner(config)
+        self.executor = QueryExecutor(self, cost_model)
+        self._row_count = 0
+        self._time_lo: Optional[float] = None
+        self._time_hi: Optional[float] = None
+        self._dense: Optional[MBR] = None
+        # Reservoir sample of (MBR, TimeRange) row summaries for the CBO.
+        import random
+
+        self._sample: list = []
+        self._sample_capacity = 256
+        self._sample_rng = random.Random(13)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        """Release the resources held by this object (idempotent)."""
+        if self._owns_cluster:
+            self.cluster.close()
+
+    def __enter__(self) -> "TMan":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    # -- statistics (fed to the CBO) ----------------------------------------------
+
+    def _observe_row(self, mbr: MBR, tr: TimeRange) -> None:
+        """Fold one row into the extent stats and the reservoir sample."""
+        self._row_count += 1
+        self._time_lo = tr.start if self._time_lo is None else min(self._time_lo, tr.start)
+        self._time_hi = tr.end if self._time_hi is None else max(self._time_hi, tr.end)
+        self._dense = mbr if self._dense is None else self._dense.union_hull(mbr)
+        # Vitter's algorithm R keeps a uniform sample of all rows seen.
+        if len(self._sample) < self._sample_capacity:
+            self._sample.append((mbr, tr))
+        else:
+            j = self._sample_rng.randrange(self._row_count)
+            if j < self._sample_capacity:
+                self._sample[j] = (mbr, tr)
+
+    def _publish_statistics(self) -> None:
+        if self._row_count and self._time_lo is not None and self._dense is not None:
+            self.planner.update_statistics(
+                DataStatistics(
+                    row_count=self._row_count,
+                    time_span=TimeRange(self._time_lo, self._time_hi or self._time_lo),
+                    dense_region=self._dense,
+                    sample=tuple(self._sample),
+                )
+            )
+
+    def refresh_statistics(self, prepared: Sequence[object]) -> None:
+        """Update dataset statistics after a write batch (called by the writer)."""
+        for p in prepared:
+            traj: Trajectory = p.traj  # type: ignore[attr-defined]
+            self._observe_row(traj.mbr, traj.time_range)
+        self._publish_statistics()
+
+    @property
+    def row_count(self) -> int:
+        """Number of live trajectories stored."""
+        return self._row_count
+
+    def rebuild_statistics(self) -> None:
+        """Recompute dataset statistics by scanning primary row headers.
+
+        Used after reopening a saved deployment, where the incremental
+        statistics tracked during writes are not available.
+        """
+        from repro.kvstore.scan import Scan
+
+        self._row_count = 0
+        self._time_lo = self._time_hi = None
+        self._dense = None
+        self._sample = []
+        for _, value in self.primary_table.scan(Scan()):
+            header = self.serializer.decode_header(value)
+            self._observe_row(header.mbr, header.time_range)
+        self._publish_statistics()
+
+    # -- write API -------------------------------------------------------------
+
+    @property
+    def writer(self) -> StorageWriter:
+        """A write-path helper bound to this deployment."""
+        return StorageWriter(self)
+
+    def bulk_load(self, trajs: Sequence[Trajectory]) -> WriteReport:
+        """Load a batch, optimizing shape codes per enlarged element first."""
+        return self.writer.bulk_load(trajs)
+
+    def insert(self, trajs: Sequence[Trajectory]) -> WriteReport:
+        """Online insert through the buffer shape cache (§IV-C)."""
+        return self.writer.insert(trajs)
+
+    def delete(self, traj: Trajectory) -> bool:
+        """Remove a trajectory (keys recomputed from the object itself)."""
+        removed = self.writer.delete(traj)
+        if removed:
+            self._row_count = max(0, self._row_count - 1)
+        return removed
+
+    def delete_by_id(self, oid: str, tid: str, time_range: TimeRange) -> bool:
+        """Remove a trajectory located via the IDT index."""
+        removed = self.writer.delete_by_id(oid, tid, time_range)
+        if removed:
+            self._row_count = max(0, self._row_count - 1)
+        return removed
+
+    # -- query API --------------------------------------------------------------
+
+    def query(self, q) -> QueryResult:
+        """Plan and execute any supported query descriptor."""
+        return self.executor.execute(q)
+
+    def temporal_range_query(self, time_range: TimeRange) -> QueryResult:
+        """TRQ: trajectories whose time range intersects ``time_range``."""
+        return self.query(TemporalRangeQuery(time_range))
+
+    def spatial_range_query(self, window: MBR) -> QueryResult:
+        """SRQ: trajectories intersecting the spatial ``window``."""
+        return self.query(SpatialRangeQuery(window))
+
+    def st_range_query(self, window: MBR, time_range: TimeRange) -> QueryResult:
+        """STRQ: the conjunction of a spatial window and a time range."""
+        return self.query(STRangeQuery(window, time_range))
+
+    def id_temporal_query(self, oid: str, time_range: TimeRange) -> QueryResult:
+        """IDT: one object's trajectories intersecting a time range."""
+        return self.query(IDTemporalQuery(oid, time_range))
+
+    def threshold_similarity_query(
+        self, query_traj: Trajectory, threshold: float, measure: str = "frechet"
+    ) -> QueryResult:
+        """Trajectories within ``threshold`` (degrees) of the query trajectory."""
+        return self.query(ThresholdSimilarityQuery(query_traj, threshold, measure))
+
+    def top_k_similarity_query(
+        self, query_traj: Trajectory, k: int, measure: str = "frechet"
+    ) -> QueryResult:
+        """The ``k`` most similar trajectories to the query trajectory."""
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        return self.query(TopKSimilarityQuery(query_traj, k, measure))
+
+    def knn_point_query(self, x: float, y: float, k: int) -> QueryResult:
+        """The ``k`` trajectories passing closest to a point (extension)."""
+        return self.query(KNNPointQuery(x, y, k))
+
+    def count(self, q) -> QueryResult:
+        """Count matching trajectories without decompressing points.
+
+        Supported for temporal, spatial, spatio-temporal, and ID-temporal
+        queries; read the answer from ``result.count``.
+        """
+        return self.executor.execute_count(q)

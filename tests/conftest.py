@@ -1,0 +1,88 @@
+"""Shared fixtures: small deterministic datasets and TMan deployments."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import TMan, TManConfig
+from repro.datasets import TDRIVE_SPEC, QueryWorkload, tdrive_like
+from repro.geometry.relations import polyline_intersects_rect
+from repro.model import MBR, STPoint, Trajectory
+
+
+@pytest.fixture(scope="session")
+def small_dataset() -> list[Trajectory]:
+    """200 TDrive-like trajectories, generated once per session."""
+    return tdrive_like(200, seed=101)
+
+
+@pytest.fixture(scope="session")
+def workload(small_dataset) -> QueryWorkload:
+    return QueryWorkload(TDRIVE_SPEC, small_dataset, seed=202)
+
+
+@pytest.fixture(scope="session")
+def loaded_tman(small_dataset) -> TMan:
+    """A default-schema TMan (TShape primary, TR + IDT secondary) with data."""
+    config = TManConfig(
+        boundary=TDRIVE_SPEC.boundary,
+        max_resolution=14,
+        num_shards=2,
+        kv_workers=1,
+        split_rows=5000,
+    )
+    tman = TMan(config)
+    tman.bulk_load(small_dataset)
+    yield tman
+    tman.close()
+
+
+def brute_force_temporal(trajs, time_range):
+    """Reference TRQ semantics."""
+    return sorted(t.tid for t in trajs if t.time_range.intersects(time_range))
+
+
+def brute_force_spatial(trajs, window: MBR):
+    """Reference SRQ semantics (polyline intersection)."""
+    return sorted(
+        t.tid
+        for t in trajs
+        if polyline_intersects_rect([p.xy for p in t.points], window)
+    )
+
+
+@pytest.fixture(scope="session")
+def brute():
+    """Expose the brute-force reference functions as a namespace fixture."""
+
+    class _Brute:
+        temporal = staticmethod(brute_force_temporal)
+        spatial = staticmethod(brute_force_spatial)
+
+    return _Brute
+
+
+def make_line_trajectory(
+    oid: str = "o",
+    tid: str = "t",
+    start=(116.30, 39.90),
+    end=(116.40, 39.95),
+    t0: float = 1000.0,
+    n: int = 20,
+    dt: float = 60.0,
+) -> Trajectory:
+    """A straight-line helper used across index tests."""
+    pts = [
+        STPoint(
+            t0 + i * dt,
+            start[0] + (end[0] - start[0]) * i / max(1, n - 1),
+            start[1] + (end[1] - start[1]) * i / max(1, n - 1),
+        )
+        for i in range(n)
+    ]
+    return Trajectory(oid, tid, pts)
+
+
+@pytest.fixture
+def line_trajectory() -> Trajectory:
+    return make_line_trajectory()

@@ -1,0 +1,96 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main, read_csv, write_csv
+from repro.datasets import tdrive_like
+
+
+@pytest.fixture(scope="module")
+def csv_path(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "data.csv"
+    assert main(["generate", str(path), "--n", "60", "--seed", "9"]) == 0
+    return path
+
+
+@pytest.fixture(scope="module")
+def deployment(tmp_path_factory, csv_path):
+    dep = tmp_path_factory.mktemp("cli") / "deploy"
+    code = main([
+        "load", str(csv_path), str(dep),
+        "--max-resolution", "12", "--shards", "2",
+    ])
+    assert code == 0
+    return dep
+
+
+class TestCSV:
+    def test_roundtrip(self, tmp_path):
+        trajs = tdrive_like(10, seed=3)
+        path = tmp_path / "t.csv"
+        write_csv(path, trajs)
+        back = list(read_csv(path))
+        assert [t.tid for t in back] == [t.tid for t in trajs]
+        assert len(back[0]) == len(trajs[0])
+        assert back[0].points[0].lng == pytest.approx(trajs[0].points[0].lng, abs=1e-7)
+
+    def test_rejects_bad_header(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b,c\n1,2,3\n")
+        with pytest.raises(SystemExit):
+            list(read_csv(path))
+
+
+class TestCommands:
+    def test_generate_creates_file(self, csv_path):
+        assert csv_path.exists()
+        lines = csv_path.read_text().splitlines()
+        assert lines[0] == "oid,tid,t,lng,lat"
+        assert len(lines) > 60
+
+    def test_load_creates_deployment(self, deployment):
+        assert (deployment / "config.json").exists()
+        assert (deployment / "tables.snap").exists()
+
+    def test_info(self, deployment, capsys):
+        assert main(["info", str(deployment)]) == 0
+        out = capsys.readouterr().out
+        assert "rows: 60" in out
+        assert "alpha" in out
+
+    def test_temporal_query(self, deployment, csv_path, capsys):
+        trajs = list(read_csv(csv_path))
+        tr = trajs[0].time_range
+        code = main([
+            "query", str(deployment), "--type", "temporal",
+            "--start", str(tr.start), "--end", str(tr.end),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert trajs[0].tid in out
+
+    def test_spatial_query(self, deployment, csv_path, capsys):
+        trajs = list(read_csv(csv_path))
+        m = trajs[0].mbr
+        code = main([
+            "query", str(deployment), "--type", "spatial",
+            "--window", f"{m.x1},{m.y1},{m.x2},{m.y2}",
+            "--limit", "100",
+        ])
+        assert code == 0
+        assert trajs[0].tid in capsys.readouterr().out
+
+    def test_id_query(self, deployment, csv_path, capsys):
+        trajs = list(read_csv(csv_path))
+        code = main([
+            "query", str(deployment), "--type", "id",
+            "--oid", trajs[0].oid, "--start", "0", "--end", "1e9",
+        ])
+        assert code == 0
+        assert trajs[0].oid in capsys.readouterr().out
+
+    def test_load_empty_csv_fails(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("oid,tid,t,lng,lat\n")
+        with pytest.raises(SystemExit):
+            main(["load", str(path), str(tmp_path / "dep")])

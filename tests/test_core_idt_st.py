@@ -1,0 +1,122 @@
+"""Unit tests for the IDT and ST composite indexes."""
+
+import pytest
+
+from repro.core.idt import IDTIndex
+from repro.core.quadtree import QuadTreeGrid
+from repro.core.st import STIndex, STWindow
+from repro.core.temporal import TRIndex
+from repro.core.tshape import TShapeIndex
+from repro.model import MBR, STPoint, TimeRange, Trajectory
+
+BOUNDARY = MBR(0.0, 0.0, 10.0, 10.0)
+HOUR = 3600.0
+
+
+def make_traj(t0=HOUR, dur=HOUR, x=1.0, y=1.0):
+    return Trajectory("obj-1", "trip-1", [
+        STPoint(t0, x, y), STPoint(t0 + dur, x + 0.1, y + 0.1)
+    ])
+
+
+@pytest.fixture
+def tr():
+    return TRIndex(period_seconds=HOUR, max_periods=8)
+
+
+@pytest.fixture
+def tshape():
+    return TShapeIndex(QuadTreeGrid(BOUNDARY, 10), alpha=3, beta=3)
+
+
+class TestIDT:
+    def test_index_components(self, tr):
+        idt = IDTIndex(tr)
+        traj = make_traj()
+        oid, value = idt.index(traj)
+        assert oid == "obj-1"
+        assert value == tr.index_time_range(traj.time_range)
+
+    def test_query_ranges_carry_oid(self, tr):
+        idt = IDTIndex(tr)
+        ranges = idt.query_ranges("obj-9", TimeRange(HOUR, 2 * HOUR))
+        assert ranges
+        assert all(oid == "obj-9" for oid, _, _ in ranges)
+        # Bounds mirror the TR planner.
+        tr_ranges = tr.query_ranges(TimeRange(HOUR, 2 * HOUR))
+        assert [(lo, hi) for _, lo, hi in ranges] == tr_ranges
+
+
+class TestSTIndex:
+    def test_index_pairs_tr_and_tshape(self, tr, tshape):
+        st = STIndex(tr, tshape)
+        traj = make_traj()
+        tr_value, key = st.index(traj)
+        assert tr_value == tr.index_time_range(traj.time_range)
+        assert key.element_code >= 0
+
+    def test_fine_windows_under_budget(self, tr, tshape):
+        st = STIndex(tr, tshape, window_budget=100_000)
+        traj = make_traj()
+        key = tshape.index_trajectory(traj)
+        # A realistic index cache: only the trajectory's own shape is used.
+        mapping = {key.element_code: {key.raw_shape: 0}}
+        windows = st.query_windows(
+            TimeRange(HOUR, HOUR + 100), traj.mbr.expanded(0.01),
+            shapes_of=mapping.get, use_cache=True,
+        )
+        assert windows
+        # Fine windows carry explicit shape ranges, one TR value each.
+        assert all(w.shape_ranges is not None for w in windows)
+        assert all(w.tr_lo == w.tr_hi for w in windows)
+
+    def test_coarse_fallback_over_budget(self, tr, tshape):
+        st = STIndex(tr, tshape, window_budget=1)
+        windows = st.query_windows(
+            TimeRange(HOUR, 10 * HOUR), MBR(0.5, 0.5, 2.0, 2.0),
+            shapes_of=None, use_cache=False,
+        )
+        assert windows
+        assert all(w.shape_ranges is None for w in windows)
+        # Coarse windows mirror the TR intervals exactly.
+        tr_ranges = tr.query_ranges(TimeRange(HOUR, 10 * HOUR))
+        assert [(w.tr_lo, w.tr_hi) for w in windows] == tr_ranges
+
+    def test_empty_shape_ranges_fall_back_to_coarse(self, tr, tshape):
+        st = STIndex(tr, tshape, window_budget=100_000)
+        # A cache that knows nothing: no shape candidates anywhere.
+        windows = st.query_windows(
+            TimeRange(HOUR, 2 * HOUR), MBR(8.0, 8.0, 8.1, 8.1),
+            shapes_of=lambda code: None, use_cache=True,
+        )
+        # With zero shape ranges the planner emits coarse windows (scanning
+        # nothing precise would silently miss contained-element ranges).
+        assert all(isinstance(w, STWindow) for w in windows)
+
+
+class TestSTSecondaryRoute:
+    """TRQ served through an ST secondary table (no TR table configured)."""
+
+    def test_exact_results(self):
+        from repro import TMan, TManConfig
+        from repro.datasets import TDRIVE_SPEC, tdrive_like
+
+        from tests.conftest import brute_force_temporal
+
+        data = tdrive_like(80, seed=909)
+        tman = TMan(
+            TManConfig(
+                boundary=TDRIVE_SPEC.boundary, max_resolution=12,
+                num_shards=1, kv_workers=1,
+                primary_index="tshape", secondary_indexes=("st", "idt"),
+            )
+        )
+        try:
+            tman.bulk_load(data)
+            for target in data[::20]:
+                res = tman.temporal_range_query(target.time_range)
+                assert res.plan == "st/secondary"
+                got = sorted(t.tid for t in res.trajectories)
+                assert got == brute_force_temporal(data, target.time_range)
+        finally:
+            tman.close()

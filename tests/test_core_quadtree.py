@@ -1,0 +1,166 @@
+"""Tests for quad-tree cells and the Eq. 2 sequence code."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.quadtree import (
+    Cell,
+    QuadTreeGrid,
+    cell_code,
+    max_sequence_code,
+    sequence_code,
+    subtree_size,
+)
+from repro.model import MBR
+
+
+class TestCell:
+    def test_rejects_out_of_grid(self):
+        with pytest.raises(ValueError):
+            Cell(2, 4, 0)
+
+    def test_rect_of_root_child(self):
+        assert Cell(1, 0, 0).rect() == MBR(0, 0, 0.5, 0.5)
+        assert Cell(1, 1, 1).rect() == MBR(0.5, 0.5, 1.0, 1.0)
+
+    def test_children_cover_parent(self):
+        parent = Cell(2, 1, 2)
+        prect = parent.rect()
+        for child in parent.children():
+            assert prect.contains(child.rect())
+
+    def test_children_quadrant_order(self):
+        children = Cell(0, 0, 0).children()
+        # 0 = lower-left, 1 = lower-right, 2 = upper-left, 3 = upper-right
+        assert children[0].rect() == MBR(0, 0, 0.5, 0.5)
+        assert children[1].rect() == MBR(0.5, 0, 1.0, 0.5)
+        assert children[2].rect() == MBR(0, 0.5, 0.5, 1.0)
+        assert children[3].rect() == MBR(0.5, 0.5, 1.0, 1.0)
+
+    @given(st.integers(1, 8), st.data())
+    def test_sequence_roundtrip(self, r, data):
+        n = 1 << r
+        ix = data.draw(st.integers(0, n - 1))
+        iy = data.draw(st.integers(0, n - 1))
+        cell = Cell(r, ix, iy)
+        assert Cell.from_sequence(cell.quadrant_sequence()) == cell
+
+    def test_from_sequence_rejects_bad_digit(self):
+        with pytest.raises(ValueError):
+            Cell.from_sequence((0, 4))
+
+
+class TestSequenceCode:
+    def test_known_values_g2(self):
+        # Figure 8(a) of the paper: with g = 2, code('03') = 4.  The figure
+        # also labels '33' as 20, but Eq. 2 itself evaluates to 19 — with
+        # g = 2 there are exactly 4 + 16 = 20 cells, so the last pre-order
+        # position is 19; the figure's 20 is an off-by-one.
+        assert sequence_code((0, 3), 2) == 4
+        assert sequence_code((3, 3), 2) == 19
+
+    def test_first_cell_is_zero(self):
+        assert sequence_code((0,), 5) == 0
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            sequence_code((), 3)
+
+    def test_rejects_too_deep(self):
+        with pytest.raises(ValueError):
+            sequence_code((0, 0, 0), 2)
+
+    def test_codes_dense_and_unique(self):
+        """All sequences up to g enumerate exactly [0, total) once."""
+        g = 3
+        codes = []
+
+        def walk(seq):
+            if seq:
+                codes.append(sequence_code(seq, g))
+            if len(seq) < g:
+                for q in range(4):
+                    walk(seq + (q,))
+
+        walk(())
+        total = 4 * subtree_size(g, 1)
+        assert sorted(codes) == list(range(total))
+        assert max(codes) == max_sequence_code(g)
+
+    def test_preorder_prefix_contiguity(self):
+        """Descendant codes of any cell form [code, code + subtree_size)."""
+        g = 4
+        for seq in [(0,), (3,), (1, 2), (2, 0, 3)]:
+            base = sequence_code(seq, g)
+            size = subtree_size(g, len(seq))
+            descendants = []
+
+            def walk(s):
+                descendants.append(sequence_code(s, g))
+                if len(s) < g:
+                    for q in range(4):
+                        walk(s + (q,))
+
+            walk(seq)
+            assert sorted(descendants) == list(range(base, base + size))
+
+    def test_lexicographic_order_preserved(self):
+        g = 3
+        seqs = [(0,), (0, 1), (0, 2), (1,), (1, 0, 3), (2, 2), (3, 3, 3)]
+        codes = [sequence_code(s, g) for s in seqs]
+        assert codes == sorted(codes)
+
+    def test_subtree_size_formula(self):
+        # sum_{i=r}^{g} 4^(i-r)
+        assert subtree_size(5, 5) == 1
+        assert subtree_size(5, 4) == 5
+        assert subtree_size(5, 3) == 21
+        with pytest.raises(ValueError):
+            subtree_size(3, 4)
+
+
+class TestQuadTreeGrid:
+    BOUNDARY = MBR(100.0, 30.0, 120.0, 40.0)
+
+    def test_normalize_corners(self):
+        g = QuadTreeGrid(self.BOUNDARY, 8)
+        assert g.normalize(100, 30) == (0.0, 0.0)
+        assert g.normalize(120, 40) == (1.0, 1.0)
+        assert g.normalize(110, 35) == (0.5, 0.5)
+
+    def test_normalize_clamps_outside(self):
+        g = QuadTreeGrid(self.BOUNDARY, 8)
+        assert g.normalize(99, 29) == (0.0, 0.0)
+        assert g.normalize(130, 50) == (1.0, 1.0)
+
+    def test_normalize_denormalize_mbr(self):
+        g = QuadTreeGrid(self.BOUNDARY, 8)
+        m = MBR(105, 32, 115, 38)
+        back = g.denormalize_mbr(g.normalize_mbr(m))
+        assert back.x1 == pytest.approx(m.x1) and back.y2 == pytest.approx(m.y2)
+
+    def test_cell_containing_boundary_point(self):
+        g = QuadTreeGrid(self.BOUNDARY, 4)
+        cell = g.cell_containing(1.0, 1.0, 3)
+        assert cell.ix == 7 and cell.iy == 7  # clamped into the grid
+
+    def test_rejects_degenerate_boundary(self):
+        with pytest.raises(ValueError):
+            QuadTreeGrid(MBR(0, 0, 0, 1), 4)
+
+    def test_rejects_bad_resolution(self):
+        with pytest.raises(ValueError):
+            QuadTreeGrid(self.BOUNDARY, 0)
+        with pytest.raises(ValueError):
+            QuadTreeGrid(self.BOUNDARY, 29)
+
+    @given(st.floats(0, 1), st.floats(0, 1), st.integers(1, 10))
+    @settings(max_examples=80)
+    def test_cell_containing_contains_point(self, nx, ny, r):
+        g = QuadTreeGrid(self.BOUNDARY, 12)
+        cell = g.cell_containing(nx, ny, r)
+        rect = cell.rect()
+        # Closed-rectangle containment (clamping keeps boundary points inside).
+        assert rect.x1 <= nx <= rect.x2 + 1e-12
+        assert rect.y1 <= ny <= rect.y2 + 1e-12

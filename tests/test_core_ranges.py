@@ -1,0 +1,70 @@
+"""Unit and property tests for half-open range utilities."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.ranges import merge_ranges, ranges_total, value_in_ranges
+
+range_lists = st.lists(
+    st.tuples(st.integers(0, 1000), st.integers(0, 1000)).map(
+        lambda ab: (min(ab), max(ab))
+    ),
+    max_size=30,
+)
+
+
+class TestMergeRanges:
+    def test_empty(self):
+        assert merge_ranges([]) == []
+
+    def test_drops_empty_ranges(self):
+        assert merge_ranges([(5, 5), (7, 7)]) == []
+
+    def test_merges_overlap(self):
+        assert merge_ranges([(0, 5), (3, 8)]) == [(0, 8)]
+
+    def test_merges_adjacent(self):
+        assert merge_ranges([(0, 5), (5, 8)]) == [(0, 8)]
+
+    def test_keeps_gaps(self):
+        assert merge_ranges([(0, 5), (6, 8)]) == [(0, 5), (6, 8)]
+
+    def test_unsorted_input(self):
+        assert merge_ranges([(10, 12), (0, 2), (1, 5)]) == [(0, 5), (10, 12)]
+
+    def test_containment_collapses(self):
+        assert merge_ranges([(0, 100), (10, 20), (50, 60)]) == [(0, 100)]
+
+    @given(range_lists)
+    def test_output_disjoint_sorted_nonadjacent(self, ranges):
+        merged = merge_ranges(ranges)
+        for (lo1, hi1), (lo2, hi2) in zip(merged, merged[1:]):
+            assert hi1 < lo2
+
+    @given(range_lists)
+    def test_membership_preserved(self, ranges):
+        merged = merge_ranges(ranges)
+        for lo, hi in ranges:
+            for v in (lo, (lo + hi) // 2, hi - 1):
+                if lo <= v < hi:
+                    assert value_in_ranges(v, merged)
+
+    @given(range_lists)
+    def test_no_new_members(self, ranges):
+        merged = merge_ranges(ranges)
+        probe_points = {lo for lo, _ in merged} | {hi - 1 for _, hi in merged if hi > 0}
+        for v in probe_points:
+            assert value_in_ranges(v, ranges) == value_in_ranges(v, merged)
+
+
+class TestTotals:
+    def test_ranges_total(self):
+        assert ranges_total([(0, 5), (10, 12)]) == 7
+
+    def test_value_in_ranges(self):
+        assert value_in_ranges(3, [(0, 5)])
+        assert not value_in_ranges(5, [(0, 5)])  # half-open
+
+    @given(range_lists)
+    def test_merge_never_increases_total(self, ranges):
+        assert ranges_total(merge_ranges(ranges)) <= ranges_total(ranges)

@@ -1,0 +1,152 @@
+"""Tests for Jaccard similarity and the shape-code TSP encodings."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.shape_encoding import (
+    ShapeEncoder,
+    cumulative_similarity,
+    genetic_order,
+    greedy_order,
+    jaccard_similarity,
+)
+
+shapes_strategy = st.lists(
+    st.integers(1, 2**9 - 1), min_size=1, max_size=12, unique=True
+)
+
+
+class TestJaccard:
+    def test_identical(self):
+        assert jaccard_similarity(0b101, 0b101) == 1.0
+
+    def test_disjoint(self):
+        assert jaccard_similarity(0b100, 0b011) == 0.0
+
+    def test_paper_figure_10_values(self):
+        # Shapes from Figure 7/10: s0..s3 over 3x3 cells.
+        s0 = 0b111100001
+        s1 = 0b011110001
+        s2 = 0b000010011
+        s3 = 0b010010011
+        assert jaccard_similarity(s0, s1) == pytest.approx(0.67, abs=0.01)
+        assert jaccard_similarity(s0, s2) == pytest.approx(0.14, abs=0.01)
+        assert jaccard_similarity(s0, s3) == pytest.approx(0.29, abs=0.01)
+        assert jaccard_similarity(s1, s2) == pytest.approx(0.33, abs=0.01)
+        assert jaccard_similarity(s1, s3) == pytest.approx(0.50, abs=0.01)
+        assert jaccard_similarity(s2, s3) == pytest.approx(0.75, abs=0.01)
+
+    def test_empty_shapes_defined_as_one(self):
+        assert jaccard_similarity(0, 0) == 1.0
+
+    @given(st.integers(0, 2**9 - 1), st.integers(0, 2**9 - 1))
+    def test_symmetric_and_bounded(self, a, b):
+        s = jaccard_similarity(a, b)
+        assert 0.0 <= s <= 1.0
+        assert s == jaccard_similarity(b, a)
+
+
+class TestCumulativeSimilarity:
+    def test_paper_figure_10_orders(self):
+        s0, s1, s2, s3 = 0b111100001, 0b011110001, 0b000010011, 0b010010011
+        raw = cumulative_similarity([s0, s1, s2, s3])
+        best = cumulative_similarity([s0, s1, s3, s2])
+        assert raw == pytest.approx(1.75, abs=0.02)
+        assert best == pytest.approx(1.92, abs=0.02)
+        assert best > raw
+
+    def test_single_shape_is_zero(self):
+        assert cumulative_similarity([0b1]) == 0.0
+
+
+class TestGreedyOrder:
+    def test_permutation(self):
+        shapes = [0b111, 0b110, 0b001, 0b011]
+        order = greedy_order(shapes)
+        assert sorted(order) == sorted(shapes)
+
+    def test_beats_or_ties_raw_order_on_paper_example(self):
+        s0, s1, s2, s3 = 0b111100001, 0b011110001, 0b000010011, 0b010010011
+        order = greedy_order([s0, s1, s2, s3])
+        assert cumulative_similarity(order) >= cumulative_similarity([s0, s1, s2, s3])
+        assert cumulative_similarity(order) == pytest.approx(1.92, abs=0.02)
+
+    def test_small_inputs_passthrough(self):
+        assert greedy_order([5]) == [5]
+        assert greedy_order([5, 9]) == [5, 9]
+
+    @given(shapes_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_always_permutation(self, shapes):
+        assert sorted(greedy_order(shapes)) == sorted(shapes)
+
+
+class TestGeneticOrder:
+    def test_permutation(self):
+        shapes = [0b1001, 0b1100, 0b0011, 0b0110, 0b1111]
+        assert sorted(genetic_order(shapes)) == sorted(shapes)
+
+    def test_never_worse_than_greedy(self):
+        """The greedy seed guarantees GA >= greedy."""
+        import numpy as np
+
+        rng = np.random.default_rng(3)
+        shapes = sorted({int(v) for v in rng.integers(1, 2**9, size=10)})
+        ga = genetic_order(shapes, rng=np.random.default_rng(4), generations=30)
+        assert cumulative_similarity(ga) >= cumulative_similarity(greedy_order(shapes)) - 1e-9
+
+    def test_deterministic_for_seeded_rng(self):
+        import numpy as np
+
+        shapes = [0b1001, 0b1100, 0b0011, 0b0110, 0b1111, 0b1010]
+        a = genetic_order(shapes, rng=np.random.default_rng(5), generations=20)
+        b = genetic_order(shapes, rng=np.random.default_rng(5), generations=20)
+        assert a == b
+
+
+class TestShapeEncoder:
+    def test_rejects_unknown_method(self):
+        with pytest.raises(ValueError):
+            ShapeEncoder("tabu")
+
+    def test_bitmap_is_identity(self):
+        enc = ShapeEncoder("bitmap")
+        shapes = [0b101, 0b011]
+        assert enc.encode(shapes) == {0b101: 0b101, 0b011: 0b011}
+
+    def test_greedy_renumbers_dense(self):
+        enc = ShapeEncoder("greedy")
+        mapping = enc.encode([0b111, 0b110, 0b001])
+        assert sorted(mapping.values()) == [0, 1, 2]
+
+    def test_genetic_renumbers_dense(self):
+        enc = ShapeEncoder("genetic")
+        mapping = enc.encode([0b111, 0b110, 0b001, 0b100, 0b010])
+        assert sorted(mapping.values()) == list(range(5))
+
+    def test_duplicates_collapse(self):
+        enc = ShapeEncoder("greedy")
+        mapping = enc.encode([7, 7, 7, 3])
+        assert set(mapping) == {3, 7}
+
+    def test_empty(self):
+        assert ShapeEncoder("greedy").encode([]) == {}
+
+    @given(shapes_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_mapping_is_bijection(self, shapes):
+        mapping = ShapeEncoder("greedy").encode(shapes)
+        assert sorted(mapping.keys()) == sorted(set(shapes))
+        assert sorted(mapping.values()) == list(range(len(set(shapes))))
+
+    def test_adjacent_codes_similar_shapes(self):
+        """The optimization goal: high similarity between adjacent codes."""
+        import numpy as np
+
+        rng = np.random.default_rng(7)
+        shapes = sorted({int(v) for v in rng.integers(1, 2**9, size=14)})
+        greedy_map = ShapeEncoder("greedy").encode(shapes)
+        by_code = sorted(greedy_map, key=greedy_map.get)
+        raw_order = sorted(shapes)
+        assert cumulative_similarity(by_code) >= cumulative_similarity(raw_order)

@@ -1,0 +1,164 @@
+"""Tests for the TR index: Eq. 1 encoding, Lemmas 1-2, Algorithm 1."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.temporal import TimeBinOverflowError, TRIndex
+from repro.model import TimeRange
+
+HOUR = 3600.0
+
+
+@pytest.fixture
+def tr():
+    return TRIndex(period_seconds=HOUR, max_periods=8)
+
+
+class TestPeriodArithmetic:
+    def test_period_of(self, tr):
+        assert tr.period_of(0) == 0
+        assert tr.period_of(HOUR - 0.001) == 0
+        assert tr.period_of(HOUR) == 1
+
+    def test_rejects_pre_origin(self, tr):
+        with pytest.raises(ValueError):
+            tr.period_of(-1)
+
+    def test_origin_offset(self):
+        tr = TRIndex(period_seconds=HOUR, max_periods=4, origin=1000.0)
+        assert tr.period_of(1000.0) == 0
+        assert tr.period_of(1000.0 + HOUR) == 1
+
+    def test_period_range(self, tr):
+        span = tr.period_range(3)
+        assert span.start == 3 * HOUR and span.end == 4 * HOUR
+
+
+class TestEncoding:
+    def test_eq1(self, tr):
+        # TR(TB(i, j)) = i * N + (j - i)
+        assert tr.encode_bin(0, 0) == 0
+        assert tr.encode_bin(2, 4) == 2 * 8 + 2
+        assert tr.encode_bin(5, 5) == 40
+
+    def test_decode_inverse(self, tr):
+        for i in range(20):
+            for j in range(i, i + 8):
+                assert tr.decode(tr.encode_bin(i, j)) == (i, j)
+
+    def test_rejects_inverted_bin(self, tr):
+        with pytest.raises(ValueError):
+            tr.encode_bin(5, 4)
+
+    def test_overflow_raises(self, tr):
+        with pytest.raises(TimeBinOverflowError):
+            tr.encode_bin(0, 8)  # spans 9 periods, N = 8
+
+    def test_lemma1_same_period_adjacent(self, tr):
+        # TR(TB(i,i)) + 1 == TR(TB(i,i+1))
+        for i in range(10):
+            assert tr.encode_bin(i, i) + 1 == tr.encode_bin(i, i + 1)
+
+    def test_lemma2_adjacent_periods_contiguous(self, tr):
+        # TR(TB(i, i+N-1)) + 1 == TR(TB(i+1, i+1))
+        n = tr.max_periods
+        for i in range(10):
+            assert tr.encode_bin(i, i + n - 1) + 1 == tr.encode_bin(i + 1, i + 1)
+
+    def test_lemma2_max_interval(self, tr):
+        # TR(TB(i+1, i+N)) - TR(TB(i, i)) == 2N - 1
+        n = tr.max_periods
+        for i in range(5):
+            assert tr.encode_bin(i + 1, i + n) - tr.encode_bin(i, i) == 2 * n - 1
+
+    @given(st.integers(0, 10_000), st.integers(0, 7))
+    def test_encoding_unique(self, i, span):
+        tr = TRIndex(period_seconds=HOUR, max_periods=8)
+        v = tr.encode_bin(i, i + span)
+        assert tr.decode(v) == (i, i + span)
+
+    def test_index_time_range(self, tr):
+        v = tr.index_time_range(TimeRange(1.5 * HOUR, 3.5 * HOUR))
+        assert tr.decode(v) == (1, 3)
+
+    def test_bin_span_covers_range(self, tr):
+        rng = TimeRange(1.5 * HOUR, 3.5 * HOUR)
+        v = tr.index_time_range(rng)
+        span = tr.bin_span(v)
+        assert span.contains(rng)
+
+
+class TestQueryRanges:
+    def test_returns_at_most_n_intervals(self, tr):
+        ranges = tr.query_ranges(TimeRange(100 * HOUR, 102 * HOUR))
+        assert len(ranges) == tr.max_periods
+
+    def test_clamped_near_origin(self, tr):
+        ranges = tr.query_ranges(TimeRange(0, HOUR / 2))
+        assert len(ranges) == 1  # k < i loop is empty at i = 0
+
+    def test_intervals_sorted_and_disjoint(self, tr):
+        ranges = tr.query_ranges(TimeRange(50 * HOUR, 55 * HOUR))
+        for (lo1, hi1), (lo2, hi2) in zip(ranges, ranges[1:]):
+            assert lo1 <= hi1 and hi1 < lo2
+
+    @given(
+        st.floats(0, 500 * HOUR),
+        st.floats(0, 30 * HOUR),
+        st.integers(2, 16),
+        st.floats(600, 4 * HOUR),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_completeness_and_exactness(self, start, duration, n, period):
+        """Every intersecting bin is a candidate; every candidate intersects
+        at period granularity (Lemma 5)."""
+        tr = TRIndex(period_seconds=period, max_periods=n)
+        query = TimeRange(start, start + duration)
+        ranges = tr.query_ranges(query)
+
+        def in_candidates(value):
+            return any(lo <= value <= hi for lo, hi in ranges)
+
+        i = tr.period_of(query.start)
+        j = tr.period_of(query.end)
+        # Check all bins near the query window.
+        for k in range(max(0, i - n - 2), j + n + 3):
+            for p in range(k, k + n):
+                value = tr.encode_bin(k, p)
+                # Periods are half-open: bin TB(k, p) covers periods [k, p],
+                # the query covers periods [i, j]; they intersect iff the
+                # integer intervals overlap.
+                expected = k <= j and i <= p
+                assert in_candidates(value) == expected, (k, p, value)
+
+    def test_value_matches_refinement(self, tr):
+        query = TimeRange(10 * HOUR + 10, 10 * HOUR + 20)
+        v_hit = tr.encode_bin(10, 10)
+        v_miss = tr.encode_bin(20, 21)
+        assert tr.value_matches(v_hit, query)
+        assert not tr.value_matches(v_miss, query)
+
+
+class TestAnalysis:
+    def test_candidate_bin_count_formula(self, tr):
+        # Algorithm 1 touches ~ N(N-1)/2 + (Q+1)*N bins.
+        q = TimeRange(100 * HOUR, 102 * HOUR)
+        count = tr.candidate_bin_count(q)
+        n = tr.max_periods
+        assert count == sum(n - k for k in range(1, n)) + 3 * n
+
+    def test_expected_fraction_monotone_in_n(self):
+        small = TRIndex(period_seconds=HOUR, max_periods=4)
+        big = TRIndex(period_seconds=HOUR, max_periods=32)
+        assert small.expected_fraction_retrieved(2) < big.expected_fraction_retrieved(2)
+
+
+class TestValidation:
+    def test_rejects_bad_period(self):
+        with pytest.raises(ValueError):
+            TRIndex(period_seconds=0)
+
+    def test_rejects_bad_n(self):
+        with pytest.raises(ValueError):
+            TRIndex(max_periods=0)

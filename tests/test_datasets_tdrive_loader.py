@@ -1,0 +1,126 @@
+"""Tests for the real T-Drive format loader (against synthesized files)."""
+
+import pytest
+
+from repro.datasets.tdrive_loader import (
+    TDRIVE_BOUNDARY,
+    load_tdrive_directory,
+    parse_tdrive_file,
+)
+from repro.preprocess import PreprocessPipeline
+
+
+def write_taxi_file(path, rows):
+    path.write_text("".join(f"{r}\n" for r in rows))
+
+
+class TestParseFile:
+    def test_basic_parse(self, tmp_path):
+        f = tmp_path / "1131.txt"
+        write_taxi_file(f, [
+            "1131,2008-02-02 15:36:08,116.51172,39.92123",
+            "1131,2008-02-02 15:46:08,116.51135,39.93883",
+            "1131,2008-02-02 15:56:08,116.51627,39.91034",
+        ])
+        traj = parse_tdrive_file(f)
+        assert traj is not None
+        assert traj.oid == "taxi-1131"
+        assert len(traj) == 3
+        assert traj.points[0].lng == pytest.approx(116.51172)
+
+    def test_sorts_out_of_order_fixes(self, tmp_path):
+        f = tmp_path / "7.txt"
+        write_taxi_file(f, [
+            "7,2008-02-02 16:00:00,116.5,39.9",
+            "7,2008-02-02 15:00:00,116.4,39.9",
+        ])
+        traj = parse_tdrive_file(f)
+        assert traj.points[0].lng == pytest.approx(116.4)
+
+    def test_skips_malformed_lines(self, tmp_path):
+        f = tmp_path / "9.txt"
+        write_taxi_file(f, [
+            "garbage line",
+            "9,2008-02-02 15:36:08,not-a-number,39.9",
+            "9,2008-02-02 15:36:08,116.5,39.9",
+            "9,2008-02-02",
+        ])
+        traj = parse_tdrive_file(f)
+        assert len(traj) == 1
+
+    def test_drops_out_of_boundary_fixes(self, tmp_path):
+        f = tmp_path / "3.txt"
+        write_taxi_file(f, [
+            "3,2008-02-02 15:00:00,116.5,39.9",
+            "3,2008-02-02 15:10:00,0.0,0.0",  # far outside Beijing
+        ])
+        traj = parse_tdrive_file(f)
+        assert len(traj) == 1
+        assert TDRIVE_BOUNDARY.contains_point(traj.points[0].lng, traj.points[0].lat)
+
+    def test_empty_file_is_none(self, tmp_path):
+        f = tmp_path / "0.txt"
+        f.write_text("")
+        assert parse_tdrive_file(f) is None
+
+
+class TestLoadDirectory:
+    def _make_dir(self, tmp_path):
+        # Taxi 1: two trips separated by a 3-hour gap.
+        write_taxi_file(tmp_path / "1.txt", [
+            "1,2008-02-02 08:00:00,116.50,39.90",
+            "1,2008-02-02 08:10:00,116.51,39.91",
+            "1,2008-02-02 08:20:00,116.52,39.92",
+            "1,2008-02-02 12:00:00,116.60,39.95",
+            "1,2008-02-02 12:10:00,116.61,39.96",
+        ])
+        # Taxi 2: one trip.
+        write_taxi_file(tmp_path / "2.txt", [
+            "2,2008-02-02 09:00:00,116.30,39.80",
+            "2,2008-02-02 09:05:00,116.31,39.81",
+        ])
+        return tmp_path
+
+    def test_splits_trips_by_gap(self, tmp_path):
+        directory = self._make_dir(tmp_path)
+        trips = list(load_tdrive_directory(directory))
+        by_taxi = {}
+        for t in trips:
+            by_taxi.setdefault(t.oid, []).append(t)
+        assert len(by_taxi["taxi-1"]) == 2
+        assert len(by_taxi["taxi-2"]) == 1
+
+    def test_tids_unique(self, tmp_path):
+        trips = list(load_tdrive_directory(self._make_dir(tmp_path)))
+        tids = [t.tid for t in trips]
+        assert len(tids) == len(set(tids))
+
+    def test_limit_files(self, tmp_path):
+        trips = list(load_tdrive_directory(self._make_dir(tmp_path), limit_files=1))
+        assert {t.oid for t in trips} == {"taxi-1"}
+
+    def test_custom_pipeline(self, tmp_path):
+        directory = self._make_dir(tmp_path)
+        # A huge gap tolerance keeps taxi 1 as one trip.
+        pipeline = PreprocessPipeline(max_gap_seconds=1e9)
+        trips = list(load_tdrive_directory(directory, pipeline=pipeline))
+        by_taxi = {}
+        for t in trips:
+            by_taxi.setdefault(t.oid, []).append(t)
+        assert len(by_taxi["taxi-1"]) == 1
+
+    def test_missing_directory_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            list(load_tdrive_directory(tmp_path / "missing"))
+
+    def test_loaded_trips_are_indexable(self, tmp_path):
+        """End-to-end: the real-format loader feeds TMan directly."""
+        from repro import TMan, TManConfig
+
+        trips = list(load_tdrive_directory(self._make_dir(tmp_path)))
+        config = TManConfig(boundary=TDRIVE_BOUNDARY, max_resolution=12,
+                            num_shards=1, kv_workers=1)
+        with TMan(config) as tman:
+            tman.bulk_load(trips)
+            res = tman.temporal_range_query(trips[0].time_range)
+            assert trips[0].tid in {t.tid for t in res.trajectories}

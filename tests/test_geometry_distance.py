@@ -1,0 +1,60 @@
+"""Unit tests for distance helpers."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry.distance import degrees_for_km, euclidean, haversine_km
+
+coords = st.floats(-80, 80, allow_nan=False)
+
+
+class TestEuclidean:
+    def test_pythagorean(self):
+        assert euclidean(0, 0, 3, 4) == 5.0
+
+    def test_zero(self):
+        assert euclidean(1, 2, 1, 2) == 0.0
+
+    @given(coords, coords, coords, coords)
+    def test_symmetric(self, ax, ay, bx, by):
+        assert euclidean(ax, ay, bx, by) == euclidean(bx, by, ax, ay)
+
+
+class TestHaversine:
+    def test_zero(self):
+        assert haversine_km(116.0, 39.0, 116.0, 39.0) == 0.0
+
+    def test_one_degree_longitude_at_equator(self):
+        d = haversine_km(0, 0, 1, 0)
+        assert d == pytest.approx(111.19, rel=0.01)
+
+    def test_one_degree_latitude(self):
+        d = haversine_km(0, 0, 0, 1)
+        assert d == pytest.approx(111.19, rel=0.01)
+
+    def test_longitude_shrinks_with_latitude(self):
+        at_equator = haversine_km(0, 0, 1, 0)
+        at_60 = haversine_km(0, 60, 1, 60)
+        assert at_60 == pytest.approx(at_equator * 0.5, rel=0.02)
+
+    @given(coords, coords, coords, coords)
+    def test_symmetric_and_nonnegative(self, lng1, lat1, lng2, lat2):
+        d = haversine_km(lng1, lat1, lng2, lat2)
+        assert d >= 0
+        assert d == pytest.approx(haversine_km(lng2, lat2, lng1, lat1))
+
+
+class TestDegreesForKm:
+    def test_roundtrip_at_equator(self):
+        deg = degrees_for_km(111.19, at_lat=0.0)
+        assert deg == pytest.approx(1.0, rel=0.01)
+
+    def test_wider_at_high_latitude(self):
+        assert degrees_for_km(10, at_lat=60.0) > degrees_for_km(10, at_lat=0.0)
+
+    def test_rejects_pole(self):
+        with pytest.raises(ValueError):
+            degrees_for_km(10, at_lat=90.0)

@@ -1,0 +1,108 @@
+"""Unit tests for spatial predicates."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry.relations import (
+    SpatialRelation,
+    polyline_intersects_rect,
+    rect_relation,
+    segment_intersects_rect,
+    segments_intersect,
+)
+from repro.model import MBR
+
+coords = st.floats(-10, 10, allow_nan=False)
+
+
+class TestSegmentsIntersect:
+    def test_crossing(self):
+        assert segments_intersect(0, 0, 2, 2, 0, 2, 2, 0)
+
+    def test_parallel_disjoint(self):
+        assert not segments_intersect(0, 0, 1, 0, 0, 1, 1, 1)
+
+    def test_collinear_overlapping(self):
+        assert segments_intersect(0, 0, 2, 0, 1, 0, 3, 0)
+
+    def test_collinear_disjoint(self):
+        assert not segments_intersect(0, 0, 1, 0, 2, 0, 3, 0)
+
+    def test_touching_endpoint(self):
+        assert segments_intersect(0, 0, 1, 1, 1, 1, 2, 0)
+
+    def test_t_junction(self):
+        assert segments_intersect(0, 0, 2, 0, 1, -1, 1, 0)
+
+
+class TestSegmentRect:
+    RECT = MBR(0, 0, 2, 2)
+
+    def test_endpoint_inside(self):
+        assert segment_intersects_rect(1, 1, 5, 5, self.RECT)
+
+    def test_passes_through(self):
+        assert segment_intersects_rect(-1, 1, 3, 1, self.RECT)
+
+    def test_diagonal_corner_cut(self):
+        assert segment_intersects_rect(-1, 1, 1, 3, self.RECT)
+
+    def test_completely_outside(self):
+        assert not segment_intersects_rect(3, 3, 5, 5, self.RECT)
+
+    def test_bbox_overlaps_but_misses(self):
+        # Segment's bounding box overlaps the rect but the segment passes by.
+        assert not segment_intersects_rect(2.5, -1.0, 4.0, 4.0, self.RECT)
+
+    def test_touches_edge(self):
+        assert segment_intersects_rect(2, -1, 2, 3, self.RECT)
+
+    def test_degenerate_point_segment_inside(self):
+        assert segment_intersects_rect(1, 1, 1, 1, self.RECT)
+
+    @given(coords, coords, coords, coords)
+    def test_symmetric_in_endpoints(self, ax, ay, bx, by):
+        rect = MBR(-1, -1, 1, 1)
+        assert segment_intersects_rect(ax, ay, bx, by, rect) == segment_intersects_rect(
+            bx, by, ax, ay, rect
+        )
+
+    @given(coords, coords)
+    def test_point_in_rect_iff_contains(self, x, y):
+        rect = MBR(-1, -1, 1, 1)
+        assert segment_intersects_rect(x, y, x, y, rect) == rect.contains_point(x, y)
+
+
+class TestPolylineRect:
+    RECT = MBR(0, 0, 1, 1)
+
+    def test_empty_polyline(self):
+        assert not polyline_intersects_rect([], self.RECT)
+
+    def test_single_point(self):
+        assert polyline_intersects_rect([(0.5, 0.5)], self.RECT)
+        assert not polyline_intersects_rect([(2, 2)], self.RECT)
+
+    def test_vertex_outside_edge_crosses(self):
+        # Both vertices outside, edge passes through the rect.
+        assert polyline_intersects_rect([(-1, 0.5), (2, 0.5)], self.RECT)
+
+    def test_detour_around(self):
+        assert not polyline_intersects_rect(
+            [(-1, -1), (-1, 2), (2, 2)], self.RECT
+        )
+
+
+class TestRectRelation:
+    def test_contains(self):
+        assert rect_relation(MBR(0, 0, 10, 10), MBR(1, 1, 2, 2)) is SpatialRelation.CONTAINS
+
+    def test_intersects(self):
+        assert rect_relation(MBR(0, 0, 2, 2), MBR(1, 1, 3, 3)) is SpatialRelation.INTERSECTS
+
+    def test_disjoint(self):
+        assert rect_relation(MBR(0, 0, 1, 1), MBR(2, 2, 3, 3)) is SpatialRelation.DISJOINT
+
+    def test_equal_rects_are_contained(self):
+        m = MBR(0, 0, 1, 1)
+        assert rect_relation(m, m) is SpatialRelation.CONTAINS

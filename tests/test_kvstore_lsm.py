@@ -1,0 +1,107 @@
+"""Unit and property tests for the LSM store."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kvstore.lsm import LSMStore
+from repro.kvstore.memtable import TOMBSTONE
+
+keys = st.binary(min_size=1, max_size=6)
+values = st.binary(min_size=1, max_size=10).filter(lambda v: v != TOMBSTONE)
+
+
+class TestBasics:
+    def test_put_get(self):
+        s = LSMStore()
+        s.put(b"k", b"v")
+        assert s.get(b"k") == b"v"
+
+    def test_rejects_tombstone_value(self):
+        with pytest.raises(ValueError):
+            LSMStore().put(b"k", TOMBSTONE)
+
+    def test_delete_masks_value(self):
+        s = LSMStore()
+        s.put(b"k", b"v")
+        s.delete(b"k")
+        assert s.get(b"k") is None
+
+    def test_delete_survives_flush(self):
+        s = LSMStore(flush_bytes=1)  # flush after every write
+        s.put(b"k", b"v")
+        s.delete(b"k")
+        assert s.get(b"k") is None
+        assert list(s.scan()) == []
+
+    def test_overwrite_across_flushes(self):
+        s = LSMStore(flush_bytes=1)
+        s.put(b"k", b"old")
+        s.put(b"k", b"new")
+        assert s.get(b"k") == b"new"
+        assert list(s.scan()) == [(b"k", b"new")]
+
+    def test_flush_empty_noop(self):
+        s = LSMStore()
+        s.flush()
+        assert s.sstable_count == 0
+
+    def test_compaction_bounds_table_count(self):
+        s = LSMStore(flush_bytes=1, max_tables=4)
+        for i in range(50):
+            s.put(b"k%03d" % i, b"v")
+        assert s.sstable_count <= 5
+
+    def test_compaction_drops_tombstones(self):
+        s = LSMStore(flush_bytes=1, max_tables=2)
+        for i in range(10):
+            s.put(b"k%d" % i, b"v")
+            s.delete(b"k%d" % i)
+        s.compact()
+        assert list(s.scan()) == []
+
+
+class TestScan:
+    def test_merges_levels_in_order(self):
+        s = LSMStore(flush_bytes=1)
+        for k in [b"d", b"a", b"c", b"b"]:
+            s.put(k, k)
+        assert [k for k, _ in s.scan()] == [b"a", b"b", b"c", b"d"]
+
+    def test_range_scan(self):
+        s = LSMStore(flush_bytes=1)
+        for i in range(20):
+            s.put(bytes([i]), b"v")
+        got = [k for k, _ in s.scan(bytes([5]), bytes([9]))]
+        assert got == [bytes([i]) for i in range(5, 9)]
+
+    def test_newest_version_wins_in_scan(self):
+        s = LSMStore(flush_bytes=1)
+        s.put(b"k", b"v1")
+        s.put(b"k", b"v2")
+        s.put(b"k", b"v3")  # still in memtable
+        assert list(s.scan()) == [(b"k", b"v3")]
+
+
+class TestAgainstModel:
+    @given(
+        st.lists(
+            st.tuples(st.sampled_from(["put", "delete"]), keys, values),
+            max_size=120,
+        ),
+        st.integers(1, 64),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_matches_dict_model(self, ops, flush_bytes):
+        s = LSMStore(flush_bytes=flush_bytes, max_tables=3)
+        model: dict[bytes, bytes] = {}
+        for op, k, v in ops:
+            if op == "put":
+                s.put(k, v)
+                model[k] = v
+            else:
+                s.delete(k)
+                model.pop(k, None)
+        assert list(s.scan()) == sorted(model.items())
+        for k in model:
+            assert s.get(k) == model[k]

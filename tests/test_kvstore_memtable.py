@@ -1,0 +1,75 @@
+"""Unit tests for the memtable."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.kvstore.memtable import TOMBSTONE, MemTable
+
+keys = st.binary(min_size=1, max_size=8)
+values = st.binary(max_size=16)
+
+
+class TestBasics:
+    def test_put_get(self):
+        mt = MemTable()
+        mt.put(b"a", b"1")
+        assert mt.get(b"a") == b"1"
+
+    def test_missing_is_none(self):
+        assert MemTable().get(b"x") is None
+
+    def test_overwrite(self):
+        mt = MemTable()
+        mt.put(b"a", b"1")
+        mt.put(b"a", b"2")
+        assert mt.get(b"a") == b"2"
+        assert len(mt) == 1
+
+    def test_delete_writes_tombstone(self):
+        mt = MemTable()
+        mt.put(b"a", b"1")
+        mt.delete(b"a")
+        assert mt.get(b"a") == TOMBSTONE
+
+    def test_approx_bytes_tracks_overwrites(self):
+        mt = MemTable()
+        mt.put(b"a", b"xxxx")
+        before = mt.approx_bytes
+        mt.put(b"a", b"y")
+        assert mt.approx_bytes < before
+
+
+class TestScan:
+    def test_scan_sorted(self):
+        mt = MemTable()
+        for k in [b"c", b"a", b"b"]:
+            mt.put(k, k)
+        assert [k for k, _ in mt.scan()] == [b"a", b"b", b"c"]
+
+    def test_scan_range_half_open(self):
+        mt = MemTable()
+        for i in range(10):
+            mt.put(bytes([i]), b"v")
+        got = [k for k, _ in mt.scan(bytes([3]), bytes([7]))]
+        assert got == [bytes([i]) for i in range(3, 7)]
+
+    def test_scan_unbounded_sides(self):
+        mt = MemTable()
+        for i in range(5):
+            mt.put(bytes([i]), b"v")
+        assert len(list(mt.scan(None, bytes([3])))) == 3
+        assert len(list(mt.scan(bytes([3]), None))) == 2
+
+    def test_scan_includes_tombstones(self):
+        mt = MemTable()
+        mt.put(b"a", b"1")
+        mt.delete(b"b")
+        entries = dict(mt.scan())
+        assert entries[b"b"] == TOMBSTONE
+
+    @given(st.dictionaries(keys, values, max_size=50))
+    def test_scan_matches_sorted_dict(self, data):
+        mt = MemTable()
+        for k, v in data.items():
+            mt.put(k, v)
+        assert list(mt.scan()) == sorted(data.items())

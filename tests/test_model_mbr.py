@@ -1,0 +1,106 @@
+"""Unit tests for MBR."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.model import MBR
+
+coords = st.floats(-100, 100, allow_nan=False)
+
+
+def mbrs():
+    return st.tuples(coords, coords, coords, coords).map(
+        lambda v: MBR(min(v[0], v[2]), min(v[1], v[3]), max(v[0], v[2]), max(v[1], v[3]))
+    )
+
+
+class TestConstruction:
+    def test_rejects_inverted(self):
+        with pytest.raises(ValueError):
+            MBR(1, 0, 0, 1)
+        with pytest.raises(ValueError):
+            MBR(0, 1, 1, 0)
+
+    def test_degenerate_point(self):
+        m = MBR(1, 2, 1, 2)
+        assert m.area == 0 and m.width == 0 and m.height == 0
+
+    def test_of_points(self):
+        m = MBR.of_points([(1, 5), (3, 2), (2, 7)])
+        assert m == MBR(1, 2, 3, 7)
+
+    def test_of_points_empty_raises(self):
+        with pytest.raises(ValueError):
+            MBR.of_points([])
+
+    def test_center(self):
+        assert MBR(0, 0, 4, 2).center == (2.0, 1.0)
+
+
+class TestRelations:
+    def test_intersects_touching_edges(self):
+        assert MBR(0, 0, 1, 1).intersects(MBR(1, 0, 2, 1))
+
+    def test_disjoint(self):
+        assert not MBR(0, 0, 1, 1).intersects(MBR(1.01, 0, 2, 1))
+
+    def test_contains(self):
+        assert MBR(0, 0, 10, 10).contains(MBR(1, 1, 2, 2))
+        assert MBR(0, 0, 10, 10).contains(MBR(0, 0, 10, 10))
+
+    def test_contains_point_boundary(self):
+        m = MBR(0, 0, 1, 1)
+        assert m.contains_point(0, 0) and m.contains_point(1, 1)
+        assert not m.contains_point(1.0001, 0.5)
+
+    def test_intersection(self):
+        assert MBR(0, 0, 2, 2).intersection(MBR(1, 1, 3, 3)) == MBR(1, 1, 2, 2)
+
+    def test_intersection_disjoint_none(self):
+        assert MBR(0, 0, 1, 1).intersection(MBR(5, 5, 6, 6)) is None
+
+    def test_expanded(self):
+        assert MBR(1, 1, 2, 2).expanded(0.5) == MBR(0.5, 0.5, 2.5, 2.5)
+
+
+class TestDistances:
+    def test_min_distance_overlapping_is_zero(self):
+        assert MBR(0, 0, 2, 2).min_distance(MBR(1, 1, 3, 3)) == 0.0
+
+    def test_min_distance_horizontal(self):
+        assert MBR(0, 0, 1, 1).min_distance(MBR(3, 0, 4, 1)) == pytest.approx(2.0)
+
+    def test_min_distance_diagonal(self):
+        assert MBR(0, 0, 1, 1).min_distance(MBR(4, 5, 6, 7)) == pytest.approx(5.0)
+
+    def test_min_distance_point_inside_zero(self):
+        assert MBR(0, 0, 2, 2).min_distance_point(1, 1) == 0.0
+
+    def test_min_distance_point_outside(self):
+        assert MBR(0, 0, 1, 1).min_distance_point(4, 5) == pytest.approx(5.0)
+
+
+class TestProperties:
+    @given(mbrs(), mbrs())
+    def test_intersects_symmetric(self, a, b):
+        assert a.intersects(b) == b.intersects(a)
+
+    @given(mbrs(), mbrs())
+    def test_union_hull_contains_both(self, a, b):
+        hull = a.union_hull(b)
+        assert hull.contains(a) and hull.contains(b)
+
+    @given(mbrs(), mbrs())
+    def test_min_distance_zero_iff_intersects(self, a, b):
+        assert (a.min_distance(b) == 0.0) == a.intersects(b)
+
+    @given(mbrs(), st.floats(0, 10))
+    def test_expanded_contains_original(self, a, margin):
+        assert a.expanded(margin).contains(a)
+
+    @given(mbrs(), mbrs())
+    def test_intersection_inside_both(self, a, b):
+        inter = a.intersection(b)
+        if inter is not None:
+            assert a.contains(inter) and b.contains(inter)

@@ -1,0 +1,109 @@
+"""Unit tests for Trajectory."""
+
+import pytest
+
+from repro.model import MBR, STPoint, TimeRange, Trajectory
+from repro.model.trajectory import concat_trajectories
+
+
+def make(points):
+    return Trajectory("obj", "trip", points)
+
+
+class TestConstruction:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            make([])
+
+    def test_rejects_time_disorder(self):
+        with pytest.raises(ValueError):
+            make([STPoint(2, 0, 0), STPoint(1, 0, 0)])
+
+    def test_equal_timestamps_allowed(self):
+        t = make([STPoint(1, 0, 0), STPoint(1, 1, 1)])
+        assert len(t) == 2
+
+    def test_single_point(self):
+        t = make([STPoint(5, 1, 2)])
+        assert t.time_range == TimeRange(5, 5)
+        assert t.mbr == MBR(1, 2, 1, 2)
+
+
+class TestDerivedProperties:
+    def test_mbr_tight(self):
+        t = make([STPoint(0, 1, 1), STPoint(1, 3, 0), STPoint(2, 2, 4)])
+        assert t.mbr == MBR(1, 0, 3, 4)
+
+    def test_time_range_endpoints(self):
+        t = make([STPoint(10, 0, 0), STPoint(20, 0, 0), STPoint(35, 0, 0)])
+        assert t.time_range == TimeRange(10, 35)
+
+    def test_mbr_cached_object(self):
+        t = make([STPoint(0, 1, 1), STPoint(1, 2, 2)])
+        assert t.mbr is t.mbr
+
+    def test_segments(self):
+        t = make([STPoint(0, 0, 0), STPoint(1, 1, 0), STPoint(2, 2, 0)])
+        segs = list(t.segments())
+        assert len(segs) == 2
+        assert segs[0] == (t[0], t[1])
+
+    def test_xy_arrays_parallel(self):
+        t = make([STPoint(0, 1, 2), STPoint(1, 3, 4)])
+        ts, lngs, lats = t.xy_arrays()
+        assert ts == [0, 1] and lngs == [1, 3] and lats == [2, 4]
+
+
+class TestOperations:
+    def test_shifted_offsets_everything(self):
+        t = make([STPoint(0, 1, 1), STPoint(1, 2, 2)])
+        s = t.shifted(dt=10, dlng=0.5, dlat=-0.5, tid="new")
+        assert s.tid == "new" and s.oid == t.oid
+        assert s.time_range == TimeRange(10, 11)
+        assert s.mbr == MBR(1.5, 0.5, 2.5, 1.5)
+
+    def test_slice_time(self):
+        t = make([STPoint(i, float(i), 0) for i in range(10)])
+        part = t.slice_time(TimeRange(3, 6))
+        assert part is not None
+        assert [p.t for p in part.points] == [3, 4, 5, 6]
+
+    def test_slice_time_empty_is_none(self):
+        t = make([STPoint(0, 0, 0), STPoint(1, 1, 1)])
+        assert t.slice_time(TimeRange(5, 6)) is None
+
+    def test_equality_and_hash(self):
+        pts = [STPoint(0, 0, 0), STPoint(1, 1, 1)]
+        assert make(pts) == make(pts)
+        assert hash(make(pts)) == hash(make(pts))
+
+    def test_inequality_different_points(self):
+        assert make([STPoint(0, 0, 0)]) != make([STPoint(0, 1, 1)])
+
+
+class TestConcat:
+    def test_reassembles_segments_in_order(self):
+        pts = [STPoint(i, float(i) / 10, 0) for i in range(10)]
+        whole = make(pts)
+        a = whole.slice_time(TimeRange(0, 4))
+        b = whole.slice_time(TimeRange(5, 9))
+        rebuilt = concat_trajectories([b, a])
+        assert [p.t for p in rebuilt.points] == [p.t for p in pts]
+
+    def test_deduplicates_shared_boundary_points(self):
+        pts = [STPoint(i, float(i) / 10, 0) for i in range(6)]
+        whole = make(pts)
+        a = whole.slice_time(TimeRange(0, 3))
+        b = whole.slice_time(TimeRange(3, 5))  # shares point t=3
+        rebuilt = concat_trajectories([a, b])
+        assert [p.t for p in rebuilt.points] == [0, 1, 2, 3, 4, 5]
+
+    def test_rejects_mixed_tids(self):
+        a = Trajectory("o", "t1", [STPoint(0, 0, 0)])
+        b = Trajectory("o", "t2", [STPoint(1, 0, 0)])
+        with pytest.raises(ValueError):
+            concat_trajectories([a, b])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            concat_trajectories([])

@@ -1,0 +1,88 @@
+"""Tests for the sampling-based CBO selectivity estimator."""
+
+import pytest
+
+from repro.model import MBR, TimeRange
+from repro.query.planner import DataStatistics
+
+
+def make_sample(entries):
+    return tuple(entries)
+
+
+class TestSampledSelectivity:
+    def test_temporal_fraction(self):
+        sample = make_sample(
+            [(MBR(0, 0, 1, 1), TimeRange(i * 100, i * 100 + 50)) for i in range(10)]
+        )
+        stats = DataStatistics(1000, TimeRange(0, 1000), MBR(0, 0, 10, 10), sample)
+        # Query hits exactly the first three rows' ranges.
+        assert stats.temporal_selectivity(TimeRange(0, 250)) == pytest.approx(0.3)
+
+    def test_spatial_fraction(self):
+        sample = make_sample(
+            [(MBR(i, 0, i + 0.5, 1), TimeRange(0, 1)) for i in range(10)]
+        )
+        stats = DataStatistics(1000, TimeRange(0, 1), MBR(0, 0, 10, 10), sample)
+        window = MBR(0, 0, 2.2, 2)  # intersects rows 0, 1, 2
+        assert stats.spatial_selectivity(window) == pytest.approx(0.3)
+
+    def test_no_sample_falls_back_to_extent_ratio(self):
+        stats = DataStatistics(1000, TimeRange(0, 1000), MBR(0, 0, 10, 10))
+        assert stats.temporal_selectivity(TimeRange(0, 100)) == pytest.approx(0.1)
+
+    def test_sample_beats_extent_on_skew(self):
+        """A dataset clustered in one corner: extent ratio overestimates the
+        selectivity of an empty-corner window; the sample gets it right."""
+        sample = make_sample(
+            [(MBR(0, 0, 0.1, 0.1), TimeRange(0, 1)) for _ in range(50)]
+        )
+        with_sample = DataStatistics(1000, TimeRange(0, 1), MBR(0, 0, 10, 10), sample)
+        without = DataStatistics(1000, TimeRange(0, 1), MBR(0, 0, 10, 10))
+        empty_corner = MBR(9, 9, 10, 10)
+        assert with_sample.spatial_selectivity(empty_corner) == 0.0
+        assert without.spatial_selectivity(empty_corner) > 0.0
+
+
+class TestReservoirInTMan:
+    def test_sample_populated_and_bounded(self):
+        from repro import TMan, TManConfig
+        from repro.datasets import TDRIVE_SPEC, tdrive_like
+
+        data = tdrive_like(300, seed=33)
+        with TMan(TManConfig(boundary=TDRIVE_SPEC.boundary, max_resolution=12,
+                             num_shards=1, kv_workers=1)) as tman:
+            tman.bulk_load(data)
+            stats = tman.planner.stats
+            assert stats is not None
+            assert 0 < len(stats.sample) <= 256
+            assert stats.row_count == 300
+
+    def test_rebuild_restores_sample(self):
+        from repro import TMan, TManConfig
+        from repro.datasets import TDRIVE_SPEC, tdrive_like
+
+        data = tdrive_like(100, seed=34)
+        with TMan(TManConfig(boundary=TDRIVE_SPEC.boundary, max_resolution=12,
+                             num_shards=1, kv_workers=1)) as tman:
+            tman.bulk_load(data)
+            tman.rebuild_statistics()
+            assert len(tman.planner.stats.sample) == 100
+
+    def test_cbo_uses_data_aware_estimate(self):
+        """The CBO routes an empty-region STRQ to the spatial index because
+        the sample shows ~zero spatial selectivity."""
+        from repro import TMan, TManConfig
+        from repro.datasets import TDRIVE_SPEC, tdrive_like
+        from repro.query.types import STRangeQuery
+
+        data = tdrive_like(200, seed=35)
+        with TMan(TManConfig(boundary=TDRIVE_SPEC.boundary, max_resolution=12,
+                             num_shards=1, kv_workers=1)) as tman:
+            tman.bulk_load(data)
+            b = TDRIVE_SPEC.boundary
+            empty_corner = MBR(b.x2 - 0.05, b.y1, b.x2, b.y1 + 0.05)
+            wide_time = TimeRange(0, TDRIVE_SPEC.time_span)
+            plan = tman.planner.plan(STRangeQuery(empty_corner, wide_time))
+            assert plan.index == "tshape"
+            assert "CBO" in plan.reason

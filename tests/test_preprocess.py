@@ -1,0 +1,147 @@
+"""Tests for the preprocessing pipeline."""
+
+import pytest
+
+from repro.model import STPoint, Trajectory
+from repro.preprocess import (
+    PreprocessPipeline,
+    cap_duration,
+    detect_staypoints,
+    remove_speed_outliers,
+    split_by_gap,
+)
+
+
+def traj(points, oid="o", tid="t"):
+    return Trajectory(oid, tid, points)
+
+
+class TestSplitByGap:
+    def test_no_gap_single_part(self):
+        t = traj([STPoint(i * 10.0, 116.0, 39.0) for i in range(5)])
+        parts = split_by_gap(t, max_gap_seconds=60)
+        assert len(parts) == 1 and parts[0].tid == "t"
+
+    def test_splits_on_gap(self):
+        pts = [STPoint(0, 116, 39), STPoint(10, 116, 39),
+               STPoint(5000, 116.1, 39.1), STPoint(5010, 116.1, 39.1)]
+        parts = split_by_gap(traj(pts), max_gap_seconds=600)
+        assert len(parts) == 2
+        assert [len(p) for p in parts] == [2, 2]
+        assert parts[0].tid == "t#0" and parts[1].tid == "t#1"
+
+    def test_rejects_bad_gap(self):
+        with pytest.raises(ValueError):
+            split_by_gap(traj([STPoint(0, 0, 0)]), 0)
+
+    def test_points_preserved(self):
+        pts = [STPoint(i * 100.0, 116.0 + i * 0.001, 39.0) for i in range(20)]
+        parts = split_by_gap(traj(pts), max_gap_seconds=50)
+        total = [p for part in parts for p in part.points]
+        assert total == pts
+
+
+class TestCapDuration:
+    def test_under_cap_untouched(self):
+        t = traj([STPoint(i * 10.0, 116, 39) for i in range(5)])
+        assert len(cap_duration(t, 1000)) == 1
+
+    def test_splits_long_trajectory(self):
+        t = traj([STPoint(i * 3600.0, 116, 39) for i in range(10)])  # 9 h
+        parts = cap_duration(t, max_duration_seconds=4 * 3600)
+        assert len(parts) >= 2
+        for p in parts:
+            assert p.time_range.duration <= 4 * 3600 + 1e-9
+
+    def test_enforces_tr_precondition(self):
+        """The paper's 48h assumption becomes enforceable."""
+        from repro.core.temporal import TRIndex
+
+        t = traj([STPoint(i * 3600.0, 116, 39) for i in range(100)])  # 99 h
+        tr = TRIndex(period_seconds=3600, max_periods=48)
+        parts = cap_duration(t, 47 * 3600)
+        for p in parts:
+            tr.index_time_range(p.time_range)  # must not overflow
+
+
+class TestSpeedOutliers:
+    def test_keeps_clean_trajectory(self):
+        pts = [STPoint(i * 60.0, 116.0 + i * 0.0005, 39.0) for i in range(10)]
+        out = remove_speed_outliers(traj(pts), max_speed_kmh=200)
+        assert len(out) == 10
+
+    def test_drops_teleport(self):
+        pts = [
+            STPoint(0, 116.0, 39.0),
+            STPoint(60, 116.001, 39.0),
+            STPoint(120, 118.0, 41.0),  # ~300 km in a minute
+            STPoint(180, 116.002, 39.0),
+        ]
+        out = remove_speed_outliers(traj(pts), max_speed_kmh=200)
+        tids = [p.lng for p in out.points]
+        assert 118.0 not in tids
+        assert len(out) == 3
+
+    def test_duplicate_timestamps_collapsed(self):
+        pts = [STPoint(0, 116.0, 39.0), STPoint(0, 116.5, 39.5), STPoint(60, 116.001, 39.0)]
+        out = remove_speed_outliers(traj(pts), max_speed_kmh=200)
+        assert len(out) == 2
+
+    def test_never_empties(self):
+        pts = [STPoint(0, 116.0, 39.0), STPoint(1, 120.0, 45.0)]
+        out = remove_speed_outliers(traj(pts), max_speed_kmh=10)
+        assert len(out) == 1
+
+
+class TestStaypoints:
+    def test_detects_dwell(self):
+        pts = (
+            [STPoint(i * 60.0, 116.0 + i * 0.002, 39.0) for i in range(5)]
+            + [STPoint(300 + i * 60.0, 116.0080 + (i % 2) * 1e-4, 39.0) for i in range(10)]
+            + [STPoint(900 + i * 60.0, 116.01 + i * 0.002, 39.0) for i in range(5)]
+        )
+        pts.sort(key=lambda p: p.t)
+        stays = detect_staypoints(traj(pts), radius_km=0.2, min_duration_seconds=300)
+        assert len(stays) >= 1
+        stay = stays[0]
+        assert stay.duration >= 300
+        assert abs(stay.center_lng - 116.008) < 0.01
+
+    def test_moving_trajectory_has_none(self):
+        pts = [STPoint(i * 60.0, 116.0 + i * 0.01, 39.0) for i in range(20)]
+        assert detect_staypoints(traj(pts), 0.2, 300) == []
+
+    def test_rejects_bad_params(self):
+        t = traj([STPoint(0, 0, 0), STPoint(1, 0, 0)])
+        with pytest.raises(ValueError):
+            detect_staypoints(t, 0, 10)
+        with pytest.raises(ValueError):
+            detect_staypoints(t, 1, 0)
+
+
+class TestPipeline:
+    def test_end_to_end(self):
+        pts = (
+            [STPoint(i * 60.0, 116.0 + i * 0.0005, 39.0) for i in range(10)]
+            + [STPoint(600, 119.0, 42.0)]  # teleport outlier
+            + [STPoint(10_000 + i * 60.0, 116.2 + i * 0.0005, 39.1) for i in range(10)]
+        )
+        pts.sort(key=lambda p: p.t)
+        pipeline = PreprocessPipeline(max_speed_kmh=200, max_gap_seconds=1800)
+        out = pipeline.run([traj(pts)])
+        assert len(out) == 2  # gap split, outlier removed
+        for clean in out:
+            assert clean.time_range.duration <= pipeline.max_duration_seconds
+
+    def test_min_points_filter(self):
+        pipeline = PreprocessPipeline(min_points=3)
+        out = pipeline.run([traj([STPoint(0, 116, 39), STPoint(1, 116, 39)])])
+        assert out == []
+
+    def test_clean_data_passes_through(self):
+        from repro.datasets import tdrive_like
+
+        data = tdrive_like(20, seed=5)
+        pipeline = PreprocessPipeline(max_speed_kmh=10_000, max_gap_seconds=1e9)
+        out = pipeline.run(data)
+        assert len(out) == len(data)

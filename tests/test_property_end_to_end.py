@@ -1,0 +1,100 @@
+"""Hypothesis end-to-end property: TMan == oracle on arbitrary small inputs.
+
+Random trajectories (not drawn from the realistic generators — arbitrary
+shapes, durations, and degenerate cases) loaded into a fresh deployment must
+answer arbitrary windows exactly like the brute-force oracle.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import TMan, TManConfig
+from repro.geometry.relations import polyline_intersects_rect
+from repro.model import MBR, STPoint, TimeRange, Trajectory
+
+BOUNDARY = MBR(100.0, 30.0, 104.0, 34.0)
+
+
+@st.composite
+def trajectories(draw, index):
+    n = draw(st.integers(1, 8))
+    t0 = draw(st.floats(0, 1e5))
+    pts = []
+    t = t0
+    x = draw(st.floats(BOUNDARY.x1 + 0.01, BOUNDARY.x2 - 0.01))
+    y = draw(st.floats(BOUNDARY.y1 + 0.01, BOUNDARY.y2 - 0.01))
+    for _ in range(n):
+        pts.append(STPoint(t, x, y))
+        t += draw(st.floats(0.001, 1800.0))
+        x = min(BOUNDARY.x2, max(BOUNDARY.x1, x + draw(st.floats(-0.2, 0.2))))
+        y = min(BOUNDARY.y2, max(BOUNDARY.y1, y + draw(st.floats(-0.2, 0.2))))
+    return Trajectory(f"o{index % 3}", f"t{index}", pts)
+
+
+@st.composite
+def datasets(draw):
+    count = draw(st.integers(1, 12))
+    return [draw(trajectories(i)) for i in range(count)]
+
+
+@st.composite
+def windows(draw):
+    x = draw(st.floats(BOUNDARY.x1, BOUNDARY.x2 - 0.01))
+    y = draw(st.floats(BOUNDARY.y1, BOUNDARY.y2 - 0.01))
+    w = draw(st.floats(0.001, 1.0))
+    return MBR(x, y, min(BOUNDARY.x2, x + w), min(BOUNDARY.y2, y + w))
+
+
+@st.composite
+def time_ranges(draw):
+    start = draw(st.floats(0, 1.2e5))
+    return TimeRange(start, start + draw(st.floats(0, 20000)))
+
+
+def build(data):
+    tman = TMan(
+        TManConfig(
+            boundary=BOUNDARY, max_resolution=10, num_shards=1, kv_workers=1,
+            tr_period_seconds=1800.0, tr_max_periods=12,
+        )
+    )
+    tman.bulk_load(data)
+    return tman
+
+
+@given(datasets(), time_ranges(), windows())
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_end_to_end_matches_oracle(data, tr, window):
+    tman = build(data)
+    try:
+        got_t = sorted(t.tid for t in tman.temporal_range_query(tr).trajectories)
+        exp_t = sorted(t.tid for t in data if t.time_range.intersects(tr))
+        assert got_t == exp_t
+
+        got_s = sorted(t.tid for t in tman.spatial_range_query(window).trajectories)
+        exp_s = sorted(
+            t.tid
+            for t in data
+            if polyline_intersects_rect([p.xy for p in t.points], window)
+        )
+        assert got_s == exp_s
+
+        got_st = sorted(
+            t.tid for t in tman.st_range_query(window, tr).trajectories
+        )
+        assert got_st == sorted(set(got_t) & set(got_s))
+    finally:
+        tman.close()
+
+
+@given(datasets())
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_idt_matches_oracle(data):
+    tman = build(data)
+    try:
+        span = TimeRange(0, 2e5)
+        for oid in {t.oid for t in data}:
+            got = sorted(t.tid for t in tman.id_temporal_query(oid, span).trajectories)
+            assert got == sorted(t.tid for t in data if t.oid == oid)
+    finally:
+        tman.close()

@@ -1,0 +1,162 @@
+"""Randomized correctness: every query type vs the brute-force oracle."""
+
+import pytest
+
+from repro.model import TimeRange
+from repro.query.types import (
+    SpatialRangeQuery,
+    STRangeQuery,
+    TemporalRangeQuery,
+)
+
+
+class TestTemporalRangeQueries:
+    @pytest.mark.parametrize("length_s", [300, 3600, 6 * 3600, 24 * 3600])
+    def test_matches_brute_force(self, loaded_tman, workload, small_dataset, brute, length_s):
+        for tr in workload.temporal_windows(length_s, 4):
+            res = loaded_tman.temporal_range_query(tr)
+            assert sorted(t.tid for t in res.trajectories) == brute.temporal(
+                small_dataset, tr
+            )
+
+    def test_empty_window(self, loaded_tman, small_dataset):
+        t_max = max(t.time_range.end for t in small_dataset)
+        res = loaded_tman.temporal_range_query(TimeRange(t_max + 1e6, t_max + 2e6))
+        assert len(res) == 0
+
+    def test_covers_everything(self, loaded_tman, small_dataset):
+        t_min = min(t.time_range.start for t in small_dataset)
+        t_max = max(t.time_range.end for t in small_dataset)
+        res = loaded_tman.temporal_range_query(TimeRange(t_min, t_max))
+        assert len(res) == len(small_dataset)
+
+    def test_instant_query(self, loaded_tman, small_dataset, brute):
+        mid = small_dataset[0].time_range
+        instant = TimeRange(mid.start + 1, mid.start + 1)
+        res = loaded_tman.temporal_range_query(instant)
+        assert sorted(t.tid for t in res.trajectories) == brute.temporal(
+            small_dataset, instant
+        )
+
+
+class TestSpatialRangeQueries:
+    @pytest.mark.parametrize("side_km", [0.5, 2.0, 10.0, 50.0])
+    def test_matches_brute_force(self, loaded_tman, workload, small_dataset, brute, side_km):
+        for window in workload.spatial_windows(side_km, 4):
+            res = loaded_tman.spatial_range_query(window)
+            assert sorted(t.tid for t in res.trajectories) == brute.spatial(
+                small_dataset, window
+            )
+
+    def test_whole_boundary_returns_everything(self, loaded_tman, small_dataset):
+        res = loaded_tman.spatial_range_query(loaded_tman.config.boundary)
+        assert len(res) == len(small_dataset)
+
+    def test_empty_region(self, loaded_tman, workload):
+        from repro.model import MBR
+
+        b = loaded_tman.config.boundary
+        # A sliver at the far corner away from the generated city center.
+        window = MBR(b.x2 - 0.001, b.y1, b.x2, b.y1 + 0.001)
+        res = loaded_tman.spatial_range_query(window)
+        assert len(res) == 0
+
+
+class TestSTRangeQueries:
+    def test_matches_brute_force(self, loaded_tman, workload, small_dataset, brute):
+        for window, tr in workload.st_windows(5.0, 4 * 3600, 5):
+            res = loaded_tman.st_range_query(window, tr)
+            expected = sorted(
+                set(brute.temporal(small_dataset, tr))
+                & set(brute.spatial(small_dataset, window))
+            )
+            assert sorted(t.tid for t in res.trajectories) == expected
+
+    def test_conjunction_never_exceeds_parts(self, loaded_tman, workload):
+        window, tr = workload.st_windows(5.0, 3600, 1)[0]
+        st = loaded_tman.st_range_query(window, tr)
+        t_only = loaded_tman.temporal_range_query(tr)
+        s_only = loaded_tman.spatial_range_query(window)
+        st_tids = {t.tid for t in st.trajectories}
+        assert st_tids <= {t.tid for t in t_only.trajectories}
+        assert st_tids <= {t.tid for t in s_only.trajectories}
+
+
+class TestIDTemporalQueries:
+    def test_matches_brute_force(self, loaded_tman, workload, small_dataset):
+        for oid in workload.object_ids(5):
+            span = TimeRange(
+                min(t.time_range.start for t in small_dataset),
+                max(t.time_range.end for t in small_dataset),
+            )
+            res = loaded_tman.id_temporal_query(oid, span)
+            expected = sorted(t.tid for t in small_dataset if t.oid == oid)
+            assert sorted(t.tid for t in res.trajectories) == expected
+
+    def test_unknown_object_is_empty(self, loaded_tman, small_dataset):
+        span = TimeRange(0, 1e9)
+        res = loaded_tman.id_temporal_query("no-such-object", span)
+        assert len(res) == 0
+
+    def test_narrow_window_filters(self, loaded_tman, small_dataset):
+        target = small_dataset[0]
+        res = loaded_tman.id_temporal_query(target.oid, target.time_range)
+        tids = {t.tid for t in res.trajectories}
+        assert target.tid in tids
+        for t in res.trajectories:
+            assert t.oid == target.oid
+            assert t.time_range.intersects(target.time_range)
+
+
+class TestSimilarityQueries:
+    @pytest.mark.parametrize("measure", ["frechet", "dtw", "hausdorff"])
+    def test_threshold_matches_brute_force(
+        self, loaded_tman, workload, small_dataset, measure
+    ):
+        from repro.similarity.measures import distance_by_name
+
+        distance = distance_by_name(measure)
+        q = workload.query_trajectories(1)[0]
+        theta = 0.05 if measure != "dtw" else 0.5
+        res = loaded_tman.threshold_similarity_query(q, theta, measure)
+        expected = sorted(
+            t.tid
+            for t in small_dataset
+            if t.tid != q.tid and distance(q.points, t.points) <= theta
+        )
+        assert sorted(t.tid for t in res.trajectories) == expected
+
+    @pytest.mark.parametrize("measure", ["frechet", "hausdorff"])
+    def test_topk_matches_brute_force(self, loaded_tman, workload, small_dataset, measure):
+        from repro.similarity.measures import distance_by_name
+
+        distance = distance_by_name(measure)
+        q = workload.query_trajectories(2)[1]
+        k = 7
+        res = loaded_tman.top_k_similarity_query(q, k, measure)
+        expected = sorted(
+            ((distance(q.points, t.points), t.tid) for t in small_dataset if t.tid != q.tid)
+        )[:k]
+        assert [t.tid for t in res.trajectories] == [tid for _, tid in expected]
+        assert res.distances == pytest.approx([d for d, _ in expected])
+
+    def test_topk_k_larger_than_dataset(self, loaded_tman, small_dataset, workload):
+        q = workload.query_trajectories(1)[0]
+        res = loaded_tman.top_k_similarity_query(q, len(small_dataset) + 10, "hausdorff")
+        assert len(res) == len(small_dataset) - 1  # query itself excluded
+
+    def test_threshold_zero_returns_duplicates_only(self, loaded_tman, workload):
+        q = workload.query_trajectories(1)[0]
+        res = loaded_tman.threshold_similarity_query(q, 0.0, "hausdorff")
+        for t in res.trajectories:
+            assert t.tid != q.tid
+
+
+class TestQueryDescriptors:
+    def test_query_objects_dispatch(self, loaded_tman, small_dataset):
+        target = small_dataset[0]
+        r1 = loaded_tman.query(TemporalRangeQuery(target.time_range))
+        r2 = loaded_tman.query(SpatialRangeQuery(target.mbr))
+        r3 = loaded_tman.query(STRangeQuery(target.mbr, target.time_range))
+        for res in (r1, r2, r3):
+            assert target.tid in {t.tid for t in res.trajectories}

@@ -1,0 +1,134 @@
+"""Tests for the push-down filter ladder."""
+
+import pytest
+
+from repro.kvstore.filters import FilterChain
+from repro.model import MBR, STPoint, TimeRange, Trajectory
+from repro.query.filters import IdFilter, SimilarityFilter, SpatialFilter, TemporalFilter
+from repro.storage.serializer import RowSerializer
+
+
+@pytest.fixture
+def serializer():
+    return RowSerializer()
+
+
+def row(serializer, points, oid="o1", tid="t1", tr_value=5):
+    traj = Trajectory(oid, tid, points)
+    return serializer.encode(traj, tr_value), traj
+
+
+def diagonal(n=20, x0=116.30, y0=39.90, step=0.001):
+    return [STPoint(1000.0 + i * 60, x0 + i * step, y0 + i * step) for i in range(n)]
+
+
+class TestTemporalFilter:
+    def test_accepts_overlap(self, serializer):
+        blob, traj = row(serializer, diagonal())
+        f = TemporalFilter(TimeRange(traj.time_range.start - 10, traj.time_range.start + 10))
+        assert f.test(b"", blob)
+
+    def test_rejects_disjoint(self, serializer):
+        blob, traj = row(serializer, diagonal())
+        f = TemporalFilter(TimeRange(traj.time_range.end + 100, traj.time_range.end + 200))
+        assert not f.test(b"", blob)
+
+    def test_exact_boundary_accepted(self, serializer):
+        blob, traj = row(serializer, diagonal())
+        f = TemporalFilter(TimeRange(traj.time_range.end, traj.time_range.end + 100))
+        assert f.test(b"", blob)
+
+
+class TestIdFilter:
+    def test_matches_oid(self, serializer):
+        blob, _ = row(serializer, diagonal(), oid="taxi-7")
+        assert IdFilter("taxi-7").test(b"", blob)
+        assert not IdFilter("taxi-8").test(b"", blob)
+
+
+class TestSpatialFilter:
+    def test_mbr_reject_counted(self, serializer):
+        blob, traj = row(serializer, diagonal())
+        window = MBR(0.0, 0.0, 1.0, 1.0)
+        f = SpatialFilter(window, serializer)
+        assert not f.test(b"", blob)
+        assert f.decided_by_header == 1
+
+    def test_containment_accept_counted(self, serializer):
+        blob, traj = row(serializer, diagonal())
+        f = SpatialFilter(traj.mbr.expanded(0.01), serializer)
+        assert f.test(b"", blob)
+        assert f.decided_by_header == 1
+
+    def test_exact_path_for_lshape_corner(self, serializer):
+        """MBR overlaps, polyline does not: only the exact test can reject."""
+        pts = [
+            STPoint(0, 116.30, 39.90),
+            STPoint(60, 116.40, 39.90),
+            STPoint(120, 116.40, 39.99),
+        ]
+        blob, traj = row(serializer, pts)
+        # Window in the empty corner of the L's bounding box.
+        window = MBR(116.30, 39.96, 116.32, 39.99)
+        f = SpatialFilter(window, serializer)
+        assert not f.test(b"", blob)
+        assert f.decided_by_feature + f.decided_by_points >= 1
+
+    def test_edge_crossing_window_accepted(self, serializer):
+        pts = [STPoint(0, 116.30, 39.90), STPoint(60, 116.40, 39.90)]
+        blob, _ = row(serializer, pts)
+        window = MBR(116.34, 39.89, 116.36, 39.91)  # straddles the segment
+        assert SpatialFilter(window, serializer).test(b"", blob)
+
+
+class TestSimilarityFilter:
+    def test_rejects_negative_threshold(self, serializer):
+        with pytest.raises(ValueError):
+            SimilarityFilter(diagonal(), -0.1, "frechet", serializer)
+
+    @pytest.mark.parametrize("measure", ["frechet", "dtw", "hausdorff"])
+    def test_exact_semantics(self, serializer, measure):
+        from repro.similarity.measures import distance_by_name
+
+        distance = distance_by_name(measure)
+        query_pts = diagonal()
+        near_pts = [p.shifted(dlng=0.0005) for p in query_pts]
+        far_pts = [p.shifted(dlng=0.5) for p in query_pts]
+        near_blob, near = row(serializer, near_pts, tid="near")
+        far_blob, far = row(serializer, far_pts, tid="far")
+
+        theta = distance(query_pts, near_pts) + 1e-6
+        f = SimilarityFilter(query_pts, theta, measure, serializer)
+        assert f.test(b"", near_blob)
+        assert not f.test(b"", far_blob)
+
+    def test_mbr_prune_counted(self, serializer):
+        query_pts = diagonal()
+        far_blob, _ = row(serializer, [p.shifted(dlng=5.0) for p in query_pts])
+        f = SimilarityFilter(query_pts, 0.01, "frechet", serializer)
+        assert not f.test(b"", far_blob)
+        assert f.pruned_by_mbr == 1
+        assert f.exact_computations == 0
+
+    def test_feature_accept_skips_exact(self, serializer):
+        query_pts = diagonal()
+        same_blob, _ = row(serializer, list(query_pts), tid="same")
+        f = SimilarityFilter(query_pts, 1.0, "hausdorff", serializer)
+        assert f.test(b"", same_blob)
+        assert f.accepted_by_feature == 1 or f.exact_computations <= 1
+
+
+class TestChaining:
+    def test_temporal_and_spatial_chain(self, serializer):
+        blob, traj = row(serializer, diagonal())
+        good = FilterChain(
+            [TemporalFilter(traj.time_range), SpatialFilter(traj.mbr, serializer)]
+        )
+        assert good.test(b"", blob)
+        bad = FilterChain(
+            [
+                TemporalFilter(TimeRange(traj.time_range.end + 1, traj.time_range.end + 2)),
+                SpatialFilter(traj.mbr, serializer),
+            ]
+        )
+        assert not bad.test(b"", blob)

@@ -1,0 +1,126 @@
+"""Tests for the RBO/CBO query planner."""
+
+import pytest
+
+from repro.model import MBR, STPoint, TimeRange, Trajectory
+from repro.query.planner import DataStatistics, QueryPlanner
+from repro.query.types import (
+    IDTemporalQuery,
+    SpatialRangeQuery,
+    STRangeQuery,
+    TemporalRangeQuery,
+    ThresholdSimilarityQuery,
+    TopKSimilarityQuery,
+)
+from repro.storage.config import TManConfig
+
+BOUNDARY = MBR(0, 0, 10, 10)
+
+
+def planner(primary="tshape", secondaries=("tr", "idt"), stats=None):
+    cfg = TManConfig(
+        boundary=BOUNDARY, primary_index=primary, secondary_indexes=tuple(secondaries)
+    )
+    return QueryPlanner(cfg, stats)
+
+
+def q_traj():
+    return Trajectory("o", "t", [STPoint(0, 1, 1), STPoint(1, 2, 2)])
+
+
+class TestRBO:
+    def test_idt_has_highest_priority(self):
+        plan = planner().plan(IDTemporalQuery("o1", TimeRange(0, 10)))
+        assert plan.index == "idt" and plan.route == "secondary"
+
+    def test_idt_falls_back_to_temporal(self):
+        plan = planner(secondaries=("tr",)).plan(IDTemporalQuery("o1", TimeRange(0, 10)))
+        assert plan.index == "tr"
+
+    def test_trq_prefers_primary_tr(self):
+        plan = planner(primary="tr", secondaries=("idt",)).plan(
+            TemporalRangeQuery(TimeRange(0, 10))
+        )
+        assert plan.index == "tr" and plan.route == "primary"
+
+    def test_trq_uses_st_prefix_when_primary(self):
+        plan = planner(primary="st", secondaries=("idt",)).plan(
+            TemporalRangeQuery(TimeRange(0, 10))
+        )
+        assert plan.index == "st" and plan.route == "primary"
+
+    def test_trq_secondary_route(self):
+        plan = planner().plan(TemporalRangeQuery(TimeRange(0, 10)))
+        assert plan.index == "tr" and plan.route == "secondary"
+
+    def test_srq_uses_tshape_primary(self):
+        plan = planner().plan(SpatialRangeQuery(MBR(1, 1, 2, 2)))
+        assert plan.index == "tshape" and plan.route == "primary"
+
+    def test_srq_without_spatial_index_scans(self):
+        plan = planner(primary="tr", secondaries=("idt",)).plan(
+            SpatialRangeQuery(MBR(1, 1, 2, 2))
+        )
+        assert plan.route == "scan"
+
+    def test_similarity_uses_tshape(self):
+        assert planner().plan(ThresholdSimilarityQuery(q_traj(), 0.1)).index == "tshape"
+        assert planner().plan(TopKSimilarityQuery(q_traj(), 5)).index == "tshape"
+
+    def test_strq_st_primary_direct(self):
+        plan = planner(primary="st", secondaries=("idt",)).plan(
+            STRangeQuery(MBR(1, 1, 2, 2), TimeRange(0, 10))
+        )
+        assert plan.index == "st" and plan.route == "primary"
+
+    def test_unknown_query_raises(self):
+        with pytest.raises(TypeError):
+            planner().plan("what")
+
+
+class TestCBO:
+    def _stats(self):
+        return DataStatistics(
+            row_count=100_000,
+            time_span=TimeRange(0, 1_000_000),
+            dense_region=MBR(0, 0, 10, 10),
+        )
+
+    def test_selectivity_estimates(self):
+        stats = self._stats()
+        assert stats.temporal_selectivity(TimeRange(0, 100_000)) == pytest.approx(0.1)
+        assert stats.spatial_selectivity(MBR(0, 0, 1, 10)) == pytest.approx(0.1)
+        assert stats.temporal_selectivity(TimeRange(2e6, 3e6)) == 0.0
+
+    def test_strq_picks_selective_spatial(self):
+        p = planner(stats=self._stats())
+        plan = p.plan(
+            STRangeQuery(MBR(0, 0, 0.1, 0.1), TimeRange(0, 900_000))
+        )
+        assert plan.index == "tshape"
+        assert "CBO" in plan.reason
+
+    def test_strq_picks_selective_temporal(self):
+        p = planner(stats=self._stats())
+        plan = p.plan(STRangeQuery(MBR(0, 0, 10, 10), TimeRange(0, 100)))
+        assert plan.index == "tr"
+        assert "CBO" in plan.reason
+
+    def test_secondary_penalty_shifts_choice(self):
+        # Equal selectivities: the secondary route pays a 3x penalty, so the
+        # primary (spatial) route wins.
+        p = planner(stats=self._stats())
+        plan = p.plan(
+            STRangeQuery(MBR(0, 0, 3.16, 3.16), TimeRange(0, 100_000))
+        )
+        assert plan.index == "tshape"
+
+    def test_without_stats_primary_wins(self):
+        plan = planner().plan(STRangeQuery(MBR(0, 0, 10, 10), TimeRange(0, 1)))
+        assert plan.index == "tshape" and "RBO" in plan.reason
+
+    def test_update_statistics(self):
+        p = planner()
+        assert p.stats is None
+        p.update_statistics(self._stats())
+        assert p.stats.row_count == 100_000

@@ -1,0 +1,132 @@
+"""Tests for window generation and the push-down ablation."""
+
+import pytest
+
+from repro import TMan, TManConfig
+from repro.core.st import STWindow
+from repro.datasets import TDRIVE_SPEC, tdrive_like
+from repro.query.windows import (
+    primary_windows_inclusive,
+    primary_windows_u64,
+    secondary_windows_inclusive,
+    st_primary_windows,
+)
+from repro.storage.schema import RowKeyCodec, encode_u64
+
+
+class TestWindowGeneration:
+    def test_primary_windows_replicated_per_shard(self):
+        codec = RowKeyCodec(4, index_width=8)
+        windows = primary_windows_u64(codec, [(10, 20)])
+        assert len(windows) == 4
+        shards = {w[0][0] for w in windows}
+        assert shards == {0, 1, 2, 3}
+
+    def test_inclusive_adds_one(self):
+        codec = RowKeyCodec(1, index_width=8)
+        [(start, stop)] = primary_windows_inclusive(codec, [(10, 20)])
+        assert start.endswith(encode_u64(10))
+        assert stop.endswith(encode_u64(21))
+
+    def test_secondary_windows_have_no_shard(self):
+        [(start, stop)] = secondary_windows_inclusive([(5, 7)])
+        assert start == encode_u64(5) and stop == encode_u64(8)
+
+    def test_st_fine_windows(self):
+        codec = RowKeyCodec(2, index_width=16)
+        windows = st_primary_windows(
+            codec, [STWindow(3, 3, ((100, 200), (300, 301)))]
+        )
+        # 2 shape ranges x 2 shards.
+        assert len(windows) == 4
+        start, stop = windows[0]
+        assert encode_u64(3) in start
+
+    def test_st_coarse_windows(self):
+        codec = RowKeyCodec(1, index_width=16)
+        [(start, stop)] = st_primary_windows(codec, [STWindow(3, 9, None)])
+        assert start.endswith(encode_u64(3) + encode_u64(0))
+        assert stop.endswith(encode_u64(10) + encode_u64(0))
+
+
+class TestPushDownAblation:
+    """Push-down on/off must return identical results; off transfers more."""
+
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        return tdrive_like(150, seed=55)
+
+    def _run(self, dataset, push_down):
+        cfg = TManConfig(
+            boundary=TDRIVE_SPEC.boundary,
+            max_resolution=14,
+            num_shards=2,
+            kv_workers=1,
+            push_down=push_down,
+        )
+        tman = TMan(cfg)
+        tman.bulk_load(dataset)
+        return tman
+
+    def test_results_identical_transfer_differs(self, dataset):
+        on = self._run(dataset, push_down=True)
+        off = self._run(dataset, push_down=False)
+        try:
+            window = dataset[3].mbr.expanded(0.01)
+            r_on = on.spatial_range_query(window)
+            r_off = off.spatial_range_query(window)
+            assert sorted(t.tid for t in r_on.trajectories) == sorted(
+                t.tid for t in r_off.trajectories
+            )
+
+            # Transfer accounting: without push-down every scanned row is
+            # returned to the client.
+            on_delta = on.cluster.stats.snapshot()
+            off_delta = off.cluster.stats.snapshot()
+            assert off_delta.rows_returned >= on_delta.rows_returned
+        finally:
+            on.close()
+            off.close()
+
+    def test_temporal_pushdown_equivalence(self, dataset):
+        on = self._run(dataset, push_down=True)
+        off = self._run(dataset, push_down=False)
+        try:
+            tr = dataset[7].time_range
+            assert sorted(t.tid for t in on.temporal_range_query(tr).trajectories) == sorted(
+                t.tid for t in off.temporal_range_query(tr).trajectories
+            )
+        finally:
+            on.close()
+            off.close()
+
+
+class TestIndexCacheAblation:
+    """Cache on/off must agree on results for SRQ."""
+
+    def test_no_cache_same_results(self):
+        dataset = tdrive_like(100, seed=66)
+        base = TManConfig(
+            boundary=TDRIVE_SPEC.boundary, max_resolution=12, num_shards=1,
+            kv_workers=1, alpha=2, beta=2,
+        )
+        with_cache = TMan(base)
+        without = TMan(
+            TManConfig(
+                boundary=TDRIVE_SPEC.boundary, max_resolution=12, num_shards=1,
+                kv_workers=1, alpha=2, beta=2,
+                shape_encoding="bitmap", use_index_cache=False,
+            )
+        )
+        try:
+            with_cache.bulk_load(dataset)
+            without.bulk_load(dataset)
+            window = dataset[0].mbr.expanded(0.005)
+            a = with_cache.spatial_range_query(window)
+            b = without.spatial_range_query(window)
+            assert sorted(t.tid for t in a.trajectories) == sorted(
+                t.tid for t in b.trajectories
+            )
+        finally:
+            with_cache.close()
+            without.close()

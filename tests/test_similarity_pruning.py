@@ -1,0 +1,93 @@
+"""Soundness tests for the pruning bounds: lb <= exact <= ub."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.dp import extract_dp_feature
+from repro.model import MBR, STPoint
+from repro.similarity import (
+    dp_lower_bound,
+    dp_upper_bound,
+    dtw_distance,
+    frechet_distance,
+    hausdorff_distance,
+    mbr_lower_bound,
+)
+
+
+def traj(coords):
+    return [STPoint(float(i), x, y) for i, (x, y) in enumerate(coords)]
+
+
+coords_strategy = st.lists(
+    st.tuples(st.floats(-5, 5), st.floats(-5, 5)), min_size=2, max_size=10
+)
+
+
+class TestMBRLowerBound:
+    def test_overlapping_is_zero(self):
+        assert mbr_lower_bound(MBR(0, 0, 2, 2), MBR(1, 1, 3, 3)) == 0.0
+
+    @given(coords_strategy, coords_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_bounds_all_measures(self, ca, cb):
+        a, b = traj(ca), traj(cb)
+        lb = mbr_lower_bound(
+            MBR.of_points(p.xy for p in a), MBR.of_points(p.xy for p in b)
+        )
+        assert lb <= frechet_distance(a, b) + 1e-9
+        assert lb <= hausdorff_distance(a, b) + 1e-9
+        assert lb <= dtw_distance(a, b) + 1e-9
+
+
+class TestDPLowerBound:
+    @given(coords_strategy, coords_strategy, st.floats(0.001, 1.0))
+    @settings(max_examples=60, deadline=None)
+    def test_max_aggregate_bounds_frechet_and_hausdorff(self, ca, cb, eps):
+        a, b = traj(ca), traj(cb)
+        feature_b = extract_dp_feature(b, eps)
+        lb = dp_lower_bound(a, feature_b, aggregate="max")
+        assert lb <= frechet_distance(a, b) + 1e-9
+        assert lb <= hausdorff_distance(a, b) + 1e-9
+
+    @given(coords_strategy, coords_strategy, st.floats(0.001, 1.0))
+    @settings(max_examples=60, deadline=None)
+    def test_sum_aggregate_bounds_dtw(self, ca, cb, eps):
+        a, b = traj(ca), traj(cb)
+        feature_b = extract_dp_feature(b, eps)
+        lb = dp_lower_bound(a, feature_b, aggregate="sum")
+        assert lb <= dtw_distance(a, b) + 1e-9
+
+    def test_rejects_bad_aggregate(self):
+        import pytest
+
+        a = traj([(0, 0)])
+        f = extract_dp_feature(traj([(0, 0), (1, 1)]), 0.1)
+        with pytest.raises(ValueError):
+            dp_lower_bound(a, f, aggregate="avg")
+
+
+class TestDPUpperBound:
+    @given(coords_strategy, coords_strategy, st.floats(0.001, 1.0))
+    @settings(max_examples=60, deadline=None)
+    def test_upper_bounds_frechet(self, ca, cb, eps):
+        a, b = traj(ca), traj(cb)
+        feature_b = extract_dp_feature(b, eps)
+        ub = dp_upper_bound(a, feature_b, frechet_distance)
+        assert frechet_distance(a, b) <= ub + 1e-9
+
+    @given(coords_strategy, coords_strategy, st.floats(0.001, 1.0))
+    @settings(max_examples=60, deadline=None)
+    def test_upper_bounds_hausdorff(self, ca, cb, eps):
+        a, b = traj(ca), traj(cb)
+        feature_b = extract_dp_feature(b, eps)
+        ub = dp_upper_bound(a, feature_b, hausdorff_distance)
+        assert hausdorff_distance(a, b) <= ub + 1e-9
+
+    def test_tight_when_feature_is_exact(self):
+        """With epsilon ~ 0 the feature keeps every point: ub ~ exact."""
+        a = traj([(0, 0), (1, 0.5), (2, 0)])
+        b = traj([(0, 1), (1, 1.5), (2, 1)])
+        feature_b = extract_dp_feature(b, 1e-9)
+        ub = dp_upper_bound(a, feature_b, frechet_distance)
+        assert ub <= frechet_distance(a, b) + 1e-6

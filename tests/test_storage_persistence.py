@@ -1,0 +1,74 @@
+"""Tests for saving and reopening TMan deployments."""
+
+import pytest
+
+from repro import TMan, TManConfig
+from repro.datasets import TDRIVE_SPEC, tdrive_like
+from repro.storage.persistence import open_tman, save_tman
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return tdrive_like(100, seed=121)
+
+
+@pytest.fixture()
+def saved_dir(tmp_path, dataset):
+    config = TManConfig(
+        boundary=TDRIVE_SPEC.boundary, max_resolution=14, num_shards=2, kv_workers=1
+    )
+    with TMan(config) as tman:
+        tman.bulk_load(dataset)
+        save_tman(tman, tmp_path / "deploy")
+    return tmp_path / "deploy"
+
+
+class TestSaveOpen:
+    def test_directory_layout(self, saved_dir):
+        assert (saved_dir / "config.json").exists()
+        assert (saved_dir / "tables.snap").exists()
+        assert (saved_dir / "cache.rdb").exists()
+
+    def test_config_restored(self, saved_dir):
+        with open_tman(saved_dir) as tman:
+            assert tman.config.alpha == 3
+            assert tman.config.primary_index == "tshape"
+            assert tman.config.boundary == TDRIVE_SPEC.boundary
+
+    def test_row_count_and_statistics_rebuilt(self, saved_dir, dataset):
+        with open_tman(saved_dir) as tman:
+            assert tman.row_count == len(dataset)
+            assert tman.planner.stats is not None
+            assert tman.planner.stats.row_count == len(dataset)
+
+    def test_queries_work_after_reopen(self, saved_dir, dataset):
+        with open_tman(saved_dir) as tman:
+            target = dataset[3]
+            res = tman.spatial_range_query(target.mbr)
+            assert target.tid in {t.tid for t in res.trajectories}
+            res = tman.temporal_range_query(target.time_range)
+            assert target.tid in {t.tid for t in res.trajectories}
+            res = tman.id_temporal_query(target.oid, target.time_range)
+            assert target.tid in {t.tid for t in res.trajectories}
+
+    def test_shape_mappings_survive(self, saved_dir):
+        with open_tman(saved_dir) as tman:
+            elements = tman.index_cache.known_elements()
+            assert elements
+            mapping = tman.index_cache.get_mapping(elements[0])
+            assert mapping
+
+    def test_inserts_after_reopen(self, saved_dir):
+        extra = tdrive_like(20, seed=500)
+        with open_tman(saved_dir) as tman:
+            before = tman.row_count
+            tman.insert(extra)
+            assert tman.row_count == before + 20
+            res = tman.spatial_range_query(extra[0].mbr)
+            assert extra[0].tid in {t.tid for t in res.trajectories}
+
+    def test_save_reopen_save_roundtrip(self, saved_dir, tmp_path, dataset):
+        with open_tman(saved_dir) as tman:
+            save_tman(tman, tmp_path / "again")
+        with open_tman(tmp_path / "again") as tman2:
+            assert tman2.row_count == len(dataset)

@@ -1,0 +1,119 @@
+"""Tests for the TMan facade: loading, schema wiring, statistics."""
+
+import pytest
+
+from repro import TMan, TManConfig
+from repro.datasets import TDRIVE_SPEC, tdrive_like
+from repro.model import MBR, TimeRange
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return tdrive_like(120, seed=31)
+
+
+def make_tman(**overrides):
+    defaults = dict(
+        boundary=TDRIVE_SPEC.boundary,
+        max_resolution=14,
+        num_shards=2,
+        kv_workers=1,
+        split_rows=10_000,
+    )
+    defaults.update(overrides)
+    return TMan(TManConfig(**defaults))
+
+
+class TestBulkLoad:
+    def test_reports_rows_and_elements(self, dataset):
+        with make_tman() as tman:
+            report = tman.bulk_load(dataset)
+            assert report.rows_written == len(dataset)
+            assert report.elements_encoded > 0
+            assert tman.row_count == len(dataset)
+
+    def test_creates_expected_tables(self, dataset):
+        with make_tman() as tman:
+            tman.bulk_load(dataset[:10])
+            names = tman.cluster.table_names()
+            assert "tman_primary" in names
+            assert "tman_sec_tr" in names and "tman_sec_idt" in names
+
+    def test_metadata_records_parameters(self, dataset):
+        with make_tman() as tman:
+            doc = tman.meta.load_config()
+            assert doc["alpha"] == 3 and doc["primary_index"] == "tshape"
+
+    def test_primary_row_count_matches(self, dataset):
+        with make_tman() as tman:
+            tman.bulk_load(dataset[:50])
+            assert tman.primary_table.count_rows() == 50
+
+    def test_secondary_rows_point_to_primary(self, dataset):
+        from repro.kvstore.scan import Scan
+
+        with make_tman() as tman:
+            tman.bulk_load(dataset[:20])
+            for _, pkey in tman.secondary_tables["tr"].scan(Scan()):
+                assert tman.primary_table.get(pkey) is not None
+
+    def test_incremental_bulk_load_stays_queryable(self, dataset):
+        with make_tman() as tman:
+            tman.bulk_load(dataset[:60])
+            tman.bulk_load(dataset[60:])
+            tr = dataset[70].time_range
+            res = tman.temporal_range_query(tr)
+            assert dataset[70].tid in {t.tid for t in res.trajectories}
+
+
+class TestPrimaryIndexVariants:
+    @pytest.mark.parametrize(
+        "primary,secondaries",
+        [("tshape", ("tr", "idt")), ("tr", ("idt",)), ("st", ("idt",))],
+    )
+    def test_all_primaries_answer_trq(self, dataset, primary, secondaries):
+        with make_tman(primary_index=primary, secondary_indexes=secondaries) as tman:
+            tman.bulk_load(dataset)
+            target = dataset[5]
+            res = tman.temporal_range_query(target.time_range)
+            assert target.tid in {t.tid for t in res.trajectories}
+
+    def test_st_primary_answers_strq(self, dataset):
+        with make_tman(primary_index="st", secondary_indexes=("idt",)) as tman:
+            tman.bulk_load(dataset)
+            target = dataset[3]
+            res = tman.st_range_query(target.mbr, target.time_range)
+            assert target.tid in {t.tid for t in res.trajectories}
+            assert res.plan == "st/primary"
+
+
+class TestStatistics:
+    def test_statistics_updated_after_load(self, dataset):
+        with make_tman() as tman:
+            tman.bulk_load(dataset)
+            stats = tman.planner.stats
+            assert stats is not None
+            assert stats.row_count == len(dataset)
+            assert stats.time_span.duration > 0
+
+    def test_query_result_accounting(self, dataset):
+        with make_tman() as tman:
+            tman.bulk_load(dataset)
+            res = tman.temporal_range_query(dataset[0].time_range)
+            assert res.windows > 0
+            assert res.candidates >= len(res)
+            assert res.elapsed_ms > 0
+            assert res.simulated_ms > 0
+
+
+class TestValidation:
+    def test_topk_rejects_bad_k(self, dataset):
+        with make_tman() as tman:
+            tman.bulk_load(dataset[:5])
+            with pytest.raises(ValueError):
+                tman.top_k_similarity_query(dataset[0], 0)
+
+    def test_unknown_query_type_rejected(self, dataset):
+        with make_tman() as tman:
+            with pytest.raises(TypeError):
+                tman.query("not a query")

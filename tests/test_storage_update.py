@@ -1,0 +1,94 @@
+"""Tests for the §IV-C update path: buffer shape cache and re-encoding."""
+
+import pytest
+
+from repro import TMan, TManConfig
+from repro.datasets import TDRIVE_SPEC, tdrive_like
+
+
+def make_tman(threshold=8, **overrides):
+    defaults = dict(
+        boundary=TDRIVE_SPEC.boundary,
+        max_resolution=14,
+        num_shards=2,
+        kv_workers=1,
+        buffer_shape_threshold=threshold,
+    )
+    defaults.update(overrides)
+    return TMan(TManConfig(**defaults))
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return tdrive_like(150, seed=77)
+
+
+class TestInsert:
+    def test_insert_without_bulk_load(self, dataset):
+        with make_tman(threshold=100_000) as tman:
+            report = tman.insert(dataset[:30])
+            assert report.rows_written == 30
+            assert report.reencodes_triggered == 0
+            res = tman.temporal_range_query(dataset[0].time_range)
+            assert dataset[0].tid in {t.tid for t in res.trajectories}
+
+    def test_known_shapes_reuse_final_codes(self, dataset):
+        with make_tman(threshold=100_000) as tman:
+            tman.bulk_load(dataset[:50])
+            buffered_before = len(tman.buffer_cache)
+            # Re-inserting the same trajectories hits the cache every time.
+            tman.insert(dataset[:50])
+            assert len(tman.buffer_cache) == buffered_before
+
+    def test_unknown_shapes_staged_in_buffer(self, dataset):
+        with make_tman(threshold=100_000) as tman:
+            tman.insert(dataset[:20])
+            assert len(tman.buffer_cache) > 0
+
+    def test_reencode_triggered_at_threshold(self, dataset):
+        with make_tman(threshold=5) as tman:
+            report = tman.insert(dataset[:40])
+            assert report.reencodes_triggered >= 1
+
+    def test_queries_correct_after_reencode(self, dataset):
+        """The crucial invariant: re-encoding rewrites rows consistently."""
+        with make_tman(threshold=5) as tman:
+            tman.insert(dataset)
+            # Spatial query must find every trajectory by its own MBR.
+            for traj in dataset[::10]:
+                res = tman.spatial_range_query(traj.mbr)
+                assert traj.tid in {t.tid for t in res.trajectories}, traj.tid
+
+    def test_temporal_queries_correct_after_reencode(self, dataset):
+        with make_tman(threshold=5) as tman:
+            tman.insert(dataset)
+            for traj in dataset[::20]:
+                res = tman.temporal_range_query(traj.time_range)
+                assert traj.tid in {t.tid for t in res.trajectories}
+
+    def test_no_duplicate_results_after_reencode(self, dataset):
+        with make_tman(threshold=5) as tman:
+            tman.insert(dataset)
+            res = tman.spatial_range_query(dataset[0].mbr)
+            tids = [t.tid for t in res.trajectories]
+            assert len(tids) == len(set(tids))
+
+    def test_mixed_bulk_and_insert(self, dataset):
+        with make_tman(threshold=10) as tman:
+            tman.bulk_load(dataset[:75])
+            tman.insert(dataset[75:])
+            for traj in (dataset[0], dataset[80], dataset[-1]):
+                res = tman.spatial_range_query(traj.mbr)
+                assert traj.tid in {t.tid for t in res.trajectories}
+
+    def test_row_count_tracks_inserts(self, dataset):
+        with make_tman(threshold=1000) as tman:
+            tman.bulk_load(dataset[:10])
+            tman.insert(dataset[10:25])
+            assert tman.row_count == 25
+
+    def test_reencode_report_counts_rewrites(self, dataset):
+        with make_tman(threshold=3) as tman:
+            report = tman.insert(dataset[:30])
+            if report.reencodes_triggered:
+                assert report.rows_rewritten >= 0
