@@ -6,7 +6,6 @@
     TMan-XZ beating TrajMesa/STH by 6-10x.
 """
 
-import numpy as np
 
 from repro.bench import ResultTable, percentile, run_queries
 from repro.model import TimeRange

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Callable, Iterable, Optional, Sequence
+from typing import Callable, Optional, Sequence
 
 from repro.core.quadtree import Cell, QuadTreeGrid, cell_code, subtree_size
 from repro.core.ranges import merge_ranges

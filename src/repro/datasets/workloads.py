@@ -10,7 +10,7 @@ data-dense region (around the dataset center) like real analyst queries.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Sequence
 
 import numpy as np
 

@@ -15,7 +15,7 @@ from repro.kvstore.filters import Filter, FilterChain, PrefixFilter, TrueFilter
 from repro.kvstore.lsm import LSMStore
 from repro.kvstore.scan import Scan
 from repro.kvstore.snapshot import load_cluster, save_cluster
-from repro.kvstore.stats import CostModel, IOStats
+from repro.kvstore.stats import CostModel, ExecutionTrace, IOStats, StageStats
 from repro.kvstore.table import Table
 
 __all__ = [
@@ -32,6 +32,8 @@ __all__ = [
     "PrefixFilter",
     "IOStats",
     "CostModel",
+    "ExecutionTrace",
+    "StageStats",
     "KVError",
     "TableNotFoundError",
     "TableExistsError",

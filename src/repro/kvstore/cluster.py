@@ -69,9 +69,15 @@ class Cluster:
         return name in self._tables
 
     def drop_table(self, name: str) -> None:
-        """Remove a table from the catalog."""
+        """Remove a table from the catalog, closing its regions first.
+
+        Durable tables hold open WAL/SSTable handles per region; dropping
+        the catalog entry without closing them leaks file descriptors and
+        loses unflushed writes.
+        """
         if name not in self._tables:
             raise TableNotFoundError(name)
+        self._tables[name].close()
         del self._tables[name]
 
     def table_names(self) -> list[str]:

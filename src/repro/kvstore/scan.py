@@ -15,13 +15,17 @@ class Scan:
     ``start`` is inclusive, ``stop`` exclusive (``None`` = unbounded).  When
     ``server_filter`` is set, it is evaluated inside the region (push-down);
     rejected rows count as scanned but are not transferred.  ``limit`` caps
-    the number of returned rows.
+    the number of returned rows.  ``batch_rows`` is a chunking hint for
+    streaming region reads: the table fetches rows from each region in
+    chunks of this size (prefetching one chunk ahead per region), so an
+    abandoned scan never materializes more than one extra chunk per region.
     """
 
     start: Optional[bytes] = None
     stop: Optional[bytes] = None
     server_filter: Optional[Filter] = None
     limit: Optional[int] = None
+    batch_rows: Optional[int] = None
 
     def __post_init__(self) -> None:
         if (
@@ -32,3 +36,5 @@ class Scan:
             raise ValueError(f"scan stop < start: {self.stop!r} < {self.start!r}")
         if self.limit is not None and self.limit < 0:
             raise ValueError(f"negative scan limit: {self.limit}")
+        if self.batch_rows is not None and self.batch_rows <= 0:
+            raise ValueError(f"non-positive scan batch_rows: {self.batch_rows}")

@@ -4,7 +4,8 @@ from __future__ import annotations
 
 import bisect
 import heapq
-from concurrent.futures import ThreadPoolExecutor
+import itertools
+from concurrent.futures import Future, ThreadPoolExecutor
 from typing import Iterator, Optional, Sequence
 
 from repro.kvstore.errors import RegionError
@@ -13,6 +14,7 @@ from repro.kvstore.scan import Scan
 from repro.kvstore.stats import IOStats
 
 DEFAULT_SPLIT_ROWS = 200_000
+DEFAULT_BATCH_ROWS = 256
 
 
 class Table:
@@ -185,6 +187,8 @@ class Table:
     def scan(self, scan: Scan) -> Iterator[tuple[bytes, bytes]]:
         """Sequential scan across overlapping regions in key order."""
         remaining = scan.limit
+        if remaining is not None and remaining <= 0:
+            return
         for region in self._overlapping_regions(scan):
             sub = Scan(scan.start, scan.stop, scan.server_filter, remaining)
             for row in region.execute_scan(sub):
@@ -194,27 +198,88 @@ class Table:
                     if remaining <= 0:
                         return
 
-    def parallel_scan(self, scan: Scan) -> list[tuple[bytes, bytes]]:
-        """Fan the scan out to every overlapping region concurrently.
+    def parallel_scan(self, scan: Scan) -> Iterator[tuple[bytes, bytes]]:
+        """Fan the scan out to every overlapping region, streaming the merge.
 
-        Results are merged back into global key order.  Without an executor
-        the regions are processed sequentially, which preserves semantics for
-        single-threaded deployments.
+        Each region is read lazily in chunks of ``scan.batch_rows`` (one
+        chunk prefetched ahead on the worker pool), and the per-region
+        streams are merged back into global key order with ``heapq.merge``.
+        ``limit`` is applied exactly once, at the merge point: region scans
+        carry no limit of their own and simply stop being pulled, so an
+        early-terminated consumer (``limit``, top-k, kNN ring expansion)
+        scans at most one in-flight chunk per region beyond what it yielded.
+        Without an executor the regions are processed sequentially, which
+        preserves semantics for single-threaded deployments.
         """
+        if scan.limit is not None and scan.limit <= 0:
+            return
         regions = self._overlapping_regions(scan)
         if self._executor is None or len(regions) <= 1:
-            return list(self.scan(scan))
+            yield from self.scan(scan)
+            return
 
-        def run(region: Region) -> list[tuple[bytes, bytes]]:
-            """Preprocess an iterable of trajectories."""
-            return list(region.execute_scan(scan))
+        # Per-region scans deliberately drop the global limit (it is applied
+        # once, below) but keep the range and push-down filter.
+        sub = Scan(scan.start, scan.stop, scan.server_filter)
+        batch = scan.batch_rows if scan.batch_rows is not None else DEFAULT_BATCH_ROWS
+        gens = [region.execute_scan(sub) for region in regions]
+        # Kick off the first chunk of every region before the merge starts
+        # pulling, so region reads overlap instead of serializing.
+        firsts = [self._executor.submit(_next_chunk, g, batch) for g in gens]
+        streams = [
+            self._chunked_stream(g, fut, batch) for g, fut in zip(gens, firsts)
+        ]
+        try:
+            remaining = scan.limit
+            for row in heapq.merge(*streams):
+                yield row
+                if remaining is not None:
+                    remaining -= 1
+                    if remaining <= 0:
+                        return
+        finally:
+            for stream in streams:
+                stream.close()
 
-        chunks = list(self._executor.map(run, regions))
-        merged = list(heapq.merge(*chunks))
-        if scan.limit is not None:
-            merged = merged[: scan.limit]
-        return merged
+    def _chunked_stream(
+        self,
+        gen: Iterator[tuple[bytes, bytes]],
+        fut: "Future[list[tuple[bytes, bytes]]]",
+        batch: int,
+    ) -> Iterator[tuple[bytes, bytes]]:
+        """Yield one region's rows, prefetching the next chunk while yielding.
+
+        The in-flight future is always awaited before the underlying region
+        generator is closed, so an abandoned scan overshoots by at most one
+        chunk and never races the worker thread.
+        """
+        pending: Optional[Future] = fut
+        try:
+            while pending is not None:
+                chunk = pending.result()
+                # A short chunk means the region is exhausted; skip the
+                # pointless extra round trip.
+                pending = (
+                    self._executor.submit(_next_chunk, gen, batch)
+                    if self._executor is not None and len(chunk) == batch
+                    else None
+                )
+                yield from chunk
+        finally:
+            if pending is not None and not pending.cancel():
+                try:
+                    pending.result()
+                except Exception:  # pragma: no cover - worker already failed
+                    pass
+            gen.close()
 
     def count_rows(self) -> int:
         """Exact live row count (full scan; test/diagnostic use)."""
         return sum(1 for _ in self.scan(Scan()))
+
+
+def _next_chunk(
+    gen: Iterator[tuple[bytes, bytes]], batch: int
+) -> list[tuple[bytes, bytes]]:
+    """Pull up to ``batch`` rows from a region scan (runs on the pool)."""
+    return list(itertools.islice(gen, batch))

@@ -4,12 +4,31 @@ A query flows through the three steps of §V: candidate index-value
 calculation (done by the core index planners), query-window generation
 (:mod:`repro.query.windows`), and push-down filtering inside regions
 (:mod:`repro.query.filters`).  The rule/cost-based optimizer lives in
-:mod:`repro.query.planner`.
+:mod:`repro.query.planner`; it maps each query to a streaming operator
+pipeline (:mod:`repro.query.operators`, :mod:`repro.query.pipeline`) whose
+per-stage accounting is returned on every result as
+:class:`~repro.kvstore.stats.ExecutionTrace`.
 """
 
 from repro.query.filters import IdFilter, SimilarityFilter, SpatialFilter, TemporalFilter
+from repro.query.operators import (
+    Collect,
+    Count,
+    Decode,
+    Limit,
+    Operator,
+    PushDownFilter,
+    Refine,
+    RegionScan,
+    SecondaryResolve,
+    Sink,
+    TopK,
+    WindowSource,
+)
+from repro.query.pipeline import Pipeline, build_pipeline
 from repro.query.types import (
     IDTemporalQuery,
+    KNNPointQuery,
     QueryResult,
     SpatialRangeQuery,
     STRangeQuery,
@@ -23,6 +42,7 @@ __all__ = [
     "SpatialRangeQuery",
     "STRangeQuery",
     "IDTemporalQuery",
+    "KNNPointQuery",
     "ThresholdSimilarityQuery",
     "TopKSimilarityQuery",
     "QueryResult",
@@ -30,4 +50,18 @@ __all__ = [
     "SpatialFilter",
     "IdFilter",
     "SimilarityFilter",
+    "Operator",
+    "WindowSource",
+    "RegionScan",
+    "PushDownFilter",
+    "SecondaryResolve",
+    "Decode",
+    "Refine",
+    "Sink",
+    "Collect",
+    "Count",
+    "TopK",
+    "Limit",
+    "Pipeline",
+    "build_pipeline",
 ]

@@ -1,22 +1,36 @@
-"""Query execution: window scans, push-down, secondary resolution, top-k.
+"""Query execution: each query type assembles a streaming operator pipeline.
 
-The executor turns a :class:`~repro.query.planner.QueryPlan` plus a query
-descriptor into actual scans against the key-value store, accounting for
-every row touched so results carry the paper's candidate counts.
+The executor no longer re-implements the scan → push-down → decode → refine
+sequence per query type; it asks the planner for a plan, assembles the
+matching :class:`~repro.query.pipeline.Pipeline`, and drives it.  Counting
+is the same pipeline with a different terminal sink; the iterative queries
+(top-k similarity, kNN point) run one pipeline round per expanding ring
+with shared refine/sink state.  Every result carries an
+:class:`~repro.kvstore.stats.ExecutionTrace` with per-stage
+rows-in/rows-out/bytes/time, alongside the paper's candidate counts.
 """
 
 from __future__ import annotations
 
 import time
-from typing import TYPE_CHECKING, Callable, Optional, Sequence, Union
+from typing import TYPE_CHECKING, Optional, Union
 
-from repro.kvstore.filters import Filter, FilterChain
-from repro.kvstore.scan import Scan
-from repro.kvstore.stats import CostModel
+from repro.kvstore.stats import CostModel, ExecutionTrace
 from repro.model.mbr import MBR
-from repro.model.timerange import TimeRange
 from repro.model.trajectory import Trajectory
-from repro.query.filters import IdFilter, SimilarityFilter, SpatialFilter, TemporalFilter
+from repro.query.operators import (
+    PointDistanceRefine,
+    RegionScan,
+    SimilarityRefine,
+    TopK,
+    WindowSource,
+)
+from repro.query.pipeline import (
+    Pipeline,
+    build_pipeline,
+    shapes_of,
+    similarity_scan_stages,
+)
 from repro.query.planner import QueryPlan
 from repro.query.types import (
     IDTemporalQuery,
@@ -28,14 +42,7 @@ from repro.query.types import (
     ThresholdSimilarityQuery,
     TopKSimilarityQuery,
 )
-from repro.query.windows import (
-    primary_windows_inclusive,
-    primary_windows_u64,
-    secondary_windows_inclusive,
-    st_primary_windows,
-)
-from repro.similarity.measures import distance_by_name
-from repro.similarity.pruning import dp_lower_bound, mbr_lower_bound
+from repro.query.windows import primary_windows_u64
 
 if TYPE_CHECKING:  # pragma: no cover - typing-only import
     from repro.storage.tman import TMan
@@ -57,180 +64,145 @@ class QueryExecutor:
         self._t = tman
         self._cost = cost_model if cost_model is not None else CostModel()
 
-    # -- public entry point --------------------------------------------------
+    # -- public entry points -------------------------------------------------
 
-    def execute(self, query: Query) -> QueryResult:
-        """Plan bookkeeping done by the caller; run the query."""
-        plan = self._t.planner.plan(query)
-        before = self._t.cluster.stats.snapshot()
-        t0 = time.perf_counter()
+    def execute(self, query: Query, limit: Optional[int] = None) -> QueryResult:
+        """Plan the query, assemble its pipeline, and run it.
 
-        if isinstance(query, TemporalRangeQuery):
-            trajs = self._execute_trq(query, plan)
-        elif isinstance(query, SpatialRangeQuery):
-            trajs = self._execute_srq(query, plan)
-        elif isinstance(query, STRangeQuery):
-            trajs = self._execute_strq(query, plan)
-        elif isinstance(query, IDTemporalQuery):
-            trajs = self._execute_idt(query, plan)
-        elif isinstance(query, ThresholdSimilarityQuery):
-            trajs = self._execute_threshold(query, plan)
-        elif isinstance(query, TopKSimilarityQuery):
-            return self._finalize(
-                *self._execute_topk(query, plan), plan, before, t0
-            )
-        elif isinstance(query, KNNPointQuery):
-            return self._finalize(
-                *self._execute_knn_point(query), plan, before, t0
-            )
-        else:
-            raise TypeError(f"unknown query type: {type(query).__name__}")
-        return self._finalize(trajs, None, plan, before, t0)
-
-    def execute_count(self, query: Query) -> QueryResult:
-        """Count matching trajectories without decompressing any points.
-
-        Runs the same plan as :meth:`execute`, but instead of decoding rows
-        it counts distinct trajectory ids parsed from the rowkeys of rows
-        that pass the push-down filters.  The returned result has an empty
-        ``trajectories`` list; read the answer from ``result.count``.
+        ``limit`` (range and ID-temporal queries only) installs an
+        early-terminating sink: the streaming scans stop as soon as the
+        first ``limit`` distinct trajectories are produced.
         """
         plan = self._t.planner.plan(query)
         before = self._t.cluster.stats.snapshot()
         t0 = time.perf_counter()
-        count = self._count(query, plan)
-        result = self._finalize([], None, plan, before, t0)
-        result.count = count
-        return result
+        trace = ExecutionTrace()
 
-    def _count(self, query: Query, plan: QueryPlan) -> int:
-        if isinstance(query, TemporalRangeQuery):
-            rows = self._rows_for_trq(query, plan)
-        elif isinstance(query, SpatialRangeQuery):
-            rows = self._rows_for_srq(query, plan)
-        elif isinstance(query, STRangeQuery):
-            rows = self._rows_for_strq(query, plan)
-        elif isinstance(query, IDTemporalQuery):
-            return len(self._execute_idt(query, plan))
+        distances: Optional[list[float]] = None
+        if isinstance(query, TopKSimilarityQuery):
+            if limit is not None:
+                raise ValueError("limit is not supported for top-k queries")
+            trajs, distances = self._run_topk(query, trace)
+        elif isinstance(query, KNNPointQuery):
+            if limit is not None:
+                raise ValueError("limit is not supported for kNN queries")
+            trajs, distances = self._run_knn(query, trace)
+        elif isinstance(query, ThresholdSimilarityQuery) and limit is not None:
+            raise ValueError("limit is not supported for similarity queries")
         else:
+            pipeline = build_pipeline(
+                self._t, query, plan, trace=trace, limit=limit
+            )
+            trajs = pipeline.run()
+        return self._finalize(trajs, distances, plan, before, t0, trace)
+
+    def execute_count(self, query: Query) -> QueryResult:
+        """Count matching trajectories without decompressing any points.
+
+        Runs the same pipeline as :meth:`execute` with a distinct-id
+        counting sink; primary-route range counts never decode a row.  The
+        returned result has an empty ``trajectories`` list; read the
+        answer from ``result.count``.
+        """
+        if isinstance(
+            query, (ThresholdSimilarityQuery, TopKSimilarityQuery, KNNPointQuery)
+        ):
             raise TypeError(
                 f"count is not supported for {type(query).__name__}"
             )
-        tids = set()
-        for key, _ in rows:
-            tids.add(self._t.keys.parse_primary(key).tid)
-        return len(tids)
+        plan = self._t.planner.plan(query)
+        before = self._t.cluster.stats.snapshot()
+        t0 = time.perf_counter()
+        trace = ExecutionTrace()
+        pipeline = build_pipeline(self._t, query, plan, trace=trace, count=True)
+        count = pipeline.run()
+        result = self._finalize([], None, plan, before, t0, trace)
+        result.count = count
+        return result
 
-    def _rows_for_trq(self, query: TemporalRangeQuery, plan: QueryPlan):
-        tr_ranges = self._t.tr_index.query_ranges(query.time_range)
-        row_filter = TemporalFilter(query.time_range)
-        if plan.route == "primary":
-            if plan.index == "st":
-                from repro.core.st import STWindow
+    # -- iterative queries (expanding-ring pipelines) ------------------------
 
-                windows = st_primary_windows(
-                    self._t.keys, [STWindow(lo, hi, None) for lo, hi in tr_ranges]
-                )
-            else:
-                windows = primary_windows_inclusive(self._t.keys, tr_ranges)
-            return self._scan_primary(windows, row_filter)
-        # Secondary/scan routes fall back to materializing keys via gets.
-        return [
-            (self._t.keys.primary_key(b"\x00" * self._t.keys.index_width, t.tid), b"")
-            for t in self._execute_trq(query, plan)
-        ]
-
-    def _rows_for_srq(self, query: SpatialRangeQuery, plan: QueryPlan):
-        value_ranges = self._t.tshape_index.query_ranges(
-            query.window, self._shapes_of(), self._t.config.use_index_cache
+    def _ring_pipeline(
+        self, windows, refine, sink: TopK, trace: ExecutionTrace
+    ) -> Pipeline:
+        """One expanding-ring round: scan the ring, refine, feed the top-k."""
+        return Pipeline(
+            [
+                WindowSource(windows),
+                RegionScan(
+                    self._t.primary_table,
+                    None,
+                    self._t.config.scan_batch_rows,
+                ),
+                refine,
+            ],
+            sink,
+            trace=trace,
         )
-        row_filter = SpatialFilter(query.window, self._t.serializer)
-        if plan.route == "primary":
-            windows = primary_windows_u64(self._t.keys, value_ranges)
-            return self._scan_primary(windows, row_filter)
-        return [
-            (self._t.keys.primary_key(b"\x00" * self._t.keys.index_width, t.tid), b"")
-            for t in self._execute_srq(query, plan)
-        ]
 
-    def _rows_for_strq(self, query: STRangeQuery, plan: QueryPlan):
-        row_filter = FilterChain(
-            [TemporalFilter(query.time_range), SpatialFilter(query.window, self._t.serializer)]
-        )
-        if plan.index == "st" and plan.route == "primary":
-            st_windows = self._t.st_index.query_windows(
-                query.time_range, query.window,
-                self._shapes_of(), self._t.config.use_index_cache,
-            )
-            windows = st_primary_windows(self._t.keys, st_windows)
-            return self._scan_primary(windows, row_filter)
-        if plan.index == "tshape" and plan.route == "primary":
-            value_ranges = self._t.tshape_index.query_ranges(
-                query.window, self._shapes_of(), self._t.config.use_index_cache
-            )
-            windows = primary_windows_u64(self._t.keys, value_ranges)
-            return self._scan_primary(windows, row_filter)
-        return [
-            (self._t.keys.primary_key(b"\x00" * self._t.keys.index_width, t.tid), b"")
-            for t in self._execute_strq(query, plan)
-        ]
-
-    # -- kNN point query (extension) ----------------------------------------
-
-    def _execute_knn_point(
-        self, query: KNNPointQuery
+    def _run_knn(
+        self, query: KNNPointQuery, trace: ExecutionTrace
     ) -> tuple[list[Trajectory], list[float]]:
         """Expanding-ring k nearest trajectories to a point.
 
         Distance is min planar distance from the point to the polyline;
         header-MBR and DP-feature bounds avoid most point decompressions.
         """
-        from repro.geometry.distance import point_to_polyline
-        from repro.model.mbr import MBR as _MBR
-
         if query.k <= 0:
             raise ValueError(f"k must be positive, got {query.k}")
         boundary = self._t.config.boundary
         radius = min(boundary.width, boundary.height) / 64.0
-        best: list[tuple[float, str, Trajectory]] = []
-        seen: set[str] = set()
+        sink = TopK(query.k)
+        refine = PointDistanceRefine(
+            self._t.serializer, query.x, query.y, sink.kth_bound
+        )
         while True:
-            ring = _MBR(
+            ring = MBR(
                 max(boundary.x1, query.x - radius),
                 max(boundary.y1, query.y - radius),
                 min(boundary.x2, query.x + radius),
                 min(boundary.y2, query.y + radius),
             )
             value_ranges = self._t.tshape_index.query_ranges(
-                ring, self._shapes_of(), self._t.config.use_index_cache
+                ring, shapes_of(self._t), self._t.config.use_index_cache
             )
             windows = primary_windows_u64(self._t.keys, value_ranges)
-            for _, value in self._scan_primary(windows, None):
-                header = self._t.serializer.decode_header(value)
-                if header.tid in seen:
-                    continue
-                kth = best[query.k - 1][0] if len(best) >= query.k else float("inf")
-                if header.mbr.min_distance_point(query.x, query.y) > kth:
-                    seen.add(header.tid)
-                    continue
-                feature = self._t.serializer.decode_feature(value, header)
-                if feature.min_distance_to_point(query.x, query.y) > kth:
-                    seen.add(header.tid)
-                    continue
-                stored = self._t.serializer.decode(value)
-                d = point_to_polyline(
-                    query.x, query.y, [p.xy for p in stored.trajectory.points]
-                )
-                seen.add(header.tid)
-                best.append((d, header.tid, stored.trajectory))
-                best.sort(key=lambda item: (item[0], item[1]))
-                del best[query.k :]
-            if len(best) >= query.k and best[query.k - 1][0] <= radius:
+            trajs, dists = self._ring_pipeline(windows, refine, sink, trace).run()
+            if len(sink.best) >= query.k and sink.kth_bound() <= radius:
                 break
             if ring.contains(boundary):
                 break
             radius *= 2.0
-        return [t for _, _, t in best], [d for d, _, _ in best]
+        return trajs, dists
+
+    def _run_topk(
+        self, query: TopKSimilarityQuery, trace: ExecutionTrace
+    ) -> tuple[list[Trajectory], list[float]]:
+        """Expanding-radius top-k: grow the search ring until the k-th best
+        distance is provably inside the scanned region."""
+        qmbr = query.query.mbr
+        diag = max(1e-4, (qmbr.width**2 + qmbr.height**2) ** 0.5)
+        radius = diag / 4.0
+        boundary = self._t.config.boundary
+        sink = TopK(query.k)
+        refine = SimilarityRefine(
+            self._t.serializer, query.query, query.measure, sink.kth_bound
+        )
+        while True:
+            stages = similarity_scan_stages(self._t, query.query, radius, None)
+            stages.append(refine)
+            trajs, dists = Pipeline(stages, sink, trace=trace).run()
+            if len(sink.best) >= query.k and sink.kth_bound() <= radius:
+                break
+            covered = MBR(
+                qmbr.x1 - radius, qmbr.y1 - radius, qmbr.x2 + radius, qmbr.y2 + radius
+            )
+            if covered.contains(boundary):
+                break
+            radius *= 2.0
+        return trajs, dists
+
+    # -- result assembly -----------------------------------------------------
 
     def _finalize(
         self,
@@ -239,6 +211,7 @@ class QueryExecutor:
         plan: QueryPlan,
         before,
         t0: float,
+        trace: Optional[ExecutionTrace] = None,
     ) -> QueryResult:
         elapsed = (time.perf_counter() - t0) * 1000
         delta = self._t.cluster.stats.snapshot() - before
@@ -251,260 +224,5 @@ class QueryExecutor:
             simulated_ms=self._cost.simulate_ms(delta),
             plan=f"{plan.index}/{plan.route}",
             distances=distances,
+            trace=trace,
         )
-
-    # -- scan helpers ---------------------------------------------------------
-
-    def _scan_primary(
-        self, windows: Sequence[tuple[bytes, bytes]], row_filter: Optional[Filter]
-    ) -> list[tuple[bytes, bytes]]:
-        """Scan primary windows, honoring the push-down configuration."""
-        push_down = self._t.config.push_down
-        rows: list[tuple[bytes, bytes]] = []
-        for start, stop in windows:
-            scan = Scan(start, stop, row_filter if push_down else None)
-            for key, value in self._t.primary_table.scan(scan):
-                if not push_down and row_filter is not None:
-                    if not row_filter.test(key, value):
-                        continue
-                rows.append((key, value))
-        return rows
-
-    def _decode_rows(self, rows: Sequence[tuple[bytes, bytes]]) -> list[Trajectory]:
-        seen: set[str] = set()
-        out: list[Trajectory] = []
-        for _, value in rows:
-            stored = self._t.serializer.decode(value)
-            if stored.trajectory.tid in seen:
-                continue
-            seen.add(stored.trajectory.tid)
-            out.append(stored.trajectory)
-        return out
-
-    def _resolve_secondary(
-        self,
-        table_name: str,
-        windows: Sequence[tuple[bytes, bytes]],
-        row_filter: Optional[Filter],
-    ) -> list[Trajectory]:
-        """Secondary route: scan mapping rows, then fetch primary rows."""
-        table = self._t.secondary_tables[table_name]
-        primary_keys: list[bytes] = []
-        seen: set[bytes] = set()
-        for start, stop in windows:
-            for _, pkey in table.scan(Scan(start, stop)):
-                if pkey not in seen:
-                    seen.add(pkey)
-                    primary_keys.append(pkey)
-        out: list[Trajectory] = []
-        seen_tids: set[str] = set()
-        for pkey in primary_keys:
-            value = self._t.primary_table.get(pkey)
-            if value is None:
-                continue
-            if row_filter is not None and not row_filter.test(pkey, value):
-                continue
-            stored = self._t.serializer.decode(value)
-            if stored.trajectory.tid not in seen_tids:
-                seen_tids.add(stored.trajectory.tid)
-                out.append(stored.trajectory)
-        return out
-
-    def _shapes_of(self) -> Optional[Callable[[int], Optional[dict[int, int]]]]:
-        if not self._t.config.use_index_cache:
-            return None
-        return self._t.index_cache.get_mapping
-
-    # -- per-query-type execution ------------------------------------------------
-
-    def _execute_trq(self, query: TemporalRangeQuery, plan: QueryPlan) -> list[Trajectory]:
-        tr_ranges = self._t.tr_index.query_ranges(query.time_range)
-        row_filter = TemporalFilter(query.time_range)
-        if plan.route == "primary":
-            if plan.index == "st":
-                # The ST primary is TR-prefixed: coarse windows over the
-                # whole TShape space of each TR interval.
-                from repro.core.st import STWindow
-
-                windows = st_primary_windows(
-                    self._t.keys,
-                    [STWindow(lo, hi, None) for lo, hi in tr_ranges],
-                )
-            else:
-                windows = primary_windows_inclusive(self._t.keys, tr_ranges)
-            return self._decode_rows(self._scan_primary(windows, row_filter))
-        if plan.route == "secondary":
-            if plan.index == "st":
-                # ST secondary keys are 16 bytes (TR prefix :: TShape); a
-                # pure temporal query spans each TR interval's full TShape
-                # space.
-                from repro.storage.schema import encode_u64
-
-                windows = [
-                    (encode_u64(lo) + encode_u64(0), encode_u64(hi + 1) + encode_u64(0))
-                    for lo, hi in tr_ranges
-                ]
-                return self._resolve_secondary("st", windows, row_filter)
-            windows = secondary_windows_inclusive(tr_ranges)
-            return self._resolve_secondary("tr", windows, row_filter)
-        return self._full_scan(row_filter)
-
-    def _execute_srq(self, query: SpatialRangeQuery, plan: QueryPlan) -> list[Trajectory]:
-        value_ranges = self._t.tshape_index.query_ranges(
-            query.window, self._shapes_of(), self._t.config.use_index_cache
-        )
-        row_filter = SpatialFilter(query.window, self._t.serializer)
-        if plan.route == "primary":
-            windows = primary_windows_u64(self._t.keys, value_ranges)
-            return self._decode_rows(self._scan_primary(windows, row_filter))
-        if plan.route == "secondary":
-            windows = [
-                (lo.to_bytes(8, "big"), hi.to_bytes(8, "big"))
-                for lo, hi in value_ranges
-            ]
-            return self._resolve_secondary("tshape", windows, row_filter)
-        return self._full_scan(row_filter)
-
-    def _execute_strq(self, query: STRangeQuery, plan: QueryPlan) -> list[Trajectory]:
-        row_filter = FilterChain(
-            [TemporalFilter(query.time_range), SpatialFilter(query.window, self._t.serializer)]
-        )
-        if plan.index == "st" and plan.route == "primary":
-            st_windows = self._t.st_index.query_windows(
-                query.time_range,
-                query.window,
-                self._shapes_of(),
-                self._t.config.use_index_cache,
-            )
-            windows = st_primary_windows(self._t.keys, st_windows)
-            return self._decode_rows(self._scan_primary(windows, row_filter))
-        if plan.index == "tshape":
-            value_ranges = self._t.tshape_index.query_ranges(
-                query.window, self._shapes_of(), self._t.config.use_index_cache
-            )
-            if plan.route == "primary":
-                windows = primary_windows_u64(self._t.keys, value_ranges)
-                return self._decode_rows(self._scan_primary(windows, row_filter))
-            windows = [
-                (lo.to_bytes(8, "big"), hi.to_bytes(8, "big"))
-                for lo, hi in value_ranges
-            ]
-            return self._resolve_secondary("tshape", windows, row_filter)
-        if plan.index == "tr":
-            tr_ranges = self._t.tr_index.query_ranges(query.time_range)
-            if plan.route == "primary":
-                windows = primary_windows_inclusive(self._t.keys, tr_ranges)
-                return self._decode_rows(self._scan_primary(windows, row_filter))
-            windows = secondary_windows_inclusive(tr_ranges)
-            return self._resolve_secondary("tr", windows, row_filter)
-        return self._full_scan(row_filter)
-
-    def _execute_idt(self, query: IDTemporalQuery, plan: QueryPlan) -> list[Trajectory]:
-        row_filter = FilterChain(
-            [IdFilter(query.oid), TemporalFilter(query.time_range)]
-        )
-        if plan.index == "idt":
-            tr_ranges = self._t.tr_index.query_ranges(query.time_range)
-            windows = [
-                self._t.keys.idt_window(query.oid, lo, hi) for lo, hi in tr_ranges
-            ]
-            return self._resolve_secondary("idt", windows, row_filter)
-        # Fallback: temporal plan with an id filter.
-        return self._fallback_idt(query, plan, row_filter)
-
-    def _fallback_idt(
-        self, query: IDTemporalQuery, plan: QueryPlan, row_filter: Filter
-    ) -> list[Trajectory]:
-        tr_ranges = self._t.tr_index.query_ranges(query.time_range)
-        if plan.route == "primary" and plan.index in ("tr", "st"):
-            if plan.index == "st":
-                from repro.core.st import STWindow
-
-                windows = st_primary_windows(
-                    self._t.keys, [STWindow(lo, hi, None) for lo, hi in tr_ranges]
-                )
-            else:
-                windows = primary_windows_inclusive(self._t.keys, tr_ranges)
-            return self._decode_rows(self._scan_primary(windows, row_filter))
-        if plan.route == "secondary" and plan.index == "tr":
-            return self._resolve_secondary(
-                "tr", secondary_windows_inclusive(tr_ranges), row_filter
-            )
-        return self._full_scan(row_filter)
-
-    # -- similarity ---------------------------------------------------------------
-
-    def _similarity_candidates(
-        self, query_traj: Trajectory, radius: float, row_filter: Optional[Filter]
-    ) -> list[tuple[bytes, bytes]]:
-        """Global pruning: spatial candidates within the expanded query MBR."""
-        expanded = query_traj.mbr.expanded(radius)
-        value_ranges = self._t.tshape_index.query_ranges(
-            expanded, self._shapes_of(), self._t.config.use_index_cache
-        )
-        windows = primary_windows_u64(self._t.keys, value_ranges)
-        return self._scan_primary(windows, row_filter)
-
-    def _execute_threshold(
-        self, query: ThresholdSimilarityQuery, plan: QueryPlan
-    ) -> list[Trajectory]:
-        sim_filter = SimilarityFilter(
-            query.query.points, query.threshold, query.measure, self._t.serializer
-        )
-        rows = self._similarity_candidates(query.query, query.threshold, sim_filter)
-        return [
-            t for t in self._decode_rows(rows) if t.tid != query.query.tid
-        ]
-
-    def _execute_topk(
-        self, query: TopKSimilarityQuery, plan: QueryPlan
-    ) -> tuple[list[Trajectory], list[float]]:
-        """Expanding-radius top-k: grow the search ring until the k-th best
-        distance is provably inside the scanned region."""
-        distance = distance_by_name(query.measure)
-        qpoints = list(query.query.points)
-        qmbr = query.query.mbr
-        diag = max(1e-4, (qmbr.width**2 + qmbr.height**2) ** 0.5)
-        radius = diag / 4.0
-        boundary = self._t.config.boundary
-
-        best: list[tuple[float, str, Trajectory]] = []
-        seen: set[str] = set()
-        while True:
-            rows = self._similarity_candidates(query.query, radius, None)
-            for _, value in rows:
-                header = self._t.serializer.decode_header(value)
-                if header.tid in seen or header.tid == query.query.tid:
-                    continue
-                # Pruning against the current k-th distance is final (it only
-                # shrinks), so pruned candidates can be marked seen.
-                kth = best[query.k - 1][0] if len(best) >= query.k else float("inf")
-                if mbr_lower_bound(qmbr, header.mbr) > kth:
-                    seen.add(header.tid)
-                    continue
-                feature = self._t.serializer.decode_feature(value, header)
-                aggregate = "sum" if query.measure == "dtw" else "max"
-                if dp_lower_bound(qpoints, feature, aggregate) > kth:
-                    seen.add(header.tid)
-                    continue
-                stored = self._t.serializer.decode(value)
-                d = distance(qpoints, stored.trajectory.points)
-                seen.add(header.tid)
-                best.append((d, header.tid, stored.trajectory))
-                best.sort(key=lambda item: (item[0], item[1]))
-                del best[query.k :]
-            if len(best) >= query.k and best[query.k - 1][0] <= radius:
-                break
-            covered = MBR(
-                qmbr.x1 - radius, qmbr.y1 - radius, qmbr.x2 + radius, qmbr.y2 + radius
-            )
-            if covered.contains(boundary):
-                break
-            radius *= 2.0
-        return [t for _, _, t in best], [d for d, _, _ in best]
-
-    # -- fallback full scan ------------------------------------------------------------
-
-    def _full_scan(self, row_filter: Optional[Filter]) -> list[Trajectory]:
-        rows = self._scan_primary([(None, None)], row_filter)  # type: ignore[list-item]
-        return self._decode_rows(rows)

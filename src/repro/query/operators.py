@@ -1,0 +1,414 @@
+"""Streaming query operators (volcano-style iterators).
+
+The paper's scan → push-down → decode → refine sequence (§V-G) is recast
+as composable pull-based operators.  Each operator lazily consumes its
+upstream iterator and yields its own output, so a terminal sink that stops
+early (``Limit``, ``TopK``) terminates the whole chain — down to the
+region scans — without materializing the remaining candidates at any
+layer.  A :class:`~repro.query.pipeline.Pipeline` chains operators,
+instruments every edge, and records per-stage rows/bytes/time into an
+:class:`~repro.kvstore.stats.ExecutionTrace`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator, NamedTuple, Optional, Sequence
+
+from repro.geometry.distance import point_to_polyline
+from repro.kvstore.filters import Filter
+from repro.kvstore.scan import Scan
+from repro.kvstore.table import Table
+from repro.model.mbr import MBR
+from repro.model.timerange import TimeRange
+from repro.model.trajectory import Trajectory
+from repro.similarity.measures import distance_by_name
+from repro.similarity.pruning import dp_lower_bound, mbr_lower_bound
+from repro.storage.serializer import RowSerializer
+
+Row = tuple[bytes, bytes]
+
+
+class Window(NamedTuple):
+    """One key-range scan window (``None`` = unbounded side)."""
+
+    start: Optional[bytes]
+    stop: Optional[bytes]
+
+
+class Operator:
+    """One stage of a streaming query pipeline."""
+
+    name = "operator"
+
+    def process(self, upstream: Optional[Iterator[Any]]) -> Iterator[Any]:
+        """Lazily consume ``upstream`` and yield this stage's output."""
+        raise NotImplementedError
+
+
+class WindowSource(Operator):
+    """Source stage: emits the query's scan windows."""
+
+    name = "windows"
+
+    def __init__(self, windows: Sequence[tuple[Optional[bytes], Optional[bytes]]]):
+        self.windows = [Window(start, stop) for start, stop in windows]
+
+    def process(self, upstream: Optional[Iterator[Any]]) -> Iterator[Window]:
+        return iter(self.windows)
+
+
+class RegionScan(Operator):
+    """Streams rows of every window via the table's parallel region merge.
+
+    When ``row_filter`` is set it is pushed down into the regions, so
+    rejected rows count as scanned but are never transferred.
+    """
+
+    name = "region_scan"
+
+    def __init__(
+        self,
+        table: Table,
+        row_filter: Optional[Filter] = None,
+        batch_rows: Optional[int] = None,
+    ):
+        self.table = table
+        self.row_filter = row_filter
+        self.batch_rows = batch_rows
+
+    def process(self, upstream: Iterator[Window]) -> Iterator[Row]:
+        for start, stop in upstream:
+            scan = Scan(start, stop, self.row_filter, batch_rows=self.batch_rows)
+            yield from self.table.parallel_scan(scan)
+
+
+class PushDownFilter(Operator):
+    """Client-side row filter, used when server push-down is disabled.
+
+    The same predicate objects as the push-down path, evaluated after the
+    rows crossed the wire — this is what the push-down ablation toggles.
+    """
+
+    name = "client_filter"
+
+    def __init__(self, row_filter: Filter):
+        self.row_filter = row_filter
+
+    def process(self, upstream: Iterator[Row]) -> Iterator[Row]:
+        for key, value in upstream:
+            if self.row_filter.test(key, value):
+                yield key, value
+
+
+class SecondaryResolve(Operator):
+    """Secondary route: scan mapping rows, then fetch the primary rows.
+
+    Primary keys are de-duplicated across all windows; each distinct key
+    costs one point-get, and ``row_filter`` (when set) is applied to the
+    fetched primary row client-side.
+    """
+
+    name = "secondary_resolve"
+
+    def __init__(
+        self,
+        secondary: Table,
+        primary: Table,
+        row_filter: Optional[Filter] = None,
+    ):
+        self.secondary = secondary
+        self.primary = primary
+        self.row_filter = row_filter
+
+    def process(self, upstream: Iterator[Window]) -> Iterator[Row]:
+        seen: set[bytes] = set()
+        for start, stop in upstream:
+            for _, pkey in self.secondary.scan(Scan(start, stop)):
+                if pkey in seen:
+                    continue
+                seen.add(pkey)
+                value = self.primary.get(pkey)
+                if value is None:
+                    continue
+                if self.row_filter is not None and not self.row_filter.test(
+                    pkey, value
+                ):
+                    continue
+                yield pkey, value
+
+
+class Decode(Operator):
+    """Decompress rows into trajectories, de-duplicating by trajectory id."""
+
+    name = "decode"
+
+    def __init__(self, serializer: RowSerializer):
+        self.serializer = serializer
+
+    def process(self, upstream: Iterator[Row]) -> Iterator[Trajectory]:
+        seen: set[str] = set()
+        for _, value in upstream:
+            stored = self.serializer.decode(value)
+            tid = stored.trajectory.tid
+            if tid in seen:
+                continue
+            seen.add(tid)
+            yield stored.trajectory
+
+
+class Refine(Operator):
+    """Trajectory-level refinement predicate.
+
+    Factories cover the standard refinements (temporal, spatial,
+    similarity, query-trajectory exclusion); any callable works.
+    """
+
+    name = "refine"
+
+    def __init__(self, predicate: Callable[[Trajectory], bool], label: str = "refine"):
+        self.predicate = predicate
+        self.name = label
+
+    def process(self, upstream: Iterator[Trajectory]) -> Iterator[Trajectory]:
+        for traj in upstream:
+            if self.predicate(traj):
+                yield traj
+
+    @classmethod
+    def temporal(cls, time_range: TimeRange) -> "Refine":
+        """Keep trajectories whose time range intersects ``time_range``."""
+        return cls(
+            lambda t: t.time_range.intersects(time_range), "temporal_refine"
+        )
+
+    @classmethod
+    def spatial(cls, window: MBR) -> "Refine":
+        """Keep trajectories whose MBR intersects ``window``."""
+        return cls(lambda t: t.mbr.intersects(window), "spatial_refine")
+
+    @classmethod
+    def similarity(
+        cls, query_points: Sequence, threshold: float, measure: str
+    ) -> "Refine":
+        """Keep trajectories within ``threshold`` of the query points."""
+        distance = distance_by_name(measure)
+        points = list(query_points)
+        return cls(
+            lambda t: distance(points, t.points) <= threshold, "similarity_check"
+        )
+
+    @classmethod
+    def exclude_tid(cls, tid: str) -> "Refine":
+        """Drop the query trajectory itself from the result."""
+        return cls(lambda t: t.tid != tid, "exclude_query")
+
+
+class PointDistanceRefine(Operator):
+    """kNN-point pruning ladder: header MBR → DP feature → exact polyline.
+
+    ``bound`` supplies the current k-th best distance (from the ``TopK``
+    sink); because the pipeline is pull-based the bound tightens row by
+    row, exactly like the paper's expanding-ring loop.  Pruning against
+    the bound is final (it only shrinks), so pruned candidates are marked
+    seen and skipped in later ring rounds.
+    """
+
+    name = "knn_refine"
+
+    def __init__(
+        self,
+        serializer: RowSerializer,
+        x: float,
+        y: float,
+        bound: Callable[[], float],
+    ):
+        self.serializer = serializer
+        self.x = x
+        self.y = y
+        self.bound = bound
+        self.seen: set[str] = set()
+
+    def process(
+        self, upstream: Iterator[Row]
+    ) -> Iterator[tuple[float, str, Trajectory]]:
+        for _, value in upstream:
+            header = self.serializer.decode_header(value)
+            if header.tid in self.seen:
+                continue
+            kth = self.bound()
+            if header.mbr.min_distance_point(self.x, self.y) > kth:
+                self.seen.add(header.tid)
+                continue
+            feature = self.serializer.decode_feature(value, header)
+            if feature.min_distance_to_point(self.x, self.y) > kth:
+                self.seen.add(header.tid)
+                continue
+            stored = self.serializer.decode(value)
+            d = point_to_polyline(
+                self.x, self.y, [p.xy for p in stored.trajectory.points]
+            )
+            self.seen.add(header.tid)
+            yield d, header.tid, stored.trajectory
+
+
+class SimilarityRefine(Operator):
+    """Top-k similarity pruning ladder: MBR bound → DP bound → exact measure.
+
+    Mirrors :class:`PointDistanceRefine` for trajectory-to-trajectory
+    distances; the query trajectory itself is always skipped.
+    """
+
+    name = "similarity_refine"
+
+    def __init__(
+        self,
+        serializer: RowSerializer,
+        query: Trajectory,
+        measure: str,
+        bound: Callable[[], float],
+    ):
+        self.serializer = serializer
+        self.query_points = list(query.points)
+        self.query_mbr = query.mbr
+        self.query_tid = query.tid
+        self.aggregate = "sum" if measure == "dtw" else "max"
+        self.distance = distance_by_name(measure)
+        self.bound = bound
+        self.seen: set[str] = set()
+
+    def process(
+        self, upstream: Iterator[Row]
+    ) -> Iterator[tuple[float, str, Trajectory]]:
+        for _, value in upstream:
+            header = self.serializer.decode_header(value)
+            if header.tid in self.seen or header.tid == self.query_tid:
+                continue
+            kth = self.bound()
+            if mbr_lower_bound(self.query_mbr, header.mbr) > kth:
+                self.seen.add(header.tid)
+                continue
+            feature = self.serializer.decode_feature(value, header)
+            if dp_lower_bound(self.query_points, feature, self.aggregate) > kth:
+                self.seen.add(header.tid)
+                continue
+            stored = self.serializer.decode(value)
+            d = self.distance(self.query_points, stored.trajectory.points)
+            self.seen.add(header.tid)
+            yield d, header.tid, stored.trajectory
+
+
+# -- terminal sinks ----------------------------------------------------------
+
+
+class Sink:
+    """Terminal pipeline stage: drives the iterators and produces a value."""
+
+    name = "sink"
+
+    def consume(self, upstream: Iterator[Any]) -> Any:
+        """Pull the pipeline to completion (or early exit) and return."""
+        raise NotImplementedError
+
+    def result_size(self, value: Any) -> int:
+        """How many items the sink's return value represents (for traces)."""
+        return 0
+
+
+class Collect(Sink):
+    """Materialize every item into a list."""
+
+    name = "collect"
+
+    def consume(self, upstream: Iterator[Any]) -> list[Any]:
+        return list(upstream)
+
+    def result_size(self, value: list[Any]) -> int:
+        return len(value)
+
+
+class Limit(Sink):
+    """Collect the first ``n`` items, then stop pulling.
+
+    Because every upstream stage is lazy, the unread remainder is never
+    scanned (beyond at most one in-flight prefetch chunk per region).
+    """
+
+    name = "limit"
+
+    def __init__(self, n: int):
+        if n < 0:
+            raise ValueError(f"negative limit: {n}")
+        self.n = n
+
+    def consume(self, upstream: Iterator[Any]) -> list[Any]:
+        out: list[Any] = []
+        if self.n == 0:
+            return out
+        for item in upstream:
+            out.append(item)
+            if len(out) >= self.n:
+                break
+        return out
+
+    def result_size(self, value: list[Any]) -> int:
+        return len(value)
+
+
+class Count(Sink):
+    """Count distinct trajectories without decompressing any points.
+
+    Row-shaped input is counted by the trajectory id parsed from the
+    rowkey (``tid_of_key``); decoded trajectories by their ``tid``.
+    """
+
+    name = "count"
+
+    def __init__(self, tid_of_key: Optional[Callable[[bytes], str]] = None):
+        self.tid_of_key = tid_of_key
+
+    def consume(self, upstream: Iterator[Any]) -> int:
+        tids: set[str] = set()
+        for item in upstream:
+            if self.tid_of_key is not None:
+                tids.add(self.tid_of_key(item[0]))
+            else:
+                tids.add(item.tid)
+        return len(tids)
+
+    def result_size(self, value: int) -> int:
+        return value
+
+
+class TopK(Sink):
+    """Keep the ``k`` best ``(distance, tid, trajectory)`` items.
+
+    The current k-th distance (``kth_bound``) feeds the refine operators'
+    pruning; state persists across expanding-ring rounds.
+    """
+
+    name = "top_k"
+
+    def __init__(self, k: int):
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        self.k = k
+        self.best: list[tuple[float, str, Trajectory]] = []
+
+    def kth_bound(self) -> float:
+        """The current k-th best distance (inf until k items are held)."""
+        return self.best[self.k - 1][0] if len(self.best) >= self.k else float("inf")
+
+    def consume(
+        self, upstream: Iterator[tuple[float, str, Trajectory]]
+    ) -> tuple[list[Trajectory], list[float]]:
+        for d, tid, traj in upstream:
+            self.best.append((d, tid, traj))
+            self.best.sort(key=lambda item: (item[0], item[1]))
+            del self.best[self.k :]
+        return (
+            [t for _, _, t in self.best],
+            [d for d, _, _ in self.best],
+        )
+
+    def result_size(self, value: tuple[list[Trajectory], list[float]]) -> int:
+        return len(value[0])

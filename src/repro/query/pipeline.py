@@ -1,0 +1,437 @@
+"""Pipeline assembly and instrumented execution.
+
+:class:`Pipeline` chains :mod:`repro.query.operators` stages in front of a
+terminal sink, wrapping every edge with a counting/timing probe so the run
+produces an :class:`~repro.kvstore.stats.ExecutionTrace` — per-stage
+rows-in/rows-out, bytes, and self wall time.  :func:`build_pipeline` maps a
+query descriptor plus the optimizer's :class:`~repro.query.planner.QueryPlan`
+to the operator chain that executes it; every single-pass query type (range,
+ID-temporal, threshold similarity, counts) is just a different assembly of
+the same stages, and the iterative types (top-k similarity, kNN point) run
+one pipeline round per expanding ring against a shared trace.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import TYPE_CHECKING, Any, Callable, Iterator, Optional, Sequence, Union
+
+from repro.kvstore.filters import Filter, FilterChain
+from repro.kvstore.stats import ExecutionTrace
+from repro.query.filters import (
+    IdFilter,
+    SimilarityFilter,
+    SpatialFilter,
+    TemporalFilter,
+)
+from repro.query.operators import (
+    Collect,
+    Count,
+    Decode,
+    Limit,
+    Operator,
+    PushDownFilter,
+    Refine,
+    RegionScan,
+    SecondaryResolve,
+    Sink,
+    WindowSource,
+)
+from repro.query.types import (
+    IDTemporalQuery,
+    KNNPointQuery,
+    SpatialRangeQuery,
+    STRangeQuery,
+    TemporalRangeQuery,
+    ThresholdSimilarityQuery,
+    TopKSimilarityQuery,
+)
+from repro.query.windows import (
+    primary_windows_inclusive,
+    primary_windows_u64,
+    secondary_windows_inclusive,
+    st_primary_windows,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only imports
+    from repro.model.trajectory import Trajectory
+    from repro.query.planner import QueryPlan
+    from repro.storage.tman import TMan
+
+PipelineQuery = Union[
+    TemporalRangeQuery,
+    SpatialRangeQuery,
+    STRangeQuery,
+    IDTemporalQuery,
+    ThresholdSimilarityQuery,
+]
+
+
+class _Edge:
+    """Instrumented edge between two pipeline stages.
+
+    Counts items and row bytes crossing the edge and accumulates the
+    cumulative time spent producing them (this stage plus everything
+    upstream); the pipeline converts cumulative times into per-stage self
+    times when the run finishes.
+    """
+
+    __slots__ = ("_it", "count", "bytes", "elapsed")
+
+    def __init__(self, it: Iterator[Any]):
+        self._it = it
+        self.count = 0
+        self.bytes = 0
+        self.elapsed = 0.0
+
+    def __iter__(self) -> "_Edge":
+        return self
+
+    def __next__(self) -> Any:
+        t0 = time.perf_counter()
+        try:
+            item = next(self._it)
+        finally:
+            self.elapsed += time.perf_counter() - t0
+        self.count += 1
+        # Raw (key, value) rows report payload bytes; windows are emitted
+        # as a tuple subclass and decoded trajectories aren't byte-sized.
+        if type(item) is tuple and len(item) == 2:
+            key, value = item
+            if isinstance(key, (bytes, bytearray)) and isinstance(
+                value, (bytes, bytearray)
+            ):
+                self.bytes += len(key) + len(value)
+        return item
+
+    def close(self) -> None:
+        close = getattr(self._it, "close", None)
+        if callable(close):
+            close()
+
+
+class Pipeline:
+    """An assembled operator chain plus its terminal sink."""
+
+    def __init__(
+        self,
+        stages: Sequence[Operator],
+        sink: Sink,
+        trace: Optional[ExecutionTrace] = None,
+        plan: Optional["QueryPlan"] = None,
+    ):
+        self.stages = list(stages)
+        self.sink = sink
+        self.trace = trace if trace is not None else ExecutionTrace()
+        self.plan = plan
+
+    def describe(self) -> str:
+        """``index/route: stage -> stage -> sink`` (EXPLAIN string)."""
+        names = [op.name for op in self.stages] + [self.sink.name]
+        prefix = f"{self.plan.index}/{self.plan.route}: " if self.plan else ""
+        return prefix + " -> ".join(names)
+
+    def run(self) -> Any:
+        """Drive the sink over the instrumented chain; returns its value.
+
+        Stage statistics merge into the pipeline's trace even when the sink
+        terminates early; iterative queries call ``run`` repeatedly with a
+        shared trace and accumulate round by round.
+        """
+        trace = self.trace
+        trace.rounds += 1
+        edges: list[_Edge] = []
+        stream: Optional[Iterator[Any]] = None
+        for op in self.stages:
+            edge = _Edge(op.process(stream))
+            edges.append(edge)
+            stream = edge
+        t0 = time.perf_counter()
+        try:
+            value = self.sink.consume(stream if stream is not None else iter(()))
+        finally:
+            total_ms = (time.perf_counter() - t0) * 1000.0
+            # Close top-down so abandoned generators (early-terminating
+            # sinks) release their region streams deterministically.
+            for edge in reversed(edges):
+                edge.close()
+            prev: Optional[_Edge] = None
+            for op, edge in zip(self.stages, edges):
+                stats = trace.stage(op.name)
+                if prev is not None:
+                    stats.rows_in += prev.count
+                stats.rows_out += edge.count
+                stats.bytes_out += edge.bytes
+                upstream_s = prev.elapsed if prev is not None else 0.0
+                stats.wall_ms += max(0.0, (edge.elapsed - upstream_s) * 1000.0)
+                prev = edge
+            sink_stats = trace.stage(self.sink.name)
+            if prev is not None:
+                sink_stats.rows_in += prev.count
+                sink_stats.wall_ms += max(0.0, total_ms - prev.elapsed * 1000.0)
+            else:
+                sink_stats.wall_ms += total_ms
+        trace.stage(self.sink.name).rows_out += self.sink.result_size(value)
+        return value
+
+
+# -- assembly ---------------------------------------------------------------
+
+
+def shapes_of(tman: "TMan") -> Optional[Callable]:
+    """The index-cache mapping accessor, when the deployment uses it."""
+    if not tman.config.use_index_cache:
+        return None
+    return tman.index_cache.get_mapping
+
+
+def scan_stages(
+    tman: "TMan",
+    windows: Sequence[tuple[Optional[bytes], Optional[bytes]]],
+    row_filter: Optional[Filter],
+) -> list[Operator]:
+    """Window source + primary region scan, honoring push-down config."""
+    stages: list[Operator] = [WindowSource(windows)]
+    batch = tman.config.scan_batch_rows
+    if tman.config.push_down:
+        stages.append(RegionScan(tman.primary_table, row_filter, batch))
+    else:
+        stages.append(RegionScan(tman.primary_table, None, batch))
+        if row_filter is not None:
+            stages.append(PushDownFilter(row_filter))
+    return stages
+
+
+def similarity_scan_stages(
+    tman: "TMan",
+    query_traj: "Trajectory",
+    radius: float,
+    row_filter: Optional[Filter],
+) -> list[Operator]:
+    """Global pruning: scan stages over the radius-expanded query MBR."""
+    expanded = query_traj.mbr.expanded(radius)
+    value_ranges = tman.tshape_index.query_ranges(
+        expanded, shapes_of(tman), tman.config.use_index_cache
+    )
+    windows = primary_windows_u64(tman.keys, value_ranges)
+    return scan_stages(tman, windows, row_filter)
+
+
+def _secondary_stages(
+    tman: "TMan",
+    table_name: str,
+    windows: Sequence[tuple[bytes, bytes]],
+    row_filter: Optional[Filter],
+) -> list[Operator]:
+    return [
+        WindowSource(windows),
+        SecondaryResolve(
+            tman.secondary_tables[table_name], tman.primary_table, row_filter
+        ),
+    ]
+
+
+def _st_coarse_windows(tman: "TMan", tr_ranges) -> list[tuple[bytes, bytes]]:
+    """ST-primary windows spanning each TR interval's whole TShape space."""
+    from repro.core.st import STWindow
+
+    return st_primary_windows(
+        tman.keys, [STWindow(lo, hi, None) for lo, hi in tr_ranges]
+    )
+
+
+def _trq_stages(
+    tman: "TMan", query: TemporalRangeQuery, plan: "QueryPlan"
+) -> tuple[list[Operator], bool]:
+    tr_ranges = tman.tr_index.query_ranges(query.time_range)
+    row_filter = TemporalFilter(query.time_range)
+    if plan.route == "primary":
+        if plan.index == "st":
+            windows = _st_coarse_windows(tman, tr_ranges)
+        else:
+            windows = primary_windows_inclusive(tman.keys, tr_ranges)
+        return scan_stages(tman, windows, row_filter), True
+    if plan.route == "secondary":
+        if plan.index == "st":
+            # ST secondary keys are 16 bytes (TR prefix :: TShape); a pure
+            # temporal query spans each TR interval's full TShape space.
+            from repro.storage.schema import encode_u64
+
+            windows = [
+                (encode_u64(lo) + encode_u64(0), encode_u64(hi + 1) + encode_u64(0))
+                for lo, hi in tr_ranges
+            ]
+            return _secondary_stages(tman, "st", windows, row_filter), False
+        windows = secondary_windows_inclusive(tr_ranges)
+        return _secondary_stages(tman, "tr", windows, row_filter), False
+    return scan_stages(tman, [(None, None)], row_filter), False
+
+
+def _srq_stages(
+    tman: "TMan", query: SpatialRangeQuery, plan: "QueryPlan"
+) -> tuple[list[Operator], bool]:
+    value_ranges = tman.tshape_index.query_ranges(
+        query.window, shapes_of(tman), tman.config.use_index_cache
+    )
+    row_filter = SpatialFilter(query.window, tman.serializer)
+    if plan.route == "primary":
+        windows = primary_windows_u64(tman.keys, value_ranges)
+        return scan_stages(tman, windows, row_filter), True
+    if plan.route == "secondary":
+        windows = [
+            (lo.to_bytes(8, "big"), hi.to_bytes(8, "big")) for lo, hi in value_ranges
+        ]
+        return _secondary_stages(tman, "tshape", windows, row_filter), False
+    return scan_stages(tman, [(None, None)], row_filter), False
+
+
+def _strq_stages(
+    tman: "TMan", query: STRangeQuery, plan: "QueryPlan"
+) -> tuple[list[Operator], bool]:
+    row_filter = FilterChain(
+        [
+            TemporalFilter(query.time_range),
+            SpatialFilter(query.window, tman.serializer),
+        ]
+    )
+    if plan.index == "st" and plan.route == "primary":
+        st_windows = tman.st_index.query_windows(
+            query.time_range,
+            query.window,
+            shapes_of(tman),
+            tman.config.use_index_cache,
+        )
+        windows = st_primary_windows(tman.keys, st_windows)
+        return scan_stages(tman, windows, row_filter), True
+    if plan.index == "tshape":
+        value_ranges = tman.tshape_index.query_ranges(
+            query.window, shapes_of(tman), tman.config.use_index_cache
+        )
+        if plan.route == "primary":
+            windows = primary_windows_u64(tman.keys, value_ranges)
+            return scan_stages(tman, windows, row_filter), True
+        windows = [
+            (lo.to_bytes(8, "big"), hi.to_bytes(8, "big")) for lo, hi in value_ranges
+        ]
+        return _secondary_stages(tman, "tshape", windows, row_filter), False
+    if plan.index == "tr":
+        tr_ranges = tman.tr_index.query_ranges(query.time_range)
+        if plan.route == "primary":
+            windows = primary_windows_inclusive(tman.keys, tr_ranges)
+            # The count path treats TR-primary STRQ like the fallback
+            # routes (decode first), mirroring the pre-pipeline executor.
+            return scan_stages(tman, windows, row_filter), False
+        windows = secondary_windows_inclusive(tr_ranges)
+        return _secondary_stages(tman, "tr", windows, row_filter), False
+    return scan_stages(tman, [(None, None)], row_filter), False
+
+
+def _idt_stages(
+    tman: "TMan", query: IDTemporalQuery, plan: "QueryPlan"
+) -> tuple[list[Operator], bool]:
+    row_filter = FilterChain(
+        [IdFilter(query.oid), TemporalFilter(query.time_range)]
+    )
+    tr_ranges = tman.tr_index.query_ranges(query.time_range)
+    if plan.index == "idt":
+        windows = [
+            tman.keys.idt_window(query.oid, lo, hi) for lo, hi in tr_ranges
+        ]
+        return _secondary_stages(tman, "idt", windows, row_filter), False
+    if plan.route == "primary" and plan.index in ("tr", "st"):
+        if plan.index == "st":
+            windows = _st_coarse_windows(tman, tr_ranges)
+        else:
+            windows = primary_windows_inclusive(tman.keys, tr_ranges)
+        return scan_stages(tman, windows, row_filter), False
+    if plan.route == "secondary" and plan.index == "tr":
+        windows = secondary_windows_inclusive(tr_ranges)
+        return _secondary_stages(tman, "tr", windows, row_filter), False
+    return scan_stages(tman, [(None, None)], row_filter), False
+
+
+def _threshold_stages(
+    tman: "TMan", query: ThresholdSimilarityQuery, plan: "QueryPlan"
+) -> tuple[list[Operator], bool]:
+    sim_filter = SimilarityFilter(
+        query.query.points, query.threshold, query.measure, tman.serializer
+    )
+    return (
+        similarity_scan_stages(tman, query.query, query.threshold, sim_filter),
+        False,
+    )
+
+
+def build_pipeline(
+    tman: "TMan",
+    query: PipelineQuery,
+    plan: "QueryPlan",
+    trace: Optional[ExecutionTrace] = None,
+    limit: Optional[int] = None,
+    count: bool = False,
+) -> Pipeline:
+    """Assemble the streaming pipeline for a single-pass query.
+
+    ``count=True`` swaps the terminal sink for a distinct-trajectory
+    counter on the *same* stages — primary-route range counts skip the
+    decode stage entirely and parse trajectory ids from rowkeys.
+    ``limit`` installs an early-terminating sink instead of ``Collect``.
+    The iterative query types (top-k similarity, kNN point) are driven
+    round-by-round by the executor and cannot be assembled here.
+    """
+    post_decode: list[Operator] = []
+    if isinstance(query, TemporalRangeQuery):
+        stages, primary_rows = _trq_stages(tman, query, plan)
+    elif isinstance(query, SpatialRangeQuery):
+        stages, primary_rows = _srq_stages(tman, query, plan)
+    elif isinstance(query, STRangeQuery):
+        stages, primary_rows = _strq_stages(tman, query, plan)
+    elif isinstance(query, IDTemporalQuery):
+        stages, primary_rows = _idt_stages(tman, query, plan)
+    elif isinstance(query, ThresholdSimilarityQuery):
+        if count:
+            raise TypeError(
+                f"count is not supported for {type(query).__name__}"
+            )
+        stages, primary_rows = _threshold_stages(tman, query, plan)
+        post_decode = [Refine.exclude_tid(query.query.tid)]
+    else:
+        raise TypeError(f"unknown query type: {type(query).__name__}")
+
+    if count:
+        if primary_rows:
+            keys = tman.keys
+            sink: Sink = Count(lambda key: keys.parse_primary(key).tid)
+            return Pipeline(stages, sink, trace, plan)
+        stages = stages + [Decode(tman.serializer)] + post_decode
+        return Pipeline(stages, Count(), trace, plan)
+
+    stages = stages + [Decode(tman.serializer)] + post_decode
+    sink = Collect() if limit is None else Limit(limit)
+    return Pipeline(stages, sink, trace, plan)
+
+
+def pipeline_stage_names(
+    tman: "TMan", query: Any, plan: "QueryPlan"
+) -> list[str]:
+    """Static stage-name description for EXPLAIN (no windows computed)."""
+    if isinstance(query, (TopKSimilarityQuery, KNNPointQuery)):
+        refine = (
+            "similarity_refine"
+            if isinstance(query, TopKSimilarityQuery)
+            else "knn_refine"
+        )
+        return ["windows", "region_scan", refine, "top_k"]
+    names = ["windows"]
+    secondary = plan.route == "secondary" or plan.index == "idt"
+    if secondary:
+        names.append("secondary_resolve")
+    else:
+        names.append("region_scan")
+        if not tman.config.push_down:
+            names.append("client_filter")
+    names.append("decode")
+    if isinstance(query, ThresholdSimilarityQuery):
+        names.append("exclude_query")
+    names.append("collect")
+    return names

@@ -91,6 +91,28 @@ class QueryPlanner:
         """Replace the statistics snapshot the CBO plans with."""
         self.stats = stats
 
+    def plan_pipeline(
+        self,
+        tman,
+        query: Query,
+        trace=None,
+        limit: Optional[int] = None,
+        count: bool = False,
+    ):
+        """Plan a query and assemble the streaming pipeline that executes it.
+
+        Single-pass query types only (range, ID-temporal, threshold
+        similarity); the iterative types are driven round-by-round by the
+        executor.  Returns a :class:`repro.query.pipeline.Pipeline` whose
+        ``plan`` attribute is this planner's decision.
+        """
+        from repro.query.pipeline import build_pipeline
+
+        plan = self.plan(query)
+        return build_pipeline(
+            tman, query, plan, trace=trace, limit=limit, count=count
+        )
+
     # -- route helpers -------------------------------------------------------
 
     def _route(self, index: str) -> Optional[str]:

@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.kvstore.stats import ExecutionTrace
 from repro.model.mbr import MBR
 from repro.model.timerange import TimeRange
 from repro.model.trajectory import Trajectory
@@ -79,7 +80,9 @@ class QueryResult:
     ``candidates`` is the number of rows the storage layer touched (the
     paper's retrieval count); ``windows`` the number of range scans issued;
     ``elapsed_ms`` wall-clock time of the embedded store; ``simulated_ms``
-    modeled disk-cluster latency; ``plan`` the index the optimizer chose.
+    modeled disk-cluster latency; ``plan`` the index the optimizer chose;
+    ``trace`` the per-operator execution trace of the streaming pipeline
+    (rows-in/rows-out/bytes/time for every stage).
     """
 
     trajectories: list[Trajectory] = field(default_factory=list)
@@ -91,6 +94,7 @@ class QueryResult:
     simulated_ms: float = 0.0
     plan: str = ""
     distances: Optional[list[float]] = None
+    trace: Optional[ExecutionTrace] = None
 
     def __len__(self) -> int:
         return len(self.trajectories)

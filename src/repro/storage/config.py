@@ -2,8 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Sequence
+from dataclasses import dataclass
 
 from repro.model.mbr import MBR
 
@@ -44,6 +43,8 @@ class TManConfig:
     st_window_budget: int = 4096
     kv_workers: int = 4
     split_rows: int = 200_000
+    # Chunk-size hint for streaming region scans (None = store default).
+    scan_batch_rows: int | None = None
 
     def __post_init__(self) -> None:
         if self.primary_index not in VALID_INDEXES:
@@ -59,6 +60,10 @@ class TManConfig:
             )
         if self.shape_encoding not in ("bitmap", "greedy", "genetic"):
             raise ValueError(f"unknown shape_encoding {self.shape_encoding!r}")
+        if self.scan_batch_rows is not None and self.scan_batch_rows <= 0:
+            raise ValueError(
+                f"scan_batch_rows must be positive, got {self.scan_batch_rows}"
+            )
 
     @property
     def primary_index_width(self) -> int:

@@ -217,25 +217,46 @@ class TMan:
 
     # -- query API --------------------------------------------------------------
 
-    def query(self, q) -> QueryResult:
-        """Plan and execute any supported query descriptor."""
-        return self.executor.execute(q)
+    def query(self, q, limit: Optional[int] = None) -> QueryResult:
+        """Plan and execute any supported query descriptor.
 
-    def temporal_range_query(self, time_range: TimeRange) -> QueryResult:
+        ``limit`` (range and ID-temporal queries only) terminates the
+        streaming pipeline after the first ``limit`` distinct
+        trajectories, without scanning the remaining candidates.
+        """
+        return self.executor.execute(q, limit=limit)
+
+    def explain(self, q) -> str:
+        """The optimizer's plan and the operator pipeline it assembles."""
+        from repro.query.pipeline import pipeline_stage_names
+
+        plan = self.planner.plan(q)
+        stages = pipeline_stage_names(self, q, plan)
+        return f"{plan.index}/{plan.route}: " + " -> ".join(stages)
+
+    def temporal_range_query(
+        self, time_range: TimeRange, limit: Optional[int] = None
+    ) -> QueryResult:
         """TRQ: trajectories whose time range intersects ``time_range``."""
-        return self.query(TemporalRangeQuery(time_range))
+        return self.query(TemporalRangeQuery(time_range), limit=limit)
 
-    def spatial_range_query(self, window: MBR) -> QueryResult:
+    def spatial_range_query(
+        self, window: MBR, limit: Optional[int] = None
+    ) -> QueryResult:
         """SRQ: trajectories intersecting the spatial ``window``."""
-        return self.query(SpatialRangeQuery(window))
+        return self.query(SpatialRangeQuery(window), limit=limit)
 
-    def st_range_query(self, window: MBR, time_range: TimeRange) -> QueryResult:
+    def st_range_query(
+        self, window: MBR, time_range: TimeRange, limit: Optional[int] = None
+    ) -> QueryResult:
         """STRQ: the conjunction of a spatial window and a time range."""
-        return self.query(STRangeQuery(window, time_range))
+        return self.query(STRangeQuery(window, time_range), limit=limit)
 
-    def id_temporal_query(self, oid: str, time_range: TimeRange) -> QueryResult:
+    def id_temporal_query(
+        self, oid: str, time_range: TimeRange, limit: Optional[int] = None
+    ) -> QueryResult:
         """IDT: one object's trajectories intersecting a time range."""
-        return self.query(IDTemporalQuery(oid, time_range))
+        return self.query(IDTemporalQuery(oid, time_range), limit=limit)
 
     def threshold_similarity_query(
         self, query_traj: Trajectory, threshold: float, measure: str = "frechet"

@@ -14,7 +14,7 @@ rows rewritten under the new codes.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterable, Sequence
 
 from repro.core.temporal import TRIndex

@@ -1,6 +1,5 @@
 """Tests for the analytics module."""
 
-import numpy as np
 import pytest
 
 from repro.analytics import GridSpec, heatmap, od_matrix, speed_profile

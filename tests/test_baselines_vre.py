@@ -27,8 +27,6 @@ class TestStorage:
         assert system.segment_count > system.trajectory_count == len(dataset)
 
     def test_secondary_maps_all_segments(self, system):
-        from repro.kvstore.scan import Scan
-
         assert system.by_tid.count_rows() == system.segment_count
 
 

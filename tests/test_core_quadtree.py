@@ -7,7 +7,6 @@ from hypothesis import strategies as st
 from repro.core.quadtree import (
     Cell,
     QuadTreeGrid,
-    cell_code,
     max_sequence_code,
     sequence_code,
     subtree_size,

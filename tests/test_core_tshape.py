@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.quadtree import QuadTreeGrid, cell_code
+from repro.core.quadtree import QuadTreeGrid
 from repro.core.tshape import TShapeIndex
 from repro.geometry.relations import polyline_intersects_rect
 from repro.model import MBR, STPoint, Trajectory

@@ -9,7 +9,6 @@ from repro.datasets import (
     LORRY_SPEC,
     TDRIVE_SPEC,
     QueryWorkload,
-    generate_dataset,
     lorry_like,
     replicate_dataset,
     tdrive_like,

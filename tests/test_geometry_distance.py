@@ -1,6 +1,5 @@
 """Unit tests for distance helpers."""
 
-import math
 
 import pytest
 from hypothesis import given

@@ -107,7 +107,8 @@ class TestTable:
             t.put(k(i), b"v")
         seq = list(t.scan(Scan(k(10), k(250))))
         par = t.parallel_scan(Scan(k(10), k(250)))
-        assert par == seq
+        assert iter(par) is par  # lazy: a streaming iterator, not a list
+        assert list(par) == seq
         c.close()
 
     def test_scan_limit_across_regions(self):

@@ -1,6 +1,5 @@
 """Tests for durable tables and cluster reopen (data_dir mode)."""
 
-import pytest
 
 from repro.kvstore import Cluster, Scan
 
@@ -81,6 +80,36 @@ class TestDurableTable:
             assert reopened.table_names() == ["a", "b"]
             assert reopened.table("a").get(k(1)) == b"1"
             assert reopened.table("b").get(k(2)) == b"2"
+        finally:
+            reopened.close()
+
+    def test_drop_table_closes_durable_regions(self, tmp_path):
+        """drop_table must close the table before forgetting it; otherwise
+        every region's WAL file handle (and buffered writes) leak."""
+        c = Cluster(workers=1, data_dir=tmp_path / "db")
+        t = c.create_table("t")
+        for i in range(30):
+            t.put(k(i), b"v%d" % i)
+        stores = [r._store for r in t.regions]
+        c.drop_table("t")
+        assert not c.has_table("t")
+        for store in stores:
+            assert store._wal._fh.closed
+        c.close()
+
+    def test_drop_table_flushes_rows_to_disk(self, tmp_path):
+        """Closing on drop persists the memtable, so the on-disk directory
+        (which drop_table leaves in place) stays recoverable."""
+        with Cluster(workers=1, data_dir=tmp_path / "db") as c:
+            t = c.create_table("t")
+            for i in range(30):
+                t.put(k(i), b"v%d" % i)
+            c.drop_table("t")
+        reopened = Cluster(workers=1, data_dir=tmp_path / "db")
+        try:
+            t = reopened.table("t")
+            assert t.count_rows() == 30
+            assert t.get(k(17)) == b"v17"
         finally:
             reopened.close()
 

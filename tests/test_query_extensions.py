@@ -1,6 +1,5 @@
 """Tests for the extension queries: index-only counts and kNN-point."""
 
-import math
 
 import pytest
 

@@ -4,7 +4,6 @@ import pytest
 
 from repro import TMan, TManConfig
 from repro.datasets import TDRIVE_SPEC, tdrive_like
-from repro.model import TimeRange
 
 
 @pytest.fixture()
