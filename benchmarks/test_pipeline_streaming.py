@@ -5,26 +5,37 @@ Measures what the volcano-style refactor buys on the read path: a
 fewer candidates (and decodes fewer rows) than the same query run to
 completion — the seed executor always materialized every candidate.
 
-Emits ``benchmarks/results/BENCH_pipeline.json`` with p50 latency and the
-peak number of materialized candidate rows per mode, machine-readable for
-CI trend tracking.
+Emits ``benchmarks/results/BENCH_pipeline.json`` with latency percentiles
+(p50 through p99) and the peak number of materialized candidate rows per
+mode, plus ``benchmarks/results/metrics_snapshot.json`` — the ``repro.obs``
+registry snapshot after the run, schema-checked in CI.  The report also
+carries an ``obs_overhead`` section comparing enabled vs disabled metrics
+on the same workload.
+
+``BENCH_SMOKE=1`` shrinks the query count so CI can exercise the full
+path (including the metrics snapshot) in seconds.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import statistics
 import time
 
 from benchmarks.conftest import RESULTS_DIR
+from repro import obs
+from repro.bench.harness import summarize_ms
+from repro.obs import validate_snapshot
 
-QUERIES = 8
+SMOKE = os.environ.get("BENCH_SMOKE", "") not in ("", "0")
+QUERIES = 2 if SMOKE else 8
 WINDOW_KM = 1.5
 LIMIT = 3
 
 
 def _run(execute, descriptors, limit=None):
-    """Execute one query per descriptor; return p50 latency + peak counters."""
+    """Execute one query per descriptor; return latency + peak counters."""
     samples_ms = []
     candidates = []
     decoded = []
@@ -40,9 +51,35 @@ def _run(execute, descriptors, limit=None):
             decoded.append(len(res.trajectories))
     return {
         "p50_ms": round(statistics.median(samples_ms), 3),
+        "latency_ms": {k: round(v, 3) for k, v in summarize_ms(samples_ms).items()},
         "p50_candidates": statistics.median(candidates),
         "peak_candidates": max(candidates),
         "peak_decoded_rows": max(decoded),
+    }
+
+
+def _measure_overhead(execute, descriptors):
+    """p50 of the same workload with metrics enabled vs disabled."""
+    was_enabled = obs.metrics_enabled()
+    timings = {}
+    try:
+        for mode, enabled in (("enabled", True), ("disabled", False)):
+            obs.set_metrics_enabled(enabled)
+            samples = []
+            for _ in range(2 if SMOKE else 5):
+                for q in descriptors:
+                    t0 = time.perf_counter()
+                    execute(q)
+                    samples.append((time.perf_counter() - t0) * 1e3)
+            timings[mode] = statistics.median(samples)
+    finally:
+        obs.set_metrics_enabled(was_enabled)
+    return {
+        "enabled_p50_ms": round(timings["enabled"], 4),
+        "disabled_p50_ms": round(timings["disabled"], 4),
+        "overhead_pct": round(
+            100.0 * (timings["enabled"] / timings["disabled"] - 1.0), 2
+        ),
     }
 
 
@@ -50,7 +87,7 @@ def test_pipeline_streaming_vs_materialized(tman_tdrive, tdrive_workload):
     windows = tdrive_workload.spatial_windows(WINDOW_KM, QUERIES)
     spans = tdrive_workload.temporal_windows(4 * 3600, QUERIES)
 
-    report = {"limit": LIMIT, "queries": QUERIES}
+    report = {"limit": LIMIT, "queries": QUERIES, "smoke": SMOKE}
     modes = {}
     modes["srq_full"] = _run(tman_tdrive.spatial_range_query, windows)
     modes["srq_limit"] = _run(tman_tdrive.spatial_range_query, windows, limit=LIMIT)
@@ -70,7 +107,18 @@ def test_pipeline_streaming_vs_materialized(tman_tdrive, tdrive_workload):
             1 - lim["p50_candidates"] / max(1, full["p50_candidates"]), 4
         )
 
+    # Observability cost on this workload (reported, not asserted: wall
+    # times this small are noisy on shared CI runners).
+    report["obs_overhead"] = _measure_overhead(
+        tman_tdrive.temporal_range_query, spans
+    )
+
+    snapshot = obs.snapshot()
+    assert validate_snapshot(snapshot) == []
+
     RESULTS_DIR.mkdir(exist_ok=True)
     out = RESULTS_DIR / "BENCH_pipeline.json"
     out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    snap_out = RESULTS_DIR / "metrics_snapshot.json"
+    snap_out.write_text(json.dumps(snapshot, indent=2, sort_keys=True) + "\n")
     print("\n" + json.dumps(report, indent=2, sort_keys=True))

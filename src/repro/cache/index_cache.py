@@ -12,12 +12,41 @@ element's shapes are re-encoded.
 from __future__ import annotations
 
 import struct
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.cache.lfu import LFUCache
 from repro.cache.redis_sim import RedisServer
+from repro.obs import counter as _obs_counter, gauge as _obs_gauge
 
 DEFAULT_LOCAL_CAPACITY = 4096
+
+_REDIS_ROUNDTRIPS = _obs_counter(
+    "cache_redis_roundtrips_total",
+    "Shape-index lookups that went to Redis after a local LFU miss",
+)
+
+
+@dataclass(frozen=True)
+class IndexCacheStats:
+    """Point-in-time counters of a :class:`ShapeIndexCache`.
+
+    ``hits``/``misses``/``evictions`` describe the process-local LFU layer;
+    ``entries`` is its current size and ``remote_fetches`` counts round
+    trips to Redis over the cache's lifetime.
+    """
+
+    hits: int
+    misses: int
+    evictions: int
+    entries: int
+    remote_fetches: int
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of local lookups served without a miss (0 when idle)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
 
 
 class ShapeIndexCache:
@@ -38,6 +67,29 @@ class ShapeIndexCache:
         self._local: LFUCache[int, dict[int, int]] = LFUCache(local_capacity)
         self._namespace = namespace
         self.remote_fetches = 0
+        # Callback gauges sample this instance at snapshot time.  When
+        # several caches coexist (rare outside tests) the most recently
+        # constructed one owns the gauges.
+        _obs_gauge(
+            "cache_index_hits",
+            "Local LFU hits of the shape index cache",
+            callback=lambda: self._local.hits,
+        )
+        _obs_gauge(
+            "cache_index_misses",
+            "Local LFU misses of the shape index cache",
+            callback=lambda: self._local.misses,
+        )
+        _obs_gauge(
+            "cache_index_evictions",
+            "Local LFU evictions of the shape index cache",
+            callback=lambda: self._local.evictions,
+        )
+        _obs_gauge(
+            "cache_index_entries",
+            "Entries resident in the local shape index cache",
+            callback=lambda: len(self._local),
+        )
 
     @property
     def redis(self) -> RedisServer:
@@ -72,6 +124,7 @@ class ShapeIndexCache:
         if cached is not None:
             return cached
         raw = self._redis.hgetall(self._key(element_code))
+        _REDIS_ROUNDTRIPS.inc()
         if not raw:
             return None
         self.remote_fetches += 1
@@ -93,9 +146,22 @@ class ShapeIndexCache:
             int(k[len(prefix):]) for k in self._redis.keys(f"{prefix}*")
         )
 
+    def stats(self) -> IndexCacheStats:
+        """Named snapshot of the cache's counters."""
+        return IndexCacheStats(
+            hits=self._local.hits,
+            misses=self._local.misses,
+            evictions=self._local.evictions,
+            entries=len(self._local),
+            remote_fetches=self.remote_fetches,
+        )
+
     @property
     def local_stats(self) -> tuple[int, int, int]:
-        """(hits, misses, evictions) of the process-local LFU layer."""
+        """(hits, misses, evictions) of the process-local LFU layer.
+
+        Deprecated positional form; prefer :meth:`stats`.
+        """
         return (self._local.hits, self._local.misses, self._local.evictions)
 
     def clear_local(self) -> None:

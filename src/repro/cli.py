@@ -4,8 +4,11 @@ Commands:
 
 - ``generate`` — write a synthetic dataset to CSV;
 - ``load`` — build a TMan deployment from a CSV and save it to a directory;
-- ``query`` — run a temporal/spatial/id query against a saved deployment;
-- ``info`` — show a saved deployment's configuration and statistics.
+- ``query`` — run a temporal/spatial/id query against a saved deployment
+  (``--trace-out`` writes a Chrome trace, ``--slow-ms`` arms the slow-query
+  log);
+- ``info`` — show a saved deployment's configuration and statistics;
+- ``metrics`` — dump the process metrics registry (Prometheus text or JSON).
 
 CSV format: one point per line, ``oid,tid,t,lng,lat``, points of a
 trajectory contiguous and time-ordered (the format ``generate`` emits).
@@ -15,10 +18,12 @@ from __future__ import annotations
 
 import argparse
 import csv
+import json
 import sys
 from pathlib import Path
 from typing import Iterable, Iterator
 
+from repro import obs
 from repro.datasets import LORRY_SPEC, TDRIVE_SPEC, generate_dataset
 from repro.model import MBR, STPoint, TimeRange, Trajectory
 from repro.storage.config import TManConfig
@@ -102,6 +107,8 @@ def cmd_load(args: argparse.Namespace) -> int:
 
 def cmd_query(args: argparse.Namespace) -> int:
     """``query``: run a query against a saved deployment."""
+    if args.slow_ms is not None:
+        obs.set_slow_query_ms(args.slow_ms)
     with open_tman(args.deployment) as tman:
         if args.type == "temporal":
             res = tman.temporal_range_query(TimeRange(args.start, args.end))
@@ -123,6 +130,12 @@ def cmd_query(args: argparse.Namespace) -> int:
                   f"t=[{tr.start:.0f},{tr.end:.0f}]")
         if len(res) > args.limit:
             print(f"  ... and {len(res) - args.limit} more")
+    if args.trace_out:
+        out = Path(args.trace_out)
+        out.write_text(json.dumps(obs.tracer().to_chrome(), indent=2))
+        print(f"wrote Chrome trace ({len(obs.tracer())} spans) to {out}")
+    for entry in obs.slow_query_log().entries():
+        print(entry.render())
     return 0
 
 
@@ -134,9 +147,32 @@ def cmd_info(args: argparse.Namespace) -> int:
         print(f"rows: {tman.row_count}")
         for key in sorted(doc):
             print(f"  {key}: {doc[key]}")
-        hits, misses, evictions = tman.index_cache.local_stats
+        cache = tman.index_cache.stats()
         print(f"index cache: {len(tman.index_cache.known_elements())} elements, "
-              f"local hits={hits} misses={misses}")
+              f"local hits={cache.hits} misses={cache.misses} "
+              f"evictions={cache.evictions} entries={cache.entries} "
+              f"remote_fetches={cache.remote_fetches}")
+        snap = tman.cluster.stats.snapshot()
+        print("io stats:")
+        for name in (
+            "rows_scanned", "rows_returned", "range_scans", "bytes_transferred",
+            "block_reads", "filter_evals", "bloom_rejects", "point_gets",
+        ):
+            print(f"  {name}: {getattr(snap, name)}")
+    return 0
+
+
+def cmd_metrics(args: argparse.Namespace) -> int:
+    """``metrics``: dump the process-wide metrics registry."""
+    if args.format == "prometheus":
+        text = obs.to_prometheus(obs.registry())
+    else:
+        text = obs.to_json(obs.registry())
+    if args.out:
+        Path(args.out).write_text(text + ("\n" if not text.endswith("\n") else ""))
+        print(f"wrote {args.format} metrics to {args.out}")
+    else:
+        print(text)
     return 0
 
 
@@ -174,11 +210,27 @@ def build_parser() -> argparse.ArgumentParser:
     q.add_argument("--window", help="x1,y1,x2,y2 spatial window")
     q.add_argument("--oid", help="object id for --type id")
     q.add_argument("--limit", type=int, default=10)
+    q.add_argument(
+        "--trace-out",
+        help="write the query's Chrome trace_event JSON to this file",
+    )
+    q.add_argument(
+        "--slow-ms",
+        type=float,
+        help="slow-query threshold; crossing queries print a full trace",
+    )
     q.set_defaults(fn=cmd_query)
 
     i = sub.add_parser("info", help="describe a saved deployment")
     i.add_argument("deployment")
     i.set_defaults(fn=cmd_info)
+
+    m = sub.add_parser("metrics", help="dump the process metrics registry")
+    m.add_argument(
+        "--format", choices=["prometheus", "json"], default="prometheus"
+    )
+    m.add_argument("--out", help="write to a file instead of stdout")
+    m.set_defaults(fn=cmd_metrics)
     return parser
 
 

@@ -23,6 +23,11 @@ from typing import Iterator, Optional, Sequence, Union
 
 from repro.kvstore.errors import CorruptionError
 from repro.kvstore.stats import IOStats
+from repro.obs import counter as _obs_counter
+
+_BLOCK_READS = _obs_counter(
+    "kv_block_read_total", "SSTable blocks touched by gets and scans"
+)
 
 MAGIC = b"TMSST\x01"
 SPARSE_EVERY = 32
@@ -109,21 +114,27 @@ class DiskSSTable:
         return self._sparse_offsets[idx]
 
     def _records_from(self, offset: int) -> Iterator[tuple[bytes, bytes]]:
-        with open(self.path, "rb") as fh:
-            fh.seek(offset)
-            while fh.tell() < self._data_end:
-                header = fh.read(4)
-                if len(header) < 4:
-                    raise CorruptionError(f"{self.path}: torn record header")
-                (key_len,) = _LEN.unpack(header)
-                key = fh.read(key_len)
-                (value_len,) = _LEN.unpack(fh.read(4))
-                value = fh.read(value_len)
-                if len(key) != key_len or len(value) != value_len:
-                    raise CorruptionError(f"{self.path}: torn record body")
-                if self._stats is not None:
-                    self._stats.add(block_reads=1)
-                yield key, value
+        records = 0
+        try:
+            with open(self.path, "rb") as fh:
+                fh.seek(offset)
+                while fh.tell() < self._data_end:
+                    header = fh.read(4)
+                    if len(header) < 4:
+                        raise CorruptionError(f"{self.path}: torn record header")
+                    (key_len,) = _LEN.unpack(header)
+                    key = fh.read(key_len)
+                    (value_len,) = _LEN.unpack(fh.read(4))
+                    value = fh.read(value_len)
+                    if len(key) != key_len or len(value) != value_len:
+                        raise CorruptionError(f"{self.path}: torn record body")
+                    if self._stats is not None:
+                        self._stats.add(block_reads=1)
+                    records += 1
+                    yield key, value
+        finally:
+            if records:
+                _BLOCK_READS.inc(records)
 
     def get(self, key: bytes) -> Optional[bytes]:
         """Return the value stored under ``key``, or ``None`` when absent."""

@@ -16,9 +16,23 @@ from repro.kvstore.disk_sstable import DiskSSTable, write_disk_sstable
 from repro.kvstore.memtable import TOMBSTONE, MemTable
 from repro.kvstore.stats import IOStats
 from repro.kvstore.wal import OP_DELETE, OP_PUT, WriteAheadLog
+from repro.obs import counter as _obs_counter
 
 DEFAULT_FLUSH_BYTES = 4 * 1024 * 1024
 DEFAULT_MAX_TABLES = 8
+
+_FLUSH_TOTAL = _obs_counter(
+    "kv_memtable_flush_total", "Memtable freezes into an SSTable run"
+)
+_FLUSH_BYTES = _obs_counter(
+    "kv_memtable_flush_bytes_total", "Approximate bytes frozen by memtable flushes"
+)
+_COMPACT_TOTAL = _obs_counter(
+    "kv_compaction_total", "Size-tiered full compactions executed"
+)
+_COMPACT_BYTES = _obs_counter(
+    "kv_compaction_bytes_total", "Live bytes rewritten by compactions"
+)
 
 
 class DurableLSMStore:
@@ -77,6 +91,8 @@ class DurableLSMStore:
         """Freeze the memtable to a new disk SSTable and reset the WAL."""
         if len(self._memtable) == 0:
             return
+        _FLUSH_TOTAL.inc()
+        _FLUSH_BYTES.inc(self._memtable.approx_bytes)
         path = self.data_dir / f"sst-{self._next_seq:06d}.sst"
         self._next_seq += 1
         write_disk_sstable(path, list(self._memtable.items()))
@@ -93,6 +109,8 @@ class DurableLSMStore:
             for k, v in table.scan():
                 merged[k] = v
         live = sorted((k, v) for k, v in merged.items() if v != TOMBSTONE)
+        _COMPACT_TOTAL.inc()
+        _COMPACT_BYTES.inc(sum(len(k) + len(v) for k, v in live))
         old_paths = [t.path for t in self._sstables]
         path = self.data_dir / f"sst-{self._next_seq:06d}.sst"
         self._next_seq += 1

@@ -8,9 +8,23 @@ from typing import Iterator, Optional
 from repro.kvstore.memtable import TOMBSTONE, MemTable
 from repro.kvstore.sstable import SSTable
 from repro.kvstore.stats import IOStats
+from repro.obs import counter as _obs_counter
 
 DEFAULT_FLUSH_BYTES = 4 * 1024 * 1024
 DEFAULT_MAX_TABLES = 8
+
+_FLUSH_TOTAL = _obs_counter(
+    "kv_memtable_flush_total", "Memtable freezes into an SSTable run"
+)
+_FLUSH_BYTES = _obs_counter(
+    "kv_memtable_flush_bytes_total", "Approximate bytes frozen by memtable flushes"
+)
+_COMPACT_TOTAL = _obs_counter(
+    "kv_compaction_total", "Size-tiered full compactions executed"
+)
+_COMPACT_BYTES = _obs_counter(
+    "kv_compaction_bytes_total", "Live bytes rewritten by compactions"
+)
 
 
 class LSMStore:
@@ -65,6 +79,8 @@ class LSMStore:
         """Freeze the memtable into an SSTable (no-op when empty)."""
         if len(self._memtable) == 0:
             return
+        _FLUSH_TOTAL.inc()
+        _FLUSH_BYTES.inc(self._memtable.approx_bytes)
         entries = list(self._memtable.items())
         self._sstables.append(SSTable(entries, self._stats))
         self._memtable = MemTable()
@@ -78,6 +94,8 @@ class LSMStore:
             for k, v in table.scan():
                 merged[k] = v
         live = sorted((k, v) for k, v in merged.items() if v != TOMBSTONE)
+        _COMPACT_TOTAL.inc()
+        _COMPACT_BYTES.inc(sum(len(k) + len(v) for k, v in live))
         self._sstables = [SSTable(live, self._stats)] if live else []
 
     # -- reads --------------------------------------------------------------

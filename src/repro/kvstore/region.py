@@ -2,11 +2,26 @@
 
 from __future__ import annotations
 
+import time
 from typing import Iterator, Optional, Protocol
 
 from repro.kvstore.lsm import LSMStore
 from repro.kvstore.scan import Scan
 from repro.kvstore.stats import IOStats
+from repro.obs import counter as _obs_counter, histogram as _obs_histogram
+
+_SCAN_MS = _obs_histogram(
+    "kv_region_scan_ms",
+    "Per-region scan busy time (producing rows, excluding consumer time)",
+)
+_SCAN_TOTAL = _obs_counter("kv_region_scan_total", "Region range scans opened")
+_ROWS_SCANNED = _obs_counter(
+    "kv_rows_scanned_total", "Rows touched server-side by region scans"
+)
+_ROWS_RETURNED = _obs_counter(
+    "kv_rows_returned_total", "Rows surviving push-down and shipped to clients"
+)
+_POINT_GETS = _obs_counter("kv_point_get_total", "Region point lookups")
 
 
 class KVStoreEngine(Protocol):
@@ -87,6 +102,7 @@ class Region:
 
     def get(self, key: bytes) -> Optional[bytes]:
         """Return the value stored under ``key``, or ``None`` when absent."""
+        _POINT_GETS.inc()
         value = self._store.get(key)
         if value is not None:
             self._stats.add(
@@ -108,12 +124,19 @@ class Region:
         """Run the scan's portion that falls inside this region.
 
         Every row touched counts as scanned; rows passing the push-down
-        filter are transferred (and counted) to the caller.
+        filter are transferred (and counted) to the caller.  With metrics
+        enabled the scan also feeds the ``kv_region_scan_*`` instruments:
+        busy time (time spent producing rows, excluding the consumer's
+        time between pulls) lands in the latency histogram, and row totals
+        are batched into the counters when the scan closes.
         """
         start, stop = self.clamp(scan)
         if start is not None and stop is not None and stop <= start:
             return
         self._stats.add(range_scans=1)
+        if _SCAN_MS._registry.enabled:
+            yield from self._execute_scan_timed(scan, start, stop)
+            return
         returned = 0
         for key, value in self._store.scan(start, stop):
             self._stats.add(rows_scanned=1)
@@ -126,6 +149,42 @@ class Region:
             returned += 1
             if scan.limit is not None and returned >= scan.limit:
                 return
+
+    def _execute_scan_timed(
+        self, scan: Scan, start: Optional[bytes], stop: Optional[bytes]
+    ) -> Iterator[tuple[bytes, bytes]]:
+        """The metered twin of :meth:`execute_scan`'s row loop."""
+        perf = time.perf_counter
+        busy = 0.0
+        scanned = returned = 0
+        try:
+            t0 = perf()
+            for key, value in self._store.scan(start, stop):
+                scanned += 1
+                self._stats.add(rows_scanned=1)
+                if scan.server_filter is not None:
+                    self._stats.add(filter_evals=1)
+                    if not scan.server_filter.test(key, value):
+                        t1 = perf()
+                        busy += t1 - t0
+                        t0 = t1
+                        continue
+                self._stats.add(
+                    rows_returned=1, bytes_transferred=len(key) + len(value)
+                )
+                returned += 1
+                busy += perf() - t0
+                yield key, value
+                t0 = perf()
+                if scan.limit is not None and returned >= scan.limit:
+                    return
+        finally:
+            _SCAN_TOTAL.inc()
+            _SCAN_MS.observe(busy * 1000.0)
+            if scanned:
+                _ROWS_SCANNED.inc(scanned)
+            if returned:
+                _ROWS_RETURNED.inc(returned)
 
     def split_key(self) -> Optional[bytes]:
         """Median key of the region, or None when too small to split."""

@@ -7,8 +7,19 @@ from typing import Iterator, Optional, Sequence
 
 from repro.kvstore.bloom import BloomFilter
 from repro.kvstore.stats import IOStats
+from repro.obs import counter as _obs_counter
 
 BLOCK_SIZE = 64  # entries per index block
+
+_BLOOM_ACCEPT = _obs_counter(
+    "kv_bloom_accept_total", "Point gets the bloom filter let through"
+)
+_BLOOM_REJECT = _obs_counter(
+    "kv_bloom_reject_total", "Point gets short-circuited by the bloom filter"
+)
+_BLOCK_READS = _obs_counter(
+    "kv_block_read_total", "SSTable blocks touched by gets and scans"
+)
 
 
 class SSTable:
@@ -48,17 +59,21 @@ class SSTable:
         return self._keys[-1] if self._keys else None
 
     def _count_blocks(self, lo: int, hi: int) -> None:
-        if self._stats is not None and hi > lo:
+        if hi > lo:
             first_block = lo // BLOCK_SIZE
             last_block = (hi - 1) // BLOCK_SIZE
-            self._stats.add(block_reads=last_block - first_block + 1)
+            _BLOCK_READS.inc(last_block - first_block + 1)
+            if self._stats is not None:
+                self._stats.add(block_reads=last_block - first_block + 1)
 
     def get(self, key: bytes) -> Optional[bytes]:
         """Point lookup; bloom-filter misses are counted and cost nothing."""
         if not self._bloom.might_contain(key):
+            _BLOOM_REJECT.inc()
             if self._stats is not None:
                 self._stats.add(bloom_rejects=1)
             return None
+        _BLOOM_ACCEPT.inc()
         i = bisect.bisect_left(self._keys, key)
         if i < len(self._keys) and self._keys[i] == key:
             self._count_blocks(i, i + 1)

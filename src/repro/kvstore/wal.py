@@ -15,11 +15,23 @@ import zlib
 from pathlib import Path
 from typing import Iterator, Union
 
+from repro.obs import counter as _obs_counter
+
 _HEADER = struct.Struct(">IBI")  # crc, op, key_len
 _LEN = struct.Struct(">I")
 
 OP_PUT = 0
 OP_DELETE = 1
+
+_WAL_APPEND_TOTAL = _obs_counter(
+    "kv_wal_append_total", "Records appended to write-ahead logs"
+)
+_WAL_APPEND_BYTES = _obs_counter(
+    "kv_wal_append_bytes_total", "Bytes appended to write-ahead logs"
+)
+_WAL_SYNC_TOTAL = _obs_counter(
+    "kv_wal_sync_total", "fsync calls issued by write-ahead logs"
+)
 
 
 class WriteAheadLog:
@@ -44,13 +56,17 @@ class WriteAheadLog:
         crc = zlib.crc32(body) & 0xFFFFFFFF
         self._fh.write(_LEN.pack(crc) + body)
         self._fh.flush()
+        _WAL_APPEND_TOTAL.inc()
+        _WAL_APPEND_BYTES.inc(4 + len(body))
         if self.sync:
             os.fsync(self._fh.fileno())
+            _WAL_SYNC_TOTAL.inc()
 
     def fsync(self) -> None:
         """Force an fsync (group commit point for sync=False logs)."""
         self._fh.flush()
         os.fsync(self._fh.fileno())
+        _WAL_SYNC_TOTAL.inc()
 
     def append_put(self, key: bytes, value: bytes) -> None:
         """Record a put operation."""

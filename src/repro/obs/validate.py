@@ -1,0 +1,44 @@
+"""CLI schema check for exported metrics snapshots.
+
+``python -m repro.obs.validate FILE [FILE...]`` exits non-zero when any
+file fails :func:`repro.obs.export.validate_snapshot` — CI runs this
+against the snapshot the streaming benchmark emits, so exporter drift
+breaks the build instead of dashboards.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+from repro.obs.export import validate_snapshot
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Validate each snapshot file; returns the process exit code."""
+    paths = sys.argv[1:] if argv is None else argv
+    if not paths:
+        print("usage: python -m repro.obs.validate SNAPSHOT.json [...]", file=sys.stderr)
+        return 2
+    failed = False
+    for path in paths:
+        try:
+            with open(path) as fh:
+                doc = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"{path}: unreadable ({exc})", file=sys.stderr)
+            failed = True
+            continue
+        errors = validate_snapshot(doc)
+        if errors:
+            failed = True
+            for error in errors:
+                print(f"{path}: {error}", file=sys.stderr)
+        else:
+            metric_count = len(doc.get("metrics", []))
+            print(f"{path}: schema-valid ({metric_count} metrics)")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

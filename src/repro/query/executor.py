@@ -18,6 +18,12 @@ from typing import TYPE_CHECKING, Optional, Union
 from repro.kvstore.stats import CostModel, ExecutionTrace
 from repro.model.mbr import MBR
 from repro.model.trajectory import Trajectory
+from repro.obs import (
+    counter as _obs_counter,
+    histogram as _obs_histogram,
+    slow_query_log as _obs_slow_query_log,
+    tracer as _obs_tracer,
+)
 from repro.query.operators import (
     PointDistanceRefine,
     RegionScan,
@@ -47,6 +53,21 @@ from repro.query.windows import primary_windows_u64
 if TYPE_CHECKING:  # pragma: no cover - typing-only import
     from repro.storage.tman import TMan
 
+_QUERY_TOTAL = _obs_counter(
+    "query_total", "Queries executed", labelnames=("type",)
+)
+_QUERY_MS = _obs_histogram(
+    "query_latency_ms", "End-to-end query wall time", labelnames=("type",)
+)
+_QUERY_CANDIDATES = _obs_histogram(
+    "query_candidates",
+    "Candidate rows touched per query (scanned + point gets)",
+    labelnames=("type",),
+)
+_QUERY_SLOW = _obs_counter(
+    "query_slow_total", "Queries captured by the slow-query log"
+)
+
 Query = Union[
     TemporalRangeQuery,
     SpatialRangeQuery,
@@ -75,26 +96,31 @@ class QueryExecutor:
         """
         plan = self._t.planner.plan(query)
         before = self._t.cluster.stats.snapshot()
-        t0 = time.perf_counter()
-        trace = ExecutionTrace()
+        with _obs_tracer().span(
+            "query.execute",
+            type=type(query).__name__,
+            plan=f"{plan.index}/{plan.route}",
+        ):
+            t0 = time.perf_counter()
+            trace = ExecutionTrace()
 
-        distances: Optional[list[float]] = None
-        if isinstance(query, TopKSimilarityQuery):
-            if limit is not None:
-                raise ValueError("limit is not supported for top-k queries")
-            trajs, distances = self._run_topk(query, trace)
-        elif isinstance(query, KNNPointQuery):
-            if limit is not None:
-                raise ValueError("limit is not supported for kNN queries")
-            trajs, distances = self._run_knn(query, trace)
-        elif isinstance(query, ThresholdSimilarityQuery) and limit is not None:
-            raise ValueError("limit is not supported for similarity queries")
-        else:
-            pipeline = build_pipeline(
-                self._t, query, plan, trace=trace, limit=limit
-            )
-            trajs = pipeline.run()
-        return self._finalize(trajs, distances, plan, before, t0, trace)
+            distances: Optional[list[float]] = None
+            if isinstance(query, TopKSimilarityQuery):
+                if limit is not None:
+                    raise ValueError("limit is not supported for top-k queries")
+                trajs, distances = self._run_topk(query, trace)
+            elif isinstance(query, KNNPointQuery):
+                if limit is not None:
+                    raise ValueError("limit is not supported for kNN queries")
+                trajs, distances = self._run_knn(query, trace)
+            elif isinstance(query, ThresholdSimilarityQuery) and limit is not None:
+                raise ValueError("limit is not supported for similarity queries")
+            else:
+                pipeline = build_pipeline(
+                    self._t, query, plan, trace=trace, limit=limit
+                )
+                trajs = pipeline.run()
+            return self._finalize(query, trajs, distances, plan, before, t0, trace)
 
     def execute_count(self, query: Query) -> QueryResult:
         """Count matching trajectories without decompressing any points.
@@ -112,13 +138,18 @@ class QueryExecutor:
             )
         plan = self._t.planner.plan(query)
         before = self._t.cluster.stats.snapshot()
-        t0 = time.perf_counter()
-        trace = ExecutionTrace()
-        pipeline = build_pipeline(self._t, query, plan, trace=trace, count=True)
-        count = pipeline.run()
-        result = self._finalize([], None, plan, before, t0, trace)
-        result.count = count
-        return result
+        with _obs_tracer().span(
+            "query.count",
+            type=type(query).__name__,
+            plan=f"{plan.index}/{plan.route}",
+        ):
+            t0 = time.perf_counter()
+            trace = ExecutionTrace()
+            pipeline = build_pipeline(self._t, query, plan, trace=trace, count=True)
+            count = pipeline.run()
+            result = self._finalize(query, [], None, plan, before, t0, trace)
+            result.count = count
+            return result
 
     # -- iterative queries (expanding-ring pipelines) ------------------------
 
@@ -206,6 +237,7 @@ class QueryExecutor:
 
     def _finalize(
         self,
+        query: Query,
         trajs: list[Trajectory],
         distances: Optional[list[float]],
         plan: QueryPlan,
@@ -215,7 +247,7 @@ class QueryExecutor:
     ) -> QueryResult:
         elapsed = (time.perf_counter() - t0) * 1000
         delta = self._t.cluster.stats.snapshot() - before
-        return QueryResult(
+        result = QueryResult(
             trajectories=trajs,
             candidates=delta.rows_scanned + delta.point_gets,
             transferred_rows=delta.rows_returned,
@@ -226,3 +258,27 @@ class QueryExecutor:
             distances=distances,
             trace=trace,
         )
+        self._observe(query, result, trace)
+        return result
+
+    def _observe(
+        self, query: Query, result: QueryResult, trace: Optional[ExecutionTrace]
+    ) -> None:
+        """Feed the finished query into the registry and the slow-query log."""
+        qtype = type(query).__name__
+        if _QUERY_TOTAL._registry.enabled:
+            _QUERY_TOTAL.labels(type=qtype).inc()
+            _QUERY_MS.labels(type=qtype).observe(result.elapsed_ms)
+            _QUERY_CANDIDATES.labels(type=qtype).observe(result.candidates)
+        slog = _obs_slow_query_log()
+        if slog.threshold_ms is not None and result.elapsed_ms >= slog.threshold_ms:
+            recorded = slog.maybe_record(
+                repr(query),
+                result.plan,
+                result.elapsed_ms,
+                candidates=result.candidates,
+                transferred_rows=result.transferred_rows,
+                trace=trace.render() if trace is not None else "",
+            )
+            if recorded:
+                _QUERY_SLOW.inc()

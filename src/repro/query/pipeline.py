@@ -18,6 +18,11 @@ from typing import TYPE_CHECKING, Any, Callable, Iterator, Optional, Sequence, U
 
 from repro.kvstore.filters import Filter, FilterChain
 from repro.kvstore.stats import ExecutionTrace
+from repro.obs import (
+    counter as _obs_counter,
+    histogram as _obs_histogram,
+    tracer as _obs_tracer,
+)
 from repro.query.filters import (
     IdFilter,
     SimilarityFilter,
@@ -57,6 +62,17 @@ if TYPE_CHECKING:  # pragma: no cover - typing-only imports
     from repro.model.trajectory import Trajectory
     from repro.query.planner import QueryPlan
     from repro.storage.tman import TMan
+
+_STAGE_MS = _obs_histogram(
+    "pipeline_stage_ms",
+    "Per-stage self time of one pipeline round",
+    labelnames=("stage",),
+)
+_STAGE_ROWS = _obs_counter(
+    "pipeline_stage_rows_total",
+    "Rows emitted by each pipeline stage",
+    labelnames=("stage",),
+)
 
 PipelineQuery = Union[
     TemporalRangeQuery,
@@ -146,31 +162,58 @@ class Pipeline:
             edge = _Edge(op.process(stream))
             edges.append(edge)
             stream = edge
-        t0 = time.perf_counter()
-        try:
-            value = self.sink.consume(stream if stream is not None else iter(()))
-        finally:
-            total_ms = (time.perf_counter() - t0) * 1000.0
-            # Close top-down so abandoned generators (early-terminating
-            # sinks) release their region streams deterministically.
-            for edge in reversed(edges):
-                edge.close()
-            prev: Optional[_Edge] = None
-            for op, edge in zip(self.stages, edges):
-                stats = trace.stage(op.name)
+        tracer = _obs_tracer()
+        with tracer.span("pipeline.run", pipeline=self.describe()) as span:
+            t0 = time.perf_counter()
+            try:
+                value = self.sink.consume(stream if stream is not None else iter(()))
+            finally:
+                total_ms = (time.perf_counter() - t0) * 1000.0
+                # Close top-down so abandoned generators (early-terminating
+                # sinks) release their region streams deterministically.
+                for edge in reversed(edges):
+                    edge.close()
+                # (stage name, this round's self time, rows out) — the trace
+                # accumulates across rounds, the observability hooks below
+                # want per-round values.
+                round_stages: list[tuple[str, float, int]] = []
+                prev: Optional[_Edge] = None
+                for op, edge in zip(self.stages, edges):
+                    stats = trace.stage(op.name)
+                    if prev is not None:
+                        stats.rows_in += prev.count
+                    stats.rows_out += edge.count
+                    stats.bytes_out += edge.bytes
+                    upstream_s = prev.elapsed if prev is not None else 0.0
+                    stage_ms = max(0.0, (edge.elapsed - upstream_s) * 1000.0)
+                    stats.wall_ms += stage_ms
+                    round_stages.append((op.name, stage_ms, edge.count))
+                    prev = edge
+                sink_stats = trace.stage(self.sink.name)
                 if prev is not None:
-                    stats.rows_in += prev.count
-                stats.rows_out += edge.count
-                stats.bytes_out += edge.bytes
-                upstream_s = prev.elapsed if prev is not None else 0.0
-                stats.wall_ms += max(0.0, (edge.elapsed - upstream_s) * 1000.0)
-                prev = edge
-            sink_stats = trace.stage(self.sink.name)
-            if prev is not None:
-                sink_stats.rows_in += prev.count
-                sink_stats.wall_ms += max(0.0, total_ms - prev.elapsed * 1000.0)
-            else:
-                sink_stats.wall_ms += total_ms
+                    sink_stats.rows_in += prev.count
+                    sink_ms = max(0.0, total_ms - prev.elapsed * 1000.0)
+                else:
+                    sink_ms = total_ms
+                sink_stats.wall_ms += sink_ms
+                round_stages.append((self.sink.name, sink_ms, 0))
+                if _STAGE_MS._registry.enabled:
+                    # Stage spans are laid out back-to-back inside the
+                    # pipeline span: a self-time flame chart, not a true
+                    # timeline (volcano stages interleave row by row).
+                    cursor = t0
+                    for name, stage_ms, rows in round_stages:
+                        _STAGE_MS.labels(stage=name).observe(stage_ms)
+                        if rows:
+                            _STAGE_ROWS.labels(stage=name).inc(rows)
+                        if span is not None:
+                            tracer.add_span(
+                                f"stage.{name}",
+                                cursor,
+                                stage_ms / 1000.0,
+                                parent_id=span.span_id,
+                            )
+                        cursor += stage_ms / 1000.0
         trace.stage(self.sink.name).rows_out += self.sink.result_size(value)
         return value
 

@@ -21,10 +21,28 @@ from repro.core.temporal import TRIndex
 from repro.core.tshape import TShapeKey
 from repro.kvstore.scan import Scan
 from repro.model.trajectory import Trajectory
+from repro.obs import (
+    counter as _obs_counter,
+    histogram as _obs_histogram,
+    tracer as _obs_tracer,
+)
 from repro.storage.schema import encode_u64
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from repro.storage.tman import TMan
+
+_INGEST_ROWS = _obs_counter(
+    "ingest_rows_total", "Trajectory rows written by bulk loads and inserts"
+)
+_INGEST_ENCODE_MS = _obs_histogram(
+    "ingest_encode_ms", "Shape-code optimization time per write batch"
+)
+_INGEST_WRITE_MS = _obs_histogram(
+    "ingest_write_ms", "Row-write time per write batch"
+)
+_REENCODE_TOTAL = _obs_counter(
+    "ingest_reencode_total", "Buffer-overflow re-encodes triggered by inserts"
+)
 
 
 @dataclass
@@ -53,6 +71,16 @@ class StorageWriter:
         self._t = tman
 
     # -- shared helpers ---------------------------------------------------
+
+    @staticmethod
+    def _record_ingest(report: WriteReport) -> None:
+        """Feed one batch's accounting into the metrics registry."""
+        _INGEST_ROWS.inc(report.rows_written)
+        if report.encode_seconds:
+            _INGEST_ENCODE_MS.observe(report.encode_seconds * 1000.0)
+        _INGEST_WRITE_MS.observe(report.write_seconds * 1000.0)
+        if report.reencodes_triggered:
+            _REENCODE_TOTAL.inc(report.reencodes_triggered)
 
     def _prepare(self, trajs: Iterable[Trajectory]) -> list[_Prepared]:
         tr: TRIndex = self._t.tr_index
@@ -111,39 +139,43 @@ class StorageWriter:
         the current maximum so previously written rows stay valid.
         """
         report = WriteReport()
-        t0 = time.perf_counter()
-        prepared = self._prepare(trajs)
+        with _obs_tracer().span("storage.bulk_load", batch=len(trajs)) as sp:
+            t0 = time.perf_counter()
+            prepared = self._prepare(trajs)
 
-        by_element: dict[int, list[int]] = {}
-        for p in prepared:
-            by_element.setdefault(p.key.element_code, []).append(p.key.raw_shape)
+            by_element: dict[int, list[int]] = {}
+            for p in prepared:
+                by_element.setdefault(p.key.element_code, []).append(p.key.raw_shape)
 
-        for element_code, shapes in by_element.items():
-            existing = self._t.index_cache.get_mapping(element_code)
-            if existing is None:
-                mapping = self._t.encoder.encode(shapes)
-                self._t.index_cache.put_mapping(element_code, mapping)
-                report.elements_encoded += 1
-            else:
-                new_shapes = sorted(set(shapes) - set(existing))
-                if new_shapes:
-                    next_code = max(existing.values()) + 1
-                    for offset, shape in enumerate(new_shapes):
-                        self._t.index_cache.add_shape(
-                            element_code, shape, next_code + offset
-                        )
-        report.encode_seconds = time.perf_counter() - t0
+            for element_code, shapes in by_element.items():
+                existing = self._t.index_cache.get_mapping(element_code)
+                if existing is None:
+                    mapping = self._t.encoder.encode(shapes)
+                    self._t.index_cache.put_mapping(element_code, mapping)
+                    report.elements_encoded += 1
+                else:
+                    new_shapes = sorted(set(shapes) - set(existing))
+                    if new_shapes:
+                        next_code = max(existing.values()) + 1
+                        for offset, shape in enumerate(new_shapes):
+                            self._t.index_cache.add_shape(
+                                element_code, shape, next_code + offset
+                            )
+            report.encode_seconds = time.perf_counter() - t0
 
-        t1 = time.perf_counter()
-        for p in prepared:
-            final = self._t.index_cache.lookup_final_code(
-                p.key.element_code, p.key.raw_shape
-            )
-            assert final is not None, "bulk load must have encoded every shape"
-            self._write_row(p, final)
-            report.rows_written += 1
-        report.write_seconds = time.perf_counter() - t1
-        self._t.refresh_statistics(prepared)
+            t1 = time.perf_counter()
+            for p in prepared:
+                final = self._t.index_cache.lookup_final_code(
+                    p.key.element_code, p.key.raw_shape
+                )
+                assert final is not None, "bulk load must have encoded every shape"
+                self._write_row(p, final)
+                report.rows_written += 1
+            report.write_seconds = time.perf_counter() - t1
+            self._t.refresh_statistics(prepared)
+            if sp is not None:
+                sp.set(rows=report.rows_written, elements=report.elements_encoded)
+        self._record_ingest(report)
         return report
 
     # -- online insert (§IV-C) ---------------------------------------------------
@@ -151,33 +183,37 @@ class StorageWriter:
     def insert(self, trajs: Sequence[Trajectory]) -> WriteReport:
         """Buffered insert: reuse known codes, stage unknown shapes raw."""
         report = WriteReport()
-        t0 = time.perf_counter()
-        prepared = self._prepare(trajs)
-        for p in prepared:
-            final = self._t.index_cache.lookup_final_code(
-                p.key.element_code, p.key.raw_shape
-            )
-            if final is None:
-                # Unknown shape: store under the raw bitmap and stage it.
-                # Registering the identity mapping keeps the row reachable by
-                # queries until the next re-encode.
-                self._t.index_cache.add_shape(
-                    p.key.element_code, p.key.raw_shape, p.key.raw_shape
-                )
-                overflow = self._t.buffer_cache.add(
+        with _obs_tracer().span("storage.insert", batch=len(trajs)) as sp:
+            t0 = time.perf_counter()
+            prepared = self._prepare(trajs)
+            for p in prepared:
+                final = self._t.index_cache.lookup_final_code(
                     p.key.element_code, p.key.raw_shape
                 )
-                final = p.key.raw_shape
-                self._write_row(p, final)
-                report.rows_written += 1
-                if overflow:
-                    report.reencodes_triggered += 1
-                    report.rows_rewritten += self._reencode()
-            else:
-                self._write_row(p, final)
-                report.rows_written += 1
-        report.write_seconds = time.perf_counter() - t0
-        self._t.refresh_statistics(prepared)
+                if final is None:
+                    # Unknown shape: store under the raw bitmap and stage it.
+                    # Registering the identity mapping keeps the row reachable by
+                    # queries until the next re-encode.
+                    self._t.index_cache.add_shape(
+                        p.key.element_code, p.key.raw_shape, p.key.raw_shape
+                    )
+                    overflow = self._t.buffer_cache.add(
+                        p.key.element_code, p.key.raw_shape
+                    )
+                    final = p.key.raw_shape
+                    self._write_row(p, final)
+                    report.rows_written += 1
+                    if overflow:
+                        report.reencodes_triggered += 1
+                        report.rows_rewritten += self._reencode()
+                else:
+                    self._write_row(p, final)
+                    report.rows_written += 1
+            report.write_seconds = time.perf_counter() - t0
+            self._t.refresh_statistics(prepared)
+            if sp is not None:
+                sp.set(rows=report.rows_written, reencodes=report.reencodes_triggered)
+        self._record_ingest(report)
         return report
 
     # -- deletes -----------------------------------------------------------------

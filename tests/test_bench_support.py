@@ -20,8 +20,25 @@ class TestPercentiles:
 
     def test_summarize_keys(self):
         s = summarize_ms([1, 2, 3, 4, 5])
-        assert set(s) == {"p50", "p70", "p80", "p90", "p100"}
-        assert s["p50"] <= s["p90"] <= s["p100"]
+        assert set(s) == {"p50", "p70", "p80", "p90", "p95", "p99", "p100"}
+        assert s["p50"] <= s["p90"] <= s["p95"] <= s["p99"] <= s["p100"]
+
+    def test_histogram_summary_reads_registry(self):
+        from repro.bench.harness import histogram_summary
+        from repro.obs import registry
+
+        hist = registry().histogram("bench_support_test_ms", "test histogram")
+        for v in (1.0, 2.0, 4.0, 8.0):
+            hist.observe(v)
+        s = histogram_summary("bench_support_test_ms")
+        assert s["count"] == 4.0
+        assert s["p50"] <= s["p95"] <= s["p99"]
+
+    def test_histogram_summary_unknown_name(self):
+        from repro.bench.harness import histogram_summary
+
+        with pytest.raises(KeyError):
+            histogram_summary("never_registered_anywhere")
 
 
 class TestRunQueries:

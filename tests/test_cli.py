@@ -57,6 +57,9 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "rows: 60" in out
         assert "alpha" in out
+        assert "io stats:" in out
+        assert "rows_scanned:" in out
+        assert "remote_fetches=" in out
 
     def test_temporal_query(self, deployment, csv_path, capsys):
         trajs = list(read_csv(csv_path))
@@ -94,3 +97,54 @@ class TestCommands:
         path.write_text("oid,tid,t,lng,lat\n")
         with pytest.raises(SystemExit):
             main(["load", str(path), str(tmp_path / "dep")])
+
+
+class TestObservabilityCommands:
+    def test_query_trace_out(self, deployment, csv_path, tmp_path, capsys):
+        import json
+
+        trajs = list(read_csv(csv_path))
+        tr = trajs[0].time_range
+        trace_file = tmp_path / "trace.json"
+        code = main([
+            "query", str(deployment), "--type", "temporal",
+            "--start", str(tr.start), "--end", str(tr.end),
+            "--trace-out", str(trace_file),
+        ])
+        assert code == 0
+        assert "wrote Chrome trace" in capsys.readouterr().out
+        doc = json.loads(trace_file.read_text())
+        assert doc["traceEvents"], "trace must contain spans"
+        names = {e["name"] for e in doc["traceEvents"]}
+        assert "query.execute" in names
+        assert any(n.startswith("stage.") for n in names)
+
+    def test_query_slow_ms_prints_entries(self, deployment, csv_path, capsys):
+        from repro import obs
+
+        obs.slow_query_log().clear()
+        trajs = list(read_csv(csv_path))
+        tr = trajs[0].time_range
+        code = main([
+            "query", str(deployment), "--type", "temporal",
+            "--start", str(tr.start), "--end", str(tr.end),
+            "--slow-ms", "0",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "[slow-query" in out
+        obs.set_slow_query_ms(None)
+        obs.slow_query_log().clear()
+
+    def test_metrics_prometheus(self, capsys):
+        assert main(["metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE" in out
+
+    def test_metrics_json_to_file(self, tmp_path, capsys):
+        import json
+
+        out_file = tmp_path / "metrics.json"
+        assert main(["metrics", "--format", "json", "--out", str(out_file)]) == 0
+        doc = json.loads(out_file.read_text())
+        assert doc["schema"] == "repro.obs.metrics/v1"

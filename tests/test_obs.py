@@ -1,0 +1,417 @@
+"""Tests for the unified observability layer (``repro.obs``).
+
+Unit tests construct private :class:`MetricsRegistry` / :class:`Tracer`
+instances so they cannot interfere with the process-wide singletons the
+instrumented modules hold handles to; the integration tests at the bottom
+exercise those singletons against a real deployment and restore their
+state afterwards.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.obs import (
+    MetricError,
+    MetricsRegistry,
+    SlowQueryLog,
+    Tracer,
+    spans_from_export,
+    to_json,
+    to_prometheus,
+    validate_snapshot,
+)
+
+
+@pytest.fixture
+def reg():
+    return MetricsRegistry()
+
+
+class TestRegistry:
+    def test_counter_get_or_create(self, reg):
+        a = reg.counter("c", "help")
+        b = reg.counter("c")
+        assert a is b
+        a.inc()
+        a.inc(2.5)
+        assert b.value == 3.5
+
+    def test_counter_rejects_negative(self, reg):
+        with pytest.raises(MetricError):
+            reg.counter("c").inc(-1)
+
+    def test_type_conflict_raises(self, reg):
+        reg.counter("m")
+        with pytest.raises(MetricError):
+            reg.gauge("m")
+
+    def test_labelname_conflict_raises(self, reg):
+        reg.counter("m", labelnames=("a",))
+        with pytest.raises(MetricError):
+            reg.counter("m", labelnames=("b",))
+
+    def test_label_validation(self, reg):
+        fam = reg.counter("m", labelnames=("stage",))
+        with pytest.raises(MetricError):
+            fam.labels(wrong="x")
+        with pytest.raises(MetricError):
+            fam.labels(stage="x", extra="y")
+
+    def test_label_cardinality(self, reg):
+        fam = reg.counter("m", labelnames=("stage",))
+        for i in range(17):
+            fam.labels(stage=f"s{i}").inc()
+        assert fam.series_count == 17
+        # Same label values reuse the same child.
+        assert fam.labels(stage="s0") is fam.labels(stage="s0")
+        assert fam.series_count == 17
+
+    def test_gauge_set_and_callback(self, reg):
+        g = reg.gauge("g")
+        g.set(7)
+        assert g.value == 7.0
+        g.inc(3)
+        g.dec(1)
+        assert g.value == 9.0
+        backing = [41]
+        reg.gauge("g2", callback=lambda: backing[0] + 1)
+        assert reg.get("g2").value == 42.0
+
+    def test_gauge_callback_reregistration_replaces(self, reg):
+        reg.gauge("g", callback=lambda: 1)
+        reg.gauge("g", callback=lambda: 2)
+        assert reg.get("g").value == 2.0
+
+    def test_disabled_mode_is_noop(self):
+        reg = MetricsRegistry(enabled=False)
+        c = reg.counter("c")
+        h = reg.histogram("h")
+        c.inc()
+        h.observe(5)
+        assert c.value == 0.0
+        assert h.count == 0
+        reg.set_enabled(True)
+        c.inc()
+        assert c.value == 1.0
+
+    def test_reset_keeps_handles_valid(self, reg):
+        c = reg.counter("c")
+        c.inc(5)
+        reg.reset()
+        assert c.value == 0.0
+        c.inc()
+        assert reg.get("c").value == 1.0
+
+    def test_concurrent_increments_exact(self, reg):
+        c = reg.counter("c")
+        h = reg.histogram("h")
+        threads_n, per_thread = 8, 10_000
+
+        def work():
+            for _ in range(per_thread):
+                c.inc()
+                h.observe(1.0)
+
+        threads = [threading.Thread(target=work) for _ in range(threads_n)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == threads_n * per_thread
+        assert h.count == threads_n * per_thread
+
+    def test_snapshot_shape(self, reg):
+        reg.counter("c", "help").inc()
+        reg.histogram("h").observe(3.0)
+        snap = reg.snapshot()
+        assert validate_snapshot(snap) == []
+        names = [m["name"] for m in snap["metrics"]]
+        assert names == sorted(names)
+
+
+class TestHistogram:
+    def test_percentiles_vs_numpy(self, reg):
+        rng = np.random.default_rng(1234)
+        samples = rng.lognormal(mean=1.0, sigma=1.2, size=5000)
+        h = reg.histogram("h")
+        for v in samples:
+            h.observe(float(v))
+        for pct in (50, 90, 95, 99):
+            expected = float(np.percentile(samples, pct))
+            assert h.percentile(pct) == pytest.approx(expected, rel=0.15), pct
+
+    def test_min_max_clamp(self, reg):
+        h = reg.histogram("h")
+        h.observe(3.0)
+        # One sample: every percentile is that sample (within bucket error 0).
+        assert h.percentile(50) == pytest.approx(3.0)
+        assert h.percentile(99) == pytest.approx(3.0)
+
+    def test_negative_clamps_to_zero(self, reg):
+        h = reg.histogram("h")
+        h.observe(-5.0)
+        assert h.count == 1
+        assert h.percentile(50) == 0.0
+
+    def test_empty_percentile_raises(self, reg):
+        with pytest.raises(MetricError):
+            reg.histogram("h").percentile(50)
+
+    def test_bad_parameters_rejected(self, reg):
+        with pytest.raises(MetricError):
+            reg.histogram("h1", growth=1.0)
+        with pytest.raises(MetricError):
+            reg.histogram("h2", base=0.0)
+
+
+class TestTracer:
+    def test_nesting_parent_ids(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                assert inner.parent_id == outer.span_id
+            assert tracer.current_span_id() == outer.span_id
+        assert tracer.current_span_id() is None
+        spans = {s.name: s for s in tracer.spans()}
+        assert spans["outer"].parent_id is None
+        assert spans["inner"].parent_id == spans["outer"].span_id
+
+    def test_export_round_trip(self):
+        tracer = Tracer()
+        with tracer.span("a", color="red"):
+            with tracer.span("b"):
+                pass
+        doc = json.loads(json.dumps(tracer.export()))
+        back = spans_from_export(doc)
+        assert [s.name for s in back] == [s.name for s in tracer.spans()]
+        by_name = {s.name: s for s in back}
+        assert by_name["b"].parent_id == by_name["a"].span_id
+        assert by_name["a"].attrs == {"color": "red"}
+
+    def test_add_span_parents_to_open_span(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            rec = tracer.add_span("stage", start=0.0, duration=0.5)
+        assert rec.parent_id == outer.span_id
+
+    def test_chrome_export(self):
+        tracer = Tracer()
+        with tracer.span("q"):
+            tracer.add_span("stage", start=0.0, duration=0.001, attrs={"rows": 5})
+        doc = tracer.to_chrome()
+        assert doc["displayTimeUnit"] == "ms"
+        assert len(doc["traceEvents"]) == 2
+        for event in doc["traceEvents"]:
+            assert event["ph"] == "X"
+            assert event["ts"] >= 0
+            assert event["pid"] == 1
+        # Round-trips through JSON (what --trace-out writes).
+        json.loads(json.dumps(doc))
+
+    def test_disabled_yields_none(self):
+        tracer = Tracer(enabled=False)
+        with tracer.span("x") as record:
+            assert record is None
+        assert tracer.add_span("y", 0.0, 1.0) is None
+        assert len(tracer) == 0
+
+    def test_capacity_bound(self):
+        tracer = Tracer(capacity=4)
+        for i in range(10):
+            with tracer.span(f"s{i}"):
+                pass
+        assert len(tracer) == 4
+        assert [s.name for s in tracer.spans()] == ["s6", "s7", "s8", "s9"]
+
+
+class TestSlowQueryLog:
+    def test_disabled_by_default(self):
+        log = SlowQueryLog()
+        assert not log.maybe_record("q", "plan", elapsed_ms=1e9)
+        assert log.entries() == []
+
+    def test_threshold_triggers(self):
+        log = SlowQueryLog(threshold_ms=10.0)
+        assert not log.maybe_record("fast", "p", elapsed_ms=9.9)
+        assert log.maybe_record("slow", "p", elapsed_ms=10.0, candidates=3,
+                                transferred_rows=2, trace="stage table")
+        (entry,) = log.entries()
+        assert entry.query == "slow"
+        rendered = entry.render()
+        assert "slow-query" in rendered and "stage table" in rendered
+        assert entry.as_dict()["candidates"] == 3
+
+    def test_capacity_and_dropped(self):
+        log = SlowQueryLog(threshold_ms=0.0, capacity=2)
+        for i in range(5):
+            log.maybe_record(f"q{i}", "p", elapsed_ms=1.0)
+        assert len(log) == 2
+        assert log.dropped == 3
+        assert [e.query for e in log.entries()] == ["q3", "q4"]
+
+
+class TestExporters:
+    def test_prometheus_text(self, reg):
+        reg.counter("c_total", "a counter", labelnames=("kind",)).labels(
+            kind="x"
+        ).inc(2)
+        h = reg.histogram("lat_ms", "latency")
+        h.observe(1.0)
+        h.observe(100.0)
+        text = to_prometheus(reg)
+        assert "# HELP c_total a counter" in text
+        assert "# TYPE c_total counter" in text
+        assert 'c_total{kind="x"} 2' in text
+        assert "# TYPE lat_ms histogram" in text
+        assert 'lat_ms_bucket{le="+Inf"} 2' in text
+        assert "lat_ms_sum 101" in text
+        assert "lat_ms_count 2" in text
+
+    def test_prometheus_buckets_cumulative(self, reg):
+        h = reg.histogram("h")
+        for v in (1.0, 1.0, 50.0):
+            h.observe(v)
+        lines = [
+            line for line in to_prometheus(reg).splitlines()
+            if line.startswith("h_bucket")
+        ]
+        counts = [int(line.rsplit(" ", 1)[1]) for line in lines]
+        assert counts == sorted(counts)
+        assert counts[-1] == 3
+
+    def test_json_round_trip(self, reg):
+        reg.counter("c").inc()
+        doc = json.loads(to_json(reg))
+        assert validate_snapshot(doc) == []
+
+    def test_validate_catches_corruption(self, reg):
+        reg.histogram("h").observe(1.0)
+        snap = reg.snapshot()
+        assert validate_snapshot(snap) == []
+        bad = json.loads(json.dumps(snap))
+        bad["metrics"][0]["samples"][0]["count"] = 99
+        assert any("bucket counts" in e for e in validate_snapshot(bad))
+        assert validate_snapshot({"schema": "nope"})
+        assert validate_snapshot([1, 2, 3])
+
+    def test_validate_cli(self, tmp_path, reg, capsys):
+        from repro.obs.validate import main as validate_main
+
+        reg.counter("c").inc()
+        good = tmp_path / "good.json"
+        good.write_text(to_json(reg))
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"schema": "wrong"}')
+        assert validate_main([str(good)]) == 0
+        assert "schema-valid" in capsys.readouterr().out
+        assert validate_main([str(bad)]) == 1
+        assert validate_main([]) == 2
+
+
+@pytest.fixture
+def demo_tman():
+    from repro import TMan, TManConfig
+    from repro.datasets import TDRIVE_SPEC, tdrive_like
+
+    obs.reset_all()
+    data = tdrive_like(40, seed=99)
+    tman = TMan(
+        TManConfig(
+            boundary=TDRIVE_SPEC.boundary, max_resolution=12,
+            num_shards=2, kv_workers=1,
+        )
+    )
+    tman.bulk_load(data)
+    yield tman, data
+    tman.close()
+    obs.set_metrics_enabled(True)
+    obs.set_slow_query_ms(None)
+    obs.reset_all()
+
+
+class TestIntegration:
+    def _run_queries(self, tman, data):
+        from repro.model import TimeRange
+
+        tr = data[0].time_range
+        tman.temporal_range_query(TimeRange(tr.start, tr.end))
+        tman.spatial_range_query(data[0].mbr)
+        tman.id_temporal_query(data[0].oid, TimeRange(tr.start, tr.end))
+        tman.st_range_query(data[0].mbr, TimeRange(tr.start, tr.end))
+
+    def test_registry_populated_across_layers(self, demo_tman):
+        tman, data = demo_tman
+        self._run_queries(tman, data)
+        snap = obs.snapshot()
+        assert validate_snapshot(snap) == []
+        populated = {
+            m["name"]
+            for m in snap["metrics"]
+            if any(s.get("value", 0) or s.get("count", 0) for s in m["samples"])
+        }
+        assert len(populated) >= 12, sorted(populated)
+        # Every layer contributes.
+        assert any(n.startswith("kv_") for n in populated)
+        assert any(n.startswith("cache_") for n in populated)
+        assert any(n.startswith("query_") for n in populated)
+        assert any(n.startswith("pipeline_") for n in populated)
+        assert any(n.startswith("ingest_") for n in populated)
+
+    def test_query_latency_labeled_by_type(self, demo_tman):
+        tman, data = demo_tman
+        self._run_queries(tman, data)
+        lat = obs.registry().get("query_latency_ms")
+        assert lat.labels(type="TemporalRangeQuery").count >= 1
+        assert lat.labels(type="SpatialRangeQuery").count >= 1
+        assert obs.registry().get("query_total").labels(
+            type="IDTemporalQuery"
+        ).value >= 1
+
+    def test_trace_spans_nest_query_over_pipeline(self, demo_tman):
+        tman, data = demo_tman
+        obs.tracer().clear()
+        self._run_queries(tman, data)
+        spans = obs.tracer().spans()
+        by_id = {s.span_id: s for s in spans}
+        pipeline_spans = [s for s in spans if s.name == "pipeline.run"]
+        assert pipeline_spans
+        for ps in pipeline_spans:
+            assert by_id[ps.parent_id].name in ("query.execute", "query.count")
+        stage_spans = [s for s in spans if s.name.startswith("stage.")]
+        assert stage_spans
+        for ss in stage_spans:
+            assert by_id[ss.parent_id].name == "pipeline.run"
+        chrome = obs.tracer().to_chrome()
+        assert len(chrome["traceEvents"]) == len(spans)
+
+    def test_slow_query_log_captures_trace(self, demo_tman):
+        tman, data = demo_tman
+        obs.set_slow_query_ms(0.0)
+        self._run_queries(tman, data)
+        entries = obs.slow_query_log().entries()
+        assert len(entries) == 4
+        assert any("TemporalRangeQuery" in e.query for e in entries)
+        assert all(e.trace for e in entries), "entries must carry stage tables"
+        assert obs.registry().get("query_slow_total").value == 4
+
+    def test_disabled_metrics_do_not_change_results(self, demo_tman):
+        from repro.model import TimeRange
+
+        tman, data = demo_tman
+        tr = data[0].time_range
+        enabled = tman.temporal_range_query(TimeRange(tr.start, tr.end))
+        obs.set_metrics_enabled(False)
+        spans_before = len(obs.tracer())
+        disabled = tman.temporal_range_query(TimeRange(tr.start, tr.end))
+        obs.set_metrics_enabled(True)
+        assert sorted(t.tid for t in disabled.trajectories) == sorted(
+            t.tid for t in enabled.trajectories
+        )
+        assert disabled.candidates == enabled.candidates
+        assert len(obs.tracer()) == spans_before, "no spans while disabled"
