@@ -109,7 +109,8 @@ def cmd_query(args: argparse.Namespace) -> int:
     """``query``: run a query against a saved deployment."""
     if args.slow_ms is not None:
         obs.set_slow_query_ms(args.slow_ms)
-    with open_tman(args.deployment) as tman:
+    overrides = {"window_parallel": False} if args.no_window_parallel else None
+    with open_tman(args.deployment, config_overrides=overrides) as tman:
         if args.type == "temporal":
             res = tman.temporal_range_query(TimeRange(args.start, args.end))
         elif args.type == "spatial":
@@ -159,6 +160,29 @@ def cmd_info(args: argparse.Namespace) -> int:
             "block_reads", "filter_evals", "bloom_rejects", "point_gets",
         ):
             print(f"  {name}: {getattr(snap, name)}")
+        block_cache = tman.cluster.block_cache
+        if block_cache is None:
+            print("block cache: disabled")
+        else:
+            bc = block_cache.stats()
+            print(
+                f"block cache: {bc.entries} blocks / {bc.bytes} of "
+                f"{bc.capacity_bytes} bytes, hits={bc.hits} misses={bc.misses} "
+                f"evictions={bc.evictions} hit_ratio={bc.hit_ratio:.2f}"
+            )
+        reg = obs.registry()
+        serial = scheduled = 0.0
+        scans = reg.get("kv_multirange_scans_total")
+        if scans is not None:
+            serial = scans.labels(mode="serial").value
+            scheduled = scans.labels(mode="scheduled").value
+        started = reg.get("kv_multirange_windows_started_total")
+        cancelled = reg.get("kv_multirange_chunks_cancelled_total")
+        print(
+            f"scan scheduler: scheduled={scheduled:.0f} serial={serial:.0f} "
+            f"windows_started={started.value if started else 0:.0f} "
+            f"chunks_cancelled={cancelled.value if cancelled else 0:.0f}"
+        )
     return 0
 
 
@@ -218,6 +242,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--slow-ms",
         type=float,
         help="slow-query threshold; crossing queries print a full trace",
+    )
+    q.add_argument(
+        "--no-window-parallel",
+        action="store_true",
+        help="run scan windows serially instead of on the worker pool",
     )
     q.set_defaults(fn=cmd_query)
 

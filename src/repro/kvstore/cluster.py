@@ -5,23 +5,36 @@ from __future__ import annotations
 from concurrent.futures import ThreadPoolExecutor
 from typing import Optional
 
+from repro.kvstore.block_cache import BlockCache, make_block_cache
 from repro.kvstore.errors import TableExistsError, TableNotFoundError
 from repro.kvstore.stats import IOStats
 from repro.kvstore.table import Table
+
+DEFAULT_BLOCK_CACHE_BYTES = 16 * 1024 * 1024
 
 
 class Cluster:
     """An embedded key-value cluster.
 
     Owns the shared :class:`IOStats`, an optional worker pool used for
-    parallel region scans, and the table catalog.  One ``Cluster`` per TMan
-    deployment; baselines get their own so counters never mix.
+    parallel region scans, the cluster-wide SSTable block cache, and the
+    table catalog.  One ``Cluster`` per TMan deployment; baselines get
+    their own so counters never mix.
     """
 
-    def __init__(self, workers: int = 4, split_rows: int = 200_000, data_dir=None):
+    def __init__(
+        self,
+        workers: int = 4,
+        split_rows: int = 200_000,
+        data_dir=None,
+        block_cache_bytes: int = DEFAULT_BLOCK_CACHE_BYTES,
+    ):
         self.stats = IOStats()
         self._split_rows = split_rows
         self._data_dir = data_dir
+        # Shared across every table and region; only durable deployments
+        # have disk SSTables, so for in-memory clusters this stays empty.
+        self.block_cache: Optional[BlockCache] = make_block_cache(block_cache_bytes)
         self._executor: Optional[ThreadPoolExecutor] = (
             ThreadPoolExecutor(max_workers=workers, thread_name_prefix="kv-scan")
             if workers > 1
@@ -53,6 +66,7 @@ class Cluster:
             split_rows=self._split_rows,
             executor=self._executor,
             data_dir=self._data_dir,
+            block_cache=self.block_cache,
         )
         self._tables[name] = table
         return table

@@ -12,6 +12,7 @@ import heapq
 from pathlib import Path
 from typing import Iterator, Optional, Union
 
+from repro.kvstore.block_cache import BlockCache
 from repro.kvstore.disk_sstable import DiskSSTable, write_disk_sstable
 from repro.kvstore.memtable import TOMBSTONE, MemTable
 from repro.kvstore.stats import IOStats
@@ -45,6 +46,7 @@ class DurableLSMStore:
         flush_bytes: int = DEFAULT_FLUSH_BYTES,
         max_tables: int = DEFAULT_MAX_TABLES,
         sync: bool = True,
+        block_cache: Optional[BlockCache] = None,
     ):
         self.data_dir = Path(data_dir)
         self.data_dir.mkdir(parents=True, exist_ok=True)
@@ -52,13 +54,14 @@ class DurableLSMStore:
         self._flush_bytes = flush_bytes
         self._max_tables = max_tables
         self._sync = sync
+        self._block_cache = block_cache
         self._memtable = MemTable()
 
         # Discover existing runs (oldest first by sequence number).
         self._sstables: list[DiskSSTable] = []
         self._next_seq = 0
         for path in sorted(self.data_dir.glob("sst-*.sst")):
-            self._sstables.append(DiskSSTable(path, stats))
+            self._sstables.append(DiskSSTable(path, stats, block_cache=block_cache))
             self._next_seq = max(self._next_seq, int(path.stem.split("-")[1]) + 1)
 
         # Recover un-flushed writes from the WAL.
@@ -96,7 +99,9 @@ class DurableLSMStore:
         path = self.data_dir / f"sst-{self._next_seq:06d}.sst"
         self._next_seq += 1
         write_disk_sstable(path, list(self._memtable.items()))
-        self._sstables.append(DiskSSTable(path, self._stats))
+        self._sstables.append(
+            DiskSSTable(path, self._stats, block_cache=self._block_cache)
+        )
         self._memtable = MemTable()
         self._wal.truncate()
         if len(self._sstables) > self._max_tables:
@@ -111,13 +116,15 @@ class DurableLSMStore:
         live = sorted((k, v) for k, v in merged.items() if v != TOMBSTONE)
         _COMPACT_TOTAL.inc()
         _COMPACT_BYTES.inc(sum(len(k) + len(v) for k, v in live))
-        old_paths = [t.path for t in self._sstables]
+        old_tables = list(self._sstables)
         path = self.data_dir / f"sst-{self._next_seq:06d}.sst"
         self._next_seq += 1
         write_disk_sstable(path, live)
-        self._sstables = [DiskSSTable(path, self._stats)]
-        for old in old_paths:
-            old.unlink(missing_ok=True)
+        self._sstables = [DiskSSTable(path, self._stats, block_cache=self._block_cache)]
+        for old in old_tables:
+            # Reclaim the dead runs' cache residency before unlinking them.
+            old.release_cache()
+            old.path.unlink(missing_ok=True)
 
     # -- reads --------------------------------------------------------------
 
@@ -167,6 +174,8 @@ class DurableLSMStore:
         if not self._sync:
             self._wal.fsync()
         self._wal.close()
+        for table in self._sstables:
+            table.release_cache()
 
     def __enter__(self) -> "DurableLSMStore":
         return self

@@ -5,6 +5,7 @@ from __future__ import annotations
 import time
 from typing import Iterator, Optional, Protocol
 
+from repro.kvstore import simlatency
 from repro.kvstore.lsm import LSMStore
 from repro.kvstore.scan import Scan
 from repro.kvstore.stats import IOStats
@@ -102,6 +103,20 @@ class Region:
 
     def get(self, key: bytes) -> Optional[bytes]:
         """Return the value stored under ``key``, or ``None`` when absent."""
+        simlatency.get_delay()
+        return self._get_local(key)
+
+    def get_batch(self, keys: list[bytes]) -> list[Optional[bytes]]:
+        """Resolve many point gets as one request (one emulated RPC).
+
+        This is the region half of ``Table.multi_get``: a batch costs a
+        single round trip however many keys it carries, versus one per
+        key through :meth:`get`.
+        """
+        simlatency.get_delay()
+        return [self._get_local(key) for key in keys]
+
+    def _get_local(self, key: bytes) -> Optional[bytes]:
         _POINT_GETS.inc()
         value = self._store.get(key)
         if value is not None:
@@ -133,6 +148,7 @@ class Region:
         start, stop = self.clamp(scan)
         if start is not None and stop is not None and stop <= start:
             return
+        simlatency.scan_delay()
         self._stats.add(range_scans=1)
         if _SCAN_MS._registry.enabled:
             yield from self._execute_scan_timed(scan, start, stop)

@@ -1,0 +1,252 @@
+"""Multi-range scan scheduling: concurrent windows, in-order rows.
+
+A temporal query expands to exactly N contiguous key intervals and a
+spatial query to a list of TShape code ranges, so the hot read path is
+"scan N windows" — previously executed one window at a time.  This module
+overlaps them: up to ``concurrency`` window groups run chunked scans on
+the cluster worker pool while rows are yielded strictly in window order,
+so the scheduled execution is byte-for-byte identical to the serial loop.
+
+Two properties the query layer depends on:
+
+- **Bounded buffering.**  Each admitted stream pipelines chunks ahead of
+  the consumer only while its undelivered rows stay under a row budget
+  (its ``batch_rows``), and chunk sizes ramp from ``INITIAL_CHUNK_ROWS``
+  up to ``batch_rows`` — so an early-terminating consumer overshoots by
+  a few small chunks per admitted stream, not by unbounded readahead,
+  and total buffering is capped at roughly ``concurrency * 2 * batch``
+  rows.  The pipelining matters: against a remote (or emulated-remote)
+  kvstore each region scan is an RPC, and a stream that stopped after
+  one prefetched chunk would serialize those round trips again.
+- **Cancellation.**  Closing the iterator (a ``Limit``/``TopK`` sink
+  breaking out) cancels every in-flight chunk and never starts the
+  remaining windows.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from collections import deque
+from typing import Callable, Iterable, Iterator, Optional, TypeVar
+
+from concurrent.futures import Future, ThreadPoolExecutor
+
+from repro.obs import counter as _obs_counter
+
+T = TypeVar("T")
+Row = tuple[bytes, bytes]
+
+DEFAULT_WINDOW_CONCURRENCY = 4
+DEFAULT_WINDOWS_PER_TASK = 8
+INITIAL_CHUNK_ROWS = 16
+CHUNK_GROWTH = 4
+
+_WINDOWS_STARTED = _obs_counter(
+    "kv_multirange_windows_started_total",
+    "Scan windows whose execution was started by the scheduler",
+)
+_CHUNKS_CANCELLED = _obs_counter(
+    "kv_multirange_chunks_cancelled_total",
+    "In-flight chunk prefetches cancelled by early termination",
+)
+
+
+def next_chunk(gen: Iterator[T], batch: int) -> list[T]:
+    """Pull up to ``batch`` items from ``gen`` (runs on the worker pool)."""
+    return list(itertools.islice(gen, batch))
+
+
+class ChunkedStream:
+    """One generator's items, pulled in pool-prefetched chunks.
+
+    The stream keeps itself ahead of the consumer: as each chunk
+    completes on the pool it is buffered and — while the buffered rows
+    stay under ``batch`` — the next chunk is submitted immediately from
+    the completion callback, without waiting for the consumer.  At most
+    one chunk is ever in flight, so the underlying generator is only
+    touched by one worker at a time and items arrive strictly in order.
+    ``initial`` starts the chunk-size ramp below ``batch`` (cheap early
+    termination); ``on_chunk`` fires on the consumer thread as each
+    chunk is delivered, which the window scheduler uses to top up its
+    admission horizon.  ``close()`` cancels or drains the in-flight
+    chunk before closing the generator, so an abandoned stream never
+    races its worker.
+    """
+
+    def __init__(
+        self,
+        executor: ThreadPoolExecutor,
+        gen: Iterator[T],
+        batch: int,
+        initial: Optional[int] = None,
+        on_chunk: Optional[Callable[[], None]] = None,
+    ):
+        self._executor = executor
+        self._gen = gen
+        self._batch = batch
+        self._next_size = min(initial, batch) if initial else batch
+        self._on_chunk = on_chunk
+        self._ready = threading.Condition(threading.Lock())
+        self._chunks: deque[list[T]] = deque()
+        self._buffered = 0
+        self._pending: Optional[Future] = None
+        self._pending_size = 0
+        self._submitting = False
+        self._exhausted = False
+        self._error: Optional[BaseException] = None
+        self._closed = False
+
+    def start(self) -> None:
+        """Kick off the first chunk prefetch (idempotent)."""
+        self._maybe_submit()
+
+    def _maybe_submit(self) -> None:
+        # Two phases so the executor is never called under the lock: a
+        # future that completes instantly runs its done-callback on the
+        # submitting thread, which would self-deadlock on re-acquire.
+        with self._ready:
+            if (
+                self._closed
+                or self._exhausted
+                or self._error is not None
+                or self._submitting
+                or self._pending is not None
+                or self._buffered >= self._batch
+            ):
+                return
+            self._submitting = True
+            self._pending_size = self._next_size
+            self._next_size = min(self._next_size * CHUNK_GROWTH, self._batch)
+        future = self._executor.submit(next_chunk, self._gen, self._pending_size)
+        with self._ready:
+            self._pending = future
+            self._submitting = False
+            self._ready.notify_all()
+        future.add_done_callback(self._chunk_done)
+
+    def _chunk_done(self, future: Future) -> None:
+        with self._ready:
+            if future is not self._pending:
+                # close() already detached (and cancelled or drained) it.
+                self._ready.notify_all()
+                return
+            self._pending = None
+            try:
+                chunk = future.result()
+            except BaseException as exc:  # propagate to the consumer
+                self._error = exc
+                self._ready.notify_all()
+                return
+            if not self._closed:
+                self._chunks.append(chunk)
+                self._buffered += len(chunk)
+                if len(chunk) < self._pending_size:
+                    self._exhausted = True
+            self._ready.notify_all()
+        self._maybe_submit()
+
+    def __iter__(self) -> Iterator[T]:
+        while True:
+            self._maybe_submit()
+            with self._ready:
+                while (
+                    not self._chunks
+                    and self._error is None
+                    and (self._pending is not None or self._submitting)
+                ):
+                    self._ready.wait()
+                if self._error is not None:
+                    raise self._error
+                if not self._chunks:
+                    if self._exhausted:
+                        return
+                    continue  # nothing in flight and not done: resubmit
+                chunk = self._chunks.popleft()
+                self._buffered -= len(chunk)
+            self._maybe_submit()
+            if self._on_chunk is not None:
+                self._on_chunk()
+            yield from chunk
+
+    def close(self) -> None:
+        """Cancel (or await) the in-flight chunk and close the generator."""
+        with self._ready:
+            self._closed = True
+            while self._submitting:
+                self._ready.wait()
+            pending, self._pending = self._pending, None
+        if pending is not None:
+            if pending.cancel():
+                _CHUNKS_CANCELLED.inc()
+            else:
+                try:
+                    pending.result()
+                except Exception:  # pragma: no cover - worker already failed
+                    pass
+        close = getattr(self._gen, "close", None)
+        if close is not None:  # plain iterators have nothing to release
+            close()
+
+
+def _scan_group(
+    scan_factory: Callable[[T], Iterator[Row]], group: list[T]
+) -> Iterator[Row]:
+    """Chain the group's scans lazily: a closed stream never opens the rest."""
+    for window in group:
+        _WINDOWS_STARTED.inc()
+        yield from scan_factory(window)
+
+
+def scan_scheduled(
+    scan_factory: Callable[[T], Iterator[Row]],
+    windows: Iterable[T],
+    executor: ThreadPoolExecutor,
+    batch: int,
+    concurrency: int = DEFAULT_WINDOW_CONCURRENCY,
+    windows_per_task: int = DEFAULT_WINDOWS_PER_TASK,
+) -> Iterator[Row]:
+    """Run window scans concurrently, yielding rows in window order.
+
+    ``scan_factory`` maps a window to its (synchronous) row iterator.
+    Consecutive windows are grouped ``windows_per_task`` at a time into
+    one chunked stream each — a pool round trip costs more than a small
+    window's scan, so per-window tasks would spend the saved wall clock
+    on queue overhead.  Up to ``concurrency`` streams run at once;
+    admission is lazy: ``windows`` is only advanced when a slot opens,
+    and a group's scans only open as its stream reaches them, so a
+    consumer that stops early never plans — let alone scans — the
+    remaining windows.
+    """
+    windows_iter = iter(windows)
+    group_size = max(1, windows_per_task)
+    active: deque[ChunkedStream] = deque()
+    exhausted = False
+
+    def admit() -> None:
+        nonlocal exhausted
+        while not exhausted and len(active) < concurrency:
+            group = list(itertools.islice(windows_iter, group_size))
+            if not group:
+                exhausted = True
+                return
+            stream = ChunkedStream(
+                executor,
+                _scan_group(scan_factory, group),
+                batch,
+                initial=INITIAL_CHUNK_ROWS,
+                on_chunk=admit,
+            )
+            active.append(stream)
+            stream.start()
+
+    try:
+        admit()
+        while active:
+            # Consume the head group; its chunk arrivals top up admission.
+            yield from active[0]
+            active.popleft()
+            admit()
+    finally:
+        for stream in active:
+            stream.close()

@@ -17,9 +17,9 @@ from __future__ import annotations
 
 import struct
 from pathlib import Path
-from typing import Union
+from typing import Optional, Union
 
-from repro.kvstore.cluster import Cluster
+from repro.kvstore.cluster import DEFAULT_BLOCK_CACHE_BYTES, Cluster
 from repro.kvstore.errors import CorruptionError
 from repro.kvstore.scan import Scan
 
@@ -59,11 +59,22 @@ def _read_exact(fh, n: int) -> bytes:
 
 
 def load_cluster(
-    path: Union[str, Path], workers: int = 4, split_rows: int = 200_000
+    path: Union[str, Path],
+    workers: int = 4,
+    split_rows: int = 200_000,
+    block_cache_bytes: Optional[int] = None,
 ) -> Cluster:
     """Restore a cluster from a snapshot file."""
     path = Path(path)
-    cluster = Cluster(workers=workers, split_rows=split_rows)
+    cluster = Cluster(
+        workers=workers,
+        split_rows=split_rows,
+        block_cache_bytes=(
+            block_cache_bytes
+            if block_cache_bytes is not None
+            else DEFAULT_BLOCK_CACHE_BYTES
+        ),
+    )
     with open(path, "rb") as fh:
         if _read_exact(fh, len(MAGIC)) != MAGIC:
             raise CorruptionError(f"{path} is not a TMan snapshot")

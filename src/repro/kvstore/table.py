@@ -5,16 +5,39 @@ from __future__ import annotations
 import bisect
 import heapq
 import itertools
-from concurrent.futures import Future, ThreadPoolExecutor
-from typing import Iterator, Optional, Sequence
+from concurrent.futures import ThreadPoolExecutor
+from typing import Iterable, Iterator, Optional, Sequence
 
+from repro.kvstore.block_cache import BlockCache
 from repro.kvstore.errors import RegionError
 from repro.kvstore.region import Region
 from repro.kvstore.scan import Scan
+from repro.kvstore.scheduler import (
+    DEFAULT_WINDOW_CONCURRENCY,
+    ChunkedStream,
+    scan_scheduled,
+)
 from repro.kvstore.stats import IOStats
+from repro.obs import counter as _obs_counter
 
 DEFAULT_SPLIT_ROWS = 200_000
 DEFAULT_BATCH_ROWS = 256
+# Below this many keys a multi_get runs inline; pool dispatch costs more.
+MULTI_GET_MIN_PARALLEL = 8
+
+_SCANS_BY_MODE = _obs_counter(
+    "kv_multirange_scans_total",
+    "Multi-range scans executed",
+    labelnames=("mode",),
+)
+_MULTIGET_BATCHES = _obs_counter(
+    "kv_multiget_batches_total", "Batched point-lookup calls"
+)
+_MULTIGET_KEYS = _obs_counter(
+    "kv_multiget_keys_total", "Keys resolved through batched point lookups"
+)
+
+Window = tuple[Optional[bytes], Optional[bytes]]
 
 
 class Table:
@@ -35,12 +58,14 @@ class Table:
         split_rows: int = DEFAULT_SPLIT_ROWS,
         executor: Optional[ThreadPoolExecutor] = None,
         data_dir=None,
+        block_cache: Optional[BlockCache] = None,
     ):
         self.name = name
         self._stats = stats
         self._split_rows = split_rows
         self._executor = executor
         self._data_dir = data_dir
+        self._block_cache = block_cache
         self._next_region_id = 0
         self._regions: list[Region] = []
         # _boundaries[i] is the start key of region i+1.
@@ -75,7 +100,9 @@ class Table:
             region_dir = Path(self._data_dir) / self.name / f"region-{region_id:04d}"
             # Group-commit WAL (sync=False): records reach the OS per write
             # and are fsynced at flush/close, which keeps bulk loads usable.
-            store = DurableLSMStore(region_dir, self._stats, sync=False)
+            store = DurableLSMStore(
+                region_dir, self._stats, sync=False, block_cache=self._block_cache
+            )
             store.region_id = region_id  # type: ignore[attr-defined]
         region = Region(start, end, self._stats, store=store)
         region.region_id = region_id  # type: ignore[attr-defined]
@@ -222,13 +249,14 @@ class Table:
         # once, below) but keep the range and push-down filter.
         sub = Scan(scan.start, scan.stop, scan.server_filter)
         batch = scan.batch_rows if scan.batch_rows is not None else DEFAULT_BATCH_ROWS
-        gens = [region.execute_scan(sub) for region in regions]
+        streams = [
+            ChunkedStream(self._executor, region.execute_scan(sub), batch)
+            for region in regions
+        ]
         # Kick off the first chunk of every region before the merge starts
         # pulling, so region reads overlap instead of serializing.
-        firsts = [self._executor.submit(_next_chunk, g, batch) for g in gens]
-        streams = [
-            self._chunked_stream(g, fut, batch) for g, fut in zip(gens, firsts)
-        ]
+        for stream in streams:
+            stream.start()
         try:
             remaining = scan.limit
             for row in heapq.merge(*streams):
@@ -241,45 +269,113 @@ class Table:
             for stream in streams:
                 stream.close()
 
-    def _chunked_stream(
+    def multi_range_scan(
         self,
-        gen: Iterator[tuple[bytes, bytes]],
-        fut: "Future[list[tuple[bytes, bytes]]]",
-        batch: int,
+        windows: Iterable[Window],
+        row_filter=None,
+        batch_rows: Optional[int] = None,
+        parallel: bool = True,
+        window_concurrency: Optional[int] = None,
     ) -> Iterator[tuple[bytes, bytes]]:
-        """Yield one region's rows, prefetching the next chunk while yielding.
+        """Scan many key windows, yielding each window's rows in order.
 
-        The in-flight future is always awaited before the underlying region
-        generator is closed, so an abandoned scan overshoots by at most one
-        chunk and never races the worker thread.
+        With ``parallel`` and a worker pool, windows execute concurrently
+        through the :mod:`~repro.kvstore.scheduler` (bounded buffering,
+        lazy admission, cancellation on close); output is still strictly
+        window-ordered, so the result is byte-identical to the serial
+        loop.  Without a pool — or with ``parallel=False``, the A/B
+        escape hatch — each window runs :meth:`parallel_scan` in turn.
+        ``windows`` is consumed lazily in both modes: an early-terminated
+        consumer never advances past the windows it needed.
         """
-        pending: Optional[Future] = fut
-        try:
-            while pending is not None:
-                chunk = pending.result()
-                # A short chunk means the region is exhausted; skip the
-                # pointless extra round trip.
-                pending = (
-                    self._executor.submit(_next_chunk, gen, batch)
-                    if self._executor is not None and len(chunk) == batch
-                    else None
+        batch = batch_rows if batch_rows is not None else DEFAULT_BATCH_ROWS
+        concurrency = (
+            window_concurrency
+            if window_concurrency is not None
+            else DEFAULT_WINDOW_CONCURRENCY
+        )
+        windows_iter = iter(windows)
+        if not parallel or concurrency <= 1 or self._executor is None:
+            _SCANS_BY_MODE.labels(mode="serial").inc()
+            for start, stop in windows_iter:
+                yield from self.parallel_scan(
+                    Scan(start, stop, row_filter, batch_rows=batch_rows)
                 )
-                yield from chunk
-        finally:
-            if pending is not None and not pending.cancel():
-                try:
-                    pending.result()
-                except Exception:  # pragma: no cover - worker already failed
-                    pass
-            gen.close()
+            return
+        first = next(windows_iter, None)
+        if first is None:
+            return
+        second = next(windows_iter, None)
+        if second is None:
+            # One window: region-level parallelism beats window-level.
+            _SCANS_BY_MODE.labels(mode="serial").inc()
+            yield from self.parallel_scan(
+                Scan(first[0], first[1], row_filter, batch_rows=batch_rows)
+            )
+            return
+        _SCANS_BY_MODE.labels(mode="scheduled").inc()
+        yield from scan_scheduled(
+            lambda w: self.scan(Scan(w[0], w[1], row_filter)),
+            itertools.chain((first, second), windows_iter),
+            self._executor,
+            batch,
+            concurrency,
+        )
+
+    def multi_get(
+        self, keys: Sequence[bytes], parallel: bool = True
+    ) -> list[Optional[bytes]]:
+        """Batched point lookups; values (or ``None``) in input-key order.
+
+        Keys are grouped by owning region and each group resolves as one
+        task on the worker pool, so a batch costs one dispatch per region
+        instead of one serialized round trip per key.  Small batches and
+        single-region groups run inline — the pool overhead would exceed
+        the lookups.
+        """
+        keys = list(keys)
+        _MULTIGET_BATCHES.inc()
+        if keys:
+            _MULTIGET_KEYS.inc(len(keys))
+        if not keys:
+            return []
+        if not parallel:
+            # The A/B escape hatch: the seed's one-round-trip-per-key loop.
+            return [self.get(key) for key in keys]
+        groups: dict[int, list[int]] = {}
+        for i, key in enumerate(keys):
+            groups.setdefault(bisect.bisect_right(self._boundaries, key), []).append(i)
+        out: list[Optional[bytes]] = [None] * len(keys)
+        # One batched request per region; the pool only earns its dispatch
+        # overhead when several region batches can actually overlap.
+        if (
+            self._executor is None
+            or len(groups) == 1
+            or len(keys) < MULTI_GET_MIN_PARALLEL
+        ):
+            for ridx, idxs in groups.items():
+                values = self._regions[ridx].get_batch([keys[i] for i in idxs])
+                for i, value in zip(idxs, values):
+                    out[i] = value
+            return out
+        futures = [
+            self._executor.submit(
+                _get_batch, self._regions[ridx], [keys[i] for i in idxs], idxs
+            )
+            for ridx, idxs in groups.items()
+        ]
+        for future in futures:
+            for i, value in future.result():
+                out[i] = value
+        return out
 
     def count_rows(self) -> int:
         """Exact live row count (full scan; test/diagnostic use)."""
         return sum(1 for _ in self.scan(Scan()))
 
 
-def _next_chunk(
-    gen: Iterator[tuple[bytes, bytes]], batch: int
-) -> list[tuple[bytes, bytes]]:
-    """Pull up to ``batch`` rows from a region scan (runs on the pool)."""
-    return list(itertools.islice(gen, batch))
+def _get_batch(
+    region: Region, keys: Sequence[bytes], idxs: Sequence[int]
+) -> list[tuple[int, Optional[bytes]]]:
+    """Resolve one region's share of a multi_get (runs on the pool)."""
+    return list(zip(idxs, region.get_batch(list(keys))))

@@ -157,13 +157,16 @@ class QueryExecutor:
         self, windows, refine, sink: TopK, trace: ExecutionTrace
     ) -> Pipeline:
         """One expanding-ring round: scan the ring, refine, feed the top-k."""
+        cfg = self._t.config
         return Pipeline(
             [
-                WindowSource(windows),
+                WindowSource(windows, coalesce=cfg.coalesce_windows),
                 RegionScan(
                     self._t.primary_table,
                     None,
-                    self._t.config.scan_batch_rows,
+                    cfg.scan_batch_rows,
+                    window_parallel=cfg.window_parallel,
+                    window_concurrency=cfg.window_concurrency,
                 ),
                 refine,
             ],

@@ -16,11 +16,11 @@ from typing import Any, Callable, Iterator, NamedTuple, Optional, Sequence
 
 from repro.geometry.distance import point_to_polyline
 from repro.kvstore.filters import Filter
-from repro.kvstore.scan import Scan
 from repro.kvstore.table import Table
 from repro.model.mbr import MBR
 from repro.model.timerange import TimeRange
 from repro.model.trajectory import Trajectory
+from repro.query.windows import coalesce_windows
 from repro.similarity.measures import distance_by_name
 from repro.similarity.pruning import dp_lower_bound, mbr_lower_bound
 from repro.storage.serializer import RowSerializer
@@ -46,11 +46,24 @@ class Operator:
 
 
 class WindowSource(Operator):
-    """Source stage: emits the query's scan windows."""
+    """Source stage: emits the query's scan windows.
+
+    With ``coalesce`` (the default) the windows are sorted,
+    de-duplicated, and merged where adjacent/overlapping before
+    execution, so the N intervals a temporal query expands to collapse
+    into as few scans as their contiguity allows.  The scanned key set
+    is unchanged; emission order becomes the deterministic sorted order.
+    """
 
     name = "windows"
 
-    def __init__(self, windows: Sequence[tuple[Optional[bytes], Optional[bytes]]]):
+    def __init__(
+        self,
+        windows: Sequence[tuple[Optional[bytes], Optional[bytes]]],
+        coalesce: bool = True,
+    ):
+        if coalesce:
+            windows = coalesce_windows(windows)
         self.windows = [Window(start, stop) for start, stop in windows]
 
     def process(self, upstream: Optional[Iterator[Any]]) -> Iterator[Window]:
@@ -58,10 +71,14 @@ class WindowSource(Operator):
 
 
 class RegionScan(Operator):
-    """Streams rows of every window via the table's parallel region merge.
+    """Streams rows of every window via the table's multi-range scheduler.
 
     When ``row_filter`` is set it is pushed down into the regions, so
-    rejected rows count as scanned but are never transferred.
+    rejected rows count as scanned but are never transferred.  With
+    ``window_parallel`` (the default) up to ``window_concurrency``
+    windows scan concurrently on the cluster worker pool while rows are
+    still emitted strictly in window order; disabling it reproduces the
+    serial one-window-at-a-time loop.
     """
 
     name = "region_scan"
@@ -71,15 +88,23 @@ class RegionScan(Operator):
         table: Table,
         row_filter: Optional[Filter] = None,
         batch_rows: Optional[int] = None,
+        window_parallel: bool = True,
+        window_concurrency: Optional[int] = None,
     ):
         self.table = table
         self.row_filter = row_filter
         self.batch_rows = batch_rows
+        self.window_parallel = window_parallel
+        self.window_concurrency = window_concurrency
 
     def process(self, upstream: Iterator[Window]) -> Iterator[Row]:
-        for start, stop in upstream:
-            scan = Scan(start, stop, self.row_filter, batch_rows=self.batch_rows)
-            yield from self.table.parallel_scan(scan)
+        yield from self.table.multi_range_scan(
+            ((start, stop) for start, stop in upstream),
+            row_filter=self.row_filter,
+            batch_rows=self.batch_rows,
+            parallel=self.window_parallel,
+            window_concurrency=self.window_concurrency,
+        )
 
 
 class PushDownFilter(Operator):
@@ -103,9 +128,13 @@ class PushDownFilter(Operator):
 class SecondaryResolve(Operator):
     """Secondary route: scan mapping rows, then fetch the primary rows.
 
-    Primary keys are de-duplicated across all windows; each distinct key
-    costs one point-get, and ``row_filter`` (when set) is applied to the
-    fetched primary row client-side.
+    Mapping windows run through the secondary table's region-parallel
+    multi-range scheduler (the serial per-window ``Table.scan`` loop is
+    gone).  Primary keys are de-duplicated across all windows in first-
+    occurrence order and resolved in ``multi_get_batch``-sized batches
+    via :meth:`Table.multi_get`, so each batch costs one pool round-trip
+    instead of ``batch`` point-gets.  ``row_filter`` (when set) is
+    applied to the fetched primary rows client-side.
     """
 
     name = "secondary_resolve"
@@ -115,26 +144,54 @@ class SecondaryResolve(Operator):
         secondary: Table,
         primary: Table,
         row_filter: Optional[Filter] = None,
+        batch_rows: Optional[int] = None,
+        multi_get_batch: int = 64,
+        window_parallel: bool = True,
+        window_concurrency: Optional[int] = None,
     ):
         self.secondary = secondary
         self.primary = primary
         self.row_filter = row_filter
+        self.batch_rows = batch_rows
+        self.multi_get_batch = max(1, multi_get_batch)
+        self.window_parallel = window_parallel
+        self.window_concurrency = window_concurrency
+
+    def _resolve(self, pkeys: list[bytes]) -> Iterator[Row]:
+        # window_parallel=False is the full A/B escape hatch: it also
+        # restores the one-round-trip-per-key resolve of the serial path.
+        values = self.primary.multi_get(pkeys, parallel=self.window_parallel)
+        for pkey, value in zip(pkeys, values):
+            if value is None:
+                continue
+            if self.row_filter is not None and not self.row_filter.test(
+                pkey, value
+            ):
+                continue
+            yield pkey, value
 
     def process(self, upstream: Iterator[Window]) -> Iterator[Row]:
         seen: set[bytes] = set()
-        for start, stop in upstream:
-            for _, pkey in self.secondary.scan(Scan(start, stop)):
+        pending: list[bytes] = []
+        mapping_rows = self.secondary.multi_range_scan(
+            ((start, stop) for start, stop in upstream),
+            batch_rows=self.batch_rows,
+            parallel=self.window_parallel,
+            window_concurrency=self.window_concurrency,
+        )
+        try:
+            for _, pkey in mapping_rows:
                 if pkey in seen:
                     continue
                 seen.add(pkey)
-                value = self.primary.get(pkey)
-                if value is None:
-                    continue
-                if self.row_filter is not None and not self.row_filter.test(
-                    pkey, value
-                ):
-                    continue
-                yield pkey, value
+                pending.append(pkey)
+                if len(pending) >= self.multi_get_batch:
+                    yield from self._resolve(pending)
+                    pending = []
+        finally:
+            mapping_rows.close()
+        if pending:
+            yield from self._resolve(pending)
 
 
 class Decode(Operator):

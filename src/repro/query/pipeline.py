@@ -52,6 +52,7 @@ from repro.query.types import (
     TopKSimilarityQuery,
 )
 from repro.query.windows import (
+    coalesce_inclusive_ranges,
     primary_windows_inclusive,
     primary_windows_u64,
     secondary_windows_inclusive,
@@ -234,12 +235,20 @@ def scan_stages(
     row_filter: Optional[Filter],
 ) -> list[Operator]:
     """Window source + primary region scan, honoring push-down config."""
-    stages: list[Operator] = [WindowSource(windows)]
-    batch = tman.config.scan_batch_rows
-    if tman.config.push_down:
-        stages.append(RegionScan(tman.primary_table, row_filter, batch))
+    cfg = tman.config
+    stages: list[Operator] = [
+        WindowSource(windows, coalesce=cfg.coalesce_windows)
+    ]
+    batch = cfg.scan_batch_rows
+    scan_kwargs = dict(
+        batch_rows=batch,
+        window_parallel=cfg.window_parallel,
+        window_concurrency=cfg.window_concurrency,
+    )
+    if cfg.push_down:
+        stages.append(RegionScan(tman.primary_table, row_filter, **scan_kwargs))
     else:
-        stages.append(RegionScan(tman.primary_table, None, batch))
+        stages.append(RegionScan(tman.primary_table, None, **scan_kwargs))
         if row_filter is not None:
             stages.append(PushDownFilter(row_filter))
     return stages
@@ -266,12 +275,32 @@ def _secondary_stages(
     windows: Sequence[tuple[bytes, bytes]],
     row_filter: Optional[Filter],
 ) -> list[Operator]:
+    cfg = tman.config
     return [
-        WindowSource(windows),
+        WindowSource(windows, coalesce=cfg.coalesce_windows),
         SecondaryResolve(
-            tman.secondary_tables[table_name], tman.primary_table, row_filter
+            tman.secondary_tables[table_name],
+            tman.primary_table,
+            row_filter,
+            batch_rows=cfg.scan_batch_rows,
+            multi_get_batch=cfg.multi_get_batch,
+            window_parallel=cfg.window_parallel,
+            window_concurrency=cfg.window_concurrency,
         ),
     ]
+
+
+def _tr_query_ranges(tman: "TMan", time_range) -> list[tuple[int, int]]:
+    """TR planner intervals, coalesced when the deployment allows it.
+
+    Algorithm 1 emits one inclusive interval per covering period, so
+    contiguous periods produce ``hi + 1 == next lo`` chains that merge
+    into a single scan range.
+    """
+    tr_ranges = tman.tr_index.query_ranges(time_range)
+    if tman.config.coalesce_windows:
+        tr_ranges = coalesce_inclusive_ranges(tr_ranges)
+    return tr_ranges
 
 
 def _st_coarse_windows(tman: "TMan", tr_ranges) -> list[tuple[bytes, bytes]]:
@@ -286,7 +315,7 @@ def _st_coarse_windows(tman: "TMan", tr_ranges) -> list[tuple[bytes, bytes]]:
 def _trq_stages(
     tman: "TMan", query: TemporalRangeQuery, plan: "QueryPlan"
 ) -> tuple[list[Operator], bool]:
-    tr_ranges = tman.tr_index.query_ranges(query.time_range)
+    tr_ranges = _tr_query_ranges(tman, query.time_range)
     row_filter = TemporalFilter(query.time_range)
     if plan.route == "primary":
         if plan.index == "st":
@@ -358,7 +387,7 @@ def _strq_stages(
         ]
         return _secondary_stages(tman, "tshape", windows, row_filter), False
     if plan.index == "tr":
-        tr_ranges = tman.tr_index.query_ranges(query.time_range)
+        tr_ranges = _tr_query_ranges(tman, query.time_range)
         if plan.route == "primary":
             windows = primary_windows_inclusive(tman.keys, tr_ranges)
             # The count path treats TR-primary STRQ like the fallback
@@ -375,7 +404,7 @@ def _idt_stages(
     row_filter = FilterChain(
         [IdFilter(query.oid), TemporalFilter(query.time_range)]
     )
-    tr_ranges = tman.tr_index.query_ranges(query.time_range)
+    tr_ranges = _tr_query_ranges(tman, query.time_range)
     if plan.index == "idt":
         windows = [
             tman.keys.idt_window(query.oid, lo, hi) for lo, hi in tr_ranges

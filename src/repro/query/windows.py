@@ -7,10 +7,66 @@ secondary windows are shard-free.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import Iterable, Optional, Sequence
 
 from repro.core.st import STWindow
 from repro.storage.schema import RowKeyCodec, encode_u64
+
+ByteWindow = tuple[Optional[bytes], Optional[bytes]]
+
+
+def coalesce_inclusive_ranges(
+    ranges: Iterable[tuple[int, int]]
+) -> list[tuple[int, int]]:
+    """Merge overlapping/adjacent inclusive integer ranges; sorted output.
+
+    The N intervals of Algorithm 1 are frequently contiguous
+    (``hi + 1 == next lo``); collapsing them turns N scans into few.
+    Empty ranges (``lo > hi``) are dropped.  Pure function.
+    """
+    merged: list[tuple[int, int]] = []
+    for lo, hi in sorted(r for r in ranges if r[0] <= r[1]):
+        if merged and lo <= merged[-1][1] + 1:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], hi))
+        else:
+            merged.append((lo, hi))
+    return merged
+
+
+def _window_sort_key(window: ByteWindow) -> tuple[int, bytes]:
+    start = window[0]
+    return (0, b"") if start is None else (1, start)
+
+
+def coalesce_windows(windows: Iterable[ByteWindow]) -> list[ByteWindow]:
+    """Sort, de-duplicate, and merge adjacent/overlapping byte-key windows.
+
+    Windows are half-open ``[start, stop)`` with ``None`` meaning
+    unbounded; two windows merge when they overlap or abut exactly
+    (``next.start <= current.stop``).  Empty windows are dropped.  The
+    scanned key set is preserved exactly — only duplicate coverage
+    disappears — and the output order is deterministic, so the scan
+    schedule built from it is too.  Pure function.
+    """
+    live = [
+        w
+        for w in windows
+        if w[0] is None or w[1] is None or w[0] < w[1]
+    ]
+    live.sort(key=_window_sort_key)
+    merged: list[ByteWindow] = []
+    for start, stop in live:
+        if merged:
+            prev_start, prev_stop = merged[-1]
+            if prev_stop is None:
+                # The previous window is unbounded above: it swallows the rest.
+                break
+            if start is None or start <= prev_stop:
+                if stop is None or stop > prev_stop:
+                    merged[-1] = (prev_start, stop)
+                continue
+        merged.append((start, stop))
+    return merged
 
 
 def primary_windows_u64(

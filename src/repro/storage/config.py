@@ -45,6 +45,17 @@ class TManConfig:
     split_rows: int = 200_000
     # Chunk-size hint for streaming region scans (None = store default).
     scan_batch_rows: int | None = None
+    # Multi-range scan scheduling: merge adjacent/overlapping scan windows
+    # before execution, and run the planned windows concurrently on the
+    # cluster worker pool (at most window_concurrency in flight).  Both
+    # off together reproduce the serial one-window-at-a-time read path.
+    coalesce_windows: bool = True
+    window_parallel: bool = True
+    window_concurrency: int = 4
+    # Secondary-route primary lookups are batched in groups of this size.
+    multi_get_batch: int = 64
+    # Cluster-wide SSTable block cache budget (0 disables).
+    block_cache_bytes: int = 16 * 1024 * 1024
 
     def __post_init__(self) -> None:
         if self.primary_index not in VALID_INDEXES:
@@ -63,6 +74,18 @@ class TManConfig:
         if self.scan_batch_rows is not None and self.scan_batch_rows <= 0:
             raise ValueError(
                 f"scan_batch_rows must be positive, got {self.scan_batch_rows}"
+            )
+        if self.window_concurrency <= 0:
+            raise ValueError(
+                f"window_concurrency must be positive, got {self.window_concurrency}"
+            )
+        if self.multi_get_batch <= 0:
+            raise ValueError(
+                f"multi_get_batch must be positive, got {self.multi_get_batch}"
+            )
+        if self.block_cache_bytes < 0:
+            raise ValueError(
+                f"block_cache_bytes must be non-negative, got {self.block_cache_bytes}"
             )
 
     @property

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Union
+from typing import Optional, Union
 
 from repro.cache.redis_sim import RedisServer
 from repro.kvstore.snapshot import load_cluster, save_cluster
@@ -56,6 +56,12 @@ def save_tman(tman: TMan, directory: Union[str, Path]) -> None:
         "st_window_budget": cfg.st_window_budget,
         "kv_workers": cfg.kv_workers,
         "split_rows": cfg.split_rows,
+        "scan_batch_rows": cfg.scan_batch_rows,
+        "coalesce_windows": cfg.coalesce_windows,
+        "window_parallel": cfg.window_parallel,
+        "window_concurrency": cfg.window_concurrency,
+        "multi_get_batch": cfg.multi_get_batch,
+        "block_cache_bytes": cfg.block_cache_bytes,
         "row_count": tman.row_count,
     }
     (directory / CONFIG_FILE).write_text(json.dumps(doc, indent=2))
@@ -63,19 +69,30 @@ def save_tman(tman: TMan, directory: Union[str, Path]) -> None:
     (directory / CACHE_FILE).write_bytes(tman.index_cache.redis.dump())
 
 
-def open_tman(directory: Union[str, Path]) -> TMan:
-    """Reopen a deployment saved with :func:`save_tman`."""
+def open_tman(
+    directory: Union[str, Path],
+    config_overrides: Optional[dict] = None,
+) -> TMan:
+    """Reopen a deployment saved with :func:`save_tman`.
+
+    ``config_overrides`` replaces individual persisted config fields for
+    this process only (the directory is not rewritten) — used e.g. by the
+    CLI's ``--no-window-parallel`` escape hatch and cache-size overrides.
+    """
     directory = Path(directory)
     doc = json.loads((directory / CONFIG_FILE).read_text())
     row_count = doc.pop("row_count", 0)
     boundary = MBR(*doc.pop("boundary"))
     doc["secondary_indexes"] = tuple(doc["secondary_indexes"])
+    if config_overrides:
+        doc.update(config_overrides)
     config = TManConfig(boundary=boundary, **doc)
 
     cluster = load_cluster(
         directory / TABLES_FILE,
         workers=config.kv_workers,
         split_rows=config.split_rows,
+        block_cache_bytes=config.block_cache_bytes,
     )
     redis = RedisServer.from_dump((directory / CACHE_FILE).read_bytes())
     tman = TMan(config, cluster=cluster, redis=redis)

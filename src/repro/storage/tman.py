@@ -62,7 +62,9 @@ class TMan:
     ):
         self.config = config
         self.cluster = cluster if cluster is not None else Cluster(
-            workers=config.kv_workers, split_rows=config.split_rows
+            workers=config.kv_workers,
+            split_rows=config.split_rows,
+            block_cache_bytes=config.block_cache_bytes,
         )
         self._owns_cluster = cluster is None
 

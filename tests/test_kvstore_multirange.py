@@ -1,0 +1,253 @@
+"""Tests for the multi-range scan scheduler, Table.multi_range_scan and
+Table.multi_get."""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.kvstore import Cluster, Scan
+from repro.kvstore.scheduler import (
+    INITIAL_CHUNK_ROWS,
+    ChunkedStream,
+    scan_scheduled,
+)
+
+
+def k(i):
+    return i.to_bytes(4, "big")
+
+
+@pytest.fixture()
+def pool():
+    with ThreadPoolExecutor(max_workers=4) as ex:
+        yield ex
+
+
+class TestChunkedStream:
+    def test_yields_everything_in_order(self, pool):
+        items = list(range(1000))
+        stream = ChunkedStream(pool, iter(items), batch=64)
+        assert list(stream) == items
+
+    def test_chunk_size_ramp(self, pool, monkeypatch):
+        import repro.kvstore.scheduler as sched
+
+        sizes = []
+        real_next_chunk = sched.next_chunk
+
+        def spy(gen, batch):
+            sizes.append(batch)
+            return real_next_chunk(gen, batch)
+
+        monkeypatch.setattr(sched, "next_chunk", spy)
+        stream = ChunkedStream(
+            pool, iter(range(2000)), batch=256, initial=INITIAL_CHUNK_ROWS
+        )
+        assert list(stream) == list(range(2000))
+        # Slow start: 16, 64, then capped at batch_rows.
+        assert sizes[0] == INITIAL_CHUNK_ROWS
+        assert sizes[1] == INITIAL_CHUNK_ROWS * 4
+        assert all(s == 256 for s in sizes[2:])
+
+    def test_close_stops_generator(self, pool):
+        closed = []
+
+        def gen():
+            try:
+                yield from range(10_000)
+            finally:
+                closed.append(True)
+
+        stream = ChunkedStream(pool, gen(), batch=16)
+        it = iter(stream)
+        assert next(it) == 0
+        stream.close()
+        assert closed == [True]
+
+
+class TestScanScheduled:
+    def test_rows_in_window_order(self, pool):
+        data = {i: list(range(i * 100, i * 100 + 37)) for i in range(6)}
+        rows = list(
+            scan_scheduled(lambda w: iter(data[w]), range(6), pool, batch=8)
+        )
+        assert rows == [v for i in range(6) for v in data[i]]
+
+    def test_matches_serial_execution(self, pool):
+        def factory(w):
+            return iter(range(w * 10, w * 10 + w))
+
+        serial = [v for w in range(8) for v in range(w * 10, w * 10 + w)]
+        for concurrency in (1, 2, 3, 8):
+            got = list(
+                scan_scheduled(factory, range(8), pool, batch=4, concurrency=concurrency)
+            )
+            assert got == serial
+
+    def test_lazy_window_admission(self, pool):
+        planned = []
+
+        def factory(w):
+            planned.append(w)
+            return iter([w] * 100)
+
+        gen = scan_scheduled(
+            lambda w: factory(w), iter(range(50)), pool, batch=16, concurrency=2
+        )
+        first = next(gen)
+        assert first == 0
+        gen.close()
+        # Early close must not have planned (or scanned) anywhere near all
+        # 50 windows — only the admitted head plus its slow-start followers.
+        assert len(planned) < 8
+
+    def test_empty_windows(self, pool):
+        assert list(scan_scheduled(lambda w: iter(()), [], pool, batch=4)) == []
+
+    def test_all_empty_scans(self, pool):
+        rows = list(scan_scheduled(lambda w: iter(()), range(10), pool, batch=4))
+        assert rows == []
+
+
+def _populated(tmp_path, n=600, workers=4, split_rows=150, durable=False):
+    c = Cluster(
+        workers=workers,
+        split_rows=split_rows,
+        data_dir=(tmp_path / "db") if durable else None,
+    )
+    t = c.create_table("t")
+    for i in range(n):
+        t.put(k(i), b"val%06d" % i)
+    return c, t
+
+
+class TestMultiRangeScan:
+    WINDOWS = [
+        (k(0), k(40)),
+        (k(40), k(90)),  # abuts the first
+        (k(200), k(230)),
+        (k(220), k(260)),  # overlaps the third
+        (k(590), None),
+        (k(300), k(300)),  # empty
+    ]
+
+    def test_scheduled_matches_serial(self, tmp_path):
+        c, t = _populated(tmp_path)
+        try:
+            serial = list(t.multi_range_scan(self.WINDOWS, parallel=False))
+            scheduled = list(t.multi_range_scan(self.WINDOWS, parallel=True))
+            assert scheduled == serial
+            assert len(t.regions) > 1  # the split actually happened
+        finally:
+            c.close()
+
+    def test_durable_scheduled_matches_serial(self, tmp_path):
+        c, t = _populated(tmp_path, durable=True)
+        try:
+            for region in t.regions:
+                region._store.flush()
+            serial = list(t.multi_range_scan(self.WINDOWS, parallel=False))
+            scheduled = list(t.multi_range_scan(self.WINDOWS, parallel=True))
+            assert scheduled == serial
+            assert serial  # non-trivial
+        finally:
+            c.close()
+
+    def test_single_window_falls_back(self, tmp_path):
+        c, t = _populated(tmp_path, n=100)
+        try:
+            rows = list(t.multi_range_scan([(k(10), k(20))]))
+            assert [key for key, _ in rows] == [k(i) for i in range(10, 20)]
+        finally:
+            c.close()
+
+    def test_no_pool_serial_fallback(self, tmp_path):
+        c, t = _populated(tmp_path, workers=1)
+        try:
+            rows = list(t.multi_range_scan(self.WINDOWS))
+            assert [key for key, _ in rows][:40] == [k(i) for i in range(40)]
+        finally:
+            c.close()
+
+    def test_row_filter_applied_in_both_modes(self, tmp_path):
+        from repro.kvstore.filters import PrefixFilter
+
+        c, t = _populated(tmp_path, n=300)
+        try:
+            flt = PrefixFilter(b"\x00\x00\x00")  # keys 0..255
+            wins = [(k(0), k(100)), (k(250), k(280))]
+            serial = list(t.multi_range_scan(wins, row_filter=flt, parallel=False))
+            sched = list(t.multi_range_scan(wins, row_filter=flt, parallel=True))
+            assert sched == serial
+            assert [key for key, _ in serial] == [k(i) for i in range(100)] + [
+                k(i) for i in range(250, 256)
+            ]
+        finally:
+            c.close()
+
+    def test_early_close_cancels(self, tmp_path):
+        c, t = _populated(tmp_path)
+        try:
+            gen = t.multi_range_scan(
+                [(k(i * 30), k(i * 30 + 30)) for i in range(20)]
+            )
+            head = [next(gen) for _ in range(5)]
+            gen.close()
+            assert [key for key, _ in head] == [k(i) for i in range(5)]
+        finally:
+            c.close()
+
+    def test_lazy_windows_iterable(self, tmp_path):
+        c, t = _populated(tmp_path)
+        try:
+            produced = []
+
+            def windows():
+                for i in range(100):
+                    produced.append(i)
+                    yield (k(i * 5), k(i * 5 + 5))
+
+            gen = t.multi_range_scan(windows())
+            next(gen)
+            gen.close()
+            # Windows are admitted in groups, so a few groups may be
+            # planned ahead — but nowhere near all 100.
+            assert len(produced) < 40
+        finally:
+            c.close()
+
+
+class TestMultiGet:
+    def test_values_in_input_order(self, tmp_path):
+        c, t = _populated(tmp_path)
+        try:
+            keys = [k(500), k(3), k(999_999), k(123), k(3)]
+            assert t.multi_get(keys) == [
+                b"val000500",
+                b"val000003",
+                None,
+                b"val000123",
+                b"val000003",
+            ]
+        finally:
+            c.close()
+
+    def test_large_batch_across_regions(self, tmp_path):
+        c, t = _populated(tmp_path)
+        try:
+            keys = [k(i) for i in range(0, 600, 7)]
+            expected = [b"val%06d" % i for i in range(0, 600, 7)]
+            assert t.multi_get(keys) == expected
+            assert t.multi_get(keys, parallel=False) == expected
+            assert len(t.regions) > 1
+        finally:
+            c.close()
+
+    def test_empty_batch(self, tmp_path):
+        c, t = _populated(tmp_path, n=10)
+        try:
+            assert t.multi_get([]) == []
+        finally:
+            c.close()

@@ -1,0 +1,128 @@
+"""Tests for simulated remote-RPC latency and what it proves about the
+multi-range scheduler and batched multi_get."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.kvstore import Cluster
+from repro.kvstore import simlatency
+from repro.kvstore.simlatency import (
+    SimulatedRPC,
+    rpc_latency,
+    set_simulated_rpc,
+    simulated_rpc,
+)
+
+
+def k(i):
+    return i.to_bytes(4, "big")
+
+
+@pytest.fixture()
+def cluster(tmp_path):
+    c = Cluster(workers=4, split_rows=200)
+    t = c.create_table("t")
+    for i in range(600):
+        t.put(k(i), b"v%06d" % i)
+    yield c, t
+    c.close()
+
+
+class TestKnob:
+    def test_disabled_by_default(self):
+        assert simulated_rpc() is None
+
+    def test_context_sets_and_restores(self):
+        with rpc_latency(SimulatedRPC(scan_ms=1.0)):
+            assert simulated_rpc().scan_ms == 1.0
+            with rpc_latency(SimulatedRPC(scan_ms=2.0)):
+                assert simulated_rpc().scan_ms == 2.0
+            assert simulated_rpc().scan_ms == 1.0
+        assert simulated_rpc() is None
+
+    def test_restores_after_exception(self):
+        with pytest.raises(RuntimeError):
+            with rpc_latency(SimulatedRPC(scan_ms=1.0)):
+                raise RuntimeError("boom")
+        assert simulated_rpc() is None
+
+    def test_set_none_disables(self):
+        set_simulated_rpc(SimulatedRPC(get_ms=1.0))
+        assert simulated_rpc() is not None
+        set_simulated_rpc(None)
+        assert simulated_rpc() is None
+
+    def test_delays_are_free_when_disabled(self, monkeypatch):
+        calls = []
+        monkeypatch.setattr(simlatency.time, "sleep", lambda s: calls.append(s))
+        simlatency.scan_delay()
+        simlatency.get_delay()
+        assert calls == []
+
+
+class TestRPCAccounting:
+    """One emulated RPC per request: sleeps counted, not timed."""
+
+    @pytest.fixture()
+    def sleeps(self, monkeypatch):
+        calls = []
+        monkeypatch.setattr(simlatency.time, "sleep", lambda s: calls.append(s))
+        return calls
+
+    def test_point_get_pays_one_rpc(self, cluster, sleeps):
+        _, t = cluster
+        with rpc_latency(SimulatedRPC(get_ms=1.0)):
+            t.get(k(5))
+        assert len(sleeps) == 1
+
+    def test_multi_get_batches_pay_per_region(self, cluster, sleeps):
+        _, t = cluster
+        keys = [k(i) for i in range(0, 600, 10)]  # spans every region
+        with rpc_latency(SimulatedRPC(get_ms=1.0)):
+            values = t.multi_get(keys)
+        assert values == [b"v%06d" % i for i in range(0, 600, 10)]
+        # One RPC per region batch, far fewer than one per key.
+        assert len(sleeps) <= len(t.regions)
+        assert len(sleeps) < len(keys)
+
+    def test_serial_multi_get_pays_per_key(self, cluster, sleeps):
+        _, t = cluster
+        keys = [k(i) for i in range(0, 600, 10)]
+        with rpc_latency(SimulatedRPC(get_ms=1.0)):
+            t.multi_get(keys, parallel=False)
+        assert len(sleeps) == len(keys)
+
+    def test_region_scan_pays_one_rpc(self, cluster, sleeps):
+        from repro.kvstore import Scan
+
+        _, t = cluster
+        with rpc_latency(SimulatedRPC(scan_ms=1.0)):
+            rows = list(t.regions[0].execute_scan(Scan(k(0), k(10))))
+        assert len(rows) == 10
+        assert len(sleeps) == 1
+
+
+class TestSchedulerOverlap:
+    def test_scheduled_overlaps_remote_scans(self, cluster):
+        """The tentpole property: under remote-RPC latency the scheduler
+        overlaps window scans that the serial loop pays one by one."""
+        _, t = cluster
+        windows = [(k(i * 12), k(i * 12 + 12)) for i in range(32)]
+        model = SimulatedRPC(scan_ms=3.0)
+
+        def run(parallel):
+            t0 = time.perf_counter()
+            with rpc_latency(model):
+                rows = list(t.multi_range_scan(windows, parallel=parallel))
+            return rows, (time.perf_counter() - t0) * 1e3
+
+        serial_rows, serial_ms = run(parallel=False)
+        sched_rows, sched_ms = run(parallel=True)
+        assert sched_rows == serial_rows
+        # 32 windows x >= 3 ms each: the serial loop is latency-bound; the
+        # scheduler must recover a solid chunk of it (generous margin to
+        # stay robust on loaded CI machines).
+        assert sched_ms < serial_ms * 0.7, (serial_ms, sched_ms)

@@ -1,0 +1,173 @@
+"""Property-style equivalence: the scheduled/coalesced read path must
+return bit-identical candidate sets to the serial one.
+
+One dataset, four deployments — every combination of
+``window_parallel`` × ``coalesce_windows`` (the sequential baseline is
+both off), plus a push-down-off variant — and all seven query types run
+against each.  Results are compared as ordered tid lists: after the
+pipeline's final merge/dedupe the output order is deterministic, so
+"same list" is the bit-identical-candidate-set guarantee the scheduler
+promises.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import TMan, TManConfig
+from repro.datasets import TDRIVE_SPEC, tdrive_like
+from repro.model import MBR, TimeRange
+
+N_TRAJS = 80
+SEED = 4242
+
+
+def _make(dataset, **overrides):
+    config = TManConfig(
+        boundary=TDRIVE_SPEC.boundary,
+        max_resolution=12,
+        num_shards=2,
+        kv_workers=2,
+        split_rows=500,
+        **overrides,
+    )
+    tman = TMan(config)
+    tman.bulk_load(dataset)
+    return tman
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return tdrive_like(N_TRAJS, seed=SEED)
+
+
+@pytest.fixture(scope="module")
+def deployments(dataset):
+    variants = {
+        "scheduled": dict(),
+        "no_parallel": dict(window_parallel=False),
+        "no_coalesce": dict(coalesce_windows=False),
+        "sequential": dict(window_parallel=False, coalesce_windows=False),
+        "no_push_down": dict(push_down=False),
+    }
+    tmans = {name: _make(dataset, **kw) for name, kw in variants.items()}
+    yield tmans
+    for tman in tmans.values():
+        tman.close()
+
+
+def _queries(dataset):
+    span = TDRIVE_SPEC.boundary
+    mid_x = (span.x1 + span.x2) / 2
+    mid_y = (span.y1 + span.y2) / 2
+    window = MBR(span.x1, span.y1, mid_x, mid_y)
+    probe = dataset[7]
+    t0 = probe.time_range.start
+    return {
+        "temporal": lambda t: t.temporal_range_query(TimeRange(t0, t0 + 5400)),
+        "spatial": lambda t: t.spatial_range_query(window),
+        "st": lambda t: t.st_range_query(window, TimeRange(t0, t0 + 7200)),
+        "idt": lambda t: t.id_temporal_query(
+            probe.oid, TimeRange(t0, t0 + 3600)
+        ),
+        "threshold": lambda t: t.threshold_similarity_query(
+            probe, 0.2, measure="frechet"
+        ),
+        "topk": lambda t: t.top_k_similarity_query(probe, 5, measure="frechet"),
+        "knn": lambda t: t.knn_point_query(mid_x, mid_y, 5),
+    }
+
+
+QUERY_NAMES = ["temporal", "spatial", "st", "idt", "threshold", "topk", "knn"]
+# Variants sharing the scheduled deployment's window plan must match it
+# row for row (scheduling may not reorder); variants that change the plan
+# (different coalescing) guarantee the same *set* of candidates.
+SAME_PLAN_VARIANTS = ["no_parallel", "no_push_down"]
+OTHER_PLAN_VARIANTS = ["no_coalesce", "sequential"]
+
+
+@pytest.mark.parametrize("qname", QUERY_NAMES)
+@pytest.mark.parametrize("variant", SAME_PLAN_VARIANTS)
+def test_same_plan_variant_is_order_identical(deployments, dataset, qname, variant):
+    run = _queries(dataset)[qname]
+    base = run(deployments["scheduled"])
+    other = run(deployments[variant])
+    assert [t.tid for t in base.trajectories] == [
+        t.tid for t in other.trajectories
+    ]
+    if base.distances is not None:
+        assert base.distances == other.distances
+
+
+@pytest.mark.parametrize("qname", QUERY_NAMES)
+@pytest.mark.parametrize("variant", OTHER_PLAN_VARIANTS)
+def test_plan_variant_has_identical_candidate_set(
+    deployments, dataset, qname, variant
+):
+    run = _queries(dataset)[qname]
+    base = run(deployments["scheduled"])
+    other = run(deployments[variant])
+    assert sorted(t.tid for t in base.trajectories) == sorted(
+        t.tid for t in other.trajectories
+    )
+    if base.distances is not None:
+        assert sorted(base.distances) == pytest.approx(sorted(other.distances))
+
+
+@pytest.mark.parametrize("qname", QUERY_NAMES)
+def test_results_are_nonempty(deployments, dataset, qname):
+    # Guard against the equivalence above passing vacuously.
+    res = _queries(dataset)[qname](deployments["scheduled"])
+    assert len(res.trajectories) > 0
+
+
+@pytest.mark.parametrize("qname", ["temporal", "spatial", "st", "idt"])
+def test_counts_match(deployments, dataset, qname):
+    from repro.query.types import (
+        IDTemporalQuery,
+        SpatialRangeQuery,
+        STRangeQuery,
+        TemporalRangeQuery,
+    )
+
+    span = TDRIVE_SPEC.boundary
+    mid_x = (span.x1 + span.x2) / 2
+    mid_y = (span.y1 + span.y2) / 2
+    window = MBR(span.x1, span.y1, mid_x, mid_y)
+    probe = dataset[7]
+    t0 = probe.time_range.start
+    q = {
+        "temporal": TemporalRangeQuery(TimeRange(t0, t0 + 5400)),
+        "spatial": SpatialRangeQuery(window),
+        "st": STRangeQuery(window, TimeRange(t0, t0 + 7200)),
+        "idt": IDTemporalQuery(probe.oid, TimeRange(t0, t0 + 3600)),
+    }[qname]
+    counts = {name: t.count(q).count for name, t in deployments.items()}
+    assert len(set(counts.values())) == 1, counts
+
+
+def test_limit_scans_less_under_scheduler(deployments, dataset):
+    # Early termination through the window scheduler: limit=k touches
+    # strictly fewer candidates than the full run (ExecutionTrace proof).
+    tmin = min(t.time_range.start for t in dataset)
+    tmax = max(t.time_range.end for t in dataset)
+    tr = TimeRange(tmin, tmax)  # matches everything -> limit prunes a lot
+    tman = deployments["no_coalesce"]  # many windows stay many
+    full = tman.temporal_range_query(tr)
+    lim = tman.temporal_range_query(tr, limit=2)
+    assert len(lim.trajectories) == 2
+    assert lim.candidates < full.candidates
+    assert lim.trace["windows"].rows_out <= full.trace["windows"].rows_out
+
+
+def test_limit_equivalence(deployments, dataset):
+    # Early termination must agree between scheduled and sequential modes.
+    probe = dataset[7]
+    t0 = probe.time_range.start
+    tr = TimeRange(t0, t0 + 7200)
+    full = deployments["scheduled"].temporal_range_query(tr)
+    for name in ("scheduled", "sequential"):
+        lim = deployments[name].temporal_range_query(tr, limit=3)
+        assert [t.tid for t in lim.trajectories] == [
+            t.tid for t in full.trajectories[:3]
+        ]
