@@ -25,6 +25,8 @@ from typing import Iterable, Iterator
 
 from repro import obs
 from repro.datasets import LORRY_SPEC, TDRIVE_SPEC, generate_dataset
+from repro.kvstore import simfault
+from repro.kvstore.retry import retry_counts
 from repro.model import MBR, STPoint, TimeRange, Trajectory
 from repro.storage.config import TManConfig
 from repro.storage.persistence import open_tman, save_tman
@@ -109,6 +111,15 @@ def cmd_query(args: argparse.Namespace) -> int:
     """``query``: run a query against a saved deployment."""
     if args.slow_ms is not None:
         obs.set_slow_query_ms(args.slow_ms)
+    if args.fault_rate:
+        # Reproduction: fail scans/gets/flush I/O at this seeded rate; the
+        # retry layer must still deliver exact results.
+        simfault.set_fault_injector(
+            simfault.FaultInjector(
+                simfault.FaultConfig.uniform(args.fault_rate, seed=args.fault_seed)
+            )
+        )
+    retry_before = retry_counts()
     overrides = {"window_parallel": False} if args.no_window_parallel else None
     with open_tman(args.deployment, config_overrides=overrides) as tman:
         if args.type == "temporal":
@@ -125,6 +136,15 @@ def cmd_query(args: argparse.Namespace) -> int:
             f"{len(res)} trajectories ({res.candidates} candidates, "
             f"{res.windows} scans, plan {res.plan}, {res.elapsed_ms:.1f} ms)"
         )
+        if args.fault_rate:
+            retries, failures = retry_counts()
+            injector = simfault.fault_injector()
+            injected = injector.injected if injector is not None else 0
+            print(
+                f"fault injection: rate={args.fault_rate} seed={args.fault_seed} "
+                f"injected={injected} rpc_failures={failures - retry_before[1]} "
+                f"retries={retries - retry_before[0]}"
+            )
         for traj in res.trajectories[: args.limit]:
             tr = traj.time_range
             print(f"  {traj.tid}  oid={traj.oid}  points={len(traj)}  "
@@ -247,6 +267,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-window-parallel",
         action="store_true",
         help="run scan windows serially instead of on the worker pool",
+    )
+    q.add_argument(
+        "--fault-rate",
+        type=float,
+        default=0.0,
+        help="inject transient scan/get/flush faults at this per-attempt rate",
+    )
+    q.add_argument(
+        "--fault-seed",
+        type=int,
+        default=0,
+        help="seed for the deterministic fault injector",
     )
     q.set_defaults(fn=cmd_query)
 

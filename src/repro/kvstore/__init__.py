@@ -10,10 +10,21 @@ transferred — is surfaced through :class:`~repro.kvstore.stats.IOStats`.
 
 from repro.kvstore.cluster import Cluster
 from repro.kvstore.durable import DurableLSMStore
-from repro.kvstore.errors import KVError, RegionError, TableExistsError, TableNotFoundError
+from repro.kvstore.errors import (
+    KVError,
+    RegionError,
+    RetryExhaustedError,
+    TableExistsError,
+    TableNotFoundError,
+    TransientError,
+    TransientIOError,
+    TransientRPCError,
+)
 from repro.kvstore.filters import Filter, FilterChain, PrefixFilter, TrueFilter
 from repro.kvstore.lsm import LSMStore
+from repro.kvstore.retry import CircuitBreaker, RetryPolicy
 from repro.kvstore.scan import Scan
+from repro.kvstore.simfault import FaultConfig, FaultInjector, fault_injection
 from repro.kvstore.snapshot import load_cluster, save_cluster
 from repro.kvstore.stats import CostModel, ExecutionTrace, IOStats, StageStats
 from repro.kvstore.table import Table
@@ -34,8 +45,17 @@ __all__ = [
     "CostModel",
     "ExecutionTrace",
     "StageStats",
+    "RetryPolicy",
+    "CircuitBreaker",
+    "FaultConfig",
+    "FaultInjector",
+    "fault_injection",
     "KVError",
     "TableNotFoundError",
     "TableExistsError",
     "RegionError",
+    "TransientError",
+    "TransientRPCError",
+    "TransientIOError",
+    "RetryExhaustedError",
 ]

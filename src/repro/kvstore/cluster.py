@@ -7,6 +7,7 @@ from typing import Optional
 
 from repro.kvstore.block_cache import BlockCache, make_block_cache
 from repro.kvstore.errors import TableExistsError, TableNotFoundError
+from repro.kvstore.retry import RetryPolicy
 from repro.kvstore.stats import IOStats
 from repro.kvstore.table import Table
 
@@ -17,7 +18,8 @@ class Cluster:
     """An embedded key-value cluster.
 
     Owns the shared :class:`IOStats`, an optional worker pool used for
-    parallel region scans, the cluster-wide SSTable block cache, and the
+    parallel region scans, the cluster-wide SSTable block cache, the
+    retry policy and breaker knobs applied to every region RPC, and the
     table catalog.  One ``Cluster`` per TMan deployment; baselines get
     their own so counters never mix.
     """
@@ -28,10 +30,16 @@ class Cluster:
         split_rows: int = 200_000,
         data_dir=None,
         block_cache_bytes: int = DEFAULT_BLOCK_CACHE_BYTES,
+        retry: Optional[RetryPolicy] = None,
+        breaker_threshold: int = 8,
+        breaker_reset_s: float = 5.0,
     ):
         self.stats = IOStats()
         self._split_rows = split_rows
         self._data_dir = data_dir
+        self.retry = retry if retry is not None else RetryPolicy()
+        self._breaker_threshold = breaker_threshold
+        self._breaker_reset_s = breaker_reset_s
         # Shared across every table and region; only durable deployments
         # have disk SSTables, so for in-memory clusters this stays empty.
         self.block_cache: Optional[BlockCache] = make_block_cache(block_cache_bytes)
@@ -67,6 +75,9 @@ class Cluster:
             executor=self._executor,
             data_dir=self._data_dir,
             block_cache=self.block_cache,
+            retry=self.retry,
+            breaker_threshold=self._breaker_threshold,
+            breaker_reset_s=self._breaker_reset_s,
         )
         self._tables[name] = table
         return table

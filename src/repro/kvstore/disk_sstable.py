@@ -16,6 +16,7 @@ records; range scans seek to the floor index entry and stream.
 
 from __future__ import annotations
 
+import os
 import struct
 import zlib
 from pathlib import Path
@@ -38,9 +39,16 @@ _FOOTER = struct.Struct(">QQI")
 
 
 def write_disk_sstable(
-    path: Union[str, Path], entries: Sequence[tuple[bytes, bytes]]
+    path: Union[str, Path],
+    entries: Sequence[tuple[bytes, bytes]],
+    fsync: bool = False,
 ) -> None:
-    """Write a sorted run to ``path``; entries must be sorted and unique."""
+    """Write a sorted run to ``path``; entries must be sorted and unique.
+
+    With ``fsync`` the file contents are forced to stable storage before
+    returning — required by the crash-safe flush protocol, which fsyncs
+    the ``.tmp`` file *before* atomically renaming it into place.
+    """
     keys = [k for k, _ in entries]
     if any(b <= a for a, b in zip(keys, keys[1:])):
         raise ValueError("disk SSTable entries must be strictly sorted")
@@ -59,6 +67,9 @@ def write_disk_sstable(
             index += _LEN.pack(len(key)) + key + _OFFSET.pack(offset)
         fh.write(index)
         fh.write(_FOOTER.pack(index_offset, len(entries), zlib.crc32(bytes(index)) & 0xFFFFFFFF))
+        if fsync:
+            fh.flush()
+            os.fsync(fh.fileno())
 
 
 class DiskSSTable:

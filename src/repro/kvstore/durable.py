@@ -4,20 +4,46 @@ The same contract as :class:`repro.kvstore.lsm.LSMStore`, but writes survive
 process crashes: every mutation hits the write-ahead log before the
 memtable, flushes produce numbered ``sst-<n>.sst`` files, and opening a
 directory replays the WAL and discovers existing runs.
+
+Crash safety protocol (exercised by :mod:`repro.kvstore.simfault`'s crash
+points, recovered by :meth:`DurableLSMStore.__init__`):
+
+- **Flush**: the frozen memtable is written to ``sst-<n>.sst.tmp``,
+  fsynced, atomically renamed to ``sst-<n>.sst`` (directory fsynced), and
+  only then is the WAL truncated.  A crash before the rename leaves a
+  ``.tmp`` leftover (deleted on reopen; the WAL still holds the data); a
+  crash after it replays the WAL over an identical SSTable — idempotent.
+- **Compaction**: the merged run is written the same tmp→fsync→rename
+  way *before* the superseded runs are unlinked.  Tombstones are
+  preserved in the merged output: a crash between rename and unlink
+  leaves old runs visible alongside the merged run, and a dropped
+  tombstone would resurrect deleted keys from them.  Stale runs left by
+  such a crash are shadowed (the merged run is newest) and reclaimed by
+  the next compaction.
+- **Reopen**: ``*.tmp`` leftovers are removed, and torn/corrupt
+  ``sst-*.sst`` files (pre-protocol crashes, bit rot) are skipped with a
+  ``kv_sstable_torn_skipped_total`` count instead of poisoning the open.
 """
 
 from __future__ import annotations
 
 import heapq
+import logging
+import os
 from pathlib import Path
 from typing import Iterator, Optional, Union
 
+from repro.kvstore import simfault
 from repro.kvstore.block_cache import BlockCache
 from repro.kvstore.disk_sstable import DiskSSTable, write_disk_sstable
+from repro.kvstore.errors import CorruptionError
 from repro.kvstore.memtable import TOMBSTONE, MemTable
+from repro.kvstore.retry import RetryPolicy
 from repro.kvstore.stats import IOStats
 from repro.kvstore.wal import OP_DELETE, OP_PUT, WriteAheadLog
 from repro.obs import counter as _obs_counter
+
+_log = logging.getLogger(__name__)
 
 DEFAULT_FLUSH_BYTES = 4 * 1024 * 1024
 DEFAULT_MAX_TABLES = 8
@@ -34,6 +60,19 @@ _COMPACT_TOTAL = _obs_counter(
 _COMPACT_BYTES = _obs_counter(
     "kv_compaction_bytes_total", "Live bytes rewritten by compactions"
 )
+_TORN_SKIPPED = _obs_counter(
+    "kv_sstable_torn_skipped_total",
+    "Torn or corrupt SSTable files skipped during store reopen",
+)
+
+
+def _fsync_dir(path: Path) -> None:
+    """Persist a directory entry change (rename/unlink) to stable storage."""
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
 
 
 class DurableLSMStore:
@@ -47,6 +86,7 @@ class DurableLSMStore:
         max_tables: int = DEFAULT_MAX_TABLES,
         sync: bool = True,
         block_cache: Optional[BlockCache] = None,
+        retry: Optional[RetryPolicy] = None,
     ):
         self.data_dir = Path(data_dir)
         self.data_dir.mkdir(parents=True, exist_ok=True)
@@ -55,14 +95,34 @@ class DurableLSMStore:
         self._max_tables = max_tables
         self._sync = sync
         self._block_cache = block_cache
+        self._retry = retry if retry is not None else RetryPolicy()
         self._memtable = MemTable()
+        self._closed = False
+
+        # A crash mid-flush/compaction leaves the half-written run at its
+        # .tmp path; it was never acknowledged (the WAL still covers it or
+        # the pre-compaction runs still exist), so it is plain garbage.
+        for leftover in self.data_dir.glob("*.tmp"):
+            leftover.unlink(missing_ok=True)
 
         # Discover existing runs (oldest first by sequence number).
         self._sstables: list[DiskSSTable] = []
         self._next_seq = 0
         for path in sorted(self.data_dir.glob("sst-*.sst")):
-            self._sstables.append(DiskSSTable(path, stats, block_cache=block_cache))
-            self._next_seq = max(self._next_seq, int(path.stem.split("-")[1]) + 1)
+            seq = int(path.stem.split("-")[1])
+            self._next_seq = max(self._next_seq, seq + 1)
+            try:
+                table = DiskSSTable(path, stats, block_cache=block_cache)
+            except (CorruptionError, OSError) as exc:
+                # Torn leftover of a pre-protocol crash (or bit rot):
+                # quarantine it rather than failing the whole reopen.  Its
+                # acknowledged content is covered by the WAL, which was
+                # only truncated after the file was durably in place.
+                _TORN_SKIPPED.inc()
+                _log.warning("skipping torn SSTable %s: %s", path, exc)
+                path.rename(path.with_name(path.name + ".corrupt"))
+                continue
+            self._sstables.append(table)
 
         # Recover un-flushed writes from the WAL.
         self._wal = WriteAheadLog(self.data_dir / "wal.log", sync=sync)
@@ -90,6 +150,26 @@ class DurableLSMStore:
         if self._memtable.approx_bytes >= self._flush_bytes:
             self.flush()
 
+    def _write_run(self, path: Path, entries, fault_hook) -> None:
+        """Write ``entries`` to ``path`` via tmp+fsync+rename (retried).
+
+        The transient-IO fault hook fires before each attempt's write, so
+        a retry re-runs the whole write; nothing is visible at ``path``
+        until the atomic rename, and the rename itself is durable once
+        the directory is fsynced.
+        """
+        tmp = path.with_name(path.name + ".tmp")
+
+        def attempt() -> None:
+            fault_hook()
+            write_disk_sstable(tmp, entries, fsync=True)
+
+        try:
+            self._retry.run(attempt, op="sstable_write")
+        except BaseException:
+            tmp.unlink(missing_ok=True)
+            raise
+
     def flush(self) -> None:
         """Freeze the memtable to a new disk SSTable and reset the WAL."""
         if len(self._memtable) == 0:
@@ -97,8 +177,15 @@ class DurableLSMStore:
         _FLUSH_TOTAL.inc()
         _FLUSH_BYTES.inc(self._memtable.approx_bytes)
         path = self.data_dir / f"sst-{self._next_seq:06d}.sst"
+        self._write_run(path, list(self._memtable.items()), simfault.flush_fault)
+        # CP1: the run exists only at its .tmp path; the WAL is intact.
+        simfault.crash_point("flush.pre_rename")
+        os.replace(path.with_name(path.name + ".tmp"), path)
+        _fsync_dir(self.data_dir)
+        # CP2: the run is durably visible but the WAL not yet truncated —
+        # replay over the identical SSTable is idempotent.
+        simfault.crash_point("flush.post_rename")
         self._next_seq += 1
-        write_disk_sstable(path, list(self._memtable.items()))
         self._sstables.append(
             DiskSSTable(path, self._stats, block_cache=self._block_cache)
         )
@@ -108,18 +195,33 @@ class DurableLSMStore:
             self.compact()
 
     def compact(self) -> None:
-        """Merge every run into one file, dropping shadowed/tombstoned keys."""
+        """Merge every run into one file, dropping shadowed keys.
+
+        Tombstones are *kept* in the merged output: between the rename
+        and the unlinks below there is a crash window in which the old
+        runs are still on disk, and a reopen that merged a tombstone-free
+        run with them would resurrect deleted keys.
+        """
         merged: dict[bytes, bytes] = {}
         for table in self._sstables:  # oldest first; later wins
             for k, v in table.scan():
                 merged[k] = v
-        live = sorted((k, v) for k, v in merged.items() if v != TOMBSTONE)
+        entries = sorted(merged.items())
         _COMPACT_TOTAL.inc()
-        _COMPACT_BYTES.inc(sum(len(k) + len(v) for k, v in live))
+        _COMPACT_BYTES.inc(
+            sum(len(k) + len(v) for k, v in entries if v != TOMBSTONE)
+        )
         old_tables = list(self._sstables)
         path = self.data_dir / f"sst-{self._next_seq:06d}.sst"
+        self._write_run(path, entries, simfault.compact_fault)
+        # CP1: merged run exists only at its .tmp path; old runs intact.
+        simfault.crash_point("compact.pre_rename")
+        os.replace(path.with_name(path.name + ".tmp"), path)
+        _fsync_dir(self.data_dir)
+        # CP2: merged run durably visible, superseded runs not yet
+        # unlinked — they are fully shadowed (merged run is newest).
+        simfault.crash_point("compact.post_rename")
         self._next_seq += 1
-        write_disk_sstable(path, live)
         self._sstables = [DiskSSTable(path, self._stats, block_cache=self._block_cache)]
         for old in old_tables:
             # Reclaim the dead runs' cache residency before unlinking them.
@@ -170,7 +272,15 @@ class DurableLSMStore:
             yield key, value
 
     def close(self) -> None:
-        """Release the resources held by this object (idempotent)."""
+        """Release the resources held by this object (idempotent).
+
+        Safe to call any number of times, including after a ``with``
+        block already closed the store: the second and later calls are
+        no-ops, so the fsync/close below never hit a closed handle.
+        """
+        if self._closed:
+            return
+        self._closed = True
         if not self._sync:
             self._wal.fsync()
         self._wal.close()

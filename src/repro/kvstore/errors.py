@@ -19,3 +19,33 @@ class RegionError(KVError):
 
 class CorruptionError(KVError):
     """Raised when stored bytes fail to decode."""
+
+
+class TransientError(KVError):
+    """Base class for failures that a retry is expected to cure.
+
+    The retry layer (:mod:`repro.kvstore.retry`) classifies every raised
+    exception: subclasses of this type are retried with backoff, anything
+    else is fatal and propagates immediately.
+    """
+
+
+class TransientRPCError(TransientError):
+    """A region RPC (scan open, batched get) failed transiently.
+
+    In the emulated cluster this is raised by the fault injector
+    (:mod:`repro.kvstore.simfault`); against a real distributed backend it
+    would wrap the store's region-moved / timeout / connection errors.
+    """
+
+
+class TransientIOError(TransientError):
+    """A storage-side write (SSTable flush, compaction rewrite) failed
+    transiently and left no visible state behind."""
+
+
+class RetryExhaustedError(KVError):
+    """A retryable operation failed past its attempt or deadline budget.
+
+    ``__cause__`` carries the last underlying transient error.
+    """

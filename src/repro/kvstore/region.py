@@ -5,8 +5,9 @@ from __future__ import annotations
 import time
 from typing import Iterator, Optional, Protocol
 
-from repro.kvstore import simlatency
+from repro.kvstore import simfault, simlatency
 from repro.kvstore.lsm import LSMStore
+from repro.kvstore.retry import CircuitBreaker
 from repro.kvstore.scan import Scan
 from repro.kvstore.stats import IOStats
 from repro.obs import counter as _obs_counter, histogram as _obs_histogram
@@ -63,11 +64,18 @@ class Region:
         stats: IOStats,
         flush_bytes: int = 4 * 1024 * 1024,
         store: Optional[KVStoreEngine] = None,
+        breaker: Optional[CircuitBreaker] = None,
     ):
         if start_key is not None and end_key is not None and end_key <= start_key:
             raise ValueError("region end_key must be greater than start_key")
         self.start_key = start_key
         self.end_key = end_key
+        # Consecutive RPC failures against this region trip the breaker,
+        # which degrades the table's execution strategy (serial windows,
+        # inline multi_get) until a probe succeeds.
+        self.breaker = breaker if breaker is not None else CircuitBreaker(
+            name=f"[{start_key!r},{end_key!r})"
+        )
         self._stats = stats
         self._store = store if store is not None else LSMStore(stats, flush_bytes=flush_bytes)
         self._row_count = 0
@@ -102,7 +110,12 @@ class Region:
         self._row_count = max(0, self._row_count - 1)
 
     def get(self, key: bytes) -> Optional[bytes]:
-        """Return the value stored under ``key``, or ``None`` when absent."""
+        """Return the value stored under ``key``, or ``None`` when absent.
+
+        May raise :class:`~repro.kvstore.errors.TransientRPCError` under
+        fault injection — the table layer retries.
+        """
+        simfault.get_fault()
         simlatency.get_delay()
         return self._get_local(key)
 
@@ -111,8 +124,10 @@ class Region:
 
         This is the region half of ``Table.multi_get``: a batch costs a
         single round trip however many keys it carries, versus one per
-        key through :meth:`get`.
+        key through :meth:`get`.  Like :meth:`get`, the whole batch fails
+        as one RPC under fault injection.
         """
+        simfault.get_fault()
         simlatency.get_delay()
         return [self._get_local(key) for key in keys]
 
@@ -148,6 +163,10 @@ class Region:
         start, stop = self.clamp(scan)
         if start is not None and stop is not None and stop <= start:
             return
+        # The scan RPC fails at open, before any row is produced; a retry
+        # (Table._resilient_region_scan) reopens from after the last
+        # delivered key, so consumers never see duplicates or gaps.
+        simfault.scan_fault()
         simlatency.scan_delay()
         self._stats.add(range_scans=1)
         if _SCAN_MS._registry.enabled:

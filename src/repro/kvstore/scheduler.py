@@ -26,6 +26,7 @@ Two properties the query layer depends on:
 from __future__ import annotations
 
 import itertools
+import logging
 import threading
 from collections import deque
 from typing import Callable, Iterable, Iterator, Optional, TypeVar
@@ -33,6 +34,8 @@ from typing import Callable, Iterable, Iterator, Optional, TypeVar
 from concurrent.futures import Future, ThreadPoolExecutor
 
 from repro.obs import counter as _obs_counter
+
+_log = logging.getLogger(__name__)
 
 T = TypeVar("T")
 Row = tuple[bytes, bytes]
@@ -49,6 +52,10 @@ _WINDOWS_STARTED = _obs_counter(
 _CHUNKS_CANCELLED = _obs_counter(
     "kv_multirange_chunks_cancelled_total",
     "In-flight chunk prefetches cancelled by early termination",
+)
+_CHUNK_ERRORS = _obs_counter(
+    "kv_multirange_errors_total",
+    "Worker chunk failures observed by the scheduler (delivered or drained)",
 )
 
 
@@ -135,6 +142,7 @@ class ChunkedStream:
             try:
                 chunk = future.result()
             except BaseException as exc:  # propagate to the consumer
+                _CHUNK_ERRORS.inc()
                 self._error = exc
                 self._ready.notify_all()
                 return
@@ -182,8 +190,16 @@ class ChunkedStream:
             else:
                 try:
                     pending.result()
-                except Exception:  # pragma: no cover - worker already failed
-                    pass
+                except Exception as exc:
+                    # The stream is being abandoned, so nobody will consume
+                    # this failure: count it and leave a debug breadcrumb
+                    # instead of letting it vanish.
+                    _CHUNK_ERRORS.inc()
+                    _log.debug(
+                        "multirange chunk failed while draining a closed "
+                        "stream: %r",
+                        exc,
+                    )
         close = getattr(self._gen, "close", None)
         if close is not None:  # plain iterators have nothing to release
             close()

@@ -21,6 +21,7 @@ from typing import Optional, Union
 
 from repro.kvstore.cluster import DEFAULT_BLOCK_CACHE_BYTES, Cluster
 from repro.kvstore.errors import CorruptionError
+from repro.kvstore.retry import RetryPolicy
 from repro.kvstore.scan import Scan
 
 MAGIC = b"TMANSNAP"
@@ -63,6 +64,9 @@ def load_cluster(
     workers: int = 4,
     split_rows: int = 200_000,
     block_cache_bytes: Optional[int] = None,
+    retry: Optional[RetryPolicy] = None,
+    breaker_threshold: int = 8,
+    breaker_reset_s: float = 5.0,
 ) -> Cluster:
     """Restore a cluster from a snapshot file."""
     path = Path(path)
@@ -74,6 +78,9 @@ def load_cluster(
             if block_cache_bytes is not None
             else DEFAULT_BLOCK_CACHE_BYTES
         ),
+        retry=retry,
+        breaker_threshold=breaker_threshold,
+        breaker_reset_s=breaker_reset_s,
     )
     with open(path, "rb") as fh:
         if _read_exact(fh, len(MAGIC)) != MAGIC:

@@ -116,6 +116,12 @@ class ExecutionTrace:
         self._stages: list[StageStats] = []
         self._by_name: dict[str, StageStats] = {}
         self.rounds: int = 0
+        # Free-form query-level facts (e.g. kv_retries) set by the executor.
+        self.annotations: dict[str, object] = {}
+
+    def annotate(self, key: str, value: object) -> None:
+        """Attach a query-level fact (retry counts, degradations, ...)."""
+        self.annotations[key] = value
 
     def stage(self, name: str) -> StageStats:
         """Get-or-create the stage record for ``name`` (insertion-ordered)."""
@@ -141,6 +147,7 @@ class ExecutionTrace:
         """A JSON-friendly rendering (benchmark emission)."""
         return {
             "rounds": self.rounds,
+            "annotations": dict(self.annotations),
             "stages": [
                 {
                     "name": s.name,
@@ -162,6 +169,9 @@ class ExecutionTrace:
                 f"{s.name:<20}{s.rows_in:>10}{s.rows_out:>10}"
                 f"{s.bytes_out:>12}{s.wall_ms:>10.3f}"
             )
+        if self.annotations:
+            rendered = ", ".join(f"{k}={v}" for k, v in self.annotations.items())
+            lines.append(f"annotations: {rendered}")
         return "\n".join(lines)
 
     def __repr__(self) -> str:

@@ -9,8 +9,9 @@ from concurrent.futures import ThreadPoolExecutor
 from typing import Iterable, Iterator, Optional, Sequence
 
 from repro.kvstore.block_cache import BlockCache
-from repro.kvstore.errors import RegionError
+from repro.kvstore.errors import RegionError, TransientError
 from repro.kvstore.region import Region
+from repro.kvstore.retry import CircuitBreaker, RetryPolicy
 from repro.kvstore.scan import Scan
 from repro.kvstore.scheduler import (
     DEFAULT_WINDOW_CONCURRENCY,
@@ -59,6 +60,9 @@ class Table:
         executor: Optional[ThreadPoolExecutor] = None,
         data_dir=None,
         block_cache: Optional[BlockCache] = None,
+        retry: Optional[RetryPolicy] = None,
+        breaker_threshold: int = 8,
+        breaker_reset_s: float = 5.0,
     ):
         self.name = name
         self._stats = stats
@@ -66,6 +70,9 @@ class Table:
         self._executor = executor
         self._data_dir = data_dir
         self._block_cache = block_cache
+        self._retry = retry if retry is not None else RetryPolicy()
+        self._breaker_threshold = breaker_threshold
+        self._breaker_reset_s = breaker_reset_s
         self._next_region_id = 0
         self._regions: list[Region] = []
         # _boundaries[i] is the start key of region i+1.
@@ -101,10 +108,19 @@ class Table:
             # Group-commit WAL (sync=False): records reach the OS per write
             # and are fsynced at flush/close, which keeps bulk loads usable.
             store = DurableLSMStore(
-                region_dir, self._stats, sync=False, block_cache=self._block_cache
+                region_dir,
+                self._stats,
+                sync=False,
+                block_cache=self._block_cache,
+                retry=self._retry,
             )
             store.region_id = region_id  # type: ignore[attr-defined]
-        region = Region(start, end, self._stats, store=store)
+        breaker = CircuitBreaker(
+            failure_threshold=self._breaker_threshold,
+            reset_after_s=self._breaker_reset_s,
+            name=f"{self.name}/[{start!r},{end!r})",
+        )
+        region = Region(start, end, self._stats, store=store, breaker=breaker)
         region.region_id = region_id  # type: ignore[attr-defined]
         return region
 
@@ -162,6 +178,17 @@ class Table:
             raise RegionError(f"routing error: {key!r} not owned by {region}")
         return region
 
+    def _regions_healthy(self, regions: Optional[Sequence[Region]] = None) -> bool:
+        """False when any (given) region's breaker is open.
+
+        An open breaker degrades execution to the serial strategy: the
+        same scans still run (results must stay correct), but window- and
+        region-level concurrency is shed so a flapping region is not
+        hammered from every pool worker at once.
+        """
+        check = self._regions if regions is None else regions
+        return all(region.breaker.healthy for region in check)
+
     def _overlapping_regions(self, scan: Scan) -> list[Region]:
         lo = 0
         if scan.start is not None:
@@ -209,7 +236,48 @@ class Table:
 
     def get(self, key: bytes) -> Optional[bytes]:
         """Return the value stored under ``key``, or ``None`` when absent."""
-        return self._region_for(key).get(key)
+        region = self._region_for(key)
+        return self._retry.run(
+            lambda: region.get(key), op="get", breaker=region.breaker
+        )
+
+    def _resilient_region_scan(
+        self, region: Region, scan: Scan
+    ) -> Iterator[tuple[bytes, bytes]]:
+        """One region's scan, surviving transient RPC failures.
+
+        The scan RPC fails at open (before producing rows), so a retry
+        reopens the scan; after rows were delivered, the reopen resumes
+        strictly after the last delivered key (keys are unique and
+        ordered), making the retried stream byte-identical to an
+        unfailed one.  Delivered progress refills the attempt budget —
+        each resume is a new RPC — while the policy deadline still bounds
+        the whole scan.
+        """
+        tracker = None
+        start = scan.start
+        delivered = 0
+        while True:
+            sub = Scan(
+                start,
+                scan.stop,
+                scan.server_filter,
+                None if scan.limit is None else scan.limit - delivered,
+            )
+            try:
+                for key, value in region.execute_scan(sub):
+                    yield key, value
+                    delivered += 1
+                    start = key + b"\x00"  # resume strictly after key
+                    if tracker is not None:
+                        tracker.reset()
+                region.breaker.record_success()
+                return
+            except TransientError as exc:
+                region.breaker.record_failure()
+                if tracker is None:
+                    tracker = self._retry.attempts("region_scan")
+                tracker.failed(exc)  # backs off, or raises RetryExhaustedError
 
     def scan(self, scan: Scan) -> Iterator[tuple[bytes, bytes]]:
         """Sequential scan across overlapping regions in key order."""
@@ -218,7 +286,7 @@ class Table:
             return
         for region in self._overlapping_regions(scan):
             sub = Scan(scan.start, scan.stop, scan.server_filter, remaining)
-            for row in region.execute_scan(sub):
+            for row in self._resilient_region_scan(region, sub):
                 yield row
                 if remaining is not None:
                     remaining -= 1
@@ -241,7 +309,11 @@ class Table:
         if scan.limit is not None and scan.limit <= 0:
             return
         regions = self._overlapping_regions(scan)
-        if self._executor is None or len(regions) <= 1:
+        if (
+            self._executor is None
+            or len(regions) <= 1
+            or not self._regions_healthy(regions)
+        ):
             yield from self.scan(scan)
             return
 
@@ -250,7 +322,7 @@ class Table:
         sub = Scan(scan.start, scan.stop, scan.server_filter)
         batch = scan.batch_rows if scan.batch_rows is not None else DEFAULT_BATCH_ROWS
         streams = [
-            ChunkedStream(self._executor, region.execute_scan(sub), batch)
+            ChunkedStream(self._executor, self._resilient_region_scan(region, sub), batch)
             for region in regions
         ]
         # Kick off the first chunk of every region before the merge starts
@@ -295,8 +367,9 @@ class Table:
             else DEFAULT_WINDOW_CONCURRENCY
         )
         windows_iter = iter(windows)
-        if not parallel or concurrency <= 1 or self._executor is None:
-            _SCANS_BY_MODE.labels(mode="serial").inc()
+        degraded = not self._regions_healthy()
+        if not parallel or concurrency <= 1 or self._executor is None or degraded:
+            _SCANS_BY_MODE.labels(mode="degraded" if degraded else "serial").inc()
             for start, stop in windows_iter:
                 yield from self.parallel_scan(
                     Scan(start, stop, row_filter, batch_rows=batch_rows)
@@ -347,20 +420,28 @@ class Table:
             groups.setdefault(bisect.bisect_right(self._boundaries, key), []).append(i)
         out: list[Optional[bytes]] = [None] * len(keys)
         # One batched request per region; the pool only earns its dispatch
-        # overhead when several region batches can actually overlap.
+        # overhead when several region batches can actually overlap.  An
+        # open breaker sheds the pool dispatch too (degraded mode).
         if (
             self._executor is None
             or len(groups) == 1
             or len(keys) < MULTI_GET_MIN_PARALLEL
+            or not self._regions_healthy([self._regions[r] for r in groups])
         ):
             for ridx, idxs in groups.items():
-                values = self._regions[ridx].get_batch([keys[i] for i in idxs])
+                values = self._get_batch_resilient(
+                    self._regions[ridx], [keys[i] for i in idxs]
+                )
                 for i, value in zip(idxs, values):
                     out[i] = value
             return out
         futures = [
             self._executor.submit(
-                _get_batch, self._regions[ridx], [keys[i] for i in idxs], idxs
+                _get_batch,
+                self._regions[ridx],
+                [keys[i] for i in idxs],
+                idxs,
+                self._retry,
             )
             for ridx, idxs in groups.items()
         ]
@@ -369,13 +450,27 @@ class Table:
                 out[i] = value
         return out
 
+    def _get_batch_resilient(
+        self, region: Region, keys: list[bytes]
+    ) -> list[Optional[bytes]]:
+        """One region's batched get under the retry policy."""
+        return self._retry.run(
+            lambda: region.get_batch(keys), op="multi_get", breaker=region.breaker
+        )
+
     def count_rows(self) -> int:
         """Exact live row count (full scan; test/diagnostic use)."""
         return sum(1 for _ in self.scan(Scan()))
 
 
 def _get_batch(
-    region: Region, keys: Sequence[bytes], idxs: Sequence[int]
+    region: Region,
+    keys: Sequence[bytes],
+    idxs: Sequence[int],
+    retry: RetryPolicy,
 ) -> list[tuple[int, Optional[bytes]]]:
     """Resolve one region's share of a multi_get (runs on the pool)."""
-    return list(zip(idxs, region.get_batch(list(keys))))
+    values = retry.run(
+        lambda: region.get_batch(list(keys)), op="multi_get", breaker=region.breaker
+    )
+    return list(zip(idxs, values))

@@ -63,7 +63,14 @@ class WriteAheadLog:
             _WAL_SYNC_TOTAL.inc()
 
     def fsync(self) -> None:
-        """Force an fsync (group commit point for sync=False logs)."""
+        """Force an fsync (group commit point for sync=False logs).
+
+        A no-op after :meth:`close` — the close chain is documented
+        idempotent, and a second ``close()`` (``with`` block plus explicit
+        call) must not fsync an already-closed handle.
+        """
+        if self._fh.closed:
+            return
         self._fh.flush()
         os.fsync(self._fh.fileno())
         _WAL_SYNC_TOTAL.inc()

@@ -15,6 +15,7 @@ from __future__ import annotations
 import time
 from typing import TYPE_CHECKING, Optional, Union
 
+from repro.kvstore.retry import retry_counts
 from repro.kvstore.stats import CostModel, ExecutionTrace
 from repro.model.mbr import MBR
 from repro.model.trajectory import Trajectory
@@ -96,6 +97,7 @@ class QueryExecutor:
         """
         plan = self._t.planner.plan(query)
         before = self._t.cluster.stats.snapshot()
+        retry_before = retry_counts()
         with _obs_tracer().span(
             "query.execute",
             type=type(query).__name__,
@@ -120,7 +122,9 @@ class QueryExecutor:
                     self._t, query, plan, trace=trace, limit=limit
                 )
                 trajs = pipeline.run()
-            return self._finalize(query, trajs, distances, plan, before, t0, trace)
+            return self._finalize(
+                query, trajs, distances, plan, before, t0, trace, retry_before
+            )
 
     def execute_count(self, query: Query) -> QueryResult:
         """Count matching trajectories without decompressing any points.
@@ -138,6 +142,7 @@ class QueryExecutor:
             )
         plan = self._t.planner.plan(query)
         before = self._t.cluster.stats.snapshot()
+        retry_before = retry_counts()
         with _obs_tracer().span(
             "query.count",
             type=type(query).__name__,
@@ -147,7 +152,9 @@ class QueryExecutor:
             trace = ExecutionTrace()
             pipeline = build_pipeline(self._t, query, plan, trace=trace, count=True)
             count = pipeline.run()
-            result = self._finalize(query, [], None, plan, before, t0, trace)
+            result = self._finalize(
+                query, [], None, plan, before, t0, trace, retry_before
+            )
             result.count = count
             return result
 
@@ -247,9 +254,17 @@ class QueryExecutor:
         before,
         t0: float,
         trace: Optional[ExecutionTrace] = None,
+        retry_before: Optional[tuple[int, int]] = None,
     ) -> QueryResult:
         elapsed = (time.perf_counter() - t0) * 1000
         delta = self._t.cluster.stats.snapshot() - before
+        if trace is not None and retry_before is not None:
+            retries, failures = retry_counts()
+            retried = retries - retry_before[0]
+            failed = failures - retry_before[1]
+            if retried or failed:
+                trace.annotate("kv_retries", retried)
+                trace.annotate("kv_rpc_failures", failed)
         result = QueryResult(
             trajectories=trajs,
             candidates=delta.rows_scanned + delta.point_gets,

@@ -56,6 +56,22 @@ class TManConfig:
     multi_get_batch: int = 64
     # Cluster-wide SSTable block cache budget (0 disables).
     block_cache_bytes: int = 16 * 1024 * 1024
+    # Resilience: transient region-RPC/IO failures are retried with
+    # exponential backoff and decorrelated jitter under these budgets,
+    # and a per-region circuit breaker degrades execution to the serial
+    # strategy after breaker_failure_threshold consecutive failures
+    # (recovering breaker_reset_s later).
+    retry_max_attempts: int = 6
+    retry_base_ms: float = 1.0
+    retry_max_ms: float = 50.0
+    retry_deadline_ms: float = 10_000.0
+    breaker_failure_threshold: int = 8
+    breaker_reset_s: float = 5.0
+    # Fault injection (reproduction/testing): with fault_rate > 0 the
+    # deployment installs a process-wide seeded injector that fails scans,
+    # batched gets, and flush/compaction I/O at this per-attempt rate.
+    fault_rate: float = 0.0
+    fault_seed: int = 0
 
     def __post_init__(self) -> None:
         if self.primary_index not in VALID_INDEXES:
@@ -86,6 +102,28 @@ class TManConfig:
         if self.block_cache_bytes < 0:
             raise ValueError(
                 f"block_cache_bytes must be non-negative, got {self.block_cache_bytes}"
+            )
+        if self.retry_max_attempts < 1:
+            raise ValueError(
+                f"retry_max_attempts must be positive, got {self.retry_max_attempts}"
+            )
+        if not 0 <= self.retry_base_ms <= self.retry_max_ms:
+            raise ValueError(
+                f"need 0 <= retry_base_ms <= retry_max_ms, got "
+                f"{self.retry_base_ms}/{self.retry_max_ms}"
+            )
+        if self.retry_deadline_ms <= 0:
+            raise ValueError(
+                f"retry_deadline_ms must be positive, got {self.retry_deadline_ms}"
+            )
+        if self.breaker_failure_threshold < 1:
+            raise ValueError(
+                "breaker_failure_threshold must be positive, got "
+                f"{self.breaker_failure_threshold}"
+            )
+        if not 0.0 <= self.fault_rate <= 1.0:
+            raise ValueError(
+                f"fault_rate must be in [0, 1], got {self.fault_rate}"
             )
 
     @property

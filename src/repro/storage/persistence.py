@@ -22,7 +22,7 @@ from repro.cache.redis_sim import RedisServer
 from repro.kvstore.snapshot import load_cluster, save_cluster
 from repro.model.mbr import MBR
 from repro.storage.config import TManConfig
-from repro.storage.tman import TMan
+from repro.storage.tman import TMan, retry_policy_from
 
 CONFIG_FILE = "config.json"
 TABLES_FILE = "tables.snap"
@@ -93,6 +93,9 @@ def open_tman(
         workers=config.kv_workers,
         split_rows=config.split_rows,
         block_cache_bytes=config.block_cache_bytes,
+        retry=retry_policy_from(config),
+        breaker_threshold=config.breaker_failure_threshold,
+        breaker_reset_s=config.breaker_reset_s,
     )
     redis = RedisServer.from_dump((directory / CACHE_FILE).read_bytes())
     tman = TMan(config, cluster=cluster, redis=redis)

@@ -24,7 +24,9 @@ from repro.core.st import STIndex
 from repro.core.temporal import TRIndex
 from repro.core.tshape import TShapeIndex
 from repro.compression.traj_codec import TrajectoryCodec
+from repro.kvstore import simfault
 from repro.kvstore.cluster import Cluster
+from repro.kvstore.retry import RetryPolicy
 from repro.kvstore.stats import CostModel
 from repro.model.mbr import MBR
 from repro.model.timerange import TimeRange
@@ -50,6 +52,16 @@ from repro.storage.writer import StorageWriter, WriteReport
 PRIMARY_TABLE = "tman_primary"
 
 
+def retry_policy_from(config: TManConfig) -> RetryPolicy:
+    """The deployment's RPC retry policy, built from its config knobs."""
+    return RetryPolicy(
+        max_attempts=config.retry_max_attempts,
+        base_delay_ms=config.retry_base_ms,
+        max_delay_ms=config.retry_max_ms,
+        deadline_ms=config.retry_deadline_ms,
+    )
+
+
 class TMan:
     """A TMan deployment over one embedded key-value cluster."""
 
@@ -65,8 +77,21 @@ class TMan:
             workers=config.kv_workers,
             split_rows=config.split_rows,
             block_cache_bytes=config.block_cache_bytes,
+            retry=retry_policy_from(config),
+            breaker_threshold=config.breaker_failure_threshold,
+            breaker_reset_s=config.breaker_reset_s,
         )
         self._owns_cluster = cluster is None
+        if config.fault_rate > 0.0 and simfault.fault_injector() is None:
+            # Reproduction knob: install the process-wide seeded injector
+            # unless a test/benchmark already scoped one in.
+            simfault.set_fault_injector(
+                simfault.FaultInjector(
+                    simfault.FaultConfig.uniform(
+                        config.fault_rate, seed=config.fault_seed
+                    )
+                )
+            )
 
         # Indexes.
         self.tr_index = TRIndex(

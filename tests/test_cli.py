@@ -105,6 +105,30 @@ class TestCommands:
         assert code == 0
         assert trajs[0].oid in capsys.readouterr().out
 
+    def test_query_with_fault_injection(self, deployment, csv_path, capsys):
+        from repro.kvstore.simfault import set_fault_injector
+
+        trajs = list(read_csv(csv_path))
+        tr = trajs[0].time_range
+        base_args = [
+            "query", str(deployment), "--type", "temporal",
+            "--start", str(tr.start), "--end", str(tr.end),
+        ]
+        assert main(base_args) == 0
+        clean = capsys.readouterr().out
+        try:
+            code = main(base_args + ["--fault-rate", "0.1", "--fault-seed", "42"])
+        finally:
+            set_fault_injector(None)  # the CLI installs a process-wide one
+        assert code == 0
+        out = capsys.readouterr().out
+        assert trajs[0].tid in out
+        assert "fault injection: rate=0.1 seed=42" in out
+        # Same result lines, faults notwithstanding.
+        assert clean.splitlines()[1:] == [
+            line for line in out.splitlines()[1:] if not line.startswith("fault ")
+        ]
+
     def test_load_empty_csv_fails(self, tmp_path):
         path = tmp_path / "empty.csv"
         path.write_text("oid,tid,t,lng,lat\n")

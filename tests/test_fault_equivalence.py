@@ -1,0 +1,135 @@
+"""Query results under injected faults must be bit-identical to fault-free.
+
+This is the harness's end-to-end guarantee: with transient scan/get/IO
+faults injected at any seed and a rate within the retry budget, every
+query type returns exactly the trajectories (same order, same distances)
+it returns with injection off.  Resumable region scans, retried batched
+gets, and breaker-degraded execution may change *how* the rows are
+fetched — never *which* rows.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import TMan, TManConfig
+from repro.datasets import TDRIVE_SPEC, tdrive_like
+from repro.kvstore.simfault import FaultConfig, fault_injection, set_fault_injector
+from repro.model import MBR, TimeRange
+
+N_TRAJS = 60
+SEED = 777
+
+QUERY_NAMES = ["temporal", "spatial", "st", "idt", "threshold", "topk", "knn"]
+FAULT_CASES = [(0.05, 1), (0.05, 42), (0.1, 1), (0.1, 42)]
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_injector():
+    set_fault_injector(None)
+    yield
+    set_fault_injector(None)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return tdrive_like(N_TRAJS, seed=SEED)
+
+
+@pytest.fixture(scope="module")
+def tman(dataset):
+    config = TManConfig(
+        boundary=TDRIVE_SPEC.boundary,
+        max_resolution=12,
+        num_shards=2,
+        kv_workers=2,
+        split_rows=500,
+        # Zero-delay backoff keeps the suite fast; the attempt budget must
+        # exceed the injector's max_consecutive (4) to guarantee recovery.
+        retry_max_attempts=8,
+        retry_base_ms=0.0,
+        retry_max_ms=0.0,
+    )
+    t = TMan(config)
+    t.bulk_load(dataset)
+    yield t
+    t.close()
+
+
+def _queries(dataset):
+    span = TDRIVE_SPEC.boundary
+    mid_x = (span.x1 + span.x2) / 2
+    mid_y = (span.y1 + span.y2) / 2
+    window = MBR(span.x1, span.y1, mid_x, mid_y)
+    probe = dataset[7]
+    t0 = probe.time_range.start
+    return {
+        "temporal": lambda t: t.temporal_range_query(TimeRange(t0, t0 + 5400)),
+        "spatial": lambda t: t.spatial_range_query(window),
+        "st": lambda t: t.st_range_query(window, TimeRange(t0, t0 + 7200)),
+        "idt": lambda t: t.id_temporal_query(
+            probe.oid, TimeRange(t0, t0 + 3600)
+        ),
+        "threshold": lambda t: t.threshold_similarity_query(
+            probe, 0.2, measure="frechet"
+        ),
+        "topk": lambda t: t.top_k_similarity_query(probe, 5, measure="frechet"),
+        "knn": lambda t: t.knn_point_query(mid_x, mid_y, 5),
+    }
+
+
+@pytest.fixture(scope="module")
+def baseline(tman, dataset):
+    """Fault-free reference results per query type."""
+    out = {}
+    for name, run in _queries(dataset).items():
+        res = run(tman)
+        assert len(res.trajectories) > 0  # guard against vacuous equality
+        out[name] = ([t.tid for t in res.trajectories], res.distances)
+    return out
+
+
+@pytest.mark.parametrize("rate,fseed", FAULT_CASES)
+@pytest.mark.parametrize("qname", QUERY_NAMES)
+def test_results_identical_under_faults(
+    tman, dataset, baseline, qname, rate, fseed
+):
+    run = _queries(dataset)[qname]
+    with fault_injection(FaultConfig.uniform(rate, seed=fseed)):
+        res = run(tman)
+    tids, distances = baseline[qname]
+    assert [t.tid for t in res.trajectories] == tids
+    if distances is not None:
+        assert res.distances == distances
+
+
+def test_faults_were_actually_injected(tman, dataset, baseline):
+    # Guard: the equivalence above is meaningless if the injector never
+    # fired.  At 10% every query type together must hit several faults.
+    injected = 0
+    with fault_injection(FaultConfig.uniform(0.1, seed=42)) as injector:
+        for run in _queries(dataset).values():
+            run(tman)
+        injected = injector.injected
+    assert injected > 0
+
+
+def test_trace_annotations_record_retries(tman, dataset, baseline):
+    with fault_injection(FaultConfig.uniform(0.3, seed=3)) as injector:
+        res = tman.spatial_range_query(
+            MBR(
+                TDRIVE_SPEC.boundary.x1,
+                TDRIVE_SPEC.boundary.y1,
+                (TDRIVE_SPEC.boundary.x1 + TDRIVE_SPEC.boundary.x2) / 2,
+                (TDRIVE_SPEC.boundary.y1 + TDRIVE_SPEC.boundary.y2) / 2,
+            )
+        )
+    assert injector.injected > 0
+    assert res.trace is not None
+    assert res.trace.annotations.get("kv_retries", 0) > 0
+    assert res.trace.annotations.get("kv_rpc_failures", 0) >= res.trace.annotations[
+        "kv_retries"
+    ]
+    # Annotations survive into the JSON rendering and the EXPLAIN table.
+    assert "kv_retries" in res.trace.as_dict()["annotations"]
+    assert "kv_retries" in res.trace.render()

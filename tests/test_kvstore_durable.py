@@ -44,6 +44,33 @@ class TestWAL:
             records = list(wal.replay())
         assert records == [(OP_PUT, b"good", b"1")]
 
+    @pytest.mark.parametrize("op", ["put", "delete"])
+    def test_torn_tail_under_group_commit(self, tmp_path, op):
+        # sync=False is the mode durable regions run in: records reach the
+        # OS per append but are only fsynced at flush/close, so a crash can
+        # tear the last record.  Replay must stop at the intact prefix for
+        # puts and deletes alike.
+        path = tmp_path / "wal.log"
+        with WriteAheadLog(path, sync=False) as wal:
+            wal.append_put(b"base", b"0")
+            if op == "put":
+                wal.append_put(b"tail", b"1")
+            else:
+                wal.append_delete(b"tail")
+        data = path.read_bytes()
+        path.write_bytes(data[:-2])
+        with WriteAheadLog(path, sync=False) as wal:
+            assert list(wal.replay()) == [(OP_PUT, b"base", b"0")]
+
+    def test_fsync_after_close_is_noop(self, tmp_path):
+        # The idempotent close chain may call fsync() on an already-closed
+        # group-commit log (with-block plus explicit close).
+        wal = WriteAheadLog(tmp_path / "wal.log", sync=False)
+        wal.append_put(b"k", b"v")
+        wal.close()
+        wal.fsync()  # must not raise on the closed handle
+        wal.close()
+
     def test_corrupt_record_stops_replay(self, tmp_path):
         path = tmp_path / "wal.log"
         with WriteAheadLog(path) as wal:

@@ -66,6 +66,55 @@ class TestChunkedStream:
         stream.close()
         assert closed == [True]
 
+    def test_worker_failure_raised_and_counted(self, pool):
+        from repro import obs
+
+        obs.set_metrics_enabled(True)
+
+        def gen():
+            yield 1
+            raise RuntimeError("worker boom")
+
+        before = obs.registry().get("kv_multirange_errors_total").value
+        stream = ChunkedStream(pool, gen(), batch=1)
+        it = iter(stream)
+        assert next(it) == 1
+        with pytest.raises(RuntimeError, match="worker boom"):
+            list(it)
+        after = obs.registry().get("kv_multirange_errors_total").value
+        assert after == before + 1
+
+    def test_failure_while_draining_closed_stream_is_counted(self, pool):
+        # A chunk that fails after close() detached it has no consumer to
+        # raise to; the drain path must count it instead of dropping it.
+        import threading
+
+        from repro import obs
+
+        obs.set_metrics_enabled(True)
+        entered = threading.Event()
+        release = threading.Event()
+
+        def gen():
+            entered.set()
+            release.wait(5)
+            raise RuntimeError("late boom")
+            yield  # pragma: no cover - makes this a generator
+
+        before = obs.registry().get("kv_multirange_errors_total").value
+        stream = ChunkedStream(pool, gen(), batch=4)
+        stream.start()
+        assert entered.wait(5)  # the worker is inside the generator
+        timer = threading.Timer(0.05, release.set)
+        timer.start()
+        try:
+            stream.close()  # drains the in-flight chunk, which then fails
+        finally:
+            timer.cancel()
+            release.set()
+        after = obs.registry().get("kv_multirange_errors_total").value
+        assert after == before + 1
+
 
 class TestScanScheduled:
     def test_rows_in_window_order(self, pool):

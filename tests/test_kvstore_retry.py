@@ -1,0 +1,219 @@
+"""Tests for the retry policy, attempt budgets, and circuit breakers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.kvstore.errors import RetryExhaustedError, TransientRPCError
+from repro.kvstore.retry import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    CircuitBreaker,
+    RetryPolicy,
+    is_retryable,
+    retry_counts,
+)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, s: float) -> None:
+        self.now += s
+
+
+def _policy(**overrides) -> tuple[RetryPolicy, list[float]]:
+    """A fast test policy with recorded (not slept) delays."""
+    sleeps: list[float] = []
+    defaults = dict(
+        max_attempts=4,
+        base_delay_ms=1.0,
+        max_delay_ms=10.0,
+        deadline_ms=10_000.0,
+        jitter_seed=7,
+        sleep=sleeps.append,
+    )
+    defaults.update(overrides)
+    return RetryPolicy(**defaults), sleeps
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay_ms=5.0, max_delay_ms=1.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(deadline_ms=0.0)
+
+    def test_success_passthrough(self):
+        policy, sleeps = _policy()
+        assert policy.run(lambda: 41 + 1, op="t") == 42
+        assert sleeps == []
+
+    def test_transient_failures_are_retried(self):
+        policy, sleeps = _policy()
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise TransientRPCError("blip")
+            return "ok"
+
+        assert policy.run(flaky, op="t") == "ok"
+        assert calls["n"] == 3
+        assert len(sleeps) == 2
+        # Decorrelated jitter stays inside [base, max].
+        assert all(0.001 <= s <= 0.010 for s in sleeps)
+
+    def test_fatal_errors_propagate_immediately(self):
+        policy, sleeps = _policy()
+        with pytest.raises(ValueError):
+            policy.run(lambda: (_ for _ in ()).throw(ValueError("fatal")), op="t")
+        assert sleeps == []
+
+    def test_attempt_budget_exhaustion_chains_cause(self):
+        policy, _ = _policy(max_attempts=3)
+
+        def always_fail():
+            raise TransientRPCError("down")
+
+        with pytest.raises(RetryExhaustedError) as err:
+            policy.run(always_fail, op="t")
+        assert "attempts" in str(err.value)
+        assert isinstance(err.value.__cause__, TransientRPCError)
+
+    def test_deadline_budget(self):
+        clock = FakeClock()
+        policy, _ = _policy(deadline_ms=100.0, max_attempts=1000, clock=clock)
+        tracker = policy.attempts("t")
+        tracker.failed(TransientRPCError("1"))  # within deadline: backs off
+        clock.advance(1.0)  # a second: way past the 100 ms deadline
+        with pytest.raises(RetryExhaustedError) as err:
+            tracker.failed(TransientRPCError("2"))
+        assert "deadline" in str(err.value)
+
+    def test_tracker_reset_refills_attempts(self):
+        policy, _ = _policy(max_attempts=2)
+        tracker = policy.attempts("scan")
+        tracker.failed(TransientRPCError("1"))
+        tracker.reset()  # progress was made: new RPC, new budget
+        tracker.failed(TransientRPCError("2"))
+        with pytest.raises(RetryExhaustedError):
+            tracker.failed(TransientRPCError("3"))
+
+    def test_zero_delay_policy_never_sleeps(self):
+        policy, sleeps = _policy(base_delay_ms=0.0, max_delay_ms=0.0)
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise TransientRPCError("blip")
+            return "ok"
+
+        assert policy.run(flaky, op="t") == "ok"
+        assert sleeps == []
+
+    def test_process_wide_counts(self):
+        policy, _ = _policy()
+        before = retry_counts()
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 2:
+                raise TransientRPCError("blip")
+            return "ok"
+
+        policy.run(flaky, op="t")
+        retries, failures = retry_counts()
+        assert retries - before[0] == 1
+        assert failures - before[1] == 1
+
+    def test_is_retryable_classification(self):
+        assert is_retryable(TransientRPCError("x"))
+        assert not is_retryable(ValueError("x"))
+        assert not is_retryable(RetryExhaustedError("x"))
+
+
+class TestCircuitBreaker:
+    def _breaker(self, threshold=3, reset_after=5.0):
+        clock = FakeClock()
+        return CircuitBreaker(
+            failure_threshold=threshold,
+            reset_after_s=reset_after,
+            clock=clock,
+            name="test-region",
+        ), clock
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+
+    def test_opens_after_threshold(self):
+        breaker, _ = self._breaker(threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED and breaker.healthy
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert not breaker.healthy
+        assert not breaker.allow()
+
+    def test_success_resets_streak(self):
+        breaker, _ = self._breaker(threshold=2)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+
+    def test_half_open_after_cooldown_then_close(self):
+        breaker, clock = self._breaker(threshold=1, reset_after=5.0)
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        clock.advance(5.0)
+        assert breaker.state == HALF_OPEN
+        assert breaker.healthy  # half-open probes are allowed
+        breaker.record_success()
+        assert breaker.state == CLOSED
+
+    def test_half_open_failure_reopens(self):
+        breaker, clock = self._breaker(threshold=3, reset_after=5.0)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(5.0)
+        assert breaker.state == HALF_OPEN
+        breaker.record_failure()  # the probe failed
+        assert breaker.state == OPEN
+        clock.advance(4.9)
+        assert breaker.state == OPEN  # cooldown restarted
+
+    def test_state_gauge_exported(self):
+        obs.set_metrics_enabled(True)
+        breaker, _ = self._breaker(threshold=1)
+        breaker.record_failure()
+        gauge = obs.registry().get("kv_breaker_state")
+        assert gauge.labels(region="test-region").value == 2.0
+        breaker.record_success()
+        assert gauge.labels(region="test-region").value == 0.0
+
+    def test_run_with_breaker_drives_state(self):
+        policy = RetryPolicy(
+            max_attempts=2, base_delay_ms=0.0, max_delay_ms=0.0
+        )
+        breaker, _ = self._breaker(threshold=1)
+        with pytest.raises(RetryExhaustedError):
+            policy.run(
+                lambda: (_ for _ in ()).throw(TransientRPCError("down")),
+                op="t",
+                breaker=breaker,
+            )
+        assert breaker.state == OPEN

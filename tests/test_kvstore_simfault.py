@@ -1,0 +1,190 @@
+"""Tests for the deterministic, seeded fault injector."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.kvstore.errors import (
+    TransientError,
+    TransientIOError,
+    TransientRPCError,
+)
+from repro.kvstore.simfault import (
+    CRASH_POINTS,
+    FaultConfig,
+    FaultInjector,
+    SimulatedCrash,
+    fault_injection,
+    fault_injector,
+    scan_fault,
+    set_fault_injector,
+)
+
+
+@pytest.fixture(autouse=True)
+def _no_global_injector():
+    set_fault_injector(None)
+    yield
+    set_fault_injector(None)
+
+
+def _scan_outcomes(injector: FaultInjector, n: int) -> list[bool]:
+    out = []
+    for _ in range(n):
+        try:
+            injector.scan_fault()
+            out.append(True)
+        except TransientRPCError:
+            out.append(False)
+    return out
+
+
+class TestFaultConfig:
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ValueError):
+            FaultConfig(scan_fail_rate=1.5)
+        with pytest.raises(ValueError):
+            FaultConfig(get_fail_rate=-0.1)
+
+    def test_rejects_bad_max_consecutive(self):
+        with pytest.raises(ValueError):
+            FaultConfig(max_consecutive=0)
+
+    def test_rejects_unknown_crash_point(self):
+        with pytest.raises(ValueError):
+            FaultConfig(crash_points=frozenset({"flush.nope"}))
+
+    def test_uniform_sets_every_rate(self):
+        cfg = FaultConfig.uniform(0.25, seed=9)
+        assert (
+            cfg.scan_fail_rate
+            == cfg.get_fail_rate
+            == cfg.flush_fail_rate
+            == cfg.compact_fail_rate
+            == 0.25
+        )
+        assert cfg.seed == 9
+
+
+class TestDeterminism:
+    def test_same_seed_same_sequence(self):
+        cfg = FaultConfig(scan_fail_rate=0.3, seed=5)
+        a = _scan_outcomes(FaultInjector(cfg), 200)
+        b = _scan_outcomes(FaultInjector(cfg), 200)
+        assert a == b
+        assert not all(a) and any(a)  # the rate actually bites
+
+    def test_different_seed_different_sequence(self):
+        a = _scan_outcomes(FaultInjector(FaultConfig(scan_fail_rate=0.3, seed=1)), 200)
+        b = _scan_outcomes(FaultInjector(FaultConfig(scan_fail_rate=0.3, seed=2)), 200)
+        assert a != b
+
+    def test_sites_have_independent_streams(self):
+        # Interleaving get draws must not perturb the scan stream.
+        cfg = FaultConfig.uniform(0.3, seed=7)
+        plain = _scan_outcomes(FaultInjector(cfg), 100)
+        interleaved = FaultInjector(cfg)
+        out = []
+        for i in range(100):
+            for _ in range(i % 3):
+                try:
+                    interleaved.get_fault()
+                except TransientRPCError:
+                    pass
+            try:
+                interleaved.scan_fault()
+                out.append(True)
+            except TransientRPCError:
+                out.append(False)
+        assert out == plain
+
+    def test_max_consecutive_bounds_failure_streaks(self):
+        inj = FaultInjector(FaultConfig(scan_fail_rate=1.0, max_consecutive=3))
+        outcomes = _scan_outcomes(inj, 12)
+        # Certain failure, but every 4th attempt is forced to succeed.
+        assert outcomes == [False, False, False, True] * 3
+
+    def test_zero_rate_never_fails(self):
+        inj = FaultInjector(FaultConfig())
+        assert all(_scan_outcomes(inj, 50))
+        assert inj.injected == 0
+
+    def test_injected_counter(self):
+        inj = FaultInjector(FaultConfig(scan_fail_rate=1.0, max_consecutive=2))
+        _scan_outcomes(inj, 6)
+        assert inj.injected == 4  # F F S F F S
+
+    def test_fault_types_by_site(self):
+        inj = FaultInjector(FaultConfig.uniform(1.0))
+        with pytest.raises(TransientRPCError):
+            inj.get_fault()
+        with pytest.raises(TransientIOError):
+            inj.flush_fault()
+        with pytest.raises(TransientIOError):
+            inj.compact_fault()
+        # Both are retryable transients.
+        assert issubclass(TransientRPCError, TransientError)
+        assert issubclass(TransientIOError, TransientError)
+
+
+class TestCrashPoints:
+    def test_crash_is_one_shot(self):
+        inj = FaultInjector(
+            FaultConfig(crash_points=frozenset({"flush.pre_rename"}))
+        )
+        with pytest.raises(SimulatedCrash) as err:
+            inj.crash("flush.pre_rename")
+        assert err.value.point == "flush.pre_rename"
+        inj.crash("flush.pre_rename")  # disarmed: no-op
+        assert inj.crashes == 1
+
+    def test_rearm(self):
+        inj = FaultInjector(FaultConfig())
+        inj.crash("compact.post_rename")  # not armed: no-op
+        inj.arm("compact.post_rename")
+        assert inj.armed() == frozenset({"compact.post_rename"})
+        with pytest.raises(SimulatedCrash):
+            inj.crash("compact.post_rename")
+        assert inj.armed() == frozenset()
+
+    def test_unknown_point_rejected(self):
+        inj = FaultInjector(FaultConfig())
+        with pytest.raises(ValueError):
+            inj.crash("bogus")
+        with pytest.raises(ValueError):
+            inj.arm("bogus")
+
+    def test_simulated_crash_is_not_an_exception(self):
+        # `except Exception` cleanup (retry loops, drain paths) must never
+        # swallow a simulated process death.
+        assert not isinstance(SimulatedCrash("flush.pre_rename"), Exception)
+        assert isinstance(SimulatedCrash("flush.pre_rename"), BaseException)
+
+    def test_all_points_named(self):
+        assert set(CRASH_POINTS) == {
+            "flush.pre_rename",
+            "flush.post_rename",
+            "compact.pre_rename",
+            "compact.post_rename",
+        }
+
+
+class TestProcessGlobalHooks:
+    def test_hooks_are_noops_when_disabled(self):
+        assert fault_injector() is None
+        scan_fault()  # must not raise
+
+    def test_context_manager_installs_and_restores(self):
+        outer = FaultInjector(FaultConfig())
+        set_fault_injector(outer)
+        with fault_injection(FaultConfig.uniform(1.0, max_consecutive=1)) as inj:
+            assert fault_injector() is inj
+            with pytest.raises(TransientRPCError):
+                scan_fault()
+        assert fault_injector() is outer
+
+    def test_context_manager_restores_on_error(self):
+        with pytest.raises(RuntimeError):
+            with fault_injection(FaultConfig()):
+                raise RuntimeError("boom")
+        assert fault_injector() is None
