@@ -25,6 +25,7 @@ from repro.query.types import (
     ThresholdSimilarityQuery,
     TopKSimilarityQuery,
 )
+from repro.runtime import AdmissionRejectedError, QueryTimeoutError
 from repro.storage.config import TManConfig
 from repro.storage.persistence import open_tman, save_tman
 from repro.storage.tman import TMan
@@ -47,5 +48,7 @@ __all__ = [
     "ThresholdSimilarityQuery",
     "TopKSimilarityQuery",
     "QueryResult",
+    "QueryTimeoutError",
+    "AdmissionRejectedError",
     "__version__",
 ]

@@ -6,8 +6,9 @@ Commands:
 - ``load`` — build a TMan deployment from a CSV and save it to a directory;
 - ``query`` — run a temporal/spatial/id query against a saved deployment
   (``--trace-out`` writes a Chrome trace, ``--slow-ms`` arms the slow-query
-  log);
+  log, ``--deadline-ms``/``--allow-partial`` bound end-to-end execution);
 - ``info`` — show a saved deployment's configuration and statistics;
+- ``health`` — operational snapshot (admission, memtable pressure, breakers);
 - ``metrics`` — dump the process metrics registry (Prometheus text or JSON).
 
 CSV format: one point per line, ``oid,tid,t,lng,lat``, points of a
@@ -28,6 +29,13 @@ from repro.datasets import LORRY_SPEC, TDRIVE_SPEC, generate_dataset
 from repro.kvstore import simfault
 from repro.kvstore.retry import retry_counts
 from repro.model import MBR, STPoint, TimeRange, Trajectory
+from repro.query.types import (
+    IDTemporalQuery,
+    SpatialRangeQuery,
+    STRangeQuery,
+    TemporalRangeQuery,
+)
+from repro.runtime.deadline import QueryTimeoutError
 from repro.storage.config import TManConfig
 from repro.storage.persistence import open_tman, save_tman
 from repro.storage.tman import TMan
@@ -121,20 +129,43 @@ def cmd_query(args: argparse.Namespace) -> int:
         )
     retry_before = retry_counts()
     overrides = {"window_parallel": False} if args.no_window_parallel else None
+    deadline_kwargs = {
+        "deadline_ms": args.deadline_ms,
+        "allow_partial": args.allow_partial,
+    }
     with open_tman(args.deployment, config_overrides=overrides) as tman:
-        if args.type == "temporal":
-            res = tman.temporal_range_query(TimeRange(args.start, args.end))
-        elif args.type == "spatial":
-            x1, y1, x2, y2 = (float(v) for v in args.window.split(","))
-            res = tman.spatial_range_query(MBR(x1, y1, x2, y2))
-        elif args.type == "st":
-            x1, y1, x2, y2 = (float(v) for v in args.window.split(","))
-            res = tman.st_range_query(MBR(x1, y1, x2, y2), TimeRange(args.start, args.end))
-        else:  # id
-            res = tman.id_temporal_query(args.oid, TimeRange(args.start, args.end))
+        try:
+            if args.type == "temporal":
+                res = tman.query(
+                    TemporalRangeQuery(TimeRange(args.start, args.end)),
+                    **deadline_kwargs,
+                )
+            elif args.type == "spatial":
+                x1, y1, x2, y2 = (float(v) for v in args.window.split(","))
+                res = tman.query(
+                    SpatialRangeQuery(MBR(x1, y1, x2, y2)), **deadline_kwargs
+                )
+            elif args.type == "st":
+                x1, y1, x2, y2 = (float(v) for v in args.window.split(","))
+                res = tman.query(
+                    STRangeQuery(
+                        MBR(x1, y1, x2, y2), TimeRange(args.start, args.end)
+                    ),
+                    **deadline_kwargs,
+                )
+            else:  # id
+                res = tman.query(
+                    IDTemporalQuery(args.oid, TimeRange(args.start, args.end)),
+                    **deadline_kwargs,
+                )
+        except QueryTimeoutError as exc:
+            print(f"query timed out: {exc}", file=sys.stderr)
+            return 2
+        partial = " PARTIAL (deadline reached)" if res.partial else ""
         print(
             f"{len(res)} trajectories ({res.candidates} candidates, "
             f"{res.windows} scans, plan {res.plan}, {res.elapsed_ms:.1f} ms)"
+            f"{partial}"
         )
         if args.fault_rate:
             retries, failures = retry_counts()
@@ -203,6 +234,63 @@ def cmd_info(args: argparse.Namespace) -> int:
             f"windows_started={started.value if started else 0:.0f} "
             f"chunks_cancelled={cancelled.value if cancelled else 0:.0f}"
         )
+        cfg = tman.config
+        soft = cfg.memtable_soft_bytes
+        hard = cfg.memtable_hard_bytes
+        print(
+            f"memtable: {tman.cluster.memtable_bytes()} unflushed bytes, "
+            f"soft_watermark={'off' if soft is None else soft} "
+            f"hard_watermark={'off' if hard is None else hard} "
+            f"stall_timeout_ms={cfg.write_stall_timeout_ms:g}"
+        )
+        if cfg.admission_max_inflight > 0:
+            print(
+                f"admission: max_inflight={cfg.admission_max_inflight} "
+                f"max_queue={cfg.admission_max_queue} "
+                f"queue_timeout_ms={cfg.admission_queue_timeout_ms:g}"
+            )
+        else:
+            print("admission: unlimited")
+    return 0
+
+
+def cmd_health(args: argparse.Namespace) -> int:
+    """``health``: operational snapshot of a saved deployment."""
+    with open_tman(args.deployment) as tman:
+        doc = tman.health()
+        if args.json:
+            print(json.dumps(doc, indent=2))
+            return 0
+        adm = doc["admission"]
+        if adm is None:
+            print("admission: unlimited (no inflight bound configured)")
+        else:
+            print(
+                f"admission: {adm['inflight']}/{adm['max_inflight']} inflight, "
+                f"{adm['queued']}/{adm['max_queue']} queued, "
+                f"admitted={adm['admitted']} "
+                f"shed_queue_full={adm['shed_queue_full']} "
+                f"shed_queue_timeout={adm['shed_queue_timeout']}"
+            )
+        w = doc["write"]
+        soft = "off" if w["soft_bytes"] is None else w["soft_bytes"]
+        hard = "off" if w["hard_bytes"] is None else w["hard_bytes"]
+        print(
+            f"write: memtable_bytes={w['memtable_bytes']} "
+            f"soft_watermark={soft} hard_watermark={hard} "
+            f"stall_timeout_ms={w['stall_timeout_ms']:g}"
+        )
+        b = doc["breakers"]
+        print(f"breakers: {b['open']} open of {b['regions']} regions")
+        for name in sorted(b["tables"]):
+            t = b["tables"][name]
+            print(
+                f"  {name}: regions={t['regions']} "
+                f"open_breakers={t['open_breakers']} "
+                f"memtable_bytes={t['memtable_bytes']}"
+            )
+        dl = doc["default_deadline_ms"]
+        print(f"default deadline: {'none' if dl is None else f'{dl:g} ms'}")
     return 0
 
 
@@ -280,11 +368,28 @@ def build_parser() -> argparse.ArgumentParser:
         default=0,
         help="seed for the deterministic fault injector",
     )
+    q.add_argument(
+        "--deadline-ms",
+        type=float,
+        help="end-to-end deadline; expiry fails the query (exit code 2)",
+    )
+    q.add_argument(
+        "--allow-partial",
+        action="store_true",
+        help="on deadline expiry return rows produced so far instead of failing",
+    )
     q.set_defaults(fn=cmd_query)
 
     i = sub.add_parser("info", help="describe a saved deployment")
     i.add_argument("deployment")
     i.set_defaults(fn=cmd_info)
+
+    h = sub.add_parser(
+        "health", help="admission / memtable / breaker snapshot"
+    )
+    h.add_argument("deployment")
+    h.add_argument("--json", action="store_true", help="machine-readable output")
+    h.set_defaults(fn=cmd_health)
 
     m = sub.add_parser("metrics", help="dump the process metrics registry")
     m.add_argument(

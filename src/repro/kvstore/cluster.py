@@ -10,6 +10,7 @@ from repro.kvstore.errors import TableExistsError, TableNotFoundError
 from repro.kvstore.retry import RetryPolicy
 from repro.kvstore.stats import IOStats
 from repro.kvstore.table import Table
+from repro.runtime.backpressure import WriteLimits
 
 DEFAULT_BLOCK_CACHE_BYTES = 16 * 1024 * 1024
 
@@ -33,6 +34,7 @@ class Cluster:
         retry: Optional[RetryPolicy] = None,
         breaker_threshold: int = 8,
         breaker_reset_s: float = 5.0,
+        write_limits: Optional[WriteLimits] = None,
     ):
         self.stats = IOStats()
         self._split_rows = split_rows
@@ -40,12 +42,24 @@ class Cluster:
         self.retry = retry if retry is not None else RetryPolicy()
         self._breaker_threshold = breaker_threshold
         self._breaker_reset_s = breaker_reset_s
+        self.write_limits = (
+            write_limits if write_limits is not None and write_limits.enabled else None
+        )
         # Shared across every table and region; only durable deployments
         # have disk SSTables, so for in-memory clusters this stays empty.
         self.block_cache: Optional[BlockCache] = make_block_cache(block_cache_bytes)
         self._executor: Optional[ThreadPoolExecutor] = (
             ThreadPoolExecutor(max_workers=workers, thread_name_prefix="kv-scan")
             if workers > 1
+            else None
+        )
+        # A dedicated single-worker pool for background memtable flushes:
+        # sharing the scan pool would let a query burst starve flushing —
+        # exactly the condition backpressure exists to relieve.  In-memory
+        # clusters only; the durable engine flushes inline (WAL safety).
+        self._flusher: Optional[ThreadPoolExecutor] = (
+            ThreadPoolExecutor(max_workers=1, thread_name_prefix="kv-flush")
+            if self.write_limits is not None and data_dir is None
             else None
         )
         self._tables: dict[str, Table] = {}
@@ -78,6 +92,8 @@ class Cluster:
             retry=self.retry,
             breaker_threshold=self._breaker_threshold,
             breaker_reset_s=self._breaker_reset_s,
+            write_limits=self.write_limits,
+            flusher=self._flusher,
         )
         self._tables[name] = table
         return table
@@ -109,10 +125,17 @@ class Cluster:
         """Sorted names of all tables."""
         return sorted(self._tables)
 
+    def memtable_bytes(self) -> int:
+        """Unflushed bytes buffered across every table's regions."""
+        return sum(table.memtable_bytes() for table in self._tables.values())
+
     def close(self) -> None:
-        """Shut down the worker pool and close durable tables (idempotent)."""
+        """Shut down the worker pools and close durable tables (idempotent)."""
         for table in self._tables.values():
             table.close()
+        if self._flusher is not None:
+            self._flusher.shutdown(wait=True)
+            self._flusher = None
         if self._executor is not None:
             self._executor.shutdown(wait=True)
             self._executor = None

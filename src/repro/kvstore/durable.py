@@ -30,6 +30,7 @@ from __future__ import annotations
 import heapq
 import logging
 import os
+import time
 from pathlib import Path
 from typing import Iterator, Optional, Union
 
@@ -42,6 +43,11 @@ from repro.kvstore.retry import RetryPolicy
 from repro.kvstore.stats import IOStats
 from repro.kvstore.wal import OP_DELETE, OP_PUT, WriteAheadLog
 from repro.obs import counter as _obs_counter
+from repro.runtime.backpressure import (
+    WriteLimits,
+    record_stall,
+    record_throttle,
+)
 
 _log = logging.getLogger(__name__)
 
@@ -87,6 +93,7 @@ class DurableLSMStore:
         sync: bool = True,
         block_cache: Optional[BlockCache] = None,
         retry: Optional[RetryPolicy] = None,
+        write_limits: Optional[WriteLimits] = None,
     ):
         self.data_dir = Path(data_dir)
         self.data_dir.mkdir(parents=True, exist_ok=True)
@@ -96,6 +103,13 @@ class DurableLSMStore:
         self._sync = sync
         self._block_cache = block_cache
         self._retry = retry if retry is not None else RetryPolicy()
+        # Backpressure is synchronous here: the WAL is a single file
+        # truncated at flush, so a background flush racing WAL appends
+        # would drop acknowledged writes at the truncate.  The watermarks
+        # instead trigger an early inline flush plus a throttle delay.
+        self._limits = (
+            write_limits if write_limits is not None and write_limits.enabled else None
+        )
         self._memtable = MemTable()
         self._closed = False
 
@@ -134,10 +148,39 @@ class DurableLSMStore:
 
     # -- writes -------------------------------------------------------------
 
+    @property
+    def memtable_bytes(self) -> int:
+        """Unflushed bytes buffered in the memtable."""
+        return self._memtable.approx_bytes
+
+    def _enforce_limits(self) -> None:
+        """Synchronous watermark backpressure (see ``__init__``).
+
+        The hard watermark flushes inline and accounts the wait as a
+        stall; the soft watermark flushes inline and throttles.  Neither
+        can reject: an inline flush always frees the memtable, so the
+        bounded-stall-then-reject path is unreachable here.
+        """
+        limits = self._limits
+        if limits is None:
+            return
+        buffered = self._memtable.approx_bytes
+        if limits.hard_bytes is not None and buffered >= limits.hard_bytes:
+            t0 = time.monotonic()
+            self.flush()
+            record_stall(time.monotonic() - t0, rejected=False)
+            return
+        if limits.soft_bytes is not None and buffered >= limits.soft_bytes:
+            self.flush()
+            if limits.throttle_ms > 0:
+                record_throttle()
+                time.sleep(limits.throttle_ms / 1000.0)
+
     def put(self, key: bytes, value: bytes) -> None:
         """Insert or overwrite ``key`` with ``value``."""
         if value == TOMBSTONE:
             raise ValueError("the tombstone sentinel cannot be stored as a value")
+        self._enforce_limits()
         self._wal.append(OP_PUT, key, value)
         self._memtable.put(key, value)
         if self._memtable.approx_bytes >= self._flush_bytes:
@@ -145,6 +188,7 @@ class DurableLSMStore:
 
     def delete(self, key: bytes) -> None:
         """Remove ``key``."""
+        self._enforce_limits()
         self._wal.append(OP_DELETE, key)
         self._memtable.delete(key)
         if self._memtable.approx_bytes >= self._flush_bytes:

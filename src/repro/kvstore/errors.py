@@ -44,6 +44,15 @@ class TransientIOError(TransientError):
     transiently and left no visible state behind."""
 
 
+class WriteStalledError(KVError):
+    """A write stalled at the hard memtable watermark past its bounded
+    timeout and was rejected.
+
+    Backpressure, not corruption: the store is healthy but flushing
+    slower than the ingest rate.  Callers should slow down and retry.
+    """
+
+
 class RetryExhaustedError(KVError):
     """A retryable operation failed past its attempt or deadline budget.
 

@@ -1,14 +1,35 @@
-"""LSM-tree store: memtable + tiered SSTables with compaction."""
+"""LSM-tree store: memtable + tiered SSTables with compaction.
+
+With :class:`~repro.runtime.backpressure.WriteLimits` configured the
+store grows a write-backpressure pipeline: at the soft watermark the
+active memtable is *frozen* (swapped for a fresh one and never mutated
+again, which makes it safe to read from the flusher thread) and flushed
+asynchronously on the cluster's flusher pool while the writer is briefly
+throttled; at the hard watermark writers stall until flushing catches up,
+for at most a bounded timeout, after which the write is rejected with
+:class:`~repro.kvstore.errors.WriteStalledError`.  Without limits the
+store behaves exactly as before: synchronous flush at ``flush_bytes``,
+no locks, no background work.
+"""
 
 from __future__ import annotations
 
 import heapq
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
 from typing import Iterator, Optional
 
+from repro.kvstore.errors import WriteStalledError
 from repro.kvstore.memtable import TOMBSTONE, MemTable
 from repro.kvstore.sstable import SSTable
 from repro.kvstore.stats import IOStats
 from repro.obs import counter as _obs_counter
+from repro.runtime.backpressure import (
+    WriteLimits,
+    record_stall,
+    record_throttle,
+)
 
 DEFAULT_FLUSH_BYTES = 4 * 1024 * 1024
 DEFAULT_MAX_TABLES = 8
@@ -41,12 +62,24 @@ class LSMStore:
         stats: Optional[IOStats] = None,
         flush_bytes: int = DEFAULT_FLUSH_BYTES,
         max_tables: int = DEFAULT_MAX_TABLES,
+        write_limits: Optional[WriteLimits] = None,
+        flusher: Optional[ThreadPoolExecutor] = None,
     ):
         self._stats = stats
         self._flush_bytes = flush_bytes
         self._max_tables = max_tables
         self._memtable = MemTable()
         self._sstables: list[SSTable] = []  # newest last
+        # Backpressure state (None = seed behavior: no locks, sync flush).
+        self._limits = (
+            write_limits if write_limits is not None and write_limits.enabled else None
+        )
+        self._flusher = flusher
+        if self._limits is not None:
+            self._cond = threading.Condition(threading.Lock())
+            self._frozen: list[MemTable] = []  # oldest first, flush order
+            self._flush_inflight = False
+            self._flush_error: Optional[BaseException] = None
 
     def __len__(self) -> int:
         """Upper bound on live entries (duplicates across levels counted once per scan)."""
@@ -57,17 +90,37 @@ class LSMStore:
         """Number of immutable runs currently on disk/in memory."""
         return len(self._sstables)
 
+    @property
+    def memtable_bytes(self) -> int:
+        """Unflushed bytes: the active memtable plus frozen ones awaiting flush."""
+        total = self._memtable.approx_bytes
+        if self._limits is not None:
+            total += sum(mt.approx_bytes for mt in self._frozen)
+        return total
+
     # -- writes -------------------------------------------------------------
 
     def put(self, key: bytes, value: bytes) -> None:
-        """Insert or overwrite ``key`` with ``value``."""
+        """Insert or overwrite ``key`` with ``value``.
+
+        With write limits configured this may throttle (soft watermark),
+        stall (hard watermark), or raise
+        :class:`~repro.kvstore.errors.WriteStalledError` when the stall
+        outlasts its bounded timeout.
+        """
         if value == TOMBSTONE:
             raise ValueError("the tombstone sentinel cannot be stored as a value")
+        if self._limits is not None:
+            self._put_limited(key, value, delete=False)
+            return
         self._memtable.put(key, value)
         self._maybe_flush()
 
     def delete(self, key: bytes) -> None:
         """Remove ``key``."""
+        if self._limits is not None:
+            self._put_limited(key, b"", delete=True)
+            return
         self._memtable.delete(key)
         self._maybe_flush()
 
@@ -75,8 +128,146 @@ class LSMStore:
         if self._memtable.approx_bytes >= self._flush_bytes:
             self.flush()
 
+    # -- backpressure write path --------------------------------------------
+
+    def _put_limited(self, key: bytes, value: bytes, delete: bool) -> None:
+        limits = self._limits
+        throttle = False
+        with self._cond:
+            self._raise_flush_error_locked()
+            if (
+                limits.hard_bytes is not None
+                and self._unflushed_bytes_locked() >= limits.hard_bytes
+            ):
+                self._stall_locked()
+            # The soft watermark (defaulting to flush_bytes so the active
+            # memtable stays bounded even when only hard is configured)
+            # freezes the active memtable into the flush pipeline.
+            soft = (
+                limits.soft_bytes
+                if limits.soft_bytes is not None
+                else self._flush_bytes
+            )
+            if self._memtable.approx_bytes >= soft:
+                self._freeze_and_schedule_locked()
+                throttle = limits.soft_bytes is not None and limits.throttle_ms > 0
+            if delete:
+                self._memtable.delete(key)
+            else:
+                self._memtable.put(key, value)
+        if throttle:
+            # Smear the flush cost across the burst: a short sleep outside
+            # the lock per freeze, not per put.
+            record_throttle()
+            time.sleep(limits.throttle_ms / 1000.0)
+
+    def _unflushed_bytes_locked(self) -> int:
+        return self._memtable.approx_bytes + sum(
+            mt.approx_bytes for mt in self._frozen
+        )
+
+    def _raise_flush_error_locked(self) -> None:
+        if self._flush_error is not None:
+            exc, self._flush_error = self._flush_error, None
+            raise exc
+
+    def _stall_locked(self) -> None:
+        """Block until flushing brings unflushed bytes under the hard mark."""
+        limits = self._limits
+        t0 = time.monotonic()
+        give_up_at = t0 + limits.stall_timeout_ms / 1000.0
+        self._freeze_and_schedule_locked()
+        while self._unflushed_bytes_locked() >= limits.hard_bytes:
+            self._raise_flush_error_locked()
+            timeout = give_up_at - time.monotonic()
+            if timeout <= 0:
+                record_stall(time.monotonic() - t0, rejected=True)
+                raise WriteStalledError(
+                    f"write stalled {limits.stall_timeout_ms:.0f} ms at the "
+                    f"hard memtable watermark ({limits.hard_bytes} bytes) "
+                    f"with {self._unflushed_bytes_locked()} bytes unflushed"
+                )
+            if self._flusher is None and not self._flush_inflight:
+                # No background flusher: drain inline instead of waiting.
+                self._drain_frozen_locked()
+                continue
+            self._cond.wait(timeout)
+        record_stall(time.monotonic() - t0, rejected=False)
+
+    def _freeze_and_schedule_locked(self) -> None:
+        """Swap in a fresh active memtable; flush the old one off-thread."""
+        if len(self._memtable) == 0:
+            return
+        self._frozen.append(self._memtable)
+        self._memtable = MemTable()
+        if self._flusher is None:
+            self._drain_frozen_locked()
+            return
+        if not self._flush_inflight:
+            self._flush_inflight = True
+            self._flusher.submit(self._background_flush)
+
+    def _build_sstable(self, frozen: MemTable) -> SSTable:
+        _FLUSH_TOTAL.inc()
+        _FLUSH_BYTES.inc(frozen.approx_bytes)
+        return SSTable(list(frozen.items()), self._stats)
+
+    def _drain_frozen_locked(self) -> None:
+        """Flush every frozen memtable inline (lock held; no-flusher path)."""
+        while self._frozen:
+            frozen = self._frozen.pop(0)
+            self._sstables.append(self._build_sstable(frozen))
+        if len(self._sstables) > self._max_tables:
+            self._compact_locked()
+        self._cond.notify_all()
+
+    def _background_flush(self) -> None:
+        """Flusher-pool task: drain the frozen queue, oldest first.
+
+        The SSTable is built outside the lock (the frozen memtable is
+        immutable), then swapped in and the source dequeued atomically so
+        readers never see the rows in both places or in neither.
+        """
+        try:
+            while True:
+                with self._cond:
+                    if not self._frozen:
+                        self._flush_inflight = False
+                        self._cond.notify_all()
+                        return
+                    frozen = self._frozen[0]
+                table = self._build_sstable(frozen)
+                with self._cond:
+                    self._sstables.append(table)
+                    self._frozen.pop(0)
+                    if len(self._sstables) > self._max_tables:
+                        self._compact_locked()
+                    self._cond.notify_all()
+        except BaseException as exc:  # surfaced on the next write/flush
+            with self._cond:
+                self._flush_error = exc
+                self._flush_inflight = False
+                self._cond.notify_all()
+
+    # -- flush / compaction --------------------------------------------------
+
     def flush(self) -> None:
-        """Freeze the memtable into an SSTable (no-op when empty)."""
+        """Freeze the memtable into an SSTable (no-op when empty).
+
+        With write limits this also drains the background flush pipeline,
+        so on return every previously written row is in an SSTable.
+        """
+        if self._limits is not None:
+            with self._cond:
+                self._raise_flush_error_locked()
+                if len(self._memtable):
+                    self._frozen.append(self._memtable)
+                    self._memtable = MemTable()
+                while self._flush_inflight:
+                    self._cond.wait()
+                    self._raise_flush_error_locked()
+                self._drain_frozen_locked()
+            return
         if len(self._memtable) == 0:
             return
         _FLUSH_TOTAL.inc()
@@ -89,6 +280,13 @@ class LSMStore:
 
     def compact(self) -> None:
         """Merge every SSTable into one, dropping shadowed values and tombstones."""
+        if self._limits is not None:
+            with self._cond:
+                self._compact_locked()
+            return
+        self._compact_locked()
+
+    def _compact_locked(self) -> None:
         merged: dict[bytes, bytes] = {}
         for table in self._sstables:  # oldest first; later wins
             for k, v in table.scan():
@@ -104,6 +302,19 @@ class LSMStore:
         """Return the live value for ``key`` or ``None``."""
         if self._stats is not None:
             self._stats.add(point_gets=1)
+        if self._limits is not None:
+            with self._cond:
+                memtables = [self._memtable, *reversed(self._frozen)]
+                sstables = list(self._sstables)
+            for mt in memtables:
+                value = mt.get(key)
+                if value is not None:
+                    return None if value == TOMBSTONE else value
+            for table in reversed(sstables):
+                value = table.get(key)
+                if value is not None:
+                    return None if value == TOMBSTONE else value
+            return None
         value = self._memtable.get(key)
         if value is not None:
             return None if value == TOMBSTONE else value
@@ -119,14 +330,25 @@ class LSMStore:
         """Yield live entries in ``[start, stop)`` in key order.
 
         Sources are merged with a heap; for duplicate keys the newest source
-        (memtable, then youngest SSTable) wins, and tombstones suppress the
-        key entirely.
+        (memtable, frozen memtables newest-first, then youngest SSTable)
+        wins, and tombstones suppress the key entirely.
         """
         # Priority: lower number = newer = wins on ties.
+        if self._limits is not None:
+            # Snapshot the level lists under the lock; the snapshotted
+            # objects themselves are immutable (frozen memtables are never
+            # mutated again, SSTables never change after construction), so
+            # the merge below runs lock-free against a consistent view.
+            with self._cond:
+                memtables = [self._memtable, *reversed(self._frozen)]
+                sstables = list(self._sstables)
+        else:
+            memtables = [self._memtable]
+            sstables = self._sstables
         sources: list[tuple[int, Iterator[tuple[bytes, bytes]]]] = [
-            (0, self._memtable.scan(start, stop))
+            (prio, mt.scan(start, stop)) for prio, mt in enumerate(memtables)
         ]
-        for age, table in enumerate(reversed(self._sstables), start=1):
+        for age, table in enumerate(reversed(sstables), start=len(memtables)):
             if table.overlaps(start, stop):
                 sources.append((age, table.scan(start, stop)))
 

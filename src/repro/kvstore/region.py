@@ -11,6 +11,12 @@ from repro.kvstore.retry import CircuitBreaker
 from repro.kvstore.scan import Scan
 from repro.kvstore.stats import IOStats
 from repro.obs import counter as _obs_counter, histogram as _obs_histogram
+from repro.runtime.backpressure import WriteLimits
+
+# Rows scanned between cooperative deadline checks inside the region scan
+# loop.  Small enough that an expired query stops within microseconds of
+# work, large enough that the clock read is invisible in scan throughput.
+DEADLINE_CHECK_ROWS = 64
 
 _SCAN_MS = _obs_histogram(
     "kv_region_scan_ms",
@@ -65,6 +71,8 @@ class Region:
         flush_bytes: int = 4 * 1024 * 1024,
         store: Optional[KVStoreEngine] = None,
         breaker: Optional[CircuitBreaker] = None,
+        write_limits: Optional[WriteLimits] = None,
+        flusher=None,
     ):
         if start_key is not None and end_key is not None and end_key <= start_key:
             raise ValueError("region end_key must be greater than start_key")
@@ -77,7 +85,12 @@ class Region:
             name=f"[{start_key!r},{end_key!r})"
         )
         self._stats = stats
-        self._store = store if store is not None else LSMStore(stats, flush_bytes=flush_bytes)
+        self._store = store if store is not None else LSMStore(
+            stats,
+            flush_bytes=flush_bytes,
+            write_limits=write_limits,
+            flusher=flusher,
+        )
         self._row_count = 0
         # Recover the row estimate for pre-existing durable stores.
         if store is not None:
@@ -90,6 +103,11 @@ class Region:
     def approx_rows(self) -> int:
         """Rows written minus deleted (approximate; duplicates not tracked)."""
         return self._row_count
+
+    @property
+    def memtable_bytes(self) -> int:
+        """Unflushed bytes buffered in the backing engine's memtable(s)."""
+        return getattr(self._store, "memtable_bytes", 0)
 
     def owns(self, key: bytes) -> bool:
         """True when ``key`` routes to this region."""
@@ -163,6 +181,9 @@ class Region:
         start, stop = self.clamp(scan)
         if start is not None and stop is not None and stop <= start:
             return
+        deadline = scan.deadline
+        if deadline is not None:
+            deadline.check("region.scan")
         # The scan RPC fails at open, before any row is produced; a retry
         # (Table._resilient_region_scan) reopens from after the last
         # delivered key, so consumers never see duplicates or gaps.
@@ -173,7 +194,11 @@ class Region:
             yield from self._execute_scan_timed(scan, start, stop)
             return
         returned = 0
+        scanned = 0
         for key, value in self._store.scan(start, stop):
+            scanned += 1
+            if deadline is not None and scanned % DEADLINE_CHECK_ROWS == 0:
+                deadline.check("region.scan")
             self._stats.add(rows_scanned=1)
             if scan.server_filter is not None:
                 self._stats.add(filter_evals=1)
@@ -190,12 +215,15 @@ class Region:
     ) -> Iterator[tuple[bytes, bytes]]:
         """The metered twin of :meth:`execute_scan`'s row loop."""
         perf = time.perf_counter
+        deadline = scan.deadline
         busy = 0.0
         scanned = returned = 0
         try:
             t0 = perf()
             for key, value in self._store.scan(start, stop):
                 scanned += 1
+                if deadline is not None and scanned % DEADLINE_CHECK_ROWS == 0:
+                    deadline.check("region.scan")
                 self._stats.add(rows_scanned=1)
                 if scan.server_filter is not None:
                     self._stats.add(filter_evals=1)

@@ -28,13 +28,16 @@ from typing import Callable, Optional, TypeVar
 
 from repro.kvstore.errors import RetryExhaustedError, TransientError
 from repro.obs import counter as _obs_counter, gauge as _obs_gauge
+from repro.runtime.deadline import Deadline, QueryTimeoutError
 
 T = TypeVar("T")
 
 _RETRY_TOTAL = _obs_counter(
     "kv_retry_total",
-    "Retries performed after transient RPC/IO failures",
-    labelnames=("op",),
+    "Retries performed after transient RPC/IO failures "
+    "(capped=yes when the backoff sleep was shortened or skipped to fit "
+    "the query's remaining deadline)",
+    labelnames=("op", "capped"),
 )
 _RPC_FAILURE_TOTAL = _obs_counter(
     "kv_rpc_failure_total",
@@ -111,22 +114,32 @@ class RetryPolicy:
         if self.deadline_ms <= 0:
             raise ValueError(f"deadline_ms must be positive, got {self.deadline_ms}")
 
-    def attempts(self, op: str = "op") -> "AttemptTracker":
-        """A fresh attempt/deadline budget for one logical operation."""
-        return AttemptTracker(self, op)
+    def attempts(
+        self, op: str = "op", deadline: Optional[Deadline] = None
+    ) -> "AttemptTracker":
+        """A fresh attempt/deadline budget for one logical operation.
+
+        ``deadline`` (the *query's* deadline, distinct from this policy's
+        per-operation ``deadline_ms``) caps every backoff sleep to the
+        remaining query budget and fails the operation with
+        :class:`~repro.runtime.deadline.QueryTimeoutError` once that
+        budget is spent — a retry layer must never out-wait its caller.
+        """
+        return AttemptTracker(self, op, deadline=deadline)
 
     def run(
         self,
         fn: Callable[[], T],
         op: str = "op",
         breaker: Optional["CircuitBreaker"] = None,
+        deadline: Optional[Deadline] = None,
     ) -> T:
         """Call ``fn`` under this policy, retrying transient failures.
 
         ``breaker`` (when given) records each transient failure and the
         final success, driving the region's degradation state.
         """
-        tracker = self.attempts(op)
+        tracker = self.attempts(op, deadline=deadline)
         while True:
             try:
                 value = fn()
@@ -152,11 +165,17 @@ class AttemptTracker:
     (the overall deadline still stands).
     """
 
-    def __init__(self, policy: RetryPolicy, op: str):
+    def __init__(
+        self,
+        policy: RetryPolicy,
+        op: str,
+        deadline: Optional[Deadline] = None,
+    ):
         self._policy = policy
         self._op = op
         self._rng = random.Random(policy.jitter_seed)
         self._deadline = policy.clock() + policy.deadline_ms / 1000.0
+        self._query_deadline = deadline
         self._failures = 0
         self._prev_delay_ms = policy.base_delay_ms
 
@@ -185,14 +204,33 @@ class AttemptTracker:
                 f"{self._op}: {budget} budget exhausted after "
                 f"{self._failures} transient failures"
             ) from exc
+        query_deadline = self._query_deadline
+        if query_deadline is not None and query_deadline.expired():
+            # The query's budget is gone: retrying could still succeed,
+            # but nobody is waiting for the answer any more.
+            _count(retried=False)
+            raise QueryTimeoutError(
+                f"retry:{self._op}", query_deadline.budget_ms
+            ) from exc
         _count(retried=True)
-        if _RETRY_TOTAL._registry.enabled:
-            _RETRY_TOTAL.labels(op=self._op).inc()
         delay_ms = min(
             policy.max_delay_ms,
             self._rng.uniform(policy.base_delay_ms, self._prev_delay_ms * 3.0),
         )
         self._prev_delay_ms = max(delay_ms, policy.base_delay_ms)
+        capped = False
+        if query_deadline is not None:
+            remaining_ms = query_deadline.remaining_ms()
+            if delay_ms > remaining_ms:
+                # Never sleep past the remaining query budget: shorten the
+                # backoff (possibly to zero) and let the next attempt run
+                # against whatever budget is left.
+                delay_ms = max(0.0, remaining_ms)
+                capped = True
+        if _RETRY_TOTAL._registry.enabled:
+            _RETRY_TOTAL.labels(
+                op=self._op, capped="yes" if capped else "no"
+            ).inc()
         if delay_ms > 0:
             policy.sleep(delay_ms / 1000.0)
 

@@ -6,6 +6,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.kvstore.filters import Filter
+from repro.runtime.deadline import Deadline
 
 
 @dataclass
@@ -19,6 +20,9 @@ class Scan:
     streaming region reads: the table fetches rows from each region in
     chunks of this size (prefetching one chunk ahead per region), so an
     abandoned scan never materializes more than one extra chunk per region.
+    ``deadline`` (when set) is checked cooperatively inside the region
+    scan loop; expiry aborts the scan with
+    :class:`~repro.runtime.deadline.QueryTimeoutError`.
     """
 
     start: Optional[bytes] = None
@@ -26,6 +30,7 @@ class Scan:
     server_filter: Optional[Filter] = None
     limit: Optional[int] = None
     batch_rows: Optional[int] = None
+    deadline: Optional[Deadline] = None
 
     def __post_init__(self) -> None:
         if (

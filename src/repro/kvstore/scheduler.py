@@ -34,6 +34,7 @@ from typing import Callable, Iterable, Iterator, Optional, TypeVar
 from concurrent.futures import Future, ThreadPoolExecutor
 
 from repro.obs import counter as _obs_counter
+from repro.runtime.deadline import Deadline
 
 _log = logging.getLogger(__name__)
 
@@ -88,12 +89,14 @@ class ChunkedStream:
         batch: int,
         initial: Optional[int] = None,
         on_chunk: Optional[Callable[[], None]] = None,
+        deadline: Optional[Deadline] = None,
     ):
         self._executor = executor
         self._gen = gen
         self._batch = batch
         self._next_size = min(initial, batch) if initial else batch
         self._on_chunk = on_chunk
+        self._deadline = deadline
         self._ready = threading.Condition(threading.Lock())
         self._chunks: deque[list[T]] = deque()
         self._buffered = 0
@@ -103,6 +106,7 @@ class ChunkedStream:
         self._exhausted = False
         self._error: Optional[BaseException] = None
         self._closed = False
+        self._close_done = False
 
     def start(self) -> None:
         """Kick off the first chunk prefetch (idempotent)."""
@@ -120,6 +124,10 @@ class ChunkedStream:
                 or self._submitting
                 or self._pending is not None
                 or self._buffered >= self._batch
+                # An expired deadline stops new submissions; already
+                # buffered chunks drain (the consumer decides whether
+                # expiry is an error or a partial-result truncation).
+                or (self._deadline is not None and self._deadline.expired())
             ):
                 return
             self._submitting = True
@@ -155,20 +163,37 @@ class ChunkedStream:
         self._maybe_submit()
 
     def __iter__(self) -> Iterator[T]:
+        deadline = self._deadline
         while True:
             self._maybe_submit()
             with self._ready:
                 while (
                     not self._chunks
                     and self._error is None
+                    and not self._closed
                     and (self._pending is not None or self._submitting)
                 ):
-                    self._ready.wait()
+                    if deadline is not None:
+                        remaining = deadline.remaining_s()
+                        if remaining <= 0:
+                            break
+                        self._ready.wait(remaining)
+                    else:
+                        self._ready.wait()
                 if self._error is not None:
                     raise self._error
+                if self._closed:
+                    # Closed from another thread (or a previous partial
+                    # iteration): the stream is over, never spin on it.
+                    return
                 if not self._chunks:
                     if self._exhausted:
                         return
+                    if deadline is not None:
+                        # Nothing buffered and submissions stopped (or the
+                        # in-flight wait ran out of budget): surface expiry
+                        # here rather than spinning on a starved stream.
+                        deadline.check("scheduler.chunked_stream")
                     continue  # nothing in flight and not done: resubmit
                 chunk = self._chunks.popleft()
                 self._buffered -= len(chunk)
@@ -178,12 +203,22 @@ class ChunkedStream:
             yield from chunk
 
     def close(self) -> None:
-        """Cancel (or await) the in-flight chunk and close the generator."""
+        """Cancel (or await) the in-flight chunk and close the generator.
+
+        Idempotent: a second close is a no-op, so a deadline abort that
+        closes a stream mid-iteration composes with the scheduler's own
+        cleanup.  Consumers blocked waiting for a chunk are woken and see
+        the closed flag.
+        """
         with self._ready:
+            if self._close_done:
+                return
+            self._close_done = True
             self._closed = True
             while self._submitting:
                 self._ready.wait()
             pending, self._pending = self._pending, None
+            self._ready.notify_all()  # wake consumers blocked on a chunk
         if pending is not None:
             if pending.cancel():
                 _CHUNKS_CANCELLED.inc()
@@ -221,6 +256,7 @@ def scan_scheduled(
     batch: int,
     concurrency: int = DEFAULT_WINDOW_CONCURRENCY,
     windows_per_task: int = DEFAULT_WINDOWS_PER_TASK,
+    deadline: Optional[Deadline] = None,
 ) -> Iterator[Row]:
     """Run window scans concurrently, yielding rows in window order.
 
@@ -241,6 +277,8 @@ def scan_scheduled(
 
     def admit() -> None:
         nonlocal exhausted
+        if deadline is not None and deadline.expired():
+            return  # expired: never plan, let alone open, more windows
         while not exhausted and len(active) < concurrency:
             group = list(itertools.islice(windows_iter, group_size))
             if not group:
@@ -252,6 +290,7 @@ def scan_scheduled(
                 batch,
                 initial=INITIAL_CHUNK_ROWS,
                 on_chunk=admit,
+                deadline=deadline,
             )
             active.append(stream)
             stream.start()

@@ -23,6 +23,7 @@ from repro.kvstore.cluster import DEFAULT_BLOCK_CACHE_BYTES, Cluster
 from repro.kvstore.errors import CorruptionError
 from repro.kvstore.retry import RetryPolicy
 from repro.kvstore.scan import Scan
+from repro.runtime.backpressure import WriteLimits
 
 MAGIC = b"TMANSNAP"
 VERSION = 1
@@ -67,6 +68,7 @@ def load_cluster(
     retry: Optional[RetryPolicy] = None,
     breaker_threshold: int = 8,
     breaker_reset_s: float = 5.0,
+    write_limits: Optional[WriteLimits] = None,
 ) -> Cluster:
     """Restore a cluster from a snapshot file."""
     path = Path(path)
@@ -81,6 +83,7 @@ def load_cluster(
         retry=retry,
         breaker_threshold=breaker_threshold,
         breaker_reset_s=breaker_reset_s,
+        write_limits=write_limits,
     )
     with open(path, "rb") as fh:
         if _read_exact(fh, len(MAGIC)) != MAGIC:

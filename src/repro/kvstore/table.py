@@ -20,6 +20,8 @@ from repro.kvstore.scheduler import (
 )
 from repro.kvstore.stats import IOStats
 from repro.obs import counter as _obs_counter
+from repro.runtime.backpressure import WriteLimits
+from repro.runtime.deadline import Deadline
 
 DEFAULT_SPLIT_ROWS = 200_000
 DEFAULT_BATCH_ROWS = 256
@@ -63,6 +65,8 @@ class Table:
         retry: Optional[RetryPolicy] = None,
         breaker_threshold: int = 8,
         breaker_reset_s: float = 5.0,
+        write_limits: Optional[WriteLimits] = None,
+        flusher: Optional[ThreadPoolExecutor] = None,
     ):
         self.name = name
         self._stats = stats
@@ -73,6 +77,8 @@ class Table:
         self._retry = retry if retry is not None else RetryPolicy()
         self._breaker_threshold = breaker_threshold
         self._breaker_reset_s = breaker_reset_s
+        self._write_limits = write_limits
+        self._flusher = flusher
         self._next_region_id = 0
         self._regions: list[Region] = []
         # _boundaries[i] is the start key of region i+1.
@@ -113,6 +119,7 @@ class Table:
                 sync=False,
                 block_cache=self._block_cache,
                 retry=self._retry,
+                write_limits=self._write_limits,
             )
             store.region_id = region_id  # type: ignore[attr-defined]
         breaker = CircuitBreaker(
@@ -120,7 +127,15 @@ class Table:
             reset_after_s=self._breaker_reset_s,
             name=f"{self.name}/[{start!r},{end!r})",
         )
-        region = Region(start, end, self._stats, store=store, breaker=breaker)
+        region = Region(
+            start,
+            end,
+            self._stats,
+            store=store,
+            breaker=breaker,
+            write_limits=self._write_limits,
+            flusher=self._flusher,
+        )
         region.region_id = region_id  # type: ignore[attr-defined]
         return region
 
@@ -263,6 +278,7 @@ class Table:
                 scan.stop,
                 scan.server_filter,
                 None if scan.limit is None else scan.limit - delivered,
+                deadline=scan.deadline,
             )
             try:
                 for key, value in region.execute_scan(sub):
@@ -276,7 +292,9 @@ class Table:
             except TransientError as exc:
                 region.breaker.record_failure()
                 if tracker is None:
-                    tracker = self._retry.attempts("region_scan")
+                    tracker = self._retry.attempts(
+                        "region_scan", deadline=scan.deadline
+                    )
                 tracker.failed(exc)  # backs off, or raises RetryExhaustedError
 
     def scan(self, scan: Scan) -> Iterator[tuple[bytes, bytes]]:
@@ -285,7 +303,13 @@ class Table:
         if remaining is not None and remaining <= 0:
             return
         for region in self._overlapping_regions(scan):
-            sub = Scan(scan.start, scan.stop, scan.server_filter, remaining)
+            sub = Scan(
+                scan.start,
+                scan.stop,
+                scan.server_filter,
+                remaining,
+                deadline=scan.deadline,
+            )
             for row in self._resilient_region_scan(region, sub):
                 yield row
                 if remaining is not None:
@@ -319,10 +343,15 @@ class Table:
 
         # Per-region scans deliberately drop the global limit (it is applied
         # once, below) but keep the range and push-down filter.
-        sub = Scan(scan.start, scan.stop, scan.server_filter)
+        sub = Scan(scan.start, scan.stop, scan.server_filter, deadline=scan.deadline)
         batch = scan.batch_rows if scan.batch_rows is not None else DEFAULT_BATCH_ROWS
         streams = [
-            ChunkedStream(self._executor, self._resilient_region_scan(region, sub), batch)
+            ChunkedStream(
+                self._executor,
+                self._resilient_region_scan(region, sub),
+                batch,
+                deadline=scan.deadline,
+            )
             for region in regions
         ]
         # Kick off the first chunk of every region before the merge starts
@@ -348,6 +377,7 @@ class Table:
         batch_rows: Optional[int] = None,
         parallel: bool = True,
         window_concurrency: Optional[int] = None,
+        deadline: Optional[Deadline] = None,
     ) -> Iterator[tuple[bytes, bytes]]:
         """Scan many key windows, yielding each window's rows in order.
 
@@ -372,7 +402,13 @@ class Table:
             _SCANS_BY_MODE.labels(mode="degraded" if degraded else "serial").inc()
             for start, stop in windows_iter:
                 yield from self.parallel_scan(
-                    Scan(start, stop, row_filter, batch_rows=batch_rows)
+                    Scan(
+                        start,
+                        stop,
+                        row_filter,
+                        batch_rows=batch_rows,
+                        deadline=deadline,
+                    )
                 )
             return
         first = next(windows_iter, None)
@@ -383,20 +419,30 @@ class Table:
             # One window: region-level parallelism beats window-level.
             _SCANS_BY_MODE.labels(mode="serial").inc()
             yield from self.parallel_scan(
-                Scan(first[0], first[1], row_filter, batch_rows=batch_rows)
+                Scan(
+                    first[0],
+                    first[1],
+                    row_filter,
+                    batch_rows=batch_rows,
+                    deadline=deadline,
+                )
             )
             return
         _SCANS_BY_MODE.labels(mode="scheduled").inc()
         yield from scan_scheduled(
-            lambda w: self.scan(Scan(w[0], w[1], row_filter)),
+            lambda w: self.scan(Scan(w[0], w[1], row_filter, deadline=deadline)),
             itertools.chain((first, second), windows_iter),
             self._executor,
             batch,
             concurrency,
+            deadline=deadline,
         )
 
     def multi_get(
-        self, keys: Sequence[bytes], parallel: bool = True
+        self,
+        keys: Sequence[bytes],
+        parallel: bool = True,
+        deadline: Optional[Deadline] = None,
     ) -> list[Optional[bytes]]:
         """Batched point lookups; values (or ``None``) in input-key order.
 
@@ -412,6 +458,8 @@ class Table:
             _MULTIGET_KEYS.inc(len(keys))
         if not keys:
             return []
+        if deadline is not None:
+            deadline.check("multi_get")
         if not parallel:
             # The A/B escape hatch: the seed's one-round-trip-per-key loop.
             return [self.get(key) for key in keys]
@@ -429,8 +477,10 @@ class Table:
             or not self._regions_healthy([self._regions[r] for r in groups])
         ):
             for ridx, idxs in groups.items():
+                if deadline is not None:
+                    deadline.check("multi_get")
                 values = self._get_batch_resilient(
-                    self._regions[ridx], [keys[i] for i in idxs]
+                    self._regions[ridx], [keys[i] for i in idxs], deadline
                 )
                 for i, value in zip(idxs, values):
                     out[i] = value
@@ -442,6 +492,7 @@ class Table:
                 [keys[i] for i in idxs],
                 idxs,
                 self._retry,
+                deadline,
             )
             for ridx, idxs in groups.items()
         ]
@@ -451,16 +502,26 @@ class Table:
         return out
 
     def _get_batch_resilient(
-        self, region: Region, keys: list[bytes]
+        self,
+        region: Region,
+        keys: list[bytes],
+        deadline: Optional[Deadline] = None,
     ) -> list[Optional[bytes]]:
         """One region's batched get under the retry policy."""
         return self._retry.run(
-            lambda: region.get_batch(keys), op="multi_get", breaker=region.breaker
+            lambda: region.get_batch(keys),
+            op="multi_get",
+            breaker=region.breaker,
+            deadline=deadline,
         )
 
     def count_rows(self) -> int:
         """Exact live row count (full scan; test/diagnostic use)."""
         return sum(1 for _ in self.scan(Scan()))
+
+    def memtable_bytes(self) -> int:
+        """Unflushed bytes buffered across the table's regions."""
+        return sum(region.memtable_bytes for region in self._regions)
 
 
 def _get_batch(
@@ -468,9 +529,15 @@ def _get_batch(
     keys: Sequence[bytes],
     idxs: Sequence[int],
     retry: RetryPolicy,
+    deadline: Optional[Deadline] = None,
 ) -> list[tuple[int, Optional[bytes]]]:
     """Resolve one region's share of a multi_get (runs on the pool)."""
+    if deadline is not None:
+        deadline.check("multi_get")
     values = retry.run(
-        lambda: region.get_batch(list(keys)), op="multi_get", breaker=region.breaker
+        lambda: region.get_batch(list(keys)),
+        op="multi_get",
+        breaker=region.breaker,
+        deadline=deadline,
     )
     return list(zip(idxs, values))

@@ -39,6 +39,7 @@ from repro.query.pipeline import (
     similarity_scan_stages,
 )
 from repro.query.planner import QueryPlan
+from repro.runtime.deadline import Deadline, QueryTimeoutError
 from repro.query.types import (
     IDTemporalQuery,
     KNNPointQuery,
@@ -68,6 +69,11 @@ _QUERY_CANDIDATES = _obs_histogram(
 _QUERY_SLOW = _obs_counter(
     "query_slow_total", "Queries captured by the slow-query log"
 )
+_QUERY_DEADLINE = _obs_counter(
+    "query_deadline_exceeded_total",
+    "Queries whose deadline expired, by outcome (error or partial)",
+    labelnames=("outcome",),
+)
 
 Query = Union[
     TemporalRangeQuery,
@@ -88,12 +94,21 @@ class QueryExecutor:
 
     # -- public entry points -------------------------------------------------
 
-    def execute(self, query: Query, limit: Optional[int] = None) -> QueryResult:
+    def execute(
+        self,
+        query: Query,
+        limit: Optional[int] = None,
+        deadline: Optional[Deadline] = None,
+    ) -> QueryResult:
         """Plan the query, assemble its pipeline, and run it.
 
         ``limit`` (range and ID-temporal queries only) installs an
         early-terminating sink: the streaming scans stop as soon as the
-        first ``limit`` distinct trajectories are produced.
+        first ``limit`` distinct trajectories are produced.  ``deadline``
+        propagates to every scan and point-get; on expiry the query
+        raises :class:`QueryTimeoutError`, or — when the deadline was
+        created with ``allow_partial`` — returns whatever rows were
+        produced so far with ``result.partial`` set.
         """
         plan = self._t.planner.plan(query)
         before = self._t.cluster.stats.snapshot()
@@ -107,26 +122,35 @@ class QueryExecutor:
             trace = ExecutionTrace()
 
             distances: Optional[list[float]] = None
-            if isinstance(query, TopKSimilarityQuery):
-                if limit is not None:
-                    raise ValueError("limit is not supported for top-k queries")
-                trajs, distances = self._run_topk(query, trace)
-            elif isinstance(query, KNNPointQuery):
-                if limit is not None:
-                    raise ValueError("limit is not supported for kNN queries")
-                trajs, distances = self._run_knn(query, trace)
-            elif isinstance(query, ThresholdSimilarityQuery) and limit is not None:
-                raise ValueError("limit is not supported for similarity queries")
-            else:
-                pipeline = build_pipeline(
-                    self._t, query, plan, trace=trace, limit=limit
-                )
-                trajs = pipeline.run()
+            try:
+                if isinstance(query, TopKSimilarityQuery):
+                    if limit is not None:
+                        raise ValueError("limit is not supported for top-k queries")
+                    trajs, distances = self._run_topk(query, trace, deadline)
+                elif isinstance(query, KNNPointQuery):
+                    if limit is not None:
+                        raise ValueError("limit is not supported for kNN queries")
+                    trajs, distances = self._run_knn(query, trace, deadline)
+                elif isinstance(query, ThresholdSimilarityQuery) and limit is not None:
+                    raise ValueError("limit is not supported for similarity queries")
+                else:
+                    pipeline = build_pipeline(
+                        self._t, query, plan, trace=trace, limit=limit,
+                        deadline=deadline,
+                    )
+                    trajs = pipeline.run()
+            except QueryTimeoutError:
+                if _QUERY_DEADLINE._registry.enabled:
+                    _QUERY_DEADLINE.labels(outcome="error").inc()
+                raise
             return self._finalize(
-                query, trajs, distances, plan, before, t0, trace, retry_before
+                query, trajs, distances, plan, before, t0, trace, retry_before,
+                deadline,
             )
 
-    def execute_count(self, query: Query) -> QueryResult:
+    def execute_count(
+        self, query: Query, deadline: Optional[Deadline] = None
+    ) -> QueryResult:
         """Count matching trajectories without decompressing any points.
 
         Runs the same pipeline as :meth:`execute` with a distinct-id
@@ -150,10 +174,17 @@ class QueryExecutor:
         ):
             t0 = time.perf_counter()
             trace = ExecutionTrace()
-            pipeline = build_pipeline(self._t, query, plan, trace=trace, count=True)
-            count = pipeline.run()
+            pipeline = build_pipeline(
+                self._t, query, plan, trace=trace, count=True, deadline=deadline
+            )
+            try:
+                count = pipeline.run()
+            except QueryTimeoutError:
+                if _QUERY_DEADLINE._registry.enabled:
+                    _QUERY_DEADLINE.labels(outcome="error").inc()
+                raise
             result = self._finalize(
-                query, [], None, plan, before, t0, trace, retry_before
+                query, [], None, plan, before, t0, trace, retry_before, deadline
             )
             result.count = count
             return result
@@ -161,7 +192,12 @@ class QueryExecutor:
     # -- iterative queries (expanding-ring pipelines) ------------------------
 
     def _ring_pipeline(
-        self, windows, refine, sink: TopK, trace: ExecutionTrace
+        self,
+        windows,
+        refine,
+        sink: TopK,
+        trace: ExecutionTrace,
+        deadline: Optional[Deadline] = None,
     ) -> Pipeline:
         """One expanding-ring round: scan the ring, refine, feed the top-k."""
         cfg = self._t.config
@@ -174,15 +210,38 @@ class QueryExecutor:
                     cfg.scan_batch_rows,
                     window_parallel=cfg.window_parallel,
                     window_concurrency=cfg.window_concurrency,
+                    deadline=deadline,
                 ),
                 refine,
             ],
             sink,
             trace=trace,
+            deadline=deadline,
         )
 
+    @staticmethod
+    def _ring_deadline_reached(
+        deadline: Optional[Deadline], where: str
+    ) -> bool:
+        """Between rings: stop expanding on expiry.
+
+        Partial-tolerant queries keep the best results found so far (the
+        ring already scanned is a valid, if incomplete, candidate set);
+        strict ones raise.
+        """
+        if deadline is None or not (deadline.expired() or deadline.partial):
+            return False
+        if deadline.allow_partial:
+            deadline.note_partial()
+            return True
+        deadline.check(where)
+        return True  # pragma: no cover - check() always raises here
+
     def _run_knn(
-        self, query: KNNPointQuery, trace: ExecutionTrace
+        self,
+        query: KNNPointQuery,
+        trace: ExecutionTrace,
+        deadline: Optional[Deadline] = None,
     ) -> tuple[list[Trajectory], list[float]]:
         """Expanding-ring k nearest trajectories to a point.
 
@@ -197,7 +256,11 @@ class QueryExecutor:
         refine = PointDistanceRefine(
             self._t.serializer, query.x, query.y, sink.kth_bound
         )
+        trajs: list[Trajectory] = []
+        dists: list[float] = []
         while True:
+            if self._ring_deadline_reached(deadline, "knn.ring"):
+                break
             ring = MBR(
                 max(boundary.x1, query.x - radius),
                 max(boundary.y1, query.y - radius),
@@ -208,7 +271,9 @@ class QueryExecutor:
                 ring, shapes_of(self._t), self._t.config.use_index_cache
             )
             windows = primary_windows_u64(self._t.keys, value_ranges)
-            trajs, dists = self._ring_pipeline(windows, refine, sink, trace).run()
+            trajs, dists = self._ring_pipeline(
+                windows, refine, sink, trace, deadline
+            ).run()
             if len(sink.best) >= query.k and sink.kth_bound() <= radius:
                 break
             if ring.contains(boundary):
@@ -217,7 +282,10 @@ class QueryExecutor:
         return trajs, dists
 
     def _run_topk(
-        self, query: TopKSimilarityQuery, trace: ExecutionTrace
+        self,
+        query: TopKSimilarityQuery,
+        trace: ExecutionTrace,
+        deadline: Optional[Deadline] = None,
     ) -> tuple[list[Trajectory], list[float]]:
         """Expanding-radius top-k: grow the search ring until the k-th best
         distance is provably inside the scanned region."""
@@ -229,10 +297,18 @@ class QueryExecutor:
         refine = SimilarityRefine(
             self._t.serializer, query.query, query.measure, sink.kth_bound
         )
+        trajs: list[Trajectory] = []
+        dists: list[float] = []
         while True:
-            stages = similarity_scan_stages(self._t, query.query, radius, None)
+            if self._ring_deadline_reached(deadline, "topk.ring"):
+                break
+            stages = similarity_scan_stages(
+                self._t, query.query, radius, None, deadline
+            )
             stages.append(refine)
-            trajs, dists = Pipeline(stages, sink, trace=trace).run()
+            trajs, dists = Pipeline(
+                stages, sink, trace=trace, deadline=deadline
+            ).run()
             if len(sink.best) >= query.k and sink.kth_bound() <= radius:
                 break
             covered = MBR(
@@ -255,6 +331,7 @@ class QueryExecutor:
         t0: float,
         trace: Optional[ExecutionTrace] = None,
         retry_before: Optional[tuple[int, int]] = None,
+        deadline: Optional[Deadline] = None,
     ) -> QueryResult:
         elapsed = (time.perf_counter() - t0) * 1000
         delta = self._t.cluster.stats.snapshot() - before
@@ -265,6 +342,16 @@ class QueryExecutor:
             if retried or failed:
                 trace.annotate("kv_retries", retried)
                 trace.annotate("kv_rpc_failures", failed)
+        if deadline is not None:
+            if trace is not None:
+                trace.annotate("deadline_ms", deadline.budget_ms)
+                trace.annotate(
+                    "deadline_remaining_ms", round(deadline.remaining_ms(), 3)
+                )
+                if deadline.partial:
+                    trace.annotate("partial", True)
+            if deadline.partial and _QUERY_DEADLINE._registry.enabled:
+                _QUERY_DEADLINE.labels(outcome="partial").inc()
         result = QueryResult(
             trajectories=trajs,
             candidates=delta.rows_scanned + delta.point_gets,
@@ -275,6 +362,7 @@ class QueryExecutor:
             plan=f"{plan.index}/{plan.route}",
             distances=distances,
             trace=trace,
+            partial=deadline.partial if deadline is not None else False,
         )
         self._observe(query, result, trace)
         return result

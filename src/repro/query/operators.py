@@ -21,6 +21,7 @@ from repro.model.mbr import MBR
 from repro.model.timerange import TimeRange
 from repro.model.trajectory import Trajectory
 from repro.query.windows import coalesce_windows
+from repro.runtime.deadline import Deadline
 from repro.similarity.measures import distance_by_name
 from repro.similarity.pruning import dp_lower_bound, mbr_lower_bound
 from repro.storage.serializer import RowSerializer
@@ -90,12 +91,14 @@ class RegionScan(Operator):
         batch_rows: Optional[int] = None,
         window_parallel: bool = True,
         window_concurrency: Optional[int] = None,
+        deadline: Optional[Deadline] = None,
     ):
         self.table = table
         self.row_filter = row_filter
         self.batch_rows = batch_rows
         self.window_parallel = window_parallel
         self.window_concurrency = window_concurrency
+        self.deadline = deadline
 
     def process(self, upstream: Iterator[Window]) -> Iterator[Row]:
         yield from self.table.multi_range_scan(
@@ -104,6 +107,7 @@ class RegionScan(Operator):
             batch_rows=self.batch_rows,
             parallel=self.window_parallel,
             window_concurrency=self.window_concurrency,
+            deadline=self.deadline,
         )
 
 
@@ -148,6 +152,7 @@ class SecondaryResolve(Operator):
         multi_get_batch: int = 64,
         window_parallel: bool = True,
         window_concurrency: Optional[int] = None,
+        deadline: Optional[Deadline] = None,
     ):
         self.secondary = secondary
         self.primary = primary
@@ -156,11 +161,14 @@ class SecondaryResolve(Operator):
         self.multi_get_batch = max(1, multi_get_batch)
         self.window_parallel = window_parallel
         self.window_concurrency = window_concurrency
+        self.deadline = deadline
 
     def _resolve(self, pkeys: list[bytes]) -> Iterator[Row]:
         # window_parallel=False is the full A/B escape hatch: it also
         # restores the one-round-trip-per-key resolve of the serial path.
-        values = self.primary.multi_get(pkeys, parallel=self.window_parallel)
+        values = self.primary.multi_get(
+            pkeys, parallel=self.window_parallel, deadline=self.deadline
+        )
         for pkey, value in zip(pkeys, values):
             if value is None:
                 continue
@@ -178,6 +186,7 @@ class SecondaryResolve(Operator):
             batch_rows=self.batch_rows,
             parallel=self.window_parallel,
             window_concurrency=self.window_concurrency,
+            deadline=self.deadline,
         )
         try:
             for _, pkey in mapping_rows:

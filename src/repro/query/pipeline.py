@@ -58,6 +58,7 @@ from repro.query.windows import (
     secondary_windows_inclusive,
     st_primary_windows,
 )
+from repro.runtime.deadline import Deadline, QueryTimeoutError
 
 if TYPE_CHECKING:  # pragma: no cover - typing-only imports
     from repro.model.trajectory import Trajectory
@@ -127,6 +128,44 @@ class _Edge:
             close()
 
 
+class _DeadlineGuard:
+    """Deadline enforcement at the sink's edge of the stream.
+
+    The deep layers (region scans, the chunk scheduler, retries) always
+    *raise* on expiry; this guard — the last stop before the sink — is
+    the single place that decides what expiry means for the query.  In
+    ``allow_partial`` mode both a pre-pull expiry check and a
+    :class:`~repro.runtime.deadline.QueryTimeoutError` bubbling up from
+    below become a clean end of stream (and the deadline is marked
+    partial), so every existing sink works unchanged; otherwise the
+    error propagates to the caller.
+    """
+
+    __slots__ = ("_it", "_deadline")
+
+    def __init__(self, it: Iterator[Any], deadline: Deadline):
+        self._it = it
+        self._deadline = deadline
+
+    def __iter__(self) -> "_DeadlineGuard":
+        return self
+
+    def __next__(self) -> Any:
+        deadline = self._deadline
+        if deadline.expired():
+            if deadline.allow_partial:
+                deadline.note_partial()
+                raise StopIteration
+            deadline.check("pipeline")
+        try:
+            return next(self._it)
+        except QueryTimeoutError:
+            if deadline.allow_partial:
+                deadline.note_partial()
+                raise StopIteration from None
+            raise
+
+
 class Pipeline:
     """An assembled operator chain plus its terminal sink."""
 
@@ -136,11 +175,13 @@ class Pipeline:
         sink: Sink,
         trace: Optional[ExecutionTrace] = None,
         plan: Optional["QueryPlan"] = None,
+        deadline: Optional[Deadline] = None,
     ):
         self.stages = list(stages)
         self.sink = sink
         self.trace = trace if trace is not None else ExecutionTrace()
         self.plan = plan
+        self.deadline = deadline
 
     def describe(self) -> str:
         """``index/route: stage -> stage -> sink`` (EXPLAIN string)."""
@@ -163,11 +204,14 @@ class Pipeline:
             edge = _Edge(op.process(stream))
             edges.append(edge)
             stream = edge
+        sink_stream: Iterator[Any] = stream if stream is not None else iter(())
+        if self.deadline is not None:
+            sink_stream = _DeadlineGuard(sink_stream, self.deadline)
         tracer = _obs_tracer()
         with tracer.span("pipeline.run", pipeline=self.describe()) as span:
             t0 = time.perf_counter()
             try:
-                value = self.sink.consume(stream if stream is not None else iter(()))
+                value = self.sink.consume(sink_stream)
             finally:
                 total_ms = (time.perf_counter() - t0) * 1000.0
                 # Close top-down so abandoned generators (early-terminating
@@ -233,6 +277,7 @@ def scan_stages(
     tman: "TMan",
     windows: Sequence[tuple[Optional[bytes], Optional[bytes]]],
     row_filter: Optional[Filter],
+    deadline: Optional[Deadline] = None,
 ) -> list[Operator]:
     """Window source + primary region scan, honoring push-down config."""
     cfg = tman.config
@@ -244,6 +289,7 @@ def scan_stages(
         batch_rows=batch,
         window_parallel=cfg.window_parallel,
         window_concurrency=cfg.window_concurrency,
+        deadline=deadline,
     )
     if cfg.push_down:
         stages.append(RegionScan(tman.primary_table, row_filter, **scan_kwargs))
@@ -259,6 +305,7 @@ def similarity_scan_stages(
     query_traj: "Trajectory",
     radius: float,
     row_filter: Optional[Filter],
+    deadline: Optional[Deadline] = None,
 ) -> list[Operator]:
     """Global pruning: scan stages over the radius-expanded query MBR."""
     expanded = query_traj.mbr.expanded(radius)
@@ -266,7 +313,7 @@ def similarity_scan_stages(
         expanded, shapes_of(tman), tman.config.use_index_cache
     )
     windows = primary_windows_u64(tman.keys, value_ranges)
-    return scan_stages(tman, windows, row_filter)
+    return scan_stages(tman, windows, row_filter, deadline=deadline)
 
 
 def _secondary_stages(
@@ -274,6 +321,7 @@ def _secondary_stages(
     table_name: str,
     windows: Sequence[tuple[bytes, bytes]],
     row_filter: Optional[Filter],
+    deadline: Optional[Deadline] = None,
 ) -> list[Operator]:
     cfg = tman.config
     return [
@@ -286,6 +334,7 @@ def _secondary_stages(
             multi_get_batch=cfg.multi_get_batch,
             window_parallel=cfg.window_parallel,
             window_concurrency=cfg.window_concurrency,
+            deadline=deadline,
         ),
     ]
 
@@ -313,7 +362,10 @@ def _st_coarse_windows(tman: "TMan", tr_ranges) -> list[tuple[bytes, bytes]]:
 
 
 def _trq_stages(
-    tman: "TMan", query: TemporalRangeQuery, plan: "QueryPlan"
+    tman: "TMan",
+    query: TemporalRangeQuery,
+    plan: "QueryPlan",
+    deadline: Optional[Deadline] = None,
 ) -> tuple[list[Operator], bool]:
     tr_ranges = _tr_query_ranges(tman, query.time_range)
     row_filter = TemporalFilter(query.time_range)
@@ -322,7 +374,7 @@ def _trq_stages(
             windows = _st_coarse_windows(tman, tr_ranges)
         else:
             windows = primary_windows_inclusive(tman.keys, tr_ranges)
-        return scan_stages(tman, windows, row_filter), True
+        return scan_stages(tman, windows, row_filter, deadline), True
     if plan.route == "secondary":
         if plan.index == "st":
             # ST secondary keys are 16 bytes (TR prefix :: TShape); a pure
@@ -333,14 +385,17 @@ def _trq_stages(
                 (encode_u64(lo) + encode_u64(0), encode_u64(hi + 1) + encode_u64(0))
                 for lo, hi in tr_ranges
             ]
-            return _secondary_stages(tman, "st", windows, row_filter), False
+            return _secondary_stages(tman, "st", windows, row_filter, deadline), False
         windows = secondary_windows_inclusive(tr_ranges)
-        return _secondary_stages(tman, "tr", windows, row_filter), False
-    return scan_stages(tman, [(None, None)], row_filter), False
+        return _secondary_stages(tman, "tr", windows, row_filter, deadline), False
+    return scan_stages(tman, [(None, None)], row_filter, deadline), False
 
 
 def _srq_stages(
-    tman: "TMan", query: SpatialRangeQuery, plan: "QueryPlan"
+    tman: "TMan",
+    query: SpatialRangeQuery,
+    plan: "QueryPlan",
+    deadline: Optional[Deadline] = None,
 ) -> tuple[list[Operator], bool]:
     value_ranges = tman.tshape_index.query_ranges(
         query.window, shapes_of(tman), tman.config.use_index_cache
@@ -348,17 +403,20 @@ def _srq_stages(
     row_filter = SpatialFilter(query.window, tman.serializer)
     if plan.route == "primary":
         windows = primary_windows_u64(tman.keys, value_ranges)
-        return scan_stages(tman, windows, row_filter), True
+        return scan_stages(tman, windows, row_filter, deadline), True
     if plan.route == "secondary":
         windows = [
             (lo.to_bytes(8, "big"), hi.to_bytes(8, "big")) for lo, hi in value_ranges
         ]
-        return _secondary_stages(tman, "tshape", windows, row_filter), False
-    return scan_stages(tman, [(None, None)], row_filter), False
+        return _secondary_stages(tman, "tshape", windows, row_filter, deadline), False
+    return scan_stages(tman, [(None, None)], row_filter, deadline), False
 
 
 def _strq_stages(
-    tman: "TMan", query: STRangeQuery, plan: "QueryPlan"
+    tman: "TMan",
+    query: STRangeQuery,
+    plan: "QueryPlan",
+    deadline: Optional[Deadline] = None,
 ) -> tuple[list[Operator], bool]:
     row_filter = FilterChain(
         [
@@ -374,32 +432,35 @@ def _strq_stages(
             tman.config.use_index_cache,
         )
         windows = st_primary_windows(tman.keys, st_windows)
-        return scan_stages(tman, windows, row_filter), True
+        return scan_stages(tman, windows, row_filter, deadline), True
     if plan.index == "tshape":
         value_ranges = tman.tshape_index.query_ranges(
             query.window, shapes_of(tman), tman.config.use_index_cache
         )
         if plan.route == "primary":
             windows = primary_windows_u64(tman.keys, value_ranges)
-            return scan_stages(tman, windows, row_filter), True
+            return scan_stages(tman, windows, row_filter, deadline), True
         windows = [
             (lo.to_bytes(8, "big"), hi.to_bytes(8, "big")) for lo, hi in value_ranges
         ]
-        return _secondary_stages(tman, "tshape", windows, row_filter), False
+        return _secondary_stages(tman, "tshape", windows, row_filter, deadline), False
     if plan.index == "tr":
         tr_ranges = _tr_query_ranges(tman, query.time_range)
         if plan.route == "primary":
             windows = primary_windows_inclusive(tman.keys, tr_ranges)
             # The count path treats TR-primary STRQ like the fallback
             # routes (decode first), mirroring the pre-pipeline executor.
-            return scan_stages(tman, windows, row_filter), False
+            return scan_stages(tman, windows, row_filter, deadline), False
         windows = secondary_windows_inclusive(tr_ranges)
-        return _secondary_stages(tman, "tr", windows, row_filter), False
-    return scan_stages(tman, [(None, None)], row_filter), False
+        return _secondary_stages(tman, "tr", windows, row_filter, deadline), False
+    return scan_stages(tman, [(None, None)], row_filter, deadline), False
 
 
 def _idt_stages(
-    tman: "TMan", query: IDTemporalQuery, plan: "QueryPlan"
+    tman: "TMan",
+    query: IDTemporalQuery,
+    plan: "QueryPlan",
+    deadline: Optional[Deadline] = None,
 ) -> tuple[list[Operator], bool]:
     row_filter = FilterChain(
         [IdFilter(query.oid), TemporalFilter(query.time_range)]
@@ -409,27 +470,32 @@ def _idt_stages(
         windows = [
             tman.keys.idt_window(query.oid, lo, hi) for lo, hi in tr_ranges
         ]
-        return _secondary_stages(tman, "idt", windows, row_filter), False
+        return _secondary_stages(tman, "idt", windows, row_filter, deadline), False
     if plan.route == "primary" and plan.index in ("tr", "st"):
         if plan.index == "st":
             windows = _st_coarse_windows(tman, tr_ranges)
         else:
             windows = primary_windows_inclusive(tman.keys, tr_ranges)
-        return scan_stages(tman, windows, row_filter), False
+        return scan_stages(tman, windows, row_filter, deadline), False
     if plan.route == "secondary" and plan.index == "tr":
         windows = secondary_windows_inclusive(tr_ranges)
-        return _secondary_stages(tman, "tr", windows, row_filter), False
-    return scan_stages(tman, [(None, None)], row_filter), False
+        return _secondary_stages(tman, "tr", windows, row_filter, deadline), False
+    return scan_stages(tman, [(None, None)], row_filter, deadline), False
 
 
 def _threshold_stages(
-    tman: "TMan", query: ThresholdSimilarityQuery, plan: "QueryPlan"
+    tman: "TMan",
+    query: ThresholdSimilarityQuery,
+    plan: "QueryPlan",
+    deadline: Optional[Deadline] = None,
 ) -> tuple[list[Operator], bool]:
     sim_filter = SimilarityFilter(
         query.query.points, query.threshold, query.measure, tman.serializer
     )
     return (
-        similarity_scan_stages(tman, query.query, query.threshold, sim_filter),
+        similarity_scan_stages(
+            tman, query.query, query.threshold, sim_filter, deadline
+        ),
         False,
     )
 
@@ -441,6 +507,7 @@ def build_pipeline(
     trace: Optional[ExecutionTrace] = None,
     limit: Optional[int] = None,
     count: bool = False,
+    deadline: Optional[Deadline] = None,
 ) -> Pipeline:
     """Assemble the streaming pipeline for a single-pass query.
 
@@ -453,19 +520,19 @@ def build_pipeline(
     """
     post_decode: list[Operator] = []
     if isinstance(query, TemporalRangeQuery):
-        stages, primary_rows = _trq_stages(tman, query, plan)
+        stages, primary_rows = _trq_stages(tman, query, plan, deadline)
     elif isinstance(query, SpatialRangeQuery):
-        stages, primary_rows = _srq_stages(tman, query, plan)
+        stages, primary_rows = _srq_stages(tman, query, plan, deadline)
     elif isinstance(query, STRangeQuery):
-        stages, primary_rows = _strq_stages(tman, query, plan)
+        stages, primary_rows = _strq_stages(tman, query, plan, deadline)
     elif isinstance(query, IDTemporalQuery):
-        stages, primary_rows = _idt_stages(tman, query, plan)
+        stages, primary_rows = _idt_stages(tman, query, plan, deadline)
     elif isinstance(query, ThresholdSimilarityQuery):
         if count:
             raise TypeError(
                 f"count is not supported for {type(query).__name__}"
             )
-        stages, primary_rows = _threshold_stages(tman, query, plan)
+        stages, primary_rows = _threshold_stages(tman, query, plan, deadline)
         post_decode = [Refine.exclude_tid(query.query.tid)]
     else:
         raise TypeError(f"unknown query type: {type(query).__name__}")
@@ -474,13 +541,13 @@ def build_pipeline(
         if primary_rows:
             keys = tman.keys
             sink: Sink = Count(lambda key: keys.parse_primary(key).tid)
-            return Pipeline(stages, sink, trace, plan)
+            return Pipeline(stages, sink, trace, plan, deadline)
         stages = stages + [Decode(tman.serializer)] + post_decode
-        return Pipeline(stages, Count(), trace, plan)
+        return Pipeline(stages, Count(), trace, plan, deadline)
 
     stages = stages + [Decode(tman.serializer)] + post_decode
     sink = Collect() if limit is None else Limit(limit)
-    return Pipeline(stages, sink, trace, plan)
+    return Pipeline(stages, sink, trace, plan, deadline)
 
 
 def pipeline_stage_names(

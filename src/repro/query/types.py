@@ -82,7 +82,9 @@ class QueryResult:
     ``elapsed_ms`` wall-clock time of the embedded store; ``simulated_ms``
     modeled disk-cluster latency; ``plan`` the index the optimizer chose;
     ``trace`` the per-operator execution trace of the streaming pipeline
-    (rows-in/rows-out/bytes/time for every stage).
+    (rows-in/rows-out/bytes/time for every stage); ``partial`` is True when
+    a deadline with ``allow_partial`` truncated the query early — the rows
+    present are correct but the set may be incomplete.
     """
 
     trajectories: list[Trajectory] = field(default_factory=list)
@@ -95,6 +97,7 @@ class QueryResult:
     plan: str = ""
     distances: Optional[list[float]] = None
     trace: Optional[ExecutionTrace] = None
+    partial: bool = False
 
     def __len__(self) -> int:
         return len(self.trajectories)

@@ -1,0 +1,122 @@
+"""Write backpressure limits and process-wide stall accounting.
+
+:class:`WriteLimits` carries the memtable watermark knobs from
+``TManConfig`` down to the LSM engines.  Semantics (enforced in
+:mod:`repro.kvstore.lsm` / :mod:`repro.kvstore.durable`):
+
+- **soft watermark** — the active memtable is frozen and flushed in the
+  background (inline for the durable engine, whose single-file WAL makes
+  concurrent truncation unsafe) and the writer is throttled by
+  ``throttle_ms`` per put, smearing the flush cost across the burst;
+- **hard watermark** — the writer stalls until flushing brings the
+  unflushed bytes back under the hard mark, for at most
+  ``stall_timeout_ms``, after which the put is rejected with
+  :class:`~repro.kvstore.errors.WriteStalledError`.
+
+Like :func:`repro.kvstore.retry.retry_counts`, the tallies here are plain
+process-wide counters independent of the metrics registry's enabled flag,
+so ``StorageWriter`` can report per-call throttle/stall deltas even with
+metrics off.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.obs import counter as _obs_counter
+
+_STALL_SECONDS = _obs_counter(
+    "kv_write_stall_seconds",
+    "Total wall time writers spent stalled at the hard memtable watermark",
+)
+_STALL_TOTAL = _obs_counter(
+    "kv_write_stall_total",
+    "Writer stalls at the hard memtable watermark",
+)
+_THROTTLE_TOTAL = _obs_counter(
+    "kv_write_throttle_total",
+    "Writer throttle delays injected at the soft memtable watermark",
+)
+_REJECTED_TOTAL = _obs_counter(
+    "kv_write_rejected_total",
+    "Writes rejected after a stall exceeded its bounded timeout",
+)
+
+_counts_lock = threading.Lock()
+_throttles = 0
+_stalls = 0
+_stall_seconds = 0.0
+_rejections = 0
+
+
+def stall_counts() -> tuple[int, int, float, int]:
+    """``(throttles, stalls, stall_seconds, rejections)`` process-wide."""
+    with _counts_lock:
+        return _throttles, _stalls, _stall_seconds, _rejections
+
+
+def record_throttle() -> None:
+    """Account one soft-watermark throttle delay."""
+    global _throttles
+    with _counts_lock:
+        _throttles += 1
+    if _THROTTLE_TOTAL._registry.enabled:
+        _THROTTLE_TOTAL.inc()
+
+
+def record_stall(seconds: float, rejected: bool) -> None:
+    """Account one hard-watermark stall (and its outcome)."""
+    global _stalls, _stall_seconds, _rejections
+    with _counts_lock:
+        _stalls += 1
+        _stall_seconds += seconds
+        if rejected:
+            _rejections += 1
+    if _STALL_TOTAL._registry.enabled:
+        _STALL_TOTAL.inc()
+        _STALL_SECONDS.inc(seconds)
+        if rejected:
+            _REJECTED_TOTAL.inc()
+
+
+@dataclass(frozen=True)
+class WriteLimits:
+    """Memtable watermark configuration for one LSM store.
+
+    ``soft_bytes`` < ``hard_bytes``; both count unflushed bytes (the
+    active memtable plus any frozen memtables awaiting flush).  ``None``
+    for either watermark disables that mechanism.
+    """
+
+    soft_bytes: Optional[int] = None
+    hard_bytes: Optional[int] = None
+    stall_timeout_ms: float = 1000.0
+    throttle_ms: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.soft_bytes is not None and self.soft_bytes <= 0:
+            raise ValueError(f"soft_bytes must be positive, got {self.soft_bytes}")
+        if self.hard_bytes is not None and self.hard_bytes <= 0:
+            raise ValueError(f"hard_bytes must be positive, got {self.hard_bytes}")
+        if (
+            self.soft_bytes is not None
+            and self.hard_bytes is not None
+            and self.hard_bytes < self.soft_bytes
+        ):
+            raise ValueError(
+                f"hard_bytes ({self.hard_bytes}) must be >= soft_bytes "
+                f"({self.soft_bytes})"
+            )
+        if self.stall_timeout_ms < 0:
+            raise ValueError(
+                f"stall_timeout_ms must be >= 0, got {self.stall_timeout_ms}"
+            )
+        if self.throttle_ms < 0:
+            raise ValueError(f"throttle_ms must be >= 0, got {self.throttle_ms}")
+
+    @property
+    def enabled(self) -> bool:
+        """True when either watermark is configured."""
+        return self.soft_bytes is not None or self.hard_bytes is not None

@@ -72,6 +72,26 @@ class TManConfig:
     # batched gets, and flush/compaction I/O at this per-attempt rate.
     fault_rate: float = 0.0
     fault_seed: int = 0
+    # Overload protection.  All knobs default off so an unconfigured
+    # deployment behaves bit-identically to one without the limits layer.
+    # admission_max_inflight > 0 bounds concurrently executing queries;
+    # excess queries wait FIFO (interactive ahead of batch) up to
+    # admission_queue_timeout_ms, and beyond admission_max_queue waiters
+    # are shed immediately with AdmissionRejectedError.
+    admission_max_inflight: int = 0
+    admission_max_queue: int = 16
+    admission_queue_timeout_ms: float = 1000.0
+    # Write backpressure: crossing memtable_soft_bytes triggers an async
+    # flush plus a write_throttle_ms delay per write; memtable_hard_bytes
+    # stalls writers until flushing catches up (at most
+    # write_stall_timeout_ms, then the write fails with WriteStalledError).
+    memtable_soft_bytes: int | None = None
+    memtable_hard_bytes: int | None = None
+    write_stall_timeout_ms: float = 1000.0
+    write_throttle_ms: float = 1.0
+    # Deadline applied to every query that does not pass its own
+    # deadline_ms (None = unbounded).
+    default_deadline_ms: float | None = None
 
     def __post_init__(self) -> None:
         if self.primary_index not in VALID_INDEXES:
@@ -124,6 +144,49 @@ class TManConfig:
         if not 0.0 <= self.fault_rate <= 1.0:
             raise ValueError(
                 f"fault_rate must be in [0, 1], got {self.fault_rate}"
+            )
+        if self.admission_max_inflight < 0:
+            raise ValueError(
+                "admission_max_inflight must be non-negative, got "
+                f"{self.admission_max_inflight}"
+            )
+        if self.admission_max_queue < 0:
+            raise ValueError(
+                f"admission_max_queue must be non-negative, got "
+                f"{self.admission_max_queue}"
+            )
+        if self.admission_queue_timeout_ms < 0:
+            raise ValueError(
+                "admission_queue_timeout_ms must be non-negative, got "
+                f"{self.admission_queue_timeout_ms}"
+            )
+        for name in ("memtable_soft_bytes", "memtable_hard_bytes"):
+            value = getattr(self, name)
+            if value is not None and value <= 0:
+                raise ValueError(f"{name} must be positive, got {value}")
+        if (
+            self.memtable_soft_bytes is not None
+            and self.memtable_hard_bytes is not None
+            and self.memtable_hard_bytes < self.memtable_soft_bytes
+        ):
+            raise ValueError(
+                "memtable_hard_bytes must be >= memtable_soft_bytes, got "
+                f"{self.memtable_hard_bytes} < {self.memtable_soft_bytes}"
+            )
+        if self.write_stall_timeout_ms < 0:
+            raise ValueError(
+                "write_stall_timeout_ms must be non-negative, got "
+                f"{self.write_stall_timeout_ms}"
+            )
+        if self.write_throttle_ms < 0:
+            raise ValueError(
+                f"write_throttle_ms must be non-negative, got "
+                f"{self.write_throttle_ms}"
+            )
+        if self.default_deadline_ms is not None and self.default_deadline_ms <= 0:
+            raise ValueError(
+                "default_deadline_ms must be positive, got "
+                f"{self.default_deadline_ms}"
             )
 
     @property

@@ -22,7 +22,7 @@ from repro.cache.redis_sim import RedisServer
 from repro.kvstore.snapshot import load_cluster, save_cluster
 from repro.model.mbr import MBR
 from repro.storage.config import TManConfig
-from repro.storage.tman import TMan, retry_policy_from
+from repro.storage.tman import TMan, retry_policy_from, write_limits_from
 
 CONFIG_FILE = "config.json"
 TABLES_FILE = "tables.snap"
@@ -62,6 +62,14 @@ def save_tman(tman: TMan, directory: Union[str, Path]) -> None:
         "window_concurrency": cfg.window_concurrency,
         "multi_get_batch": cfg.multi_get_batch,
         "block_cache_bytes": cfg.block_cache_bytes,
+        "admission_max_inflight": cfg.admission_max_inflight,
+        "admission_max_queue": cfg.admission_max_queue,
+        "admission_queue_timeout_ms": cfg.admission_queue_timeout_ms,
+        "memtable_soft_bytes": cfg.memtable_soft_bytes,
+        "memtable_hard_bytes": cfg.memtable_hard_bytes,
+        "write_stall_timeout_ms": cfg.write_stall_timeout_ms,
+        "write_throttle_ms": cfg.write_throttle_ms,
+        "default_deadline_ms": cfg.default_deadline_ms,
         "row_count": tman.row_count,
     }
     (directory / CONFIG_FILE).write_text(json.dumps(doc, indent=2))
@@ -96,6 +104,7 @@ def open_tman(
         retry=retry_policy_from(config),
         breaker_threshold=config.breaker_failure_threshold,
         breaker_reset_s=config.breaker_reset_s,
+        write_limits=write_limits_from(config),
     )
     redis = RedisServer.from_dump((directory / CACHE_FILE).read_bytes())
     tman = TMan(config, cluster=cluster, redis=redis)

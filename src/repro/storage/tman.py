@@ -33,6 +33,9 @@ from repro.model.timerange import TimeRange
 from repro.model.trajectory import Trajectory
 from repro.query.executor import QueryExecutor
 from repro.query.planner import DataStatistics, QueryPlanner
+from repro.runtime.admission import INTERACTIVE, AdmissionController
+from repro.runtime.backpressure import WriteLimits
+from repro.runtime.deadline import Deadline, QueryTimeoutError
 from repro.query.types import (
     IDTemporalQuery,
     KNNPointQuery,
@@ -62,6 +65,18 @@ def retry_policy_from(config: TManConfig) -> RetryPolicy:
     )
 
 
+def write_limits_from(config: TManConfig) -> Optional[WriteLimits]:
+    """The deployment's memtable watermarks, or None when unconfigured."""
+    if config.memtable_soft_bytes is None and config.memtable_hard_bytes is None:
+        return None
+    return WriteLimits(
+        soft_bytes=config.memtable_soft_bytes,
+        hard_bytes=config.memtable_hard_bytes,
+        stall_timeout_ms=config.write_stall_timeout_ms,
+        throttle_ms=config.write_throttle_ms,
+    )
+
+
 class TMan:
     """A TMan deployment over one embedded key-value cluster."""
 
@@ -80,8 +95,20 @@ class TMan:
             retry=retry_policy_from(config),
             breaker_threshold=config.breaker_failure_threshold,
             breaker_reset_s=config.breaker_reset_s,
+            write_limits=write_limits_from(config),
         )
         self._owns_cluster = cluster is None
+        # Admission control: created only when the deployment bounds
+        # inflight queries; None keeps query() on the unguarded fast path.
+        self.admission: Optional[AdmissionController] = (
+            AdmissionController(
+                config.admission_max_inflight,
+                max_queue=config.admission_max_queue,
+                queue_timeout_ms=config.admission_queue_timeout_ms,
+            )
+            if config.admission_max_inflight > 0
+            else None
+        )
         if config.fault_rate > 0.0 and simfault.fault_injector() is None:
             # Reproduction knob: install the process-wide seeded injector
             # unless a test/benchmark already scoped one in.
@@ -244,14 +271,57 @@ class TMan:
 
     # -- query API --------------------------------------------------------------
 
-    def query(self, q, limit: Optional[int] = None) -> QueryResult:
+    def _make_deadline(
+        self, deadline_ms: Optional[float], allow_partial: bool
+    ) -> Optional[Deadline]:
+        """A per-query deadline token (explicit arg beats the config default)."""
+        budget = (
+            deadline_ms if deadline_ms is not None else self.config.default_deadline_ms
+        )
+        if budget is None:
+            return None
+        return Deadline(budget, allow_partial=allow_partial)
+
+    def query(
+        self,
+        q,
+        limit: Optional[int] = None,
+        *,
+        deadline_ms: Optional[float] = None,
+        allow_partial: bool = False,
+        priority: str = INTERACTIVE,
+    ) -> QueryResult:
         """Plan and execute any supported query descriptor.
 
         ``limit`` (range and ID-temporal queries only) terminates the
         streaming pipeline after the first ``limit`` distinct
         trajectories, without scanning the remaining candidates.
+
+        ``deadline_ms`` bounds end-to-end execution (falling back to
+        ``config.default_deadline_ms``); on expiry the query raises
+        :class:`~repro.runtime.deadline.QueryTimeoutError`, or with
+        ``allow_partial=True`` returns the rows produced so far flagged
+        ``result.partial``.  When admission control is configured,
+        ``priority`` ("interactive" or "batch") orders the wait queue;
+        an overloaded system sheds with
+        :class:`~repro.runtime.admission.AdmissionRejectedError`.
         """
-        return self.executor.execute(q, limit=limit)
+        deadline = self._make_deadline(deadline_ms, allow_partial)
+        if self.admission is None:
+            return self.executor.execute(q, limit=limit, deadline=deadline)
+        try:
+            self.admission.acquire(priority=priority, deadline=deadline)
+        except QueryTimeoutError:
+            if deadline is not None and deadline.allow_partial:
+                # The budget ran out while queued: allow_partial promises a
+                # (possibly empty) result rather than an error.
+                deadline.note_partial()
+                return QueryResult(partial=True)
+            raise
+        try:
+            return self.executor.execute(q, limit=limit, deadline=deadline)
+        finally:
+            self.admission.release()
 
     def explain(self, q) -> str:
         """The optimizer's plan and the operator pipeline it assembles."""
@@ -303,10 +373,64 @@ class TMan:
         """The ``k`` trajectories passing closest to a point (extension)."""
         return self.query(KNNPointQuery(x, y, k))
 
-    def count(self, q) -> QueryResult:
+    def count(
+        self,
+        q,
+        *,
+        deadline_ms: Optional[float] = None,
+        priority: str = INTERACTIVE,
+    ) -> QueryResult:
         """Count matching trajectories without decompressing points.
 
         Supported for temporal, spatial, spatio-temporal, and ID-temporal
         queries; read the answer from ``result.count``.
         """
-        return self.executor.execute_count(q)
+        deadline = self._make_deadline(deadline_ms, allow_partial=False)
+        if self.admission is None:
+            return self.executor.execute_count(q, deadline=deadline)
+        with self.admission.admit(priority=priority, deadline=deadline):
+            return self.executor.execute_count(q, deadline=deadline)
+
+    # -- health ------------------------------------------------------------------
+
+    def health(self) -> dict:
+        """Operational snapshot: admission slots, memtable pressure, breakers.
+
+        The ``repro health`` CLI renders this; tests assert on it.  Keys
+        are stable: ``admission`` (controller stats or None), ``write``
+        (memtable bytes plus the configured watermarks), ``breakers``
+        (open-breaker count and per-table totals).
+        """
+        tables = {PRIMARY_TABLE: self.primary_table}
+        tables.update(
+            (f"tman_sec_{name}", table)
+            for name, table in self.secondary_tables.items()
+        )
+        open_breakers = 0
+        regions_total = 0
+        per_table: dict[str, dict] = {}
+        for name, table in tables.items():
+            regions = table.regions
+            opened = sum(1 for r in regions if not r.breaker.healthy)
+            open_breakers += opened
+            regions_total += len(regions)
+            per_table[name] = {
+                "regions": len(regions),
+                "open_breakers": opened,
+                "memtable_bytes": table.memtable_bytes(),
+            }
+        return {
+            "admission": None if self.admission is None else self.admission.stats(),
+            "write": {
+                "memtable_bytes": self.cluster.memtable_bytes(),
+                "soft_bytes": self.config.memtable_soft_bytes,
+                "hard_bytes": self.config.memtable_hard_bytes,
+                "stall_timeout_ms": self.config.write_stall_timeout_ms,
+            },
+            "breakers": {
+                "regions": regions_total,
+                "open": open_breakers,
+                "tables": per_table,
+            },
+            "default_deadline_ms": self.config.default_deadline_ms,
+        }

@@ -26,6 +26,7 @@ from repro.obs import (
     histogram as _obs_histogram,
     tracer as _obs_tracer,
 )
+from repro.runtime.backpressure import stall_counts
 from repro.storage.schema import encode_u64
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
@@ -47,7 +48,15 @@ _REENCODE_TOTAL = _obs_counter(
 
 @dataclass
 class WriteReport:
-    """Accounting for one write batch."""
+    """Accounting for one write batch.
+
+    The backpressure fields record how the memtable watermarks shaped this
+    batch: ``throttled_writes`` counts soft-watermark delays,
+    ``stalled_writes`` hard-watermark waits (with total ``stall_seconds``),
+    and ``rejected_writes`` stalls that timed out into
+    :class:`~repro.kvstore.errors.WriteStalledError`.  All zero when the
+    deployment configures no watermarks.
+    """
 
     rows_written: int = 0
     elements_encoded: int = 0
@@ -55,6 +64,25 @@ class WriteReport:
     rows_rewritten: int = 0
     encode_seconds: float = 0.0
     write_seconds: float = 0.0
+    throttled_writes: int = 0
+    stalled_writes: int = 0
+    stall_seconds: float = 0.0
+    rejected_writes: int = 0
+
+
+class _StallDelta:
+    """Process-wide backpressure tallies bracketing one write batch."""
+
+    def __init__(self) -> None:
+        self._before = stall_counts()
+
+    def apply(self, report: WriteReport) -> None:
+        throttles, stalls, stall_s, rejected = stall_counts()
+        before = self._before
+        report.throttled_writes = throttles - before[0]
+        report.stalled_writes = stalls - before[1]
+        report.stall_seconds = stall_s - before[2]
+        report.rejected_writes = rejected - before[3]
 
 
 @dataclass(frozen=True)
@@ -139,6 +167,7 @@ class StorageWriter:
         the current maximum so previously written rows stay valid.
         """
         report = WriteReport()
+        stall_delta = _StallDelta()
         with _obs_tracer().span("storage.bulk_load", batch=len(trajs)) as sp:
             t0 = time.perf_counter()
             prepared = self._prepare(trajs)
@@ -175,6 +204,7 @@ class StorageWriter:
             self._t.refresh_statistics(prepared)
             if sp is not None:
                 sp.set(rows=report.rows_written, elements=report.elements_encoded)
+        stall_delta.apply(report)
         self._record_ingest(report)
         return report
 
@@ -183,6 +213,7 @@ class StorageWriter:
     def insert(self, trajs: Sequence[Trajectory]) -> WriteReport:
         """Buffered insert: reuse known codes, stage unknown shapes raw."""
         report = WriteReport()
+        stall_delta = _StallDelta()
         with _obs_tracer().span("storage.insert", batch=len(trajs)) as sp:
             t0 = time.perf_counter()
             prepared = self._prepare(trajs)
@@ -213,6 +244,7 @@ class StorageWriter:
             self._t.refresh_statistics(prepared)
             if sp is not None:
                 sp.set(rows=report.rows_written, reencodes=report.reencodes_triggered)
+        stall_delta.apply(report)
         self._record_ingest(report)
         return report
 

@@ -1,0 +1,166 @@
+"""Unit tests for the admission controller: slots, queue, priorities, shed."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.runtime.admission import (
+    BATCH,
+    INTERACTIVE,
+    AdmissionController,
+    AdmissionRejectedError,
+)
+from repro.runtime.deadline import Deadline, QueryTimeoutError
+
+
+class TestFastPath:
+    def test_admits_up_to_max_inflight(self):
+        ctl = AdmissionController(2)
+        ctl.acquire()
+        ctl.acquire()
+        assert ctl.inflight == 2
+        ctl.release()
+        ctl.release()
+        assert ctl.inflight == 0
+
+    def test_release_without_acquire_is_an_error(self):
+        ctl = AdmissionController(1)
+        with pytest.raises(RuntimeError):
+            ctl.release()
+
+    def test_invalid_priority_rejected(self):
+        ctl = AdmissionController(1)
+        with pytest.raises(ValueError):
+            ctl.acquire(priority="urgent")
+
+    def test_context_manager_releases_on_error(self):
+        ctl = AdmissionController(1)
+        with pytest.raises(RuntimeError):
+            with ctl.admit():
+                assert ctl.inflight == 1
+                raise RuntimeError("query blew up")
+        assert ctl.inflight == 0
+
+
+class TestShedding:
+    def test_queue_full_sheds_immediately(self):
+        ctl = AdmissionController(1, max_queue=0, queue_timeout_ms=5000)
+        ctl.acquire()
+        with pytest.raises(AdmissionRejectedError) as exc:
+            ctl.acquire()
+        assert exc.value.reason == "queue_full"
+        assert ctl.stats()["shed_queue_full"] == 1
+        ctl.release()
+
+    def test_queue_timeout_sheds_after_bounded_wait(self):
+        ctl = AdmissionController(1, max_queue=4, queue_timeout_ms=20)
+        ctl.acquire()
+        with pytest.raises(AdmissionRejectedError) as exc:
+            ctl.acquire()
+        assert exc.value.reason == "queue_timeout"
+        stats = ctl.stats()
+        assert stats["shed_queue_timeout"] == 1
+        assert stats["queued"] == 0  # the timed-out waiter left the queue
+        ctl.release()
+        # The controller still works after shedding.
+        ctl.acquire()
+        ctl.release()
+
+    def test_expired_deadline_in_queue_raises_timeout(self):
+        ctl = AdmissionController(1, max_queue=4, queue_timeout_ms=60_000)
+        ctl.acquire()
+        deadline = Deadline(0.01)
+        with pytest.raises(QueryTimeoutError) as exc:
+            ctl.acquire(deadline=deadline)
+        assert exc.value.where == "admission"
+        assert ctl.stats()["queued"] == 0
+        ctl.release()
+
+
+class TestQueueing:
+    def _waiter(self, ctl, priority, order, name, started):
+        def run():
+            started.set()
+            ctl.acquire(priority=priority)
+            order.append(name)
+            ctl.release()
+
+        t = threading.Thread(target=run, daemon=True)
+        t.start()
+        return t
+
+    def _wait_for_queue(self, ctl, depth, timeout=5.0):
+        import time
+
+        end = time.monotonic() + timeout
+        while time.monotonic() < end:
+            if ctl.queued >= depth:
+                return
+            time.sleep(0.001)
+        raise AssertionError(f"queue never reached depth {depth}")
+
+    def test_waiter_admitted_on_release(self):
+        ctl = AdmissionController(1, queue_timeout_ms=60_000)
+        ctl.acquire()
+        order: list[str] = []
+        started = threading.Event()
+        t = self._waiter(ctl, INTERACTIVE, order, "w", started)
+        started.wait(5)
+        self._wait_for_queue(ctl, 1)
+        assert order == []  # still blocked
+        ctl.release()
+        t.join(5)
+        assert order == ["w"]
+        assert ctl.inflight == 0
+
+    def test_interactive_preempts_queued_batch(self):
+        ctl = AdmissionController(1, queue_timeout_ms=60_000)
+        ctl.acquire()
+        order: list[str] = []
+        b_started = threading.Event()
+        i_started = threading.Event()
+        tb = self._waiter(ctl, BATCH, order, "batch", b_started)
+        b_started.wait(5)
+        self._wait_for_queue(ctl, 1)
+        ti = self._waiter(ctl, INTERACTIVE, order, "interactive", i_started)
+        i_started.wait(5)
+        self._wait_for_queue(ctl, 2)
+        ctl.release()
+        tb.join(5)
+        ti.join(5)
+        # The batch waiter arrived first but interactive goes first.
+        assert order == ["interactive", "batch"]
+
+    def test_multiple_releases_drain_the_queue(self):
+        ctl = AdmissionController(2, queue_timeout_ms=60_000)
+        ctl.acquire()
+        ctl.acquire()
+        order: list[str] = []
+        events = [threading.Event() for _ in range(3)]
+        threads = [
+            self._waiter(ctl, INTERACTIVE, order, f"w{i}", events[i])
+            for i in range(3)
+        ]
+        for e in events:
+            e.wait(5)
+        self._wait_for_queue(ctl, 3)
+        ctl.release()
+        ctl.release()
+        for t in threads:
+            t.join(5)
+        assert sorted(order) == ["w0", "w1", "w2"]
+        assert ctl.inflight == 0
+        assert ctl.queued == 0
+
+    def test_stats_counts_admissions_and_sheds(self):
+        ctl = AdmissionController(1, max_queue=0)
+        with ctl.admit():
+            with pytest.raises(AdmissionRejectedError):
+                ctl.acquire()
+        stats = ctl.stats()
+        assert stats["admitted"] == 1
+        assert stats["shed_queue_full"] == 1
+        assert stats["max_inflight"] == 1
+        assert stats["inflight"] == 0

@@ -1,0 +1,203 @@
+"""Write backpressure: soft-watermark throttling, hard-watermark stalls."""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.kvstore.errors import WriteStalledError
+from repro.kvstore.lsm import LSMStore
+from repro.runtime.backpressure import WriteLimits, stall_counts
+
+
+def k(i: int) -> bytes:
+    return b"key-%06d" % i
+
+
+VALUE = b"v" * 100
+
+
+class TestWriteLimits:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WriteLimits(soft_bytes=0)
+        with pytest.raises(ValueError):
+            WriteLimits(hard_bytes=-1)
+        with pytest.raises(ValueError):
+            WriteLimits(soft_bytes=1000, hard_bytes=500)
+        with pytest.raises(ValueError):
+            WriteLimits(stall_timeout_ms=-1)
+
+    def test_enabled_requires_a_watermark(self):
+        assert not WriteLimits().enabled
+        assert WriteLimits(soft_bytes=1).enabled
+        assert WriteLimits(hard_bytes=1).enabled
+
+
+class TestSoftWatermark:
+    def test_throttle_counted_and_flush_scheduled(self):
+        limits = WriteLimits(soft_bytes=2_000, throttle_ms=0.01)
+        store = LSMStore(flush_bytes=1 << 20, write_limits=limits)
+        before = stall_counts()
+        for i in range(100):
+            store.put(k(i), VALUE)
+        throttles = stall_counts()[0] - before[0]
+        assert throttles > 0
+        # Frozen memtables were flushed inline (no flusher pool configured).
+        assert store.sstable_count > 0
+        assert store.memtable_bytes < 100 * (len(VALUE) + 10)
+
+    def test_reads_see_rows_across_all_levels(self):
+        limits = WriteLimits(soft_bytes=1_000, throttle_ms=0.0)
+        store = LSMStore(flush_bytes=1 << 20, write_limits=limits)
+        for i in range(200):
+            store.put(k(i), VALUE)
+        store.delete(k(5))
+        assert store.get(k(0)) == VALUE
+        assert store.get(k(199)) == VALUE
+        assert store.get(k(5)) is None
+        keys = [key for key, _ in store.scan()]
+        assert len(keys) == 199
+        assert keys == sorted(keys)
+
+    def test_async_flush_on_flusher_pool(self):
+        limits = WriteLimits(soft_bytes=1_000, throttle_ms=0.0)
+        with ThreadPoolExecutor(max_workers=1) as pool:
+            store = LSMStore(
+                flush_bytes=1 << 20, write_limits=limits, flusher=pool
+            )
+            for i in range(300):
+                store.put(k(i), VALUE)
+            store.flush()  # drain the pipeline
+            assert store.sstable_count > 0
+            assert [key for key, _ in store.scan()] == sorted(
+                k(i) for i in range(300)
+            )
+
+
+class TestHardWatermark:
+    def test_stall_recovers_when_flusher_catches_up(self):
+        limits = WriteLimits(
+            soft_bytes=1_000, hard_bytes=5_000, stall_timeout_ms=5_000,
+            throttle_ms=0.0,
+        )
+        with ThreadPoolExecutor(max_workers=1) as pool:
+            store = LSMStore(
+                flush_bytes=1 << 20, write_limits=limits, flusher=pool
+            )
+            before = stall_counts()
+            for i in range(500):
+                store.put(k(i), VALUE)
+            _, stalls, stall_s, rejected = (
+                a - b for a, b in zip(stall_counts(), before)
+            )
+            assert rejected == 0  # every stall recovered within its budget
+            store.flush()
+            assert [key for key, _ in store.scan()] == sorted(
+                k(i) for i in range(500)
+            )
+
+    def test_stall_timeout_rejects_with_write_stalled_error(self):
+        # Wedge the single flusher worker so the flush pipeline cannot make
+        # progress; the hard-watermark stall must give up within its bounded
+        # timeout instead of hanging the writer.
+        release = threading.Event()
+        limits = WriteLimits(
+            soft_bytes=500, hard_bytes=1_000, stall_timeout_ms=20,
+            throttle_ms=0.0,
+        )
+        pool = ThreadPoolExecutor(max_workers=1)
+        try:
+            pool.submit(release.wait, 30)  # occupies the only worker
+            store = LSMStore(
+                flush_bytes=1 << 20, write_limits=limits, flusher=pool
+            )
+            before = stall_counts()
+            with pytest.raises(WriteStalledError):
+                for i in range(500):
+                    store.put(k(i), VALUE)
+            rejected = stall_counts()[3] - before[3]
+            assert rejected == 1
+        finally:
+            release.set()
+            pool.shutdown(wait=True)
+
+    def test_writes_resume_after_rejection(self):
+        release = threading.Event()
+        limits = WriteLimits(
+            soft_bytes=500, hard_bytes=1_000, stall_timeout_ms=20,
+            throttle_ms=0.0,
+        )
+        pool = ThreadPoolExecutor(max_workers=1)
+        try:
+            pool.submit(release.wait, 30)
+            store = LSMStore(
+                flush_bytes=1 << 20, write_limits=limits, flusher=pool
+            )
+            wrote = 0
+            try:
+                for i in range(500):
+                    store.put(k(i), VALUE)
+                    wrote += 1
+            except WriteStalledError:
+                pass
+            release.set()  # unwedge the flusher
+            store.flush()
+            for i in range(wrote, 500):
+                store.put(k(i), VALUE)
+            store.flush()
+            assert [key for key, _ in store.scan()] == sorted(
+                k(i) for i in range(500)
+            )
+        finally:
+            release.set()
+            pool.shutdown(wait=True)
+
+
+class TestDisabledEquivalence:
+    def test_disabled_limits_match_seed_store(self):
+        plain = LSMStore(flush_bytes=4_000)
+        limited = LSMStore(flush_bytes=4_000, write_limits=WriteLimits())
+        for i in range(300):
+            plain.put(k(i), VALUE)
+            limited.put(k(i), VALUE)
+        for i in range(0, 300, 7):
+            plain.delete(k(i))
+            limited.delete(k(i))
+        assert list(plain.scan()) == list(limited.scan())
+        assert plain.sstable_count == limited.sstable_count
+
+
+class TestWriterReport:
+    def test_bulk_load_reports_throttles(self):
+        from repro import TMan, TManConfig
+        from repro.datasets import TDRIVE_SPEC, tdrive_like
+
+        config = TManConfig(
+            boundary=TDRIVE_SPEC.boundary,
+            max_resolution=12,
+            kv_workers=2,
+            memtable_soft_bytes=4_096,
+            write_throttle_ms=0.01,
+        )
+        with TMan(config) as tman:
+            report = tman.bulk_load(tdrive_like(30, seed=5))
+            assert report.rows_written == 30
+            assert report.throttled_writes > 0
+            assert report.rejected_writes == 0
+
+    def test_unlimited_deployment_reports_zero(self):
+        from repro import TMan, TManConfig
+        from repro.datasets import TDRIVE_SPEC, tdrive_like
+
+        config = TManConfig(
+            boundary=TDRIVE_SPEC.boundary, max_resolution=12, kv_workers=1
+        )
+        with TMan(config) as tman:
+            report = tman.bulk_load(tdrive_like(10, seed=5))
+            assert report.throttled_writes == 0
+            assert report.stalled_writes == 0
+            assert report.stall_seconds == 0.0
+            assert report.rejected_writes == 0
