@@ -1,0 +1,106 @@
+"""CLI schema check for the columnar benchmark report.
+
+``python -m repro.bench.validate_columnar FILE`` exits non-zero when the
+``BENCH_columnar.json`` a benchmark run emitted is missing sections or
+carries wrongly-typed values — CI runs this after the smoke pass so
+report drift breaks the build instead of dashboards.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+_PERCENTILES = {"p50_ms": float, "p99_ms": float}
+
+SCHEMA = {
+    "profile": str,
+    "smoke": bool,
+    "n_trajectories": int,
+    "points_per_trajectory": int,
+    "storage": {
+        "v1_row_bytes_per_traj": float,
+        "v2_row_bytes_per_traj": float,
+        "v1_sstable_bytes_per_traj": float,
+        "v2_sstable_bytes_per_traj": float,
+        "sstable_ratio_v2_over_v1": float,
+    },
+    "decode": {
+        "columnar": {"rows_per_s": float, "ms_per_row": float},
+        "legacy": {"rows_per_s": float, "ms_per_row": float},
+        "speedup": float,
+    },
+    "kernels": {
+        name: {
+            "vectorized": _PERCENTILES,
+            "reference": _PERCENTILES,
+            "p50_speedup": float,
+        }
+        for name in ("frechet", "dtw", "hausdorff")
+    },
+    "topk_similarity": {
+        "k": int,
+        "queries": int,
+        "after": _PERCENTILES,
+        "before": _PERCENTILES,
+        "p50_speedup": float,
+    },
+    "regression_guard": {"profile": str},
+}
+
+
+def validate_report(doc: object, schema: dict = SCHEMA, path: str = "") -> list[str]:
+    """Return a list of schema violations (empty when the report is valid)."""
+    errors: list[str] = []
+    if not isinstance(doc, dict):
+        return [f"{path or '<root>'}: expected object, got {type(doc).__name__}"]
+    for key, expected in schema.items():
+        here = f"{path}.{key}" if path else key
+        if key not in doc:
+            errors.append(f"{here}: missing")
+            continue
+        value = doc[key]
+        if isinstance(expected, dict):
+            errors.extend(validate_report(value, expected, here))
+        elif expected is float:
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                errors.append(f"{here}: expected number, got {type(value).__name__}")
+        elif not isinstance(value, expected) or (
+            expected is int and isinstance(value, bool)
+        ):
+            errors.append(
+                f"{here}: expected {expected.__name__}, got {type(value).__name__}"
+            )
+    return errors
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Validate each report file; returns the process exit code."""
+    paths = sys.argv[1:] if argv is None else argv
+    if not paths:
+        print(
+            "usage: python -m repro.bench.validate_columnar BENCH_columnar.json [...]",
+            file=sys.stderr,
+        )
+        return 2
+    failed = False
+    for path in paths:
+        try:
+            with open(path) as fh:
+                doc = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"{path}: unreadable ({exc})", file=sys.stderr)
+            failed = True
+            continue
+        errors = validate_report(doc)
+        if errors:
+            failed = True
+            for error in errors:
+                print(f"{path}: {error}", file=sys.stderr)
+        else:
+            print(f"{path}: schema-valid (profile={doc['profile']})")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

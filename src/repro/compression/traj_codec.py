@@ -6,6 +6,11 @@ timestamps to milliseconds.  Each array is delta(-of-delta) transformed,
 zigzagged, and packed with a selectable integer codec.  The codec name is
 recorded in the stream so rows written with different configurations remain
 readable.
+
+The ``columnar`` codec is the vectorized fast path: its streams are
+byte-identical to ``varint`` (LEB128, count-prefixed) but are produced and
+consumed with numpy array passes, and :meth:`TrajectoryCodec.decode_array_block`
+returns float64 columns without building any per-point objects.
 """
 
 from __future__ import annotations
@@ -13,6 +18,16 @@ from __future__ import annotations
 import struct
 from typing import Callable, Sequence
 
+import numpy as np
+
+from repro.compression.columnar import (
+    decode_signed_stream,
+    delta_decode_array,
+    delta_encode_array,
+    delta_of_delta_decode_array,
+    delta_of_delta_encode_array,
+    encode_signed_stream,
+)
 from repro.compression.delta import (
     delta_decode,
     delta_encode,
@@ -35,8 +50,36 @@ _PACKERS: dict[CodecName, tuple[Callable[[Sequence[int]], bytes], Callable[[byte
     "simple8b": (simple8b_encode, simple8b_decode),
     "pfor": (pfor_encode, pfor_decode),
 }
-_CODEC_IDS: dict[CodecName, int] = {"varint": 0, "simple8b": 1, "pfor": 2}
+# "columnar" shares the varint wire format; the scalar packers can read it.
+_PACKERS["columnar"] = _PACKERS["varint"]
+_CODEC_IDS: dict[CodecName, int] = {"varint": 0, "simple8b": 1, "pfor": 2, "columnar": 3}
 _CODEC_NAMES = {v: k for k, v in _CODEC_IDS.items()}
+
+
+def quantize_arrays(
+    ts: np.ndarray, lngs: np.ndarray, lats: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Fixed-point quantization, elementwise identical to ``round(v * scale)``.
+
+    ``np.rint`` rounds half-to-even exactly like python's ``round`` on the
+    same float64 product, so scalar and vectorized encoders always emit the
+    same integers — the bit-identity contract between row format versions.
+    """
+    t_ints = np.rint(np.asarray(ts, dtype=np.float64) * TIME_SCALE).astype(np.int64)
+    x_ints = np.rint(np.asarray(lngs, dtype=np.float64) * COORD_SCALE).astype(np.int64)
+    y_ints = np.rint(np.asarray(lats, dtype=np.float64) * COORD_SCALE).astype(np.int64)
+    return t_ints, x_ints, y_ints
+
+
+def dequantize_arrays(
+    t_ints: np.ndarray, x_ints: np.ndarray, y_ints: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Inverse of :func:`quantize_arrays` (IEEE division, same as scalar)."""
+    return (
+        t_ints / float(TIME_SCALE),
+        x_ints / float(COORD_SCALE),
+        y_ints / float(COORD_SCALE),
+    )
 
 
 class TrajectoryCodec:
@@ -61,6 +104,12 @@ class TrajectoryCodec:
         """Compress parallel (t, lng, lat) arrays into one byte blob."""
         if not (len(ts) == len(lngs) == len(lats)):
             raise ValueError("parallel arrays must have equal length")
+        if self.codec == "columnar":
+            return encode_array_block(
+                np.asarray(ts, dtype=np.float64),
+                np.asarray(lngs, dtype=np.float64),
+                np.asarray(lats, dtype=np.float64),
+            )
         t_ints = [round(t * TIME_SCALE) for t in ts]
         x_ints = [round(x * COORD_SCALE) for x in lngs]
         y_ints = [round(y * COORD_SCALE) for y in lats]
@@ -81,11 +130,10 @@ class TrajectoryCodec:
 
     def decode_arrays(self, blob: bytes) -> tuple[list[float], list[float], list[float]]:
         """Restore the (t, lng, lat) arrays from :meth:`encode_arrays` output."""
-        if len(blob) < 5:
-            raise ValueError("truncated trajectory blob")
-        codec_name = _CODEC_NAMES.get(blob[0])
-        if codec_name is None:
-            raise ValueError(f"unknown codec id {blob[0]}")
+        codec_name = _codec_of(blob)
+        if codec_name == "columnar":
+            ts, lngs, lats = decode_array_block(blob)
+            return ts.tolist(), lngs.tolist(), lats.tolist()
         _, unpack = _PACKERS[codec_name]
         (n,) = struct.unpack_from(">I", blob, 1)
         pos = 5
@@ -106,10 +154,28 @@ class TrajectoryCodec:
         lats = [y / COORD_SCALE for y in y_ints]
         return ts, lngs, lats
 
+    def decode_array_block(self, blob: bytes) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Restore (t, lng, lat) as float64 numpy columns, any codec.
+
+        ``columnar`` blobs decode fully vectorized; other codec ids fall
+        back to the scalar unpackers and convert.
+        """
+        if _codec_of(blob) == "columnar":
+            return decode_array_block(blob)
+        ts, lngs, lats = self.decode_arrays(blob)
+        return (
+            np.asarray(ts, dtype=np.float64),
+            np.asarray(lngs, dtype=np.float64),
+            np.asarray(lats, dtype=np.float64),
+        )
+
     # -- point-level API ---------------------------------------------------
 
     def encode_points(self, points: Sequence[STPoint]) -> bytes:
         """Compress a point sequence."""
+        block = getattr(points, "block", points)
+        if hasattr(block, "ts"):
+            return self.encode_arrays(block.ts, block.xs, block.ys)
         ts = [p.t for p in points]
         lngs = [p.lng for p in points]
         lats = [p.lat for p in points]
@@ -119,3 +185,48 @@ class TrajectoryCodec:
         """Restore the point sequence from :meth:`encode_points` output."""
         ts, lngs, lats = self.decode_arrays(blob)
         return [STPoint(t, lng, lat) for t, lng, lat in zip(ts, lngs, lats)]
+
+
+def _codec_of(blob: bytes) -> CodecName:
+    if len(blob) < 5:
+        raise ValueError("truncated trajectory blob")
+    codec_name = _CODEC_NAMES.get(blob[0])
+    if codec_name is None:
+        raise ValueError(f"unknown codec id {blob[0]}")
+    return codec_name
+
+
+def encode_array_block(ts: np.ndarray, lngs: np.ndarray, lats: np.ndarray) -> bytes:
+    """Vectorized encode of float64 columns into a ``columnar`` blob."""
+    if not (len(ts) == len(lngs) == len(lats)):
+        raise ValueError("parallel arrays must have equal length")
+    t_ints, x_ints, y_ints = quantize_arrays(ts, lngs, lats)
+    streams = [
+        encode_signed_stream(delta_of_delta_encode_array(t_ints)),
+        encode_signed_stream(delta_encode_array(x_ints)),
+        encode_signed_stream(delta_encode_array(y_ints)),
+    ]
+    out = bytearray()
+    out.append(_CODEC_IDS["columnar"])
+    out += struct.pack(">I", len(t_ints))
+    for stream in streams:
+        out += struct.pack(">I", len(stream))
+        out += stream
+    return bytes(out)
+
+
+def decode_array_block(blob: bytes) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Vectorized decode of a ``columnar`` blob into float64 columns."""
+    (n,) = struct.unpack_from(">I", blob, 1)
+    pos = 5
+    ints = []
+    transforms = (delta_of_delta_decode_array, delta_decode_array, delta_decode_array)
+    for transform in transforms:
+        (slen,) = struct.unpack_from(">I", blob, pos)
+        pos += 4
+        values, _ = decode_signed_stream(blob[pos : pos + slen])
+        ints.append(transform(values))
+        pos += slen
+    if not (len(ints[0]) == len(ints[1]) == len(ints[2]) == n):
+        raise ValueError("corrupt trajectory blob: array length mismatch")
+    return dequantize_arrays(*ints)

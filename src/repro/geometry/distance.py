@@ -4,6 +4,8 @@ from __future__ import annotations
 
 import math
 
+import numpy as np
+
 EARTH_RADIUS_KM = 6371.0088
 
 
@@ -60,3 +62,27 @@ def degrees_for_km(km: float, at_lat: float = 0.0) -> float:
         raise ValueError(f"degenerate latitude for conversion: {at_lat}")
     km_per_degree = (math.pi / 180.0) * EARTH_RADIUS_KM * math.cos(math.radians(at_lat))
     return km / km_per_degree
+
+
+def point_to_polyline_arrays(px: float, py: float, xs, ys) -> float:
+    """Vectorized :func:`point_to_polyline` over coordinate columns.
+
+    ``xs``/``ys`` are parallel float64 arrays of polyline vertices (e.g.
+    straight from a :class:`~repro.model.pointblock.PointBlock`).  Computes
+    every per-segment distance in a handful of numpy passes.
+    """
+    n = len(xs)
+    if n == 0:
+        raise ValueError("empty polyline")
+    if n == 1:
+        return math.hypot(px - float(xs[0]), py - float(ys[0]))
+    ax, ay = xs[:-1], ys[:-1]
+    dx = xs[1:] - ax
+    dy = ys[1:] - ay
+    seg_len_sq = dx * dx + dy * dy
+    safe = np.where(seg_len_sq == 0.0, 1.0, seg_len_sq)
+    t = ((px - ax) * dx + (py - ay) * dy) / safe
+    np.clip(t, 0.0, 1.0, out=t)
+    t = np.where(seg_len_sq == 0.0, 0.0, t)
+    d = np.hypot(px - (ax + t * dx), py - (ay + t * dy))
+    return float(d.min())

@@ -14,8 +14,11 @@ import math
 from dataclasses import dataclass
 from typing import Sequence
 
+import numpy as np
+
 from repro.model.mbr import MBR
 from repro.model.point import STPoint
+from repro.model.pointblock import coord_arrays
 
 
 def _perpendicular_distance(
@@ -34,6 +37,25 @@ def _perpendicular_distance(
     return math.hypot(px - cx, py - cy)
 
 
+def _span_farthest(xs: np.ndarray, ys: np.ndarray, lo: int, hi: int) -> tuple[float, int]:
+    """Max perpendicular deviation (and its index) of interior span points."""
+    ax, ay = xs[lo], ys[lo]
+    bx, by = xs[hi], ys[hi]
+    px = xs[lo + 1 : hi]
+    py = ys[lo + 1 : hi]
+    dx = bx - ax
+    dy = by - ay
+    seg_len_sq = dx * dx + dy * dy
+    if seg_len_sq == 0.0:
+        d = np.hypot(px - ax, py - ay)
+    else:
+        t = ((px - ax) * dx + (py - ay) * dy) / seg_len_sq
+        np.clip(t, 0.0, 1.0, out=t)
+        d = np.hypot(px - (ax + t * dx), py - (ay + t * dy))
+    i = int(np.argmax(d))
+    return float(d[i]), lo + 1 + i
+
+
 def douglas_peucker(points: Sequence[STPoint], epsilon: float) -> list[int]:
     """Return indexes of the points kept by Douglas-Peucker simplification.
 
@@ -46,6 +68,7 @@ def douglas_peucker(points: Sequence[STPoint], epsilon: float) -> list[int]:
     if n <= 2:
         return list(range(n))
 
+    xs, ys = coord_arrays(points)
     keep = [False] * n
     keep[0] = keep[n - 1] = True
     stack: list[tuple[int, int]] = [(0, n - 1)]
@@ -53,15 +76,7 @@ def douglas_peucker(points: Sequence[STPoint], epsilon: float) -> list[int]:
         lo, hi = stack.pop()
         if hi <= lo + 1:
             continue
-        ax, ay = points[lo].xy
-        bx, by = points[hi].xy
-        best = -1.0
-        best_idx = -1
-        for i in range(lo + 1, hi):
-            d = _perpendicular_distance(points[i].lng, points[i].lat, ax, ay, bx, by)
-            if d > best:
-                best = d
-                best_idx = i
+        best, best_idx = _span_farthest(xs, ys, lo, hi)
         if best > epsilon:
             keep[best_idx] = True
             stack.append((lo, best_idx))
@@ -94,6 +109,29 @@ class DPFeature:
             box = box.union_hull(other)
         return box
 
+    @property
+    def box_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """(x1, y1, x2, y2) columns over span boxes, built once and cached."""
+        cached = getattr(self, "_box_arrays", None)
+        if cached is None:
+            cached = (
+                np.fromiter((b.x1 for b in self.span_boxes), dtype=np.float64),
+                np.fromiter((b.y1 for b in self.span_boxes), dtype=np.float64),
+                np.fromiter((b.x2 for b in self.span_boxes), dtype=np.float64),
+                np.fromiter((b.y2 for b in self.span_boxes), dtype=np.float64),
+            )
+            object.__setattr__(self, "_box_arrays", cached)
+        return cached
+
+    @property
+    def rep_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """(lng, lat) columns over representative points, cached."""
+        cached = getattr(self, "_rep_arrays", None)
+        if cached is None:
+            cached = coord_arrays(self.rep_points)
+            object.__setattr__(self, "_rep_arrays", cached)
+        return cached
+
     def min_distance_to_point(self, x: float, y: float) -> float:
         """Lower bound on the distance from (x, y) to any raw point."""
         return min(box.min_distance_point(x, y) for box in self.span_boxes)
@@ -101,14 +139,18 @@ class DPFeature:
 
 def extract_dp_feature(points: Sequence[STPoint], epsilon: float) -> DPFeature:
     """Compute the DP-feature of a raw point sequence."""
-    if not points:
+    if not len(points):
         raise ValueError("cannot extract DP-features from zero points")
     idxs = douglas_peucker(points, epsilon)
     if len(idxs) == 1:
         idxs = [0, 0]
+    xs, ys = coord_arrays(points)
     boxes: list[MBR] = []
     for lo, hi in zip(idxs, idxs[1:]):
-        span = points[lo : hi + 1] if hi >= lo else points[lo : lo + 1]
-        boxes.append(MBR.of_points(p.xy for p in span))
+        hi = hi if hi >= lo else lo
+        sx = xs[lo : hi + 1]
+        sy = ys[lo : hi + 1]
+        boxes.append(MBR(float(sx.min()), float(sy.min()),
+                         float(sx.max()), float(sy.max())))
     reps = tuple(points[i] for i in idxs)
     return DPFeature(reps, tuple(idxs), tuple(boxes))

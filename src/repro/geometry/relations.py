@@ -10,6 +10,8 @@ space — the callers decide the coordinate frame.
 from __future__ import annotations
 
 import enum
+
+import numpy as np
 from typing import Sequence
 
 from repro.model.mbr import MBR
@@ -107,5 +109,36 @@ def polyline_intersects_rect(points: Sequence[tuple[float, float]], rect: MBR) -
         return rect.contains_point(points[0][0], points[0][1])
     for (ax, ay), (bx, by) in zip(points, points[1:]):
         if segment_intersects_rect(ax, ay, bx, by, rect):
+            return True
+    return False
+
+
+def polyline_intersects_rect_arrays(xs, ys, rect: MBR) -> bool:
+    """Vectorized :func:`polyline_intersects_rect` over coordinate columns.
+
+    Decides via three exactness-preserving steps: a vectorized any-vertex-
+    inside accept, a vectorized per-segment bounding-box reject, and the
+    full edge tests only on the few surviving segments — the boolean
+    outcome matches the scalar function on every input.
+    """
+    n = len(xs)
+    if n == 0:
+        return False
+    inside = (xs >= rect.x1) & (xs <= rect.x2) & (ys >= rect.y1) & (ys <= rect.y2)
+    if bool(inside.any()):
+        return True
+    if n == 1:
+        return False
+    ax, ay, bx, by = xs[:-1], ys[:-1], xs[1:], ys[1:]
+    overlap = (
+        (np.maximum(ax, bx) >= rect.x1)
+        & (np.minimum(ax, bx) <= rect.x2)
+        & (np.maximum(ay, by) >= rect.y1)
+        & (np.minimum(ay, by) <= rect.y2)
+    )
+    for i in np.flatnonzero(overlap):
+        if segment_intersects_rect(
+            float(ax[i]), float(ay[i]), float(bx[i]), float(by[i]), rect
+        ):
             return True
     return False

@@ -36,6 +36,7 @@ from typing import Iterator, Optional, Union
 
 from repro.kvstore import simfault
 from repro.kvstore.block_cache import BlockCache
+from repro.kvstore.census import census_rows
 from repro.kvstore.disk_sstable import DiskSSTable, write_disk_sstable
 from repro.kvstore.errors import CorruptionError
 from repro.kvstore.memtable import TOMBSTONE, MemTable
@@ -112,6 +113,9 @@ class DurableLSMStore:
         )
         self._memtable = MemTable()
         self._closed = False
+        # Trajectory row versions seen by the most recent compaction
+        # (None until one runs); see repro.kvstore.census.
+        self.last_format_census: Optional[dict[int, int]] = None
 
         # A crash mid-flush/compaction leaves the half-written run at its
         # .tmp path; it was never acknowledged (the WAL still covers it or
@@ -254,6 +258,9 @@ class DurableLSMStore:
         _COMPACT_TOTAL.inc()
         _COMPACT_BYTES.inc(
             sum(len(k) + len(v) for k, v in entries if v != TOMBSTONE)
+        )
+        self.last_format_census = census_rows(
+            (k, v) for k, v in entries if v != TOMBSTONE
         )
         old_tables = list(self._sstables)
         path = self.data_dir / f"sst-{self._next_seq:06d}.sst"

@@ -20,6 +20,7 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Iterator, Optional
 
+from repro.kvstore.census import census_rows
 from repro.kvstore.errors import WriteStalledError
 from repro.kvstore.memtable import TOMBSTONE, MemTable
 from repro.kvstore.sstable import SSTable
@@ -70,6 +71,9 @@ class LSMStore:
         self._max_tables = max_tables
         self._memtable = MemTable()
         self._sstables: list[SSTable] = []  # newest last
+        # Trajectory row versions seen by the most recent compaction
+        # (None until one runs); see repro.kvstore.census.
+        self.last_format_census: Optional[dict[int, int]] = None
         # Backpressure state (None = seed behavior: no locks, sync flush).
         self._limits = (
             write_limits if write_limits is not None and write_limits.enabled else None
@@ -294,6 +298,7 @@ class LSMStore:
         live = sorted((k, v) for k, v in merged.items() if v != TOMBSTONE)
         _COMPACT_TOTAL.inc()
         _COMPACT_BYTES.inc(sum(len(k) + len(v) for k, v in live))
+        self.last_format_census = census_rows(live)
         self._sstables = [SSTable(live, self._stats)] if live else []
 
     # -- reads --------------------------------------------------------------

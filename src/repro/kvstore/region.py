@@ -30,6 +30,9 @@ _ROWS_RETURNED = _obs_counter(
     "kv_rows_returned_total", "Rows surviving push-down and shipped to clients"
 )
 _POINT_GETS = _obs_counter("kv_point_get_total", "Region point lookups")
+_ROW_BYTES = _obs_histogram(
+    "kv_row_bytes", "Encoded value size of rows written through Region.put"
+)
 
 
 class KVStoreEngine(Protocol):
@@ -109,6 +112,11 @@ class Region:
         """Unflushed bytes buffered in the backing engine's memtable(s)."""
         return getattr(self._store, "memtable_bytes", 0)
 
+    @property
+    def format_census(self) -> Optional[dict[int, int]]:
+        """Trajectory row versions seen at the engine's last compaction."""
+        return getattr(self._store, "last_format_census", None)
+
     def owns(self, key: bytes) -> bool:
         """True when ``key`` routes to this region."""
         if self.start_key is not None and key < self.start_key:
@@ -121,6 +129,7 @@ class Region:
         """Insert or overwrite ``key`` with ``value``."""
         self._store.put(key, value)
         self._row_count += 1
+        _ROW_BYTES.observe(len(value))
 
     def delete(self, key: bytes) -> None:
         """Remove ``key``."""

@@ -1,0 +1,152 @@
+"""Columnar point storage: parallel numpy arrays with an STPoint view.
+
+A :class:`PointBlock` holds one trajectory's fixes as three contiguous
+float64 arrays (t, lng, lat).  Vectorized code — codecs, refinement
+predicates, similarity kernels — reads the arrays directly; legacy code
+that indexes or iterates still sees :class:`~repro.model.point.STPoint`
+values, materialized lazily and at most once.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence, Union
+
+import numpy as np
+
+from repro.model.mbr import MBR
+from repro.model.point import STPoint
+from repro.model.timerange import TimeRange
+
+
+class PointBlock(Sequence):
+    """An immutable columnar sequence of spatio-temporal points.
+
+    Indexing and iteration yield :class:`STPoint`, so a block is a drop-in
+    replacement anywhere a point sequence is expected; the ``ts``/``xs``/
+    ``ys`` arrays are the fast path.  The arrays are flagged read-only so
+    the cached derived values (MBR, time range, point tuple) stay valid.
+    """
+
+    __slots__ = ("ts", "xs", "ys", "_points", "_mbr", "_time_range")
+
+    def __init__(self, ts: np.ndarray, xs: np.ndarray, ys: np.ndarray,
+                 validate: bool = True):
+        ts = np.ascontiguousarray(ts, dtype=np.float64)
+        xs = np.ascontiguousarray(xs, dtype=np.float64)
+        ys = np.ascontiguousarray(ys, dtype=np.float64)
+        if not (len(ts) == len(xs) == len(ys)):
+            raise ValueError("parallel point arrays must have equal length")
+        if validate and len(xs):
+            if not ((xs >= -180.0) & (xs <= 180.0)).all():
+                raise ValueError("longitude out of range in point block")
+            if not ((ys >= -90.0) & (ys <= 90.0)).all():
+                raise ValueError("latitude out of range in point block")
+        for arr in (ts, xs, ys):
+            arr.flags.writeable = False
+        self.ts = ts
+        self.xs = xs
+        self.ys = ys
+        self._points: tuple[STPoint, ...] | None = None
+        self._mbr: MBR | None = None
+        self._time_range: TimeRange | None = None
+
+    @classmethod
+    def from_points(cls, points: Sequence[STPoint]) -> "PointBlock":
+        """Build a block from already-validated STPoint values."""
+        if isinstance(points, PointBlock):
+            return points
+        n = len(points)
+        ts = np.fromiter((p.t for p in points), dtype=np.float64, count=n)
+        xs = np.fromiter((p.lng for p in points), dtype=np.float64, count=n)
+        ys = np.fromiter((p.lat for p in points), dtype=np.float64, count=n)
+        block = cls(ts, xs, ys, validate=False)
+        block._points = tuple(points)
+        return block
+
+    # -- sequence protocol -------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.ts)
+
+    def point(self, i: int) -> STPoint:
+        """The i-th fix as an STPoint (no full materialization)."""
+        return STPoint(float(self.ts[i]), float(self.xs[i]), float(self.ys[i]))
+
+    def __getitem__(self, idx: Union[int, slice]):
+        if isinstance(idx, slice):
+            return PointBlock(self.ts[idx], self.xs[idx], self.ys[idx],
+                              validate=False)
+        if self._points is not None:
+            return self._points[idx]
+        return self.point(range(len(self))[idx])
+
+    def __iter__(self) -> Iterator[STPoint]:
+        return iter(self.to_points())
+
+    def to_points(self) -> tuple[STPoint, ...]:
+        """The full STPoint tuple, materialized once and cached."""
+        if self._points is None:
+            self._points = tuple(
+                STPoint(t, x, y)
+                for t, x, y in zip(self.ts.tolist(), self.xs.tolist(), self.ys.tolist())
+            )
+        return self._points
+
+    # -- derived geometry --------------------------------------------------
+
+    @property
+    def mbr(self) -> MBR:
+        if self._mbr is None:
+            self._mbr = MBR(
+                float(self.xs.min()), float(self.ys.min()),
+                float(self.xs.max()), float(self.ys.max()),
+            )
+        return self._mbr
+
+    @property
+    def time_range(self) -> TimeRange:
+        if self._time_range is None:
+            self._time_range = TimeRange(float(self.ts[0]), float(self.ts[-1]))
+        return self._time_range
+
+    def is_time_ordered(self) -> bool:
+        return len(self.ts) < 2 or bool((self.ts[1:] >= self.ts[:-1]).all())
+
+    # -- equality ----------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, PointBlock):
+            return (
+                np.array_equal(self.ts, other.ts)
+                and np.array_equal(self.xs, other.xs)
+                and np.array_equal(self.ys, other.ys)
+            )
+        if isinstance(other, (tuple, list)):
+            return self.to_points() == tuple(other)
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((len(self.ts), self.ts.tobytes(), self.xs.tobytes(),
+                     self.ys.tobytes()))
+
+    def __repr__(self) -> str:
+        return f"PointBlock(n={len(self.ts)})"
+
+
+PointsLike = Union[PointBlock, Sequence[STPoint]]
+
+
+def coord_arrays(points: PointsLike) -> tuple[np.ndarray, np.ndarray]:
+    """(lng, lat) float64 arrays for any point-sequence-like input.
+
+    Accepts a PointBlock, a Trajectory (delegates to its block), or a plain
+    STPoint sequence; vectorized kernels call this at their boundary so
+    both decode paths share one math implementation.
+    """
+    block = getattr(points, "block", points)
+    if isinstance(block, PointBlock):
+        return block.xs, block.ys
+    n = len(points)
+    xs = np.fromiter((p.lng for p in points), dtype=np.float64, count=n)
+    ys = np.fromiter((p.lat for p in points), dtype=np.float64, count=n)
+    return xs, ys

@@ -2,10 +2,13 @@
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Sequence
+from typing import Iterable, Iterator, Sequence, Union
+
+import numpy as np
 
 from repro.model.mbr import MBR
 from repro.model.point import STPoint
+from repro.model.pointblock import PointBlock
 from repro.model.timerange import TimeRange
 
 
@@ -15,93 +18,132 @@ class Trajectory:
     ``oid`` identifies the moving object (e.g., a taxi), ``tid`` identifies
     this particular trip of that object.  The MBR and time range are computed
     lazily and cached since the index layer asks for them repeatedly.
+
+    Points may be supplied either as an :class:`STPoint` sequence or as a
+    columnar :class:`PointBlock`; either way both representations are
+    available (``points`` materializes lazily from a block, ``block`` builds
+    lazily from points) so vectorized and object-level code coexist.
     """
 
-    __slots__ = ("oid", "tid", "_points", "_mbr", "_time_range")
+    __slots__ = ("oid", "tid", "_points", "_block", "_mbr", "_time_range")
 
-    def __init__(self, oid: str, tid: str, points: Sequence[STPoint]):
-        if not points:
-            raise ValueError("a trajectory needs at least one point")
-        pts = tuple(points)
-        for prev, cur in zip(pts, pts[1:]):
-            if cur.t < prev.t:
-                raise ValueError(
-                    f"trajectory {tid}: points not time-ordered "
-                    f"({prev.t} followed by {cur.t})"
-                )
+    def __init__(self, oid: str, tid: str,
+                 points: Union[PointBlock, Sequence[STPoint]]):
+        if isinstance(points, PointBlock):
+            if not len(points):
+                raise ValueError("a trajectory needs at least one point")
+            if not points.is_time_ordered():
+                raise ValueError(f"trajectory {tid}: points not time-ordered")
+            self._points: tuple[STPoint, ...] | None = None
+            self._block: PointBlock | None = points
+        else:
+            if not points:
+                raise ValueError("a trajectory needs at least one point")
+            pts = tuple(points)
+            for prev, cur in zip(pts, pts[1:]):
+                if cur.t < prev.t:
+                    raise ValueError(
+                        f"trajectory {tid}: points not time-ordered "
+                        f"({prev.t} followed by {cur.t})"
+                    )
+            self._points = pts
+            self._block = None
         self.oid = oid
         self.tid = tid
-        self._points = pts
         self._mbr: MBR | None = None
         self._time_range: TimeRange | None = None
 
     @property
     def points(self) -> tuple[STPoint, ...]:
         """The trajectory's point sequence."""
+        if self._points is None:
+            self._points = self._block.to_points()
         return self._points
+
+    @property
+    def block(self) -> PointBlock:
+        """The trajectory's columnar representation (built lazily)."""
+        if self._block is None:
+            self._block = PointBlock.from_points(self._points)
+        return self._block
 
     @property
     def mbr(self) -> MBR:
         """The tight bounding rectangle of the trajectory's points."""
         if self._mbr is None:
-            self._mbr = MBR.of_points(p.xy for p in self._points)
+            if self._block is not None:
+                self._mbr = self._block.mbr
+            else:
+                self._mbr = MBR.of_points(p.xy for p in self._points)
         return self._mbr
 
     @property
     def time_range(self) -> TimeRange:
         """The closed interval from the first to the last fix."""
         if self._time_range is None:
-            self._time_range = TimeRange(self._points[0].t, self._points[-1].t)
+            if self._block is not None:
+                self._time_range = self._block.time_range
+            else:
+                self._time_range = TimeRange(self._points[0].t, self._points[-1].t)
         return self._time_range
 
     @property
     def start(self) -> STPoint:
         """The first fix."""
-        return self._points[0]
+        if self._points is not None:
+            return self._points[0]
+        return self._block.point(0)
 
     @property
     def end(self) -> STPoint:
         """The last fix."""
-        return self._points[-1]
+        if self._points is not None:
+            return self._points[-1]
+        return self._block.point(len(self._block) - 1)
 
     def __len__(self) -> int:
-        return len(self._points)
+        if self._points is not None:
+            return len(self._points)
+        return len(self._block)
 
     def __iter__(self) -> Iterator[STPoint]:
-        return iter(self._points)
+        return iter(self.points)
 
     def __getitem__(self, idx: int) -> STPoint:
-        return self._points[idx]
+        return self.points[idx]
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Trajectory):
             return NotImplemented
-        return (
-            self.oid == other.oid
-            and self.tid == other.tid
-            and self._points == other._points
-        )
+        if self.oid != other.oid or self.tid != other.tid:
+            return False
+        if self._block is not None and other._block is not None:
+            return self._block == other._block
+        return self.points == other.points
 
     def __hash__(self) -> int:
-        return hash((self.oid, self.tid, len(self._points), self._points[0]))
+        return hash((self.oid, self.tid, len(self), self.start))
 
     def __repr__(self) -> str:
         return (
             f"Trajectory(oid={self.oid!r}, tid={self.tid!r}, "
-            f"n={len(self._points)}, tr=[{self.time_range.start:.0f},"
+            f"n={len(self)}, tr=[{self.time_range.start:.0f},"
             f"{self.time_range.end:.0f}])"
         )
 
     def segments(self) -> Iterator[tuple[STPoint, STPoint]]:
         """Yield consecutive point pairs (the trajectory's line segments)."""
-        return zip(self._points, self._points[1:])
+        pts = self.points
+        return zip(pts, pts[1:])
 
-    def xy_arrays(self) -> tuple[list[float], list[float], list[float]]:
-        """Return parallel (t, lng, lat) lists — the codec's native layout."""
-        ts = [p.t for p in self._points]
-        lngs = [p.lng for p in self._points]
-        lats = [p.lat for p in self._points]
-        return ts, lngs, lats
+    def xy_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Parallel (t, lng, lat) float64 arrays — the codec's native layout.
+
+        Cached via :attr:`block` alongside ``mbr``/``time_range``, so
+        repeated vectorized callers pay the column build at most once.
+        """
+        block = self.block
+        return block.ts, block.xs, block.ys
 
     def shifted(self, dt: float = 0.0, dlng: float = 0.0, dlat: float = 0.0,
                 oid: str | None = None, tid: str | None = None) -> "Trajectory":
@@ -109,7 +151,7 @@ class Trajectory:
         return Trajectory(
             oid if oid is not None else self.oid,
             tid if tid is not None else self.tid,
-            [p.shifted(dt, dlng, dlat) for p in self._points],
+            [p.shifted(dt, dlng, dlat) for p in self.points],
         )
 
     def slice_time(self, tr: TimeRange) -> "Trajectory | None":
@@ -118,7 +160,7 @@ class Trajectory:
         Used by segment-based baselines (VRE-style) to split trajectories.
         Returns ``None`` when no point falls inside.
         """
-        pts = [p for p in self._points if tr.contains_instant(p.t)]
+        pts = [p for p in self.points if tr.contains_instant(p.t)]
         if not pts:
             return None
         return Trajectory(self.oid, self.tid, pts)

@@ -16,10 +16,11 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from repro.geometry.relations import polyline_intersects_rect
+from repro.geometry.relations import polyline_intersects_rect_arrays
 from repro.kvstore.filters import Filter
 from repro.model.mbr import MBR
 from repro.model.point import STPoint
+from repro.model.pointblock import PointBlock
 from repro.model.timerange import TimeRange
 from repro.similarity.measures import distance_by_name
 from repro.similarity.pruning import dp_lower_bound, dp_upper_bound, mbr_lower_bound
@@ -83,8 +84,8 @@ class SpatialFilter(Filter):
             return True
 
         self.decided_by_points += 1
-        points = [(p.lng, p.lat) for p in self._serializer.decode(value).trajectory.points]
-        return polyline_intersects_rect(points, self.window)
+        block = self._serializer.decode_trajectory(value).trajectory.block
+        return polyline_intersects_rect_arrays(block.xs, block.ys, self.window)
 
 
 class SimilarityFilter(Filter):
@@ -104,7 +105,8 @@ class SimilarityFilter(Filter):
     ):
         if threshold < 0:
             raise ValueError(f"threshold must be non-negative, got {threshold}")
-        self.query_points = list(query_points)
+        # a PointBlock caches the coordinate columns every bound reuses
+        self.query_points = PointBlock.from_points(list(query_points))
         self.query_mbr = MBR.of_points(p.xy for p in self.query_points)
         self.threshold = threshold
         self.measure = measure
@@ -133,5 +135,5 @@ class SimilarityFilter(Filter):
                 return True
 
         self.exact_computations += 1
-        stored = self._serializer.decode(value)
-        return self._distance(self.query_points, stored.trajectory.points) <= self.threshold
+        stored = self._serializer.decode_trajectory(value)
+        return self._distance(self.query_points, stored.trajectory.block) <= self.threshold

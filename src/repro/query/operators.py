@@ -14,10 +14,11 @@ from __future__ import annotations
 
 from typing import Any, Callable, Iterator, NamedTuple, Optional, Sequence
 
-from repro.geometry.distance import point_to_polyline
+from repro.geometry.distance import point_to_polyline_arrays
 from repro.kvstore.filters import Filter
 from repro.kvstore.table import Table
 from repro.model.mbr import MBR
+from repro.model.pointblock import PointBlock
 from repro.model.timerange import TimeRange
 from repro.model.trajectory import Trajectory
 from repro.query.windows import coalesce_windows
@@ -214,7 +215,7 @@ class Decode(Operator):
     def process(self, upstream: Iterator[Row]) -> Iterator[Trajectory]:
         seen: set[str] = set()
         for _, value in upstream:
-            stored = self.serializer.decode(value)
+            stored = self.serializer.decode_trajectory(value)
             tid = stored.trajectory.tid
             if tid in seen:
                 continue
@@ -258,9 +259,9 @@ class Refine(Operator):
     ) -> "Refine":
         """Keep trajectories within ``threshold`` of the query points."""
         distance = distance_by_name(measure)
-        points = list(query_points)
+        points = PointBlock.from_points(list(query_points))
         return cls(
-            lambda t: distance(points, t.points) <= threshold, "similarity_check"
+            lambda t: distance(points, t.block) <= threshold, "similarity_check"
         )
 
     @classmethod
@@ -309,10 +310,9 @@ class PointDistanceRefine(Operator):
             if feature.min_distance_to_point(self.x, self.y) > kth:
                 self.seen.add(header.tid)
                 continue
-            stored = self.serializer.decode(value)
-            d = point_to_polyline(
-                self.x, self.y, [p.xy for p in stored.trajectory.points]
-            )
+            stored = self.serializer.decode_trajectory(value)
+            block = stored.trajectory.block
+            d = point_to_polyline_arrays(self.x, self.y, block.xs, block.ys)
             self.seen.add(header.tid)
             yield d, header.tid, stored.trajectory
 
@@ -334,7 +334,7 @@ class SimilarityRefine(Operator):
         bound: Callable[[], float],
     ):
         self.serializer = serializer
-        self.query_points = list(query.points)
+        self.query_points = query.block
         self.query_mbr = query.mbr
         self.query_tid = query.tid
         self.aggregate = "sum" if measure == "dtw" else "max"
@@ -357,8 +357,8 @@ class SimilarityRefine(Operator):
             if dp_lower_bound(self.query_points, feature, self.aggregate) > kth:
                 self.seen.add(header.tid)
                 continue
-            stored = self.serializer.decode(value)
-            d = self.distance(self.query_points, stored.trajectory.points)
+            stored = self.serializer.decode_trajectory(value)
+            d = self.distance(self.query_points, stored.trajectory.block)
             self.seen.add(header.tid)
             yield d, header.tid, stored.trajectory
 

@@ -1,4 +1,12 @@
-"""Dynamic time warping distance."""
+"""Dynamic time warping distance, vectorized along antidiagonals.
+
+Same diagonal-wavefront scheme as :mod:`repro.similarity.frechet`: the
+band-constrained O(n·m) program collapses to ``n + m - 1`` numpy slice
+steps.  Out-of-band and off-grid neighbors read as +inf via the shared
+``diag_window`` helper, which reproduces the reference implementation's
+borders exactly (the lone special case is the origin cell, whose cost is
+just its own point distance).
+"""
 
 from __future__ import annotations
 
@@ -7,6 +15,8 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro.model.point import STPoint
+from repro.model.pointblock import coord_arrays
+from repro.similarity.frechet import diag_window
 
 
 def dtw_distance(
@@ -17,25 +27,46 @@ def dtw_distance(
     ``window`` constrains ``|i - j|`` which both speeds the computation and
     regularizes pathological alignments; ``None`` means unconstrained.
     """
-    if not a or not b:
+    if not len(a) or not len(b):
         raise ValueError("DTW needs non-empty trajectories")
-    n, m = len(a), len(b)
-    ax = np.array([p.lng for p in a])
-    ay = np.array([p.lat for p in a])
-    bx = np.array([p.lng for p in b])
-    by = np.array([p.lat for p in b])
-
+    ax, ay = coord_arrays(a)
+    bx, by = coord_arrays(b)
+    n, m = len(ax), len(bx)
     w = max(window, abs(n - m)) if window is not None else None
-    inf = float("inf")
-    prev = np.full(m + 1, inf)
-    prev[0] = 0.0
-    for i in range(1, n + 1):
-        cur = np.full(m + 1, inf)
-        dist_row = np.hypot(ax[i - 1] - bx, ay[i - 1] - by)
-        lo = 1 if w is None else max(1, i - w)
-        hi = m if w is None else min(m, i + w)
-        for j in range(lo, hi + 1):
-            best = min(prev[j], cur[j - 1], prev[j - 1])
-            cur[j] = dist_row[j - 1] + best
-        prev = cur
-    return float(prev[m])
+    bxr = bx[::-1]
+    byr = by[::-1]
+
+    prev: Optional[np.ndarray] = None
+    prev2: Optional[np.ndarray] = None
+    prev_lo = prev2_lo = 0
+    for k in range(n + m - 1):
+        lo = max(0, k - m + 1)
+        hi = min(k, n - 1)
+        if w is not None:
+            # band |i - j| <= w on the diagonal: i in [ceil((k-w)/2), floor((k+w)/2)]
+            lo = max(lo, (k - w + 1) // 2)
+            hi = min(hi, (k + w) // 2)
+        if lo > hi:
+            cur: Optional[np.ndarray] = None
+        else:
+            off = m - 1 - k
+            d = np.hypot(
+                ax[lo : hi + 1] - bxr[off + lo : off + hi + 1],
+                ay[lo : hi + 1] - byr[off + lo : off + hi + 1],
+            )
+            if k == 0:
+                cur = d
+            else:
+                best = np.minimum(
+                    np.minimum(
+                        diag_window(prev, prev_lo, lo - 1, hi - 1),  # D[i-1, j]
+                        diag_window(prev, prev_lo, lo, hi),          # D[i, j-1]
+                    ),
+                    diag_window(prev2, prev2_lo, lo - 1, hi - 1),    # D[i-1, j-1]
+                )
+                cur = d + best
+        prev2, prev2_lo = prev, prev_lo
+        prev, prev_lo = cur, lo
+    if prev is None or not len(prev):
+        return float("inf")
+    return float(prev[-1])

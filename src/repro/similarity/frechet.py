@@ -1,12 +1,38 @@
-"""Discrete Fréchet distance."""
+"""Discrete Fréchet distance, vectorized along antidiagonals.
+
+Cells of antidiagonal ``k`` (all ``(i, j)`` with ``i + j = k``) depend only
+on antidiagonals ``k-1`` and ``k-2``, so the O(n·m) dynamic program runs in
+``n + m - 1`` python iterations whose bodies are numpy slice operations.
+Per-cell arithmetic (``max(d, min(up, left, diag))``) is order-independent,
+so results are bit-identical to the row-by-row reference implementation.
+"""
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 
 from repro.model.point import STPoint
+from repro.model.pointblock import coord_arrays
+
+_INF = float("inf")
+
+
+def diag_window(vals: Optional[np.ndarray], vals_lo: int, lo: int, hi: int) -> np.ndarray:
+    """Values of a previous antidiagonal for cell rows lo..hi, +inf padded.
+
+    ``vals`` holds one value per cell of that diagonal starting at row
+    ``vals_lo``; rows outside it (off-grid or out-of-band) read as +inf,
+    which makes every border case fall out of the generic recurrence.
+    """
+    out = np.full(hi - lo + 1, _INF)
+    if vals is not None and len(vals):
+        s = max(lo, vals_lo)
+        e = min(hi, vals_lo + len(vals) - 1)
+        if s <= e:
+            out[s - lo : e - lo + 1] = vals[s - vals_lo : e - vals_lo + 1]
+    return out
 
 
 def frechet_distance(a: Sequence[STPoint], b: Sequence[STPoint]) -> float:
@@ -14,28 +40,39 @@ def frechet_distance(a: Sequence[STPoint], b: Sequence[STPoint]) -> float:
 
     Dynamic program over the coupling matrix:
     ``D[i,j] = max(d(a_i, b_j), min(D[i-1,j], D[i,j-1], D[i-1,j-1]))``.
-    O(|a|·|b|) time, O(|b|) memory.
+    O(|a|·|b|) time, O(|a| + |b|) memory.
     """
-    if not a or not b:
+    if not len(a) or not len(b):
         raise ValueError("Fréchet distance needs non-empty trajectories")
-    ax = np.array([p.lng for p in a])
-    ay = np.array([p.lat for p in a])
-    bx = np.array([p.lng for p in b])
-    by = np.array([p.lat for p in b])
+    ax, ay = coord_arrays(a)
+    bx, by = coord_arrays(b)
+    n, m = len(ax), len(bx)
+    # Reversed b columns turn each antidiagonal into two contiguous slices.
+    bxr = bx[::-1]
+    byr = by[::-1]
 
-    # Pairwise distances row by row to keep memory at O(|b|).
-    prev = None
-    for i in range(len(a)):
-        dist_row = np.hypot(ax[i] - bx, ay[i] - by)
-        cur = np.empty(len(b))
-        if prev is None:
-            cur[0] = dist_row[0]
-            for j in range(1, len(b)):
-                cur[j] = max(cur[j - 1], dist_row[j])
+    prev: Optional[np.ndarray] = None
+    prev2: Optional[np.ndarray] = None
+    prev_lo = prev2_lo = 0
+    for k in range(n + m - 1):
+        lo = max(0, k - m + 1)
+        hi = min(k, n - 1)
+        off = m - 1 - k
+        d = np.hypot(
+            ax[lo : hi + 1] - bxr[off + lo : off + hi + 1],
+            ay[lo : hi + 1] - byr[off + lo : off + hi + 1],
+        )
+        if k == 0:
+            cur = d
         else:
-            cur[0] = max(prev[0], dist_row[0])
-            for j in range(1, len(b)):
-                reach = min(prev[j], cur[j - 1], prev[j - 1])
-                cur[j] = max(reach, dist_row[j])
-        prev = cur
+            reach = np.minimum(
+                np.minimum(
+                    diag_window(prev, prev_lo, lo - 1, hi - 1),  # D[i-1, j]
+                    diag_window(prev, prev_lo, lo, hi),          # D[i, j-1]
+                ),
+                diag_window(prev2, prev2_lo, lo - 1, hi - 1),    # D[i-1, j-1]
+            )
+            cur = np.maximum(d, reach)
+        prev2, prev2_lo = prev, prev_lo
+        prev, prev_lo = cur, lo
     return float(prev[-1])

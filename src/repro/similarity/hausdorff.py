@@ -1,4 +1,11 @@
-"""Symmetric Hausdorff distance between point sets."""
+"""Symmetric Hausdorff distance between point sets.
+
+Already a pairwise-matrix computation; the columnar refactor feeds it
+coordinate arrays straight from :class:`~repro.model.pointblock.PointBlock`
+(or a Trajectory's cached block) instead of rebuilding per-point object
+lists on every call, and chunks the matrix rows so giant inputs stay
+within a bounded working set.
+"""
 
 from __future__ import annotations
 
@@ -7,15 +14,26 @@ from typing import Sequence
 import numpy as np
 
 from repro.model.point import STPoint
+from repro.model.pointblock import coord_arrays
+
+_CHUNK_CELLS = 4_000_000
 
 
 def hausdorff_distance(a: Sequence[STPoint], b: Sequence[STPoint]) -> float:
     """max(h(A,B), h(B,A)) where h(A,B) = max_a min_b d(a, b)."""
-    if not a or not b:
+    if not len(a) or not len(b):
         raise ValueError("Hausdorff distance needs non-empty trajectories")
-    pa = np.array([[p.lng, p.lat] for p in a])
-    pb = np.array([[p.lng, p.lat] for p in b])
-    # Pairwise distance matrix; trajectories are short enough post-DP.
-    diff = pa[:, None, :] - pb[None, :, :]
-    d = np.hypot(diff[..., 0], diff[..., 1])
-    return float(max(d.min(axis=1).max(), d.min(axis=0).max()))
+    ax, ay = coord_arrays(a)
+    bx, by = coord_arrays(b)
+    n, m = len(ax), len(bx)
+    rows = max(1, _CHUNK_CELLS // m)
+    h_ab = 0.0
+    min_over_a = np.full(m, np.inf)
+    for s in range(0, n, rows):
+        d = np.hypot(
+            ax[s : s + rows, None] - bx[None, :],
+            ay[s : s + rows, None] - by[None, :],
+        )
+        h_ab = max(h_ab, float(d.min(axis=1).max()))
+        np.minimum(min_over_a, d.min(axis=0), out=min_over_a)
+    return float(max(h_ab, min_over_a.max()))

@@ -36,7 +36,7 @@ def threshold_self_join(
     aggregate = "sum" if measure == "dtw" else "max"
 
     items = sorted(trajs, key=lambda t: t.tid)
-    features = {t.tid: extract_dp_feature(t.points, eps) for t in items}
+    features = {t.tid: extract_dp_feature(t.block, eps) for t in items}
 
     # Grid bucketing: the cell side must cover both θ and the largest
     # trajectory extent, otherwise the neighbor loop below would have to
@@ -76,11 +76,11 @@ def threshold_self_join(
             b = items[j]
             if mbr_lower_bound(a.mbr, b.mbr) > threshold:
                 continue
-            if dp_lower_bound(a.points, features[b.tid], aggregate) > threshold:
+            if dp_lower_bound(a.block, features[b.tid], aggregate) > threshold:
                 continue
-            if dp_lower_bound(b.points, features[a.tid], aggregate) > threshold:
+            if dp_lower_bound(b.block, features[a.tid], aggregate) > threshold:
                 continue
-            d = distance(a.points, b.points)
+            d = distance(a.block, b.block)
             if d <= threshold:
                 results.append((a.tid, b.tid, d))
     return results

@@ -1,4 +1,12 @@
-"""Registry of similarity distance functions."""
+"""Registry of similarity distance functions.
+
+The default registry serves the vectorized antidiagonal kernels, which
+consume columnar coordinate arrays (a :class:`~repro.model.pointblock.
+PointBlock` or a Trajectory's cached block) directly and fall back to
+object sequences transparently.  The seed row-by-row kernels stay
+available under :data:`REFERENCE_DISTANCES` as the correctness oracle
+and the "before" side of the columnar benchmark.
+"""
 
 from __future__ import annotations
 
@@ -8,6 +16,11 @@ from repro.model.point import STPoint
 from repro.similarity.dtw import dtw_distance
 from repro.similarity.frechet import frechet_distance
 from repro.similarity.hausdorff import hausdorff_distance
+from repro.similarity.reference import (
+    dtw_reference,
+    frechet_reference,
+    hausdorff_reference,
+)
 
 DistanceFn = Callable[[Sequence[STPoint], Sequence[STPoint]], float]
 
@@ -17,12 +30,20 @@ DISTANCES: dict[str, DistanceFn] = {
     "hausdorff": hausdorff_distance,
 }
 
+#: Seed (pre-columnar) implementations, bit-identical to DISTANCES.
+REFERENCE_DISTANCES: dict[str, DistanceFn] = {
+    "frechet": frechet_reference,
+    "dtw": dtw_reference,
+    "hausdorff": hausdorff_reference,
+}
 
-def distance_by_name(name: str) -> DistanceFn:
+
+def distance_by_name(name: str, reference: bool = False) -> DistanceFn:
     """Look a distance function up by name; raises on unknown measures."""
+    registry = REFERENCE_DISTANCES if reference else DISTANCES
     try:
-        return DISTANCES[name]
+        return registry[name]
     except KeyError:
         raise ValueError(
-            f"unknown distance {name!r}; pick one of {sorted(DISTANCES)}"
+            f"unknown distance {name!r}; pick one of {sorted(registry)}"
         ) from None

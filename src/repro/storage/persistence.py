@@ -52,6 +52,8 @@ def save_tman(tman: TMan, directory: Union[str, Path]) -> None:
         "codec": cfg.codec,
         "dp_epsilon": cfg.dp_epsilon,
         "buffer_shape_threshold": cfg.buffer_shape_threshold,
+        "row_format_version": cfg.row_format_version,
+        "columnar_decode": cfg.columnar_decode,
         "push_down": cfg.push_down,
         "st_window_budget": cfg.st_window_budget,
         "kv_workers": cfg.kv_workers,

@@ -5,34 +5,73 @@ Figure 11 of the paper stores per row: ``oid``, ``tid``, compressed
 front-loads a fixed-size header (time range + MBR) so push-down filters can
 evaluate coarse predicates without decompressing anything, then the
 DP-features (for the spatial/similarity refinement ladder), then the
-compressed point arrays:
+compressed point arrays.
 
-    magic(1) version(1)
+Two row versions coexist on disk:
+
+v1 (legacy)::
+
+    magic(1) version(1)=1
     t_start f64  t_end f64  mbr x1 y1 x2 y2 (4 × f64)
     tr_value varint
     oid (varint len + utf8)   tid (varint len + utf8)
     features: n_reps, rep indexes (varints), reps (t,lng,lat f64 each),
               boxes (4 × f64 each, one per rep span)
     points: varint len + TrajectoryCodec blob
+
+v2 (columnar)::
+
+    magic(1) version(1)=2
+    t_start f64  t_end f64  mbr x1 y1 x2 y2 (4 × f64)
+    tr_value varint
+    oid (varint len + utf8)   tid (varint len + utf8)
+    feat_len varint           -- byte length of the feature section (O(1) skip)
+    features: n_reps varint, then 8 count-prefixed varint streams:
+              rep indexes (delta), rep t/x/y (quantized, delta+zigzag),
+              span-box x1/y1/x2/y2 (quantized outward, delta+zigzag)
+    points: varint len + configured codec blob (codec id on the wire;
+            the ``columnar`` codec is pure delta+zigzag+varint streams)
+
+v2 quantizes feature values on the same fixed-point grids as the point
+codec (rounded outward for the boxes, so they stay sound covers for both
+raw and decoded points), which drops the 56 raw float64 bytes per
+representative point that dominated v1 feature size.  Readers accept both
+versions; ``write_version`` selects what new rows get.
 """
 
 from __future__ import annotations
 
 import struct
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Union
 
-from repro.compression.traj_codec import TrajectoryCodec
+import numpy as np
+
+from repro.compression.columnar import (
+    decode_signed_stream,
+    delta_decode_array,
+    delta_encode_array,
+    encode_signed_stream,
+    varint_decode_array,
+    varint_encode_array,
+)
+from repro.compression.traj_codec import (
+    COORD_SCALE,
+    TIME_SCALE,
+    TrajectoryCodec,
+)
 from repro.compression.varint import decode_varint, encode_varint
 from repro.geometry.dp import DPFeature, extract_dp_feature
 from repro.kvstore.errors import CorruptionError
 from repro.model.mbr import MBR
 from repro.model.point import STPoint
+from repro.model.pointblock import PointBlock
 from repro.model.timerange import TimeRange
 from repro.model.trajectory import Trajectory
 
 MAGIC = 0x54  # 'T'
-VERSION = 1
+VERSION = 2
+SUPPORTED_VERSIONS = (1, 2)
 _HEADER = struct.Struct(">dddddd")  # t_start, t_end, x1, y1, x2, y2
 
 
@@ -46,6 +85,7 @@ class RowHeader:
     oid: str
     tid: str
     body_offset: int  # where the features section starts
+    version: int = VERSION
 
 
 @dataclass(frozen=True)
@@ -54,24 +94,39 @@ class StoredTrajectory:
 
     trajectory: Trajectory
     tr_value: int
-    feature: DPFeature
+    feature: Optional[DPFeature]
 
 
 class RowSerializer:
     """Encode/decode primary-table row values.
 
     ``dp_epsilon`` controls DP-feature extraction granularity, in degrees.
+    ``write_version`` picks the on-disk row format for new rows (readers
+    always understand both).  With ``columnar`` decoding, point payloads
+    come back as :class:`PointBlock` columns; the legacy object path
+    materializes ``STPoint`` lists instead.
     """
 
-    def __init__(self, codec: Optional[TrajectoryCodec] = None, dp_epsilon: float = 0.002):
+    def __init__(
+        self,
+        codec: Optional[TrajectoryCodec] = None,
+        dp_epsilon: float = 0.002,
+        write_version: int = VERSION,
+        columnar: bool = True,
+    ):
+        if write_version not in SUPPORTED_VERSIONS:
+            raise ValueError(f"unsupported row write version {write_version}")
         self.codec = codec if codec is not None else TrajectoryCodec()
         self.dp_epsilon = dp_epsilon
+        self.write_version = write_version
+        self.columnar = columnar
 
     # -- encoding ----------------------------------------------------------
 
     def encode(self, traj: Trajectory, tr_value: int) -> bytes:
         """Serialize one trajectory row."""
-        out = bytearray([MAGIC, VERSION])
+        version = self.write_version
+        out = bytearray([MAGIC, version])
         tr = traj.time_range
         m = traj.mbr
         out += _HEADER.pack(tr.start, tr.end, m.x1, m.y1, m.x2, m.y2)
@@ -81,6 +136,23 @@ class RowSerializer:
             encode_varint(len(raw), out)
             out += raw
 
+        if version == 1:
+            self._encode_feature_v1(traj, out)
+            blob = self.codec.encode_points(traj.points)
+        else:
+            feature = extract_dp_feature(traj.block, self.dp_epsilon)
+            feat = _encode_feature_v2(feature)
+            encode_varint(len(feat), out)
+            out += feat
+            # The configured codec keeps packing the point streams (its
+            # compression ratio is orthogonal to the v2 feature layout);
+            # decode_array_block reads every codec id back as columns.
+            blob = self.codec.encode_points(traj.block)
+        encode_varint(len(blob), out)
+        out += blob
+        return bytes(out)
+
+    def _encode_feature_v1(self, traj: Trajectory, out: bytearray) -> None:
         feature = extract_dp_feature(traj.points, self.dp_epsilon)
         encode_varint(len(feature.rep_points), out)
         for idx in feature.rep_indexes:
@@ -90,11 +162,6 @@ class RowSerializer:
         for box in feature.span_boxes:
             out += struct.pack(">dddd", *box.as_tuple())
 
-        blob = self.codec.encode_points(traj.points)
-        encode_varint(len(blob), out)
-        out += blob
-        return bytes(out)
-
     # -- decoding ------------------------------------------------------------
 
     @staticmethod
@@ -102,7 +169,7 @@ class RowSerializer:
         """Decode only the fixed header + ids; O(1) in trajectory length."""
         if len(buf) < 2 + _HEADER.size or buf[0] != MAGIC:
             raise CorruptionError("not a TMan row")
-        if buf[1] != VERSION:
+        if buf[1] not in SUPPORTED_VERSIONS:
             raise CorruptionError(f"unsupported row version {buf[1]}")
         t_start, t_end, x1, y1, x2, y2 = _HEADER.unpack_from(buf, 2)
         pos = 2 + _HEADER.size
@@ -114,11 +181,12 @@ class RowSerializer:
         tid = buf[pos : pos + n].decode("utf-8")
         pos += n
         return RowHeader(
-            TimeRange(t_start, t_end), MBR(x1, y1, x2, y2), tr_value, oid, tid, pos
+            TimeRange(t_start, t_end), MBR(x1, y1, x2, y2), tr_value, oid, tid,
+            pos, buf[1],
         )
 
     @staticmethod
-    def _decode_feature_at(buf: bytes, pos: int) -> tuple[DPFeature, int]:
+    def _decode_feature_at_v1(buf: bytes, pos: int) -> tuple[DPFeature, int]:
         n_reps, pos = decode_varint(buf, pos)
         indexes = []
         for _ in range(n_reps):
@@ -137,22 +205,126 @@ class RowSerializer:
         return DPFeature(tuple(reps), tuple(indexes), tuple(boxes)), pos
 
     @staticmethod
+    def _skip_feature_v1(buf: bytes, pos: int) -> int:
+        n_reps, pos = decode_varint(buf, pos)
+        for _ in range(n_reps):
+            _, pos = decode_varint(buf, pos)
+        return pos + 24 * n_reps + 32 * max(0, n_reps - 1)
+
+    @staticmethod
     def decode_feature(buf: bytes, header: Optional[RowHeader] = None) -> DPFeature:
         """Decode the DP-features without touching the points blob."""
         if header is None:
             header = RowSerializer.decode_header(buf)
-        feature, _ = RowSerializer._decode_feature_at(buf, header.body_offset)
+        if header.version == 1:
+            feature, _ = RowSerializer._decode_feature_at_v1(buf, header.body_offset)
+        else:
+            _, pos = decode_varint(buf, header.body_offset)
+            feature, _ = _decode_feature_v2(buf, pos)
         return feature
 
     def decode(self, buf: bytes) -> StoredTrajectory:
         """Fully decode a row back into a trajectory."""
         header = self.decode_header(buf)
-        feature, pos = self._decode_feature_at(buf, header.body_offset)
-        blob_len, pos = decode_varint(buf, pos)
-        points = self.codec.decode_points(buf[pos : pos + blob_len])
-        traj = Trajectory(header.oid, header.tid, points)
+        if header.version == 1:
+            feature, pos = self._decode_feature_at_v1(buf, header.body_offset)
+        else:
+            feat_len, pos = decode_varint(buf, header.body_offset)
+            feature, _ = _decode_feature_v2(buf, pos)
+            pos += feat_len
+        traj = self._decode_trajectory_at(buf, pos, header)
         return StoredTrajectory(traj, header.tr_value, feature)
 
-    def decode_points(self, buf: bytes) -> list[STPoint]:
-        """Decode just the raw point sequence (exact-filter path)."""
-        return list(self.decode(buf).trajectory.points)
+    def decode_trajectory(self, buf: bytes) -> StoredTrajectory:
+        """Decode identity + points, skipping the DP-feature section.
+
+        The row-decode hot path for range queries, which never consult
+        features after push-down.  ``feature`` is ``None`` in the result.
+        """
+        header = self.decode_header(buf)
+        if header.version == 1:
+            pos = self._skip_feature_v1(buf, header.body_offset)
+        else:
+            feat_len, pos = decode_varint(buf, header.body_offset)
+            pos += feat_len
+        traj = self._decode_trajectory_at(buf, pos, header)
+        return StoredTrajectory(traj, header.tr_value, None)
+
+    def _decode_trajectory_at(self, buf: bytes, pos: int, header: RowHeader) -> Trajectory:
+        blob_len, pos = decode_varint(buf, pos)
+        blob = buf[pos : pos + blob_len]
+        if self.columnar:
+            ts, xs, ys = self.codec.decode_array_block(blob)
+            points: Union[PointBlock, list[STPoint]] = PointBlock(
+                ts, xs, ys, validate=False
+            )
+        else:
+            points = self.codec.decode_points(blob)
+        return Trajectory(header.oid, header.tid, points)
+
+    def decode_points(self, buf: bytes) -> Union[PointBlock, list[STPoint]]:
+        """Decode just the raw point sequence (exact-filter path).
+
+        Returns a lazily-materializing :class:`PointBlock` under columnar
+        decoding, or an ``STPoint`` list on the legacy path — both behave
+        as point sequences.
+        """
+        points = self.decode_trajectory(buf).trajectory
+        if self.columnar:
+            return points.block
+        return list(points.points)
+
+
+# -- v2 feature codec ------------------------------------------------------
+
+
+def _encode_feature_v2(feature: DPFeature) -> bytes:
+    idx = np.asarray(feature.rep_indexes, dtype=np.int64)
+    rx, ry = feature.rep_arrays
+    rt = np.fromiter((p.t for p in feature.rep_points), dtype=np.float64,
+                     count=len(feature.rep_points))
+    bx1, by1, bx2, by2 = feature.box_arrays
+    out = bytearray()
+    encode_varint(len(idx), out)
+    out += varint_encode_array(delta_encode_array(idx).astype(np.uint64))
+    # reps quantized on the point grids: decoded reps == decoded points[idx]
+    out += encode_signed_stream(
+        delta_encode_array(np.rint(rt * TIME_SCALE).astype(np.int64)))
+    out += encode_signed_stream(
+        delta_encode_array(np.rint(rx * COORD_SCALE).astype(np.int64)))
+    out += encode_signed_stream(
+        delta_encode_array(np.rint(ry * COORD_SCALE).astype(np.int64)))
+    # boxes rounded outward so they keep covering raw and decoded points
+    for arr, outward in ((bx1, np.floor), (by1, np.floor),
+                         (bx2, np.ceil), (by2, np.ceil)):
+        q = outward(arr * COORD_SCALE).astype(np.int64)
+        out += encode_signed_stream(delta_encode_array(q))
+    return bytes(out)
+
+
+def _decode_feature_v2(buf: bytes, pos: int) -> tuple[DPFeature, int]:
+    n_reps, pos = decode_varint(buf, pos)
+    raw_idx, pos = varint_decode_array(buf, pos)
+    idx = delta_decode_array(raw_idx.astype(np.int64))
+    streams = []
+    for _ in range(7):
+        vals, pos = decode_signed_stream(buf, pos)
+        streams.append(delta_decode_array(vals))
+    rt = streams[0] / float(TIME_SCALE)
+    rx = streams[1] / float(COORD_SCALE)
+    ry = streams[2] / float(COORD_SCALE)
+    bx1, by1, bx2, by2 = (s / float(COORD_SCALE) for s in streams[3:7])
+    if not (len(idx) == len(rt) == len(rx) == len(ry) == n_reps):
+        raise CorruptionError("corrupt v2 feature section")
+    reps = tuple(
+        STPoint(t, x, y) for t, x, y in zip(rt.tolist(), rx.tolist(), ry.tolist())
+    )
+    boxes = tuple(
+        MBR(x1, y1, x2, y2)
+        for x1, y1, x2, y2 in zip(bx1.tolist(), by1.tolist(),
+                                  bx2.tolist(), by2.tolist())
+    )
+    feature = DPFeature(reps, tuple(int(i) for i in idx), boxes)
+    object.__setattr__(feature, "_box_arrays", (bx1, by1, bx2, by2))
+    object.__setattr__(feature, "_rep_arrays", (rx, ry))
+    return feature, pos

@@ -130,7 +130,12 @@ class TMan:
         self.st_index = STIndex(self.tr_index, self.tshape_index, config.st_window_budget)
 
         # Storage plumbing.
-        self.serializer = RowSerializer(TrajectoryCodec(config.codec), config.dp_epsilon)
+        self.serializer = RowSerializer(
+            TrajectoryCodec(config.codec),
+            config.dp_epsilon,
+            write_version=config.row_format_version,
+            columnar=config.columnar_decode,
+        )
         self.keys = RowKeyCodec(config.num_shards, config.primary_index_width)
         self.index_cache = ShapeIndexCache(redis, config.index_cache_capacity)
         self.buffer_cache = BufferShapeCache(config.buffer_shape_threshold)
@@ -392,6 +397,21 @@ class TMan:
             return self.executor.execute_count(q, deadline=deadline)
 
     # -- health ------------------------------------------------------------------
+
+    def row_format_census(self) -> dict[str, Optional[dict[int, int]]]:
+        """Trajectory row versions per table, as seen at the last compaction.
+
+        Maps table name to ``{version: row_count}`` (``None`` for tables
+        whose stores have not compacted yet).  Secondary tables store
+        primary-key pointers, not trajectory rows, so their censuses are
+        normally empty dicts once compacted.
+        """
+        tables = {PRIMARY_TABLE: self.primary_table}
+        tables.update(
+            (f"tman_sec_{name}", table)
+            for name, table in self.secondary_tables.items()
+        )
+        return {name: table.format_census() for name, table in tables.items()}
 
     def health(self) -> dict:
         """Operational snapshot: admission slots, memtable pressure, breakers.

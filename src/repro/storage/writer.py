@@ -298,7 +298,7 @@ class StorageWriter:
                 value = self._t.primary_table.get(pkey)
                 if value is None:
                     continue
-                stored = self._t.serializer.decode(value)
+                stored = self._t.serializer.decode_trajectory(value)
                 return self.delete(stored.trajectory)
         return False
 
@@ -335,7 +335,7 @@ class StorageWriter:
         # scan with recomputation (documented, used only by the update path).
         rows = []
         for key, value in self._t.primary_table.scan(Scan()):
-            stored = self._t.serializer.decode(value)
+            stored = self._t.serializer.decode_trajectory(value)
             k = self._t.tshape_index.index_trajectory(stored.trajectory)
             if k.element_code == element_code:
                 rows.append((key, value))
@@ -344,7 +344,7 @@ class StorageWriter:
     def _rewrite_row(
         self, old_key: bytes, value: bytes, element_code: int, mapping: dict[int, int]
     ) -> int:
-        stored = self._t.serializer.decode(value)
+        stored = self._t.serializer.decode_trajectory(value)
         key = self._t.tshape_index.index_trajectory(stored.trajectory)
         final = mapping.get(key.raw_shape)
         if final is None:  # pragma: no cover - mapping covers all element shapes

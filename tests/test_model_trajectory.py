@@ -1,5 +1,6 @@
 """Unit tests for Trajectory."""
 
+import numpy as np
 import pytest
 
 from repro.model import MBR, STPoint, TimeRange, Trajectory
@@ -51,7 +52,15 @@ class TestDerivedProperties:
     def test_xy_arrays_parallel(self):
         t = make([STPoint(0, 1, 2), STPoint(1, 3, 4)])
         ts, lngs, lats = t.xy_arrays()
-        assert ts == [0, 1] and lngs == [1, 3] and lats == [2, 4]
+        assert isinstance(ts, np.ndarray) and ts.dtype == np.float64
+        assert ts.tolist() == [0, 1]
+        assert lngs.tolist() == [1, 3] and lats.tolist() == [2, 4]
+
+    def test_xy_arrays_cached(self):
+        t = make([STPoint(0, 1, 2), STPoint(1, 3, 4)])
+        first = t.xy_arrays()
+        second = t.xy_arrays()
+        assert all(a is b for a, b in zip(first, second))
 
 
 class TestOperations:
