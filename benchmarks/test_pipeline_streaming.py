@@ -59,12 +59,14 @@ def _run(execute, descriptors, limit=None):
 
 
 def _measure_overhead(execute, descriptors):
-    """p50 of the same workload with metrics enabled vs disabled."""
-    was_enabled = obs.metrics_enabled()
+    """p50 of the same workload with metrics+profiling enabled vs disabled."""
+    was_metrics = obs.metrics_enabled()
+    was_profiling = obs.profiling_enabled()
     timings = {}
     try:
         for mode, enabled in (("enabled", True), ("disabled", False)):
             obs.set_metrics_enabled(enabled)
+            obs.set_profiling_enabled(enabled)
             samples = []
             for _ in range(2 if SMOKE else 5):
                 for q in descriptors:
@@ -73,10 +75,12 @@ def _measure_overhead(execute, descriptors):
                     samples.append((time.perf_counter() - t0) * 1e3)
             timings[mode] = statistics.median(samples)
     finally:
-        obs.set_metrics_enabled(was_enabled)
+        obs.set_metrics_enabled(was_metrics)
+        obs.set_profiling_enabled(was_profiling)
     return {
         "enabled_p50_ms": round(timings["enabled"], 4),
         "disabled_p50_ms": round(timings["disabled"], 4),
+        "profiling": True,
         "overhead_pct": round(
             100.0 * (timings["enabled"] / timings["disabled"] - 1.0), 2
         ),
@@ -107,11 +111,18 @@ def test_pipeline_streaming_vs_materialized(tman_tdrive, tdrive_workload):
             1 - lim["p50_candidates"] / max(1, full["p50_candidates"]), 4
         )
 
-    # Observability cost on this workload (reported, not asserted: wall
-    # times this small are noisy on shared CI runners).
-    report["obs_overhead"] = _measure_overhead(
-        tman_tdrive.temporal_range_query, spans
-    )
+    # Observability cost (metrics + per-query profiling) on this workload.
+    # Reported always; asserted only when BENCH_ASSERT_OVERHEAD=1 because
+    # wall times this small are noisy on shared CI runners — so the gated
+    # assertion re-measures up to three times before failing.
+    overhead = _measure_overhead(tman_tdrive.temporal_range_query, spans)
+    if os.environ.get("BENCH_ASSERT_OVERHEAD", "") not in ("", "0"):
+        for _ in range(2):
+            if overhead["overhead_pct"] < 5.0:
+                break
+            overhead = _measure_overhead(tman_tdrive.temporal_range_query, spans)
+        assert overhead["overhead_pct"] < 5.0, overhead
+    report["obs_overhead"] = overhead
 
     snapshot = obs.snapshot()
     assert validate_snapshot(snapshot) == []

@@ -18,6 +18,7 @@ from typing import Optional
 from repro.cache.lfu import LFUCache
 from repro.cache.redis_sim import RedisServer
 from repro.obs import counter as _obs_counter, gauge as _obs_gauge
+from repro.obs.profile import current_profile
 
 DEFAULT_LOCAL_CAPACITY = 4096
 
@@ -121,8 +122,13 @@ class ShapeIndexCache:
     def get_mapping(self, element_code: int) -> Optional[dict[int, int]]:
         """Return the element's shape mapping, loading from Redis on a miss."""
         cached = self._local.get(element_code)
+        profile = current_profile()
         if cached is not None:
+            if profile is not None:
+                profile.add(index_cache_hits=1)
             return cached
+        if profile is not None:
+            profile.add(index_cache_misses=1)
         raw = self._redis.hgetall(self._key(element_code))
         _REDIS_ROUNDTRIPS.inc()
         if not raw:

@@ -9,7 +9,19 @@ Commands:
   log, ``--deadline-ms``/``--allow-partial`` bound end-to-end execution);
 - ``info`` — show a saved deployment's configuration and statistics;
 - ``health`` — operational snapshot (admission, memtable pressure, breakers);
-- ``metrics`` — dump the process metrics registry (Prometheus text or JSON).
+- ``metrics`` — dump the process metrics registry (Prometheus text or JSON);
+- ``top`` — live text dashboard (QPS, per-type latency, cache hit rates,
+  memtable/breaker state, top queries by attributed cost); ``--once``
+  renders a single frame for CI;
+- ``stats`` — export the workload-statistics collector as
+  ``workload_stats.json`` (per query type x plan: latency percentiles,
+  selectivity histograms, period/cell heat, estimate-vs-observed ratios);
+- ``bench-report`` — aggregate ``benchmarks/results/BENCH_*.json`` into a
+  single trajectory document of headline metrics.
+
+``top`` and ``stats`` run a small probe workload against the opened
+deployment first (``--probe 0`` disables) because a freshly opened process
+has no query history of its own.
 
 CSV format: one point per line, ``oid,tid,t,lng,lat``, points of a
 trajectory contiguous and time-ordered (the format ``generate`` emits).
@@ -319,6 +331,109 @@ def cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_probe(tman: TMan, n: int) -> int:
+    """Run a small deterministic query mix to populate profiles and stats.
+
+    A freshly opened deployment has no query history; ``top`` and
+    ``stats`` would render empty frames without it.  Returns the number
+    of queries executed.
+    """
+    import random
+
+    if n <= 0:
+        return 0
+    if tman.planner.stats is None:
+        tman.rebuild_statistics()
+    stats = tman.planner.stats
+    if stats is None:
+        return 0
+    span, region = stats.time_span, stats.dense_region
+    rng = random.Random(1234)
+    duration = max(span.duration, 1.0)
+    oid = None
+    ran = 0
+    for i in range(n):
+        t0 = span.start + rng.random() * duration * 0.8
+        tr = TimeRange(t0, t0 + duration * 0.2)
+        wx = region.x1 + rng.random() * (region.x2 - region.x1) * 0.6
+        wy = region.y1 + rng.random() * (region.y2 - region.y1) * 0.6
+        window = MBR(
+            wx, wy,
+            wx + (region.x2 - region.x1) * 0.4,
+            wy + (region.y2 - region.y1) * 0.4,
+        )
+        kind = i % 4
+        if kind == 0:
+            result = tman.query(TemporalRangeQuery(tr))
+        elif kind == 1:
+            result = tman.query(SpatialRangeQuery(window))
+        elif kind == 2:
+            result = tman.query(STRangeQuery(window, tr))
+        elif oid is not None:
+            result = tman.query(IDTemporalQuery(oid, tr))
+        else:
+            result = tman.query(TemporalRangeQuery(tr))
+        if oid is None and result.trajectories:
+            oid = result.trajectories[0].oid
+        ran += 1
+    return ran
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    """``top``: live dashboard over a saved deployment."""
+    import time
+
+    from repro.obs.dashboard import dashboard_frame
+
+    with open_tman(args.deployment) as tman:
+        _run_probe(tman, args.probe)
+        if args.once:
+            text, _ = dashboard_frame(tman, top_n=args.top)
+            print(text)
+            return 0
+        prev = None
+        try:
+            while True:
+                text, prev = dashboard_frame(
+                    tman,
+                    prev_snapshot=prev,
+                    interval_s=args.interval,
+                    top_n=args.top,
+                )
+                # Clear screen + home, like top(1).
+                print("\x1b[2J\x1b[H" + text, flush=True)
+                time.sleep(args.interval)
+        except KeyboardInterrupt:
+            return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    """``stats``: export workload statistics as JSON."""
+    with open_tman(args.deployment) as tman:
+        _run_probe(tman, args.probe)
+        doc = obs.workload_stats().snapshot()
+    text = json.dumps(doc, indent=2, sort_keys=True) + "\n"
+    if args.out:
+        Path(args.out).write_text(text)
+        print(f"wrote workload stats ({doc['total_queries']} queries) to {args.out}")
+    else:
+        print(text, end="")
+    return 0
+
+
+def cmd_bench_report(args: argparse.Namespace) -> int:
+    """``bench-report``: aggregate benchmark result JSONs."""
+    from repro.bench.trajectory import aggregate_results, render_report
+
+    doc = aggregate_results(Path(args.results_dir))
+    if args.out:
+        Path(args.out).write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {len(doc['benchmarks'])} benchmark summaries to {args.out}")
+    else:
+        print(render_report(doc))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse CLI definition."""
     parser = argparse.ArgumentParser(
@@ -408,6 +523,46 @@ def build_parser() -> argparse.ArgumentParser:
     )
     m.add_argument("--out", help="write to a file instead of stdout")
     m.set_defaults(fn=cmd_metrics)
+
+    t = sub.add_parser("top", help="live dashboard over a saved deployment")
+    t.add_argument("deployment")
+    t.add_argument(
+        "--once", action="store_true", help="render one frame and exit (CI mode)"
+    )
+    t.add_argument(
+        "--interval", type=float, default=2.0, help="refresh interval in seconds"
+    )
+    t.add_argument("--top", type=int, default=5, help="queries to rank by cost")
+    t.add_argument(
+        "--probe",
+        type=int,
+        default=12,
+        help="probe queries to run first so the frame has data (0 disables)",
+    )
+    t.set_defaults(fn=cmd_top)
+
+    s = sub.add_parser("stats", help="export workload statistics as JSON")
+    s.add_argument("deployment")
+    s.add_argument("--out", help="write to a file instead of stdout")
+    s.add_argument(
+        "--probe",
+        type=int,
+        default=12,
+        help="probe queries to run first so the export has data (0 disables)",
+    )
+    s.set_defaults(fn=cmd_stats)
+
+    b = sub.add_parser(
+        "bench-report", help="aggregate BENCH_*.json into one trajectory report"
+    )
+    b.add_argument(
+        "results_dir",
+        nargs="?",
+        default="benchmarks/results",
+        help="directory holding BENCH_*.json files",
+    )
+    b.add_argument("--out", help="write BENCH_trajectory.json here")
+    b.set_defaults(fn=cmd_bench_report)
     return parser
 
 

@@ -25,6 +25,7 @@ from dataclasses import dataclass
 from typing import Callable, Optional
 
 from repro.obs import counter as _obs_counter, gauge as _obs_gauge
+from repro.obs.profile import current_profile
 
 DEFAULT_BLOCK_BYTES = 4096
 
@@ -126,9 +127,15 @@ class BlockCache:
                 self._hits += 1
                 self._blocks.move_to_end(key)
                 _HITS.inc()
+                profile = current_profile()
+                if profile is not None:
+                    profile.add(block_cache_hits=1)
                 return block
             self._misses += 1
         _MISSES.inc()
+        profile = current_profile()
+        if profile is not None:
+            profile.add(block_cache_misses=1)
         block = loader(block_index)
         if self.capacity_bytes and len(block) <= self.capacity_bytes:
             with self._lock:

@@ -28,6 +28,7 @@ from typing import Callable, Optional, TypeVar
 
 from repro.kvstore.errors import RetryExhaustedError, TransientError
 from repro.obs import counter as _obs_counter, gauge as _obs_gauge
+from repro.obs.profile import current_profile
 from repro.runtime.deadline import Deadline, QueryTimeoutError
 
 T = TypeVar("T")
@@ -231,6 +232,9 @@ class AttemptTracker:
             _RETRY_TOTAL.labels(
                 op=self._op, capped="yes" if capped else "no"
             ).inc()
+        profile = current_profile()
+        if profile is not None:
+            profile.add(retries=1, retry_backoff_ms=delay_ms)
         if delay_ms > 0:
             policy.sleep(delay_ms / 1000.0)
 

@@ -29,11 +29,13 @@ import itertools
 import logging
 import threading
 from collections import deque
+from time import perf_counter
 from typing import Callable, Iterable, Iterator, Optional, TypeVar
 
 from concurrent.futures import Future, ThreadPoolExecutor
 
 from repro.obs import counter as _obs_counter
+from repro.obs.profile import current_profile, run_with_profile
 from repro.runtime.deadline import Deadline
 
 _log = logging.getLogger(__name__)
@@ -94,6 +96,9 @@ class ChunkedStream:
         self._executor = executor
         self._gen = gen
         self._batch = batch
+        # Context vars don't cross pool submits: capture the constructing
+        # (query) thread's profile and re-activate it on every worker.
+        self._profile = current_profile()
         self._next_size = min(initial, batch) if initial else batch
         self._on_chunk = on_chunk
         self._deadline = deadline
@@ -133,7 +138,9 @@ class ChunkedStream:
             self._submitting = True
             self._pending_size = self._next_size
             self._next_size = min(self._next_size * CHUNK_GROWTH, self._batch)
-        future = self._executor.submit(next_chunk, self._gen, self._pending_size)
+        future = self._executor.submit(
+            run_with_profile, self._profile, next_chunk, self._gen, self._pending_size
+        )
         with self._ready:
             self._pending = future
             self._submitting = False
@@ -164,43 +171,52 @@ class ChunkedStream:
 
     def __iter__(self) -> Iterator[T]:
         deadline = self._deadline
-        while True:
-            self._maybe_submit()
-            with self._ready:
-                while (
-                    not self._chunks
-                    and self._error is None
-                    and not self._closed
-                    and (self._pending is not None or self._submitting)
-                ):
-                    if deadline is not None:
-                        remaining = deadline.remaining_s()
-                        if remaining <= 0:
-                            break
-                        self._ready.wait(remaining)
-                    else:
-                        self._ready.wait()
-                if self._error is not None:
-                    raise self._error
-                if self._closed:
-                    # Closed from another thread (or a previous partial
-                    # iteration): the stream is over, never spin on it.
-                    return
-                if not self._chunks:
-                    if self._exhausted:
+        profile = self._profile
+        stall_s = 0.0  # consumer time blocked on prefetch, flushed once
+        try:
+            while True:
+                self._maybe_submit()
+                with self._ready:
+                    while (
+                        not self._chunks
+                        and self._error is None
+                        and not self._closed
+                        and (self._pending is not None or self._submitting)
+                    ):
+                        waited_from = perf_counter() if profile is not None else 0.0
+                        if deadline is not None:
+                            remaining = deadline.remaining_s()
+                            if remaining <= 0:
+                                break
+                            self._ready.wait(remaining)
+                        else:
+                            self._ready.wait()
+                        if profile is not None:
+                            stall_s += perf_counter() - waited_from
+                    if self._error is not None:
+                        raise self._error
+                    if self._closed:
+                        # Closed from another thread (or a previous partial
+                        # iteration): the stream is over, never spin on it.
                         return
-                    if deadline is not None:
-                        # Nothing buffered and submissions stopped (or the
-                        # in-flight wait ran out of budget): surface expiry
-                        # here rather than spinning on a starved stream.
-                        deadline.check("scheduler.chunked_stream")
-                    continue  # nothing in flight and not done: resubmit
-                chunk = self._chunks.popleft()
-                self._buffered -= len(chunk)
-            self._maybe_submit()
-            if self._on_chunk is not None:
-                self._on_chunk()
-            yield from chunk
+                    if not self._chunks:
+                        if self._exhausted:
+                            return
+                        if deadline is not None:
+                            # Nothing buffered and submissions stopped (or the
+                            # in-flight wait ran out of budget): surface expiry
+                            # here rather than spinning on a starved stream.
+                            deadline.check("scheduler.chunked_stream")
+                        continue  # nothing in flight and not done: resubmit
+                    chunk = self._chunks.popleft()
+                    self._buffered -= len(chunk)
+                self._maybe_submit()
+                if self._on_chunk is not None:
+                    self._on_chunk()
+                yield from chunk
+        finally:
+            if profile is not None and stall_s > 0.0:
+                profile.add(stall_ms=stall_s * 1000.0)
 
     def close(self) -> None:
         """Cancel (or await) the in-flight chunk and close the generator.

@@ -30,6 +30,8 @@ from __future__ import annotations
 import threading
 from dataclasses import dataclass, fields
 
+from repro.obs.profile import current_profile as _current_profile
+
 
 @dataclass
 class StatsSnapshot:
@@ -61,10 +63,19 @@ class IOStats:
         self._snap = StatsSnapshot()
 
     def add(self, **deltas: int) -> None:
-        """Increment counters, e.g. ``stats.add(rows_scanned=1)``."""
+        """Increment counters, e.g. ``stats.add(rows_scanned=1)``.
+
+        When a query profile is active on the calling thread the same
+        deltas are attributed to it, so per-query totals reconcile exactly
+        with snapshot deltas.  Background threads (flusher, compactor)
+        carry no profile and skip the second step.
+        """
         with self._lock:
             for name, delta in deltas.items():
                 setattr(self._snap, name, getattr(self._snap, name) + delta)
+        profile = _current_profile()
+        if profile is not None:
+            profile.add_io(deltas)
 
     def snapshot(self) -> StatsSnapshot:
         """Return a copy of the current counters."""

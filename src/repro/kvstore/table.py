@@ -21,6 +21,7 @@ from repro.kvstore.scheduler import (
 )
 from repro.kvstore.stats import IOStats
 from repro.obs import counter as _obs_counter
+from repro.obs.profile import current_profile, run_with_profile
 from repro.runtime.backpressure import WriteLimits
 from repro.runtime.deadline import Deadline
 
@@ -486,8 +487,13 @@ class Table:
                 for i, value in zip(idxs, values):
                     out[i] = value
             return out
+        # Context vars don't cross pool submits: hand the active query
+        # profile to every region batch so its gets stay attributed.
+        profile = current_profile()
         futures = [
             self._executor.submit(
+                run_with_profile,
+                profile,
                 _get_batch,
                 self._regions[ridx],
                 [keys[i] for i in idxs],

@@ -24,7 +24,21 @@ from repro.obs.metrics import (
     MetricError,
     MetricsRegistry,
 )
+from repro.obs.profile import (
+    ProfileLog,
+    QueryProfile,
+    current_profile,
+    profile_scope,
+    profiling_enabled,
+    run_with_profile,
+    set_profiling_enabled,
+)
 from repro.obs.slowlog import SlowQueryEntry, SlowQueryLog
+from repro.obs.stats import (
+    WORKLOAD_STATS_SCHEMA,
+    WorkloadStatsCollector,
+    validate_workload_stats,
+)
 from repro.obs.tracing import SpanRecord, Tracer, spans_from_export
 
 __all__ = [
@@ -52,11 +66,25 @@ __all__ = [
     "metrics_enabled",
     "set_slow_query_ms",
     "reset_all",
+    "QueryProfile",
+    "ProfileLog",
+    "current_profile",
+    "profile_scope",
+    "run_with_profile",
+    "set_profiling_enabled",
+    "profiling_enabled",
+    "profile_log",
+    "WorkloadStatsCollector",
+    "WORKLOAD_STATS_SCHEMA",
+    "validate_workload_stats",
+    "workload_stats",
 ]
 
 REGISTRY = MetricsRegistry()
 TRACER = Tracer()
 SLOW_QUERY_LOG = SlowQueryLog()
+PROFILE_LOG = ProfileLog()
+WORKLOAD_STATS = WorkloadStatsCollector()
 
 
 def registry() -> MetricsRegistry:
@@ -72,6 +100,16 @@ def tracer() -> Tracer:
 def slow_query_log() -> SlowQueryLog:
     """The process-wide slow-query log."""
     return SLOW_QUERY_LOG
+
+
+def profile_log() -> ProfileLog:
+    """The process-wide ring of recently finished query profiles."""
+    return PROFILE_LOG
+
+
+def workload_stats() -> WorkloadStatsCollector:
+    """The process-wide workload statistics collector."""
+    return WORKLOAD_STATS
 
 
 def counter(name: str, help: str = "", labelnames=()) -> CounterFamily:
@@ -115,3 +153,5 @@ def reset_all() -> None:
     REGISTRY.reset()
     TRACER.clear()
     SLOW_QUERY_LOG.clear()
+    PROFILE_LOG.clear()
+    WORKLOAD_STATS.clear()

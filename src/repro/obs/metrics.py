@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import math
 import threading
+import warnings
 from typing import Callable, Iterable, Optional, Sequence
 
 DEFAULT_GROWTH = 2.0 ** 0.25
@@ -31,6 +32,12 @@ DEFAULT_BASE = 1e-3  # smallest bucket bound (e.g. one microsecond, in ms)
 
 SNAPSHOT_SCHEMA = "repro.obs.metrics/v1"
 HISTOGRAM_QUANTILES = (50.0, 90.0, 95.0, 99.0)
+
+# Per-family ceiling on distinct label combinations; past it, new
+# combinations collapse into one overflow series instead of growing the
+# registry without bound (think per-region labels under scale-out).
+DEFAULT_MAX_LABEL_SERIES = 128
+OVERFLOW_LABEL = "__overflow__"
 
 
 class MetricError(ValueError):
@@ -140,7 +147,7 @@ class HistogramChild(_Child):
     """Log-bucketed distribution with O(log range) sparse buckets."""
 
     __slots__ = ("_base", "_log_growth", "_growth", "_buckets", "_count",
-                 "_sum", "_min", "_max")
+                 "_sum", "_min", "_max", "_exemplars")
 
     def __init__(self, registry, lock, base: float, growth: float):
         super().__init__(registry, lock)
@@ -152,6 +159,9 @@ class HistogramChild(_Child):
         self._sum = 0.0
         self._min = math.inf
         self._max = -math.inf
+        # Per-bucket (value, exemplar) of the slowest sample that carried
+        # an exemplar id — bounded by the touched-bucket count.
+        self._exemplars: dict[int, tuple[float, str]] = {}
 
     def _bucket_index(self, value: float) -> int:
         if value <= self._base:
@@ -162,8 +172,13 @@ class HistogramChild(_Child):
         """Inclusive upper bound of bucket ``index``."""
         return self._base * self._growth ** index
 
-    def observe(self, value: float) -> None:
-        """Record one sample (negative values clamp to zero)."""
+    def observe(self, value: float, exemplar: Optional[str] = None) -> None:
+        """Record one sample (negative values clamp to zero).
+
+        ``exemplar`` tags the sample with a trace/query id; each bucket
+        remembers the slowest exemplar-carrying sample it received, so a
+        latency spike can be chased back to the query that caused it.
+        """
         if not self._registry._enabled:
             return
         value = float(value)
@@ -178,6 +193,10 @@ class HistogramChild(_Child):
                 self._min = value
             if value > self._max:
                 self._max = value
+            if exemplar is not None:
+                prev = self._exemplars.get(idx)
+                if prev is None or value >= prev[0]:
+                    self._exemplars[idx] = (value, exemplar)
 
     @property
     def count(self) -> int:
@@ -214,6 +233,15 @@ class HistogramChild(_Child):
         self._sum = 0.0
         self._min = math.inf
         self._max = -math.inf
+        self._exemplars.clear()
+
+    def exemplars(self) -> list[tuple[float, float, str]]:
+        """Per-bucket ``(bound, value, exemplar)`` of the slowest samples."""
+        with self._lock:
+            return [
+                (self.bucket_bound(idx), value, exemplar)
+                for idx, (value, exemplar) in sorted(self._exemplars.items())
+            ]
 
     def _sample(self) -> dict:
         with self._lock:
@@ -227,6 +255,11 @@ class HistogramChild(_Child):
                     for idx in sorted(self._buckets)
                 ],
             }
+            if self._exemplars:
+                out["exemplars"] = [
+                    [round(self.bucket_bound(idx), 9), round(value, 6), exemplar]
+                    for idx, (value, exemplar) in sorted(self._exemplars.items())
+                ]
         for q in HISTOGRAM_QUANTILES:
             key = f"p{q:g}"
             out[key] = round(self.percentile(q), 6) if out["count"] else None
@@ -258,6 +291,7 @@ class MetricFamily:
         self._lock = threading.Lock()
         self._child_kwargs = child_kwargs
         self._children: dict[tuple, _Child] = {}
+        self._overflowed = False
         if not self.labelnames:
             self._default = self._make_child()
             self._children[()] = self._default
@@ -266,15 +300,37 @@ class MetricFamily:
         return self._child_cls(self._registry, self._lock, **self._child_kwargs)
 
     def labels(self, **labels) -> _Child:
-        """The child series for one label-value combination (get-or-create)."""
+        """The child series for one label-value combination (get-or-create).
+
+        Past the registry's ``max_label_series`` cap, new combinations
+        collapse into a single ``__overflow__`` series (with a one-time
+        warning) so unbounded label values can't grow the registry forever.
+        """
         key = _check_labels(self.labelnames, labels)
         child = self._children.get(key)
         if child is None:
             with self._lock:
                 child = self._children.get(key)
                 if child is None:
-                    child = self._make_child()
-                    self._children[key] = child
+                    if len(self._children) >= self._registry.max_label_series:
+                        if not self._overflowed:
+                            self._overflowed = True
+                            warnings.warn(
+                                f"metric {self.name!r} exceeded "
+                                f"{self._registry.max_label_series} label "
+                                "combinations; further combinations collapse "
+                                f"into {OVERFLOW_LABEL!r}",
+                                RuntimeWarning,
+                                stacklevel=2,
+                            )
+                        key = (OVERFLOW_LABEL,) * len(self.labelnames)
+                        child = self._children.get(key)
+                        if child is None:
+                            child = self._make_child()
+                            self._children[key] = child
+                    else:
+                        child = self._make_child()
+                        self._children[key] = child
         return child
 
     @property
@@ -346,9 +402,9 @@ class HistogramFamily(MetricFamily):
     kind = "histogram"
     _child_cls = HistogramChild
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, exemplar: Optional[str] = None) -> None:
         """Observe into the unlabeled series."""
-        self._default.observe(value)
+        self._default.observe(value, exemplar=exemplar)
 
     def percentile(self, pct: float) -> float:
         """Quantile of the unlabeled series."""
@@ -369,10 +425,15 @@ class MetricsRegistry:
     or with different label names raises.
     """
 
-    def __init__(self, enabled: bool = True):
+    def __init__(
+        self,
+        enabled: bool = True,
+        max_label_series: int = DEFAULT_MAX_LABEL_SERIES,
+    ):
         self._enabled = enabled
         self._lock = threading.Lock()
         self._families: dict[str, MetricFamily] = {}
+        self._max_label_series = max_label_series
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -380,6 +441,17 @@ class MetricsRegistry:
     def enabled(self) -> bool:
         """Whether writes are being recorded."""
         return self._enabled
+
+    @property
+    def max_label_series(self) -> int:
+        """Per-family cap on distinct label combinations."""
+        return self._max_label_series
+
+    def set_max_label_series(self, cap: int) -> None:
+        """Adjust the per-family label-cardinality cap."""
+        if cap < 1:
+            raise MetricError(f"max_label_series must be positive, got {cap}")
+        self._max_label_series = cap
 
     def set_enabled(self, enabled: bool) -> None:
         """Toggle recording; existing values are kept either way."""
@@ -408,6 +480,15 @@ class MetricsRegistry:
             family = cls(self, name, help, labelnames, **kwargs)
             self._families[name] = family
             return family
+
+    def unregister(self, name: str) -> bool:
+        """Drop a family from the registry (e.g. a test-only metric).
+
+        Handles already held by callers keep working but are no longer
+        exported.  Returns whether the name was registered.
+        """
+        with self._lock:
+            return self._families.pop(name, None) is not None
 
     def counter(
         self, name: str, help: str = "", labelnames: Sequence[str] = ()

@@ -1,0 +1,280 @@
+"""Per-query resource attribution.
+
+A :class:`QueryProfile` is a thread-safe accumulator that attributes I/O,
+cache, decode, similarity-kernel, retry, admission, and stall costs to one
+individual query — the per-query complement of the process-wide
+:class:`~repro.obs.metrics.MetricsRegistry`.  The active profile travels
+with the query through a :class:`contextvars.ContextVar`:
+
+- the executor (or ``TMan.query``) installs a profile for the duration of
+  the query via :func:`profile_scope`;
+- deep layers (region scans, block cache, retry backoff, ...) look the
+  current profile up with :func:`current_profile` and attribute into it —
+  a single ``ContextVar.get`` when profiling is off;
+- thread pools do **not** propagate context vars, so the scan scheduler
+  and ``Table.multi_get`` capture the submitting thread's profile and
+  re-activate it on the worker via :func:`run_with_profile`.
+
+The I/O counters use the same field names as
+:class:`repro.kvstore.stats.StatsSnapshot` and are fed from the single
+``IOStats.add`` chokepoint, so a query's attributed totals reconcile
+exactly with the process-wide snapshot deltas when queries run serially.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from collections import deque
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Callable, Iterator, Optional
+
+_PROFILE: ContextVar[Optional["QueryProfile"]] = ContextVar(
+    "repro_query_profile", default=None
+)
+
+_PROFILING_ENABLED = True
+
+_QUERY_IDS = itertools.count(1)
+
+# Counter fields mirroring StatsSnapshot (fed from IOStats.add).
+IO_FIELDS = (
+    "rows_scanned",
+    "rows_returned",
+    "range_scans",
+    "bytes_transferred",
+    "block_reads",
+    "filter_evals",
+    "bloom_rejects",
+    "point_gets",
+)
+
+# Attribution beyond raw storage I/O.
+EXTRA_COUNT_FIELDS = (
+    "block_cache_hits",
+    "block_cache_misses",
+    "index_cache_hits",
+    "index_cache_misses",
+    "decode_rows",
+    "similarity_rows",
+    "retries",
+)
+
+TIME_FIELDS = (
+    "decode_ms",
+    "similarity_ms",
+    "retry_backoff_ms",
+    "admission_wait_ms",
+    "stall_ms",
+)
+
+_ALL_FIELDS = IO_FIELDS + EXTRA_COUNT_FIELDS + TIME_FIELDS
+
+
+def set_profiling_enabled(enabled: bool) -> None:
+    """Toggle per-query profiling (on by default).
+
+    When off, ``TMan.query`` / the executor stop installing profiles, so
+    every attribution site degrades to one ``ContextVar.get`` returning
+    ``None``.
+    """
+    global _PROFILING_ENABLED
+    _PROFILING_ENABLED = bool(enabled)
+
+
+def profiling_enabled() -> bool:
+    """Whether new queries get a :class:`QueryProfile` attached."""
+    return _PROFILING_ENABLED
+
+
+def current_profile() -> Optional["QueryProfile"]:
+    """The profile of the query running on this thread, or ``None``."""
+    return _PROFILE.get()
+
+
+@contextmanager
+def profile_scope(profile: Optional["QueryProfile"]) -> Iterator[Optional["QueryProfile"]]:
+    """Install ``profile`` as the current profile for the ``with`` body."""
+    token = _PROFILE.set(profile)
+    try:
+        yield profile
+    finally:
+        _PROFILE.reset(token)
+
+
+def run_with_profile(profile: Optional["QueryProfile"], fn: Callable, *args, **kwargs):
+    """Call ``fn`` with ``profile`` active — the worker-thread handoff.
+
+    ``ThreadPoolExecutor.submit`` does not propagate context vars, so pool
+    entry points capture ``current_profile()`` at submit time and wrap the
+    task in this helper.
+    """
+    if profile is None:
+        return fn(*args, **kwargs)
+    token = _PROFILE.set(profile)
+    try:
+        return fn(*args, **kwargs)
+    finally:
+        _PROFILE.reset(token)
+
+
+class QueryProfile:
+    """Resource accounting for one query, shared across its worker threads.
+
+    Counter semantics:
+
+    - ``rows_scanned`` .. ``point_gets`` mirror
+      :class:`~repro.kvstore.stats.StatsSnapshot` — rows/bytes/blocks the
+      storage layer touched on this query's behalf (including from scan-
+      scheduler worker threads);
+    - ``block_cache_hits/misses`` and ``index_cache_hits/misses`` split
+      block and shape-index lookups;
+    - ``decode_rows``/``decode_ms`` cover row → trajectory decoding,
+      ``similarity_rows``/``similarity_ms`` the exact distance kernels;
+    - ``retries``/``retry_backoff_ms`` are transient-failure recovery cost,
+      ``admission_wait_ms`` time queued before execution, and ``stall_ms``
+      consumer time blocked waiting on scan-scheduler prefetch.
+    """
+
+    __slots__ = ("query_id", "query_type", "plan", "elapsed_ms", "partial",
+                 "_lock") + tuple(_ALL_FIELDS)
+
+    def __init__(self, query_type: str = "", plan: str = ""):
+        self.query_id = f"q{next(_QUERY_IDS):06d}"
+        self.query_type = query_type
+        self.plan = plan
+        self.elapsed_ms = 0.0
+        self.partial = False
+        self._lock = threading.Lock()
+        for name in _ALL_FIELDS:
+            setattr(self, name, 0 if name not in TIME_FIELDS else 0.0)
+
+    # -- attribution (any thread) --------------------------------------------
+
+    def add(self, **deltas) -> None:
+        """Accumulate attributed cost, e.g. ``profile.add(decode_rows=8)``.
+
+        Unknown fields raise ``AttributeError`` — attribution sites and the
+        profile schema must agree.
+        """
+        with self._lock:
+            for name, delta in deltas.items():
+                setattr(self, name, getattr(self, name) + delta)
+
+    def add_io(self, deltas: dict) -> None:
+        """Accumulate an ``IOStats.add`` delta dict (hot path)."""
+        with self._lock:
+            for name, delta in deltas.items():
+                setattr(self, name, getattr(self, name) + delta)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def finish(
+        self,
+        elapsed_ms: float,
+        query_type: str = "",
+        plan: str = "",
+        partial: bool = False,
+    ) -> "QueryProfile":
+        """Stamp identity + wall time once the query completes."""
+        self.elapsed_ms = elapsed_ms
+        if query_type:
+            self.query_type = query_type
+        if plan:
+            self.plan = plan
+        self.partial = partial
+        return self
+
+    # -- read side -----------------------------------------------------------
+
+    @property
+    def windows(self) -> int:
+        """Contiguous key ranges opened (alias of ``range_scans``)."""
+        return self.range_scans
+
+    @property
+    def bytes_scanned(self) -> int:
+        """Payload bytes shipped (alias of ``bytes_transferred``)."""
+        return self.bytes_transferred
+
+    @property
+    def attributed_ms(self) -> float:
+        """Sum of the attributed time components (not wall time)."""
+        return (self.decode_ms + self.similarity_ms + self.retry_backoff_ms
+                + self.admission_wait_ms + self.stall_ms)
+
+    def as_dict(self) -> dict:
+        """JSON-friendly dump of every attributed counter."""
+        with self._lock:
+            out = {
+                "query_id": self.query_id,
+                "query_type": self.query_type,
+                "plan": self.plan,
+                "elapsed_ms": round(self.elapsed_ms, 4),
+                "partial": self.partial,
+            }
+            for name in _ALL_FIELDS:
+                value = getattr(self, name)
+                out[name] = round(value, 4) if name in TIME_FIELDS else value
+        return out
+
+    def summary(self) -> str:
+        """Compact one-line rendering (trace annotations, slow-query log)."""
+        parts = [
+            f"id={self.query_id}",
+            f"rows={self.rows_scanned}/{self.rows_returned}",
+            f"bytes={self.bytes_transferred}",
+            f"windows={self.range_scans}",
+            f"blocks={self.block_reads}",
+            f"bcache={self.block_cache_hits}h/{self.block_cache_misses}m",
+            f"icache={self.index_cache_hits}h/{self.index_cache_misses}m",
+            f"decode={self.decode_ms:.2f}ms/{self.decode_rows}",
+            f"sim={self.similarity_ms:.2f}ms",
+        ]
+        if self.retries:
+            parts.append(f"retries={self.retries}({self.retry_backoff_ms:.1f}ms)")
+        if self.admission_wait_ms:
+            parts.append(f"adm_wait={self.admission_wait_ms:.1f}ms")
+        if self.stall_ms:
+            parts.append(f"stall={self.stall_ms:.1f}ms")
+        return " ".join(parts)
+
+    def __repr__(self) -> str:
+        return (f"QueryProfile({self.query_id} {self.query_type or '?'} "
+                f"rows={self.rows_scanned} elapsed={self.elapsed_ms:.2f}ms)")
+
+
+class ProfileLog:
+    """Bounded ring of recently finished profiles (the ``repro top`` feed)."""
+
+    DEFAULT_CAPACITY = 256
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+        self._lock = threading.Lock()
+        self._entries: deque[QueryProfile] = deque(maxlen=capacity)
+
+    def record(self, profile: QueryProfile) -> None:
+        """Append a finished profile."""
+        with self._lock:
+            self._entries.append(profile)
+
+    def entries(self) -> list[QueryProfile]:
+        """Newest-last copy of the ring."""
+        with self._lock:
+            return list(self._entries)
+
+    def top(self, n: int = 5) -> list[QueryProfile]:
+        """The ``n`` most expensive recent queries by wall time."""
+        with self._lock:
+            ranked = sorted(self._entries, key=lambda p: p.elapsed_ms, reverse=True)
+        return ranked[:n]
+
+    def clear(self) -> None:
+        """Drop every entry."""
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)

@@ -28,6 +28,7 @@ class SlowQueryEntry:
     transferred_rows: int
     trace: str
     wall_time: float = field(default_factory=time.time)
+    profile: Optional[dict] = None
 
     def render(self) -> str:
         """Multi-line human-readable rendering."""
@@ -35,11 +36,14 @@ class SlowQueryEntry:
             f"[slow-query +{self.elapsed_ms:.1f} ms] plan={self.plan} "
             f"candidates={self.candidates} transferred={self.transferred_rows}"
         )
-        return "\n".join([head, f"  {self.query}", self.trace])
+        lines = [head, f"  {self.query}", self.trace]
+        if self.profile is not None:
+            lines.append(f"  profile: {self.profile}")
+        return "\n".join(lines)
 
     def as_dict(self) -> dict:
         """JSON-ready rendering."""
-        return {
+        out = {
             "query": self.query,
             "plan": self.plan,
             "elapsed_ms": round(self.elapsed_ms, 3),
@@ -48,6 +52,9 @@ class SlowQueryEntry:
             "trace": self.trace,
             "wall_time": self.wall_time,
         }
+        if self.profile is not None:
+            out["profile"] = self.profile
+        return out
 
 
 class SlowQueryLog:
@@ -78,6 +85,7 @@ class SlowQueryLog:
         candidates: int = 0,
         transferred_rows: int = 0,
         trace: str = "",
+        profile: Optional[dict] = None,
     ) -> bool:
         """Record the query when it crosses the threshold; returns whether it did."""
         threshold = self.threshold_ms
@@ -90,6 +98,7 @@ class SlowQueryLog:
             candidates=candidates,
             transferred_rows=transferred_rows,
             trace=trace,
+            profile=profile,
         )
         with self._lock:
             if len(self._entries) == self._entries.maxlen:

@@ -1,9 +1,12 @@
-"""CLI schema check for exported metrics snapshots.
+"""CLI schema check for exported observability documents.
 
 ``python -m repro.obs.validate FILE [FILE...]`` exits non-zero when any
 file fails :func:`repro.obs.export.validate_snapshot` — CI runs this
 against the snapshot the streaming benchmark emits, so exporter drift
-breaks the build instead of dashboards.
+breaks the build instead of dashboards.  With ``--stats`` the files are
+checked against the workload-statistics schema
+(:func:`repro.obs.stats.validate_workload_stats`) instead, covering the
+``repro stats`` export the same way.
 """
 
 from __future__ import annotations
@@ -12,14 +15,22 @@ import json
 import sys
 
 from repro.obs.export import validate_snapshot
+from repro.obs.stats import validate_workload_stats
 
 
 def main(argv: list[str] | None = None) -> int:
-    """Validate each snapshot file; returns the process exit code."""
-    paths = sys.argv[1:] if argv is None else argv
+    """Validate each document file; returns the process exit code."""
+    paths = list(sys.argv[1:] if argv is None else argv)
+    stats_mode = "--stats" in paths
+    if stats_mode:
+        paths = [p for p in paths if p != "--stats"]
     if not paths:
-        print("usage: python -m repro.obs.validate SNAPSHOT.json [...]", file=sys.stderr)
+        print(
+            "usage: python -m repro.obs.validate [--stats] FILE.json [...]",
+            file=sys.stderr,
+        )
         return 2
+    validate = validate_workload_stats if stats_mode else validate_snapshot
     failed = False
     for path in paths:
         try:
@@ -29,11 +40,17 @@ def main(argv: list[str] | None = None) -> int:
             print(f"{path}: unreadable ({exc})", file=sys.stderr)
             failed = True
             continue
-        errors = validate_snapshot(doc)
+        errors = validate(doc)
         if errors:
             failed = True
             for error in errors:
                 print(f"{path}: {error}", file=sys.stderr)
+        elif stats_mode:
+            groups = len(doc.get("groups", []))
+            print(
+                f"{path}: schema-valid ({groups} workload groups, "
+                f"{doc.get('total_queries', 0)} queries)"
+            )
         else:
             metric_count = len(doc.get("metrics", []))
             print(f"{path}: schema-valid ({metric_count} metrics)")

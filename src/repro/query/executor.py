@@ -13,6 +13,7 @@ rows-in/rows-out/bytes/time, alongside the paper's candidate counts.
 from __future__ import annotations
 
 import time
+from contextlib import nullcontext
 from typing import TYPE_CHECKING, Optional, Union
 
 from repro.kvstore.retry import retry_counts
@@ -22,8 +23,16 @@ from repro.model.trajectory import Trajectory
 from repro.obs import (
     counter as _obs_counter,
     histogram as _obs_histogram,
+    profile_log as _obs_profile_log,
     slow_query_log as _obs_slow_query_log,
     tracer as _obs_tracer,
+    workload_stats as _obs_workload_stats,
+)
+from repro.obs.profile import (
+    QueryProfile,
+    current_profile,
+    profile_scope,
+    profiling_enabled,
 )
 from repro.query.operators import (
     PointDistanceRefine,
@@ -111,9 +120,10 @@ class QueryExecutor:
         produced so far with ``result.partial`` set.
         """
         plan = self._t.planner.plan(query)
+        profile, scope = self._profile_scope(query, plan)
         before = self._t.cluster.stats.snapshot()
         retry_before = retry_counts()
-        with _obs_tracer().span(
+        with scope, _obs_tracer().span(
             "query.execute",
             type=type(query).__name__,
             plan=f"{plan.index}/{plan.route}",
@@ -145,7 +155,7 @@ class QueryExecutor:
                 raise
             return self._finalize(
                 query, trajs, distances, plan, before, t0, trace, retry_before,
-                deadline,
+                deadline, profile,
             )
 
     def execute_count(
@@ -165,9 +175,10 @@ class QueryExecutor:
                 f"count is not supported for {type(query).__name__}"
             )
         plan = self._t.planner.plan(query)
+        profile, scope = self._profile_scope(query, plan)
         before = self._t.cluster.stats.snapshot()
         retry_before = retry_counts()
-        with _obs_tracer().span(
+        with scope, _obs_tracer().span(
             "query.count",
             type=type(query).__name__,
             plan=f"{plan.index}/{plan.route}",
@@ -184,10 +195,27 @@ class QueryExecutor:
                     _QUERY_DEADLINE.labels(outcome="error").inc()
                 raise
             result = self._finalize(
-                query, [], None, plan, before, t0, trace, retry_before, deadline
+                query, [], None, plan, before, t0, trace, retry_before, deadline,
+                profile,
             )
             result.count = count
             return result
+
+    @staticmethod
+    def _profile_scope(query: Query, plan: QueryPlan):
+        """The query's profile and the context installing it, if any.
+
+        A profile already active on this thread (installed by
+        ``TMan.query`` so admission wait is attributed too) is reused;
+        otherwise a fresh one is created when profiling is enabled.
+        """
+        profile = current_profile()
+        if profile is not None:
+            return profile, nullcontext()
+        if not profiling_enabled():
+            return None, nullcontext()
+        profile = QueryProfile(type(query).__name__, f"{plan.index}/{plan.route}")
+        return profile, profile_scope(profile)
 
     # -- iterative queries (expanding-ring pipelines) ------------------------
 
@@ -332,6 +360,7 @@ class QueryExecutor:
         trace: Optional[ExecutionTrace] = None,
         retry_before: Optional[tuple[int, int]] = None,
         deadline: Optional[Deadline] = None,
+        profile: Optional[QueryProfile] = None,
     ) -> QueryResult:
         elapsed = (time.perf_counter() - t0) * 1000
         delta = self._t.cluster.stats.snapshot() - before
@@ -352,6 +381,7 @@ class QueryExecutor:
                     trace.annotate("partial", True)
             if deadline.partial and _QUERY_DEADLINE._registry.enabled:
                 _QUERY_DEADLINE.labels(outcome="partial").inc()
+        partial = deadline.partial if deadline is not None else False
         result = QueryResult(
             trajectories=trajs,
             candidates=delta.rows_scanned + delta.point_gets,
@@ -362,10 +392,47 @@ class QueryExecutor:
             plan=f"{plan.index}/{plan.route}",
             distances=distances,
             trace=trace,
-            partial=deadline.partial if deadline is not None else False,
+            partial=partial,
+            profile=profile,
         )
+        if profile is not None:
+            profile.finish(
+                elapsed,
+                type(query).__name__,
+                f"{plan.index}/{plan.route}",
+                partial=partial,
+            )
+            if trace is not None:
+                trace.annotate("profile", profile.summary())
+            _obs_profile_log().record(profile)
+            self._record_workload(query, profile, result)
         self._observe(query, result, trace)
         return result
+
+    def _record_workload(
+        self, query: Query, profile: QueryProfile, result: QueryResult
+    ) -> None:
+        """Fold the finished profile into the workload statistics."""
+        cfg = self._t.config
+        time_range = getattr(query, "time_range", None)
+        window = getattr(query, "window", None)
+        boundary = cfg.boundary
+        stats = _obs_workload_stats()
+        stats.record(
+            profile,
+            time_range=(time_range.start, time_range.end)
+            if time_range is not None else None,
+            window=(window.x1, window.y1, window.x2, window.y2)
+            if window is not None else None,
+            period_seconds=cfg.tr_period_seconds,
+            boundary=(boundary.x1, boundary.y1, boundary.x2, boundary.y2),
+            observed_candidates=result.candidates,
+        )
+        estimated = self._t.planner.estimate_candidates(query)
+        if estimated is not None and estimated > 0:
+            stats.record_estimate(
+                profile.query_type, profile.plan, result.candidates, estimated
+            )
 
     def _observe(
         self, query: Query, result: QueryResult, trace: Optional[ExecutionTrace]
@@ -373,9 +440,12 @@ class QueryExecutor:
         """Feed the finished query into the registry and the slow-query log."""
         qtype = type(query).__name__
         if _QUERY_TOTAL._registry.enabled:
+            exemplar = result.profile.query_id if result.profile is not None else None
             _QUERY_TOTAL.labels(type=qtype).inc()
-            _QUERY_MS.labels(type=qtype).observe(result.elapsed_ms)
-            _QUERY_CANDIDATES.labels(type=qtype).observe(result.candidates)
+            _QUERY_MS.labels(type=qtype).observe(result.elapsed_ms, exemplar=exemplar)
+            _QUERY_CANDIDATES.labels(type=qtype).observe(
+                result.candidates, exemplar=exemplar
+            )
         slog = _obs_slow_query_log()
         if slog.threshold_ms is not None and result.elapsed_ms >= slog.threshold_ms:
             recorded = slog.maybe_record(
@@ -385,6 +455,8 @@ class QueryExecutor:
                 candidates=result.candidates,
                 transferred_rows=result.transferred_rows,
                 trace=trace.render() if trace is not None else "",
+                profile=result.profile.as_dict()
+                if result.profile is not None else None,
             )
             if recorded:
                 _QUERY_SLOW.inc()

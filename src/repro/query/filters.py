@@ -16,9 +16,14 @@ from __future__ import annotations
 
 from typing import Sequence
 
+from repro.compression.traj_codec import COORD_SCALE
 from repro.geometry.relations import polyline_intersects_rect_arrays
 from repro.kvstore.filters import Filter
 from repro.model.mbr import MBR
+
+# Half a coordinate quantum: decoded points sit within this distance of
+# the (full-precision) originals the row was built from.
+_COORD_EPS = 0.5 / COORD_SCALE
 from repro.model.point import STPoint
 from repro.model.pointblock import PointBlock
 from repro.model.timerange import TimeRange
@@ -85,7 +90,20 @@ class SpatialFilter(Filter):
 
         self.decided_by_points += 1
         block = self._serializer.decode_trajectory(value).trajectory.block
-        return polyline_intersects_rect_arrays(block.xs, block.ys, self.window)
+        if polyline_intersects_rect_arrays(block.xs, block.ys, self.window):
+            return True
+        # Decoded coordinates are quantized; a polyline grazing the window
+        # edge can land half a quantum outside it.  Inside that ambiguity
+        # band, decide with the header MBR, which keeps full precision.
+        inflated = MBR(
+            self.window.x1 - _COORD_EPS,
+            self.window.y1 - _COORD_EPS,
+            self.window.x2 + _COORD_EPS,
+            self.window.y2 + _COORD_EPS,
+        )
+        if not polyline_intersects_rect_arrays(block.xs, block.ys, inflated):
+            return False
+        return header.mbr.intersects(self.window)
 
 
 class SimilarityFilter(Filter):

@@ -12,9 +12,11 @@ instruments every edge, and records per-stage rows/bytes/time into an
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Any, Callable, Iterator, NamedTuple, Optional, Sequence
 
 from repro.geometry.distance import point_to_polyline_arrays
+from repro.obs.profile import current_profile
 from repro.kvstore.filters import Filter
 from repro.kvstore.table import Table
 from repro.model.mbr import MBR
@@ -214,13 +216,29 @@ class Decode(Operator):
 
     def process(self, upstream: Iterator[Row]) -> Iterator[Trajectory]:
         seen: set[str] = set()
-        for _, value in upstream:
-            stored = self.serializer.decode_trajectory(value)
-            tid = stored.trajectory.tid
-            if tid in seen:
-                continue
-            seen.add(tid)
-            yield stored.trajectory
+        # Decode cost is accumulated locally and flushed once when the
+        # stage closes, so profiling adds two clock reads per row, not a
+        # locked profile update.
+        profile = current_profile()
+        decoded = 0
+        decode_s = 0.0
+        try:
+            for _, value in upstream:
+                if profile is not None:
+                    t0 = perf_counter()
+                    stored = self.serializer.decode_trajectory(value)
+                    decode_s += perf_counter() - t0
+                    decoded += 1
+                else:
+                    stored = self.serializer.decode_trajectory(value)
+                tid = stored.trajectory.tid
+                if tid in seen:
+                    continue
+                seen.add(tid)
+                yield stored.trajectory
+        finally:
+            if profile is not None and decoded:
+                profile.add(decode_rows=decoded, decode_ms=decode_s * 1000.0)
 
 
 class Refine(Operator):
@@ -260,9 +278,19 @@ class Refine(Operator):
         """Keep trajectories within ``threshold`` of the query points."""
         distance = distance_by_name(measure)
         points = PointBlock.from_points(list(query_points))
-        return cls(
-            lambda t: distance(points, t.block) <= threshold, "similarity_check"
-        )
+
+        def predicate(t: Trajectory) -> bool:
+            profile = current_profile()
+            if profile is None:
+                return distance(points, t.block) <= threshold
+            t0 = perf_counter()
+            d = distance(points, t.block)
+            profile.add(
+                similarity_rows=1, similarity_ms=(perf_counter() - t0) * 1000.0
+            )
+            return d <= threshold
+
+        return cls(predicate, "similarity_check")
 
     @classmethod
     def exclude_tid(cls, tid: str) -> "Refine":
@@ -310,9 +338,23 @@ class PointDistanceRefine(Operator):
             if feature.min_distance_to_point(self.x, self.y) > kth:
                 self.seen.add(header.tid)
                 continue
-            stored = self.serializer.decode_trajectory(value)
-            block = stored.trajectory.block
-            d = point_to_polyline_arrays(self.x, self.y, block.xs, block.ys)
+            profile = current_profile()
+            if profile is None:
+                stored = self.serializer.decode_trajectory(value)
+                block = stored.trajectory.block
+                d = point_to_polyline_arrays(self.x, self.y, block.xs, block.ys)
+            else:
+                t0 = perf_counter()
+                stored = self.serializer.decode_trajectory(value)
+                t1 = perf_counter()
+                block = stored.trajectory.block
+                d = point_to_polyline_arrays(self.x, self.y, block.xs, block.ys)
+                profile.add(
+                    decode_rows=1,
+                    decode_ms=(t1 - t0) * 1000.0,
+                    similarity_rows=1,
+                    similarity_ms=(perf_counter() - t1) * 1000.0,
+                )
             self.seen.add(header.tid)
             yield d, header.tid, stored.trajectory
 
@@ -357,8 +399,21 @@ class SimilarityRefine(Operator):
             if dp_lower_bound(self.query_points, feature, self.aggregate) > kth:
                 self.seen.add(header.tid)
                 continue
-            stored = self.serializer.decode_trajectory(value)
-            d = self.distance(self.query_points, stored.trajectory.block)
+            profile = current_profile()
+            if profile is None:
+                stored = self.serializer.decode_trajectory(value)
+                d = self.distance(self.query_points, stored.trajectory.block)
+            else:
+                t0 = perf_counter()
+                stored = self.serializer.decode_trajectory(value)
+                t1 = perf_counter()
+                d = self.distance(self.query_points, stored.trajectory.block)
+                profile.add(
+                    decode_rows=1,
+                    decode_ms=(t1 - t0) * 1000.0,
+                    similarity_rows=1,
+                    similarity_ms=(perf_counter() - t1) * 1000.0,
+                )
             self.seen.add(header.tid)
             yield d, header.tid, stored.trajectory
 

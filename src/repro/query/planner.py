@@ -91,6 +91,35 @@ class QueryPlanner:
         """Replace the statistics snapshot the CBO plans with."""
         self.stats = stats
 
+    def estimate_candidates(self, query: Query) -> Optional[float]:
+        """The planner's prior for rows a query will touch.
+
+        ``None`` without statistics or for query shapes the estimator
+        does not model (similarity/kNN rings).  The workload-statistics
+        collector compares this prior against the observed candidate
+        count, which is exactly the feedback signal an adaptive CBO
+        needs.
+        """
+        if self.stats is None:
+            return None
+        n = self.stats.row_count
+        if isinstance(query, TemporalRangeQuery):
+            return n * self.stats.temporal_selectivity(query.time_range)
+        if isinstance(query, SpatialRangeQuery):
+            return n * self.stats.spatial_selectivity(query.window)
+        if isinstance(query, STRangeQuery):
+            # Independence assumption for the conjunction.
+            return (
+                n
+                * self.stats.temporal_selectivity(query.time_range)
+                * self.stats.spatial_selectivity(query.window)
+            )
+        if isinstance(query, IDTemporalQuery):
+            # No per-object statistics yet: the temporal fraction is the
+            # best (over-)estimate available.
+            return n * self.stats.temporal_selectivity(query.time_range)
+        return None
+
     def plan_pipeline(
         self,
         tman,

@@ -9,6 +9,7 @@ from repro.kvstore.stats import ExecutionTrace
 from repro.model.mbr import MBR
 from repro.model.timerange import TimeRange
 from repro.model.trajectory import Trajectory
+from repro.obs.profile import QueryProfile
 
 
 @dataclass(frozen=True)
@@ -84,7 +85,9 @@ class QueryResult:
     ``trace`` the per-operator execution trace of the streaming pipeline
     (rows-in/rows-out/bytes/time for every stage); ``partial`` is True when
     a deadline with ``allow_partial`` truncated the query early — the rows
-    present are correct but the set may be incomplete.
+    present are correct but the set may be incomplete.  ``profile`` is the
+    per-query resource attribution (``profile.as_dict()`` for the full
+    breakdown), present whenever profiling is enabled.
     """
 
     trajectories: list[Trajectory] = field(default_factory=list)
@@ -98,6 +101,7 @@ class QueryResult:
     distances: Optional[list[float]] = None
     trace: Optional[ExecutionTrace] = None
     partial: bool = False
+    profile: Optional[QueryProfile] = None
 
     def __len__(self) -> int:
         return len(self.trajectories)

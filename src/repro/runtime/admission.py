@@ -24,6 +24,7 @@ from contextlib import contextmanager
 from typing import Callable, Iterator, Optional
 
 from repro.obs import counter as _obs_counter, gauge as _obs_gauge, histogram as _obs_histogram
+from repro.obs.profile import current_profile
 from repro.runtime.deadline import Deadline, QueryTimeoutError
 
 INTERACTIVE = "interactive"
@@ -202,6 +203,9 @@ class AdmissionController:
                 wait_ms = (self._clock() - waited_from) * 1000.0
                 if _QUEUE_WAIT_MS._registry.enabled:
                     _QUEUE_WAIT_MS.observe(wait_ms)
+                profile = current_profile()
+                if profile is not None:
+                    profile.add(admission_wait_ms=wait_ms)
             finally:
                 if token is not None and token in queue:
                     queue.remove(token)

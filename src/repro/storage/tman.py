@@ -31,6 +31,12 @@ from repro.kvstore.stats import CostModel
 from repro.model.mbr import MBR
 from repro.model.timerange import TimeRange
 from repro.model.trajectory import Trajectory
+from repro.obs.profile import (
+    QueryProfile,
+    current_profile,
+    profile_scope,
+    profiling_enabled,
+)
 from repro.query.executor import QueryExecutor
 from repro.query.planner import DataStatistics, QueryPlanner
 from repro.runtime.admission import INTERACTIVE, AdmissionController
@@ -312,21 +318,47 @@ class TMan:
         :class:`~repro.runtime.admission.AdmissionRejectedError`.
         """
         deadline = self._make_deadline(deadline_ms, allow_partial)
-        if self.admission is None:
-            return self.executor.execute(q, limit=limit, deadline=deadline)
-        try:
-            self.admission.acquire(priority=priority, deadline=deadline)
-        except QueryTimeoutError:
-            if deadline is not None and deadline.allow_partial:
-                # The budget ran out while queued: allow_partial promises a
-                # (possibly empty) result rather than an error.
-                deadline.note_partial()
-                return QueryResult(partial=True)
-            raise
-        try:
-            return self.executor.execute(q, limit=limit, deadline=deadline)
-        finally:
-            self.admission.release()
+        # Install the profile before admission so queue wait is attributed
+        # to the query that paid it.
+        profile, scope = self._profile_scope(q)
+        with scope:
+            if self.admission is None:
+                return self.executor.execute(q, limit=limit, deadline=deadline)
+            try:
+                self.admission.acquire(priority=priority, deadline=deadline)
+            except QueryTimeoutError:
+                if deadline is not None and deadline.allow_partial:
+                    # The budget ran out while queued: allow_partial promises
+                    # a (possibly empty) result rather than an error.
+                    deadline.note_partial()
+                    result = QueryResult(partial=True)
+                    if profile is not None:
+                        profile.finish(
+                            deadline.budget_ms, type(q).__name__, "shed", partial=True
+                        )
+                        result.profile = profile
+                    return result
+                raise
+            try:
+                return self.executor.execute(q, limit=limit, deadline=deadline)
+            finally:
+                self.admission.release()
+
+    def _profile_scope(self, q):
+        """(profile, contextmanager) installing a fresh QueryProfile.
+
+        Reuses an already-active profile (nested calls attribute to the
+        outermost query); a no-op when profiling is disabled.
+        """
+        from contextlib import nullcontext
+
+        active = current_profile()
+        if active is not None:
+            return active, nullcontext()
+        if not profiling_enabled():
+            return None, nullcontext()
+        profile = QueryProfile(type(q).__name__, "")
+        return profile, profile_scope(profile)
 
     def explain(self, q) -> str:
         """The optimizer's plan and the operator pipeline it assembles."""
@@ -391,10 +423,13 @@ class TMan:
         queries; read the answer from ``result.count``.
         """
         deadline = self._make_deadline(deadline_ms, allow_partial=False)
-        if self.admission is None:
-            return self.executor.execute_count(q, deadline=deadline)
-        with self.admission.admit(priority=priority, deadline=deadline):
-            return self.executor.execute_count(q, deadline=deadline)
+        profile, scope = self._profile_scope(q)
+        del profile  # finished by the executor, which knows the plan
+        with scope:
+            if self.admission is None:
+                return self.executor.execute_count(q, deadline=deadline)
+            with self.admission.admit(priority=priority, deadline=deadline):
+                return self.executor.execute_count(q, deadline=deadline)
 
     # -- health ------------------------------------------------------------------
 

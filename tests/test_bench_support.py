@@ -28,11 +28,16 @@ class TestPercentiles:
         from repro.obs import registry
 
         hist = registry().histogram("bench_support_test_ms", "test histogram")
-        for v in (1.0, 2.0, 4.0, 8.0):
-            hist.observe(v)
-        s = histogram_summary("bench_support_test_ms")
-        assert s["count"] == 4.0
-        assert s["p50"] <= s["p95"] <= s["p99"]
+        try:
+            for v in (1.0, 2.0, 4.0, 8.0):
+                hist.observe(v)
+            s = histogram_summary("bench_support_test_ms")
+            assert s["count"] == 4.0
+            assert s["p50"] <= s["p95"] <= s["p99"]
+        finally:
+            # keep the process-wide registry free of test-only families
+            # (the metric-catalog lint snapshots it)
+            registry().unregister("bench_support_test_ms")
 
     def test_histogram_summary_unknown_name(self):
         from repro.bench.harness import histogram_summary

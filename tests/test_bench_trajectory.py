@@ -1,0 +1,109 @@
+"""Benchmark trajectory aggregation (`repro.bench.trajectory`)."""
+
+from __future__ import annotations
+
+import json
+
+from repro.bench.trajectory import (
+    TRAJECTORY_SCHEMA,
+    aggregate_results,
+    render_report,
+    summarize_benchmark,
+    validate_trajectory,
+)
+
+
+def _write(tmp_path, name, doc):
+    (tmp_path / f"BENCH_{name}.json").write_text(json.dumps(doc))
+
+
+class TestSummarize:
+    def test_curated_paths_for_known_benchmarks(self):
+        doc = {
+            "modes": {"trq_full": {"p50_ms": 6.15}, "srq_full": {"p50_ms": 23.0}},
+            "obs_overhead": {"overhead_pct": 1.88},
+            "trq_candidate_reduction": 0.93,
+            "smoke": False,
+        }
+        out = summarize_benchmark("pipeline", doc)
+        assert out["headlines"]["modes.trq_full.p50_ms"] == 6.15
+        assert out["headlines"]["obs_overhead.overhead_pct"] == 1.88
+        assert not out["smoke"]
+
+    def test_missing_curated_paths_are_skipped(self):
+        out = summarize_benchmark("pipeline", {"modes": {}})
+        assert out["headlines"] == {}
+
+    def test_generic_fallback_picks_result_like_leaves(self):
+        doc = {
+            "latency": {"p50_ms": 4.2, "note": "text"},
+            "speedup": 3.0,
+            "row_count": 1000,  # not result-like: excluded
+            "flag": True,  # bool: excluded
+        }
+        out = summarize_benchmark("unknown_bench", doc)
+        assert out["headlines"] == {"latency.p50_ms": 4.2, "speedup": 3.0}
+
+
+class TestAggregate:
+    def test_aggregates_directory(self, tmp_path):
+        _write(tmp_path, "pipeline", {"modes": {"trq_full": {"p50_ms": 5.0}}})
+        _write(tmp_path, "custom", {"kernel": {"p99": 2.0}})
+        doc = aggregate_results(tmp_path)
+        assert doc["schema"] == TRAJECTORY_SCHEMA
+        assert [b["name"] for b in doc["benchmarks"]] == ["custom", "pipeline"]
+        assert validate_trajectory(doc) == []
+
+    def test_skips_unreadable_files(self, tmp_path):
+        (tmp_path / "BENCH_broken.json").write_text("{not json")
+        _write(tmp_path, "ok", {"p50_ms": 1.0})
+        doc = aggregate_results(tmp_path)
+        assert [b["name"] for b in doc["benchmarks"]] == ["ok"]
+        assert doc["skipped"][0]["file"] == "BENCH_broken.json"
+
+    def test_ignores_own_output(self, tmp_path):
+        _write(tmp_path, "trajectory", {"schema": TRAJECTORY_SCHEMA})
+        _write(tmp_path, "real", {"p50_ms": 1.0})
+        doc = aggregate_results(tmp_path)
+        assert [b["name"] for b in doc["benchmarks"]] == ["real"]
+
+    def test_aggregates_real_results_dir(self):
+        """The checked-in benchmark results must aggregate cleanly."""
+        from pathlib import Path
+
+        results = Path(__file__).resolve().parent.parent / "benchmarks" / "results"
+        doc = aggregate_results(results)
+        assert validate_trajectory(doc) == []
+        names = {b["name"] for b in doc["benchmarks"]}
+        assert {"pipeline", "multirange", "columnar"} <= names
+        for bench in doc["benchmarks"]:
+            assert bench["headlines"], f"{bench['name']} produced no headlines"
+
+
+class TestRenderAndValidate:
+    def test_render_report(self, tmp_path):
+        _write(tmp_path, "pipeline", {"modes": {"trq_full": {"p50_ms": 5.0}},
+                                      "smoke": True})
+        text = render_report(aggregate_results(tmp_path))
+        assert "pipeline [smoke]:" in text
+        assert "modes.trq_full.p50_ms = 5" in text
+
+    def test_validate_rejects_bad_docs(self):
+        assert validate_trajectory(None)
+        assert validate_trajectory({"schema": "nope", "benchmarks": []})
+        assert validate_trajectory(
+            {"schema": TRAJECTORY_SCHEMA,
+             "benchmarks": [{"name": "x", "headlines": {"a": "text"}}]}
+        )
+
+    def test_cli_bench_report(self, tmp_path, capsys):
+        from repro.cli import main
+
+        _write(tmp_path, "pipeline", {"modes": {"trq_full": {"p50_ms": 5.0}}})
+        out_file = tmp_path / "BENCH_trajectory.json"
+        assert main(["bench-report", str(tmp_path), "--out", str(out_file)]) == 0
+        doc = json.loads(out_file.read_text())
+        assert validate_trajectory(doc) == []
+        # stdout mode renders the report
+        assert main(["bench-report", str(tmp_path)]) == 0
+        assert "pipeline" in capsys.readouterr().out

@@ -185,3 +185,36 @@ class TestObservabilityCommands:
         assert main(["metrics", "--format", "json", "--out", str(out_file)]) == 0
         doc = json.loads(out_file.read_text())
         assert doc["schema"] == "repro.obs.metrics/v1"
+
+
+class TestDashboardCommands:
+    def test_top_once_renders_dashboard(self, deployment, capsys):
+        assert main(["top", str(deployment), "--once", "--probe", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "repro top" in out
+        assert "-- queries " in out
+        assert "-- caches " in out
+        assert "-- runtime " in out
+        assert "by elapsed" in out
+        assert "TemporalRangeQuery" in out  # probe workload ran
+
+    def test_top_probe_zero_renders_empty_dashboard(self, deployment, capsys):
+        assert main(["top", str(deployment), "--once", "--probe", "0"]) == 0
+        assert "-- queries " in capsys.readouterr().out
+
+    def test_stats_exports_valid_workload_stats(self, deployment, tmp_path,
+                                                capsys):
+        import json
+
+        from repro.obs.stats import validate_workload_stats
+
+        out_file = tmp_path / "workload_stats.json"
+        assert main(["stats", str(deployment), "--out", str(out_file)]) == 0
+        assert "wrote workload stats" in capsys.readouterr().out
+        doc = json.loads(out_file.read_text())
+        assert validate_workload_stats(doc) == []
+        assert doc["total_queries"] > 0
+        # stdout mode emits the same JSON document
+        assert main(["stats", str(deployment)]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert validate_workload_stats(doc) == []

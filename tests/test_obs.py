@@ -42,6 +42,16 @@ class TestRegistry:
         a.inc(2.5)
         assert b.value == 3.5
 
+    def test_unregister_drops_family(self, reg):
+        fam = reg.counter("tmp_metric")
+        fam.inc()
+        assert reg.unregister("tmp_metric")
+        assert not reg.unregister("tmp_metric")  # second call: already gone
+        names = {m["name"] for m in reg.snapshot()["metrics"]}
+        assert "tmp_metric" not in names
+        fam.inc()  # held handles keep working, just unexported
+        assert fam.value == 2
+
     def test_counter_rejects_negative(self, reg):
         with pytest.raises(MetricError):
             reg.counter("c").inc(-1)
@@ -415,3 +425,154 @@ class TestIntegration:
         )
         assert disabled.candidates == enabled.candidates
         assert len(obs.tracer()) == spans_before, "no spans while disabled"
+
+
+class TestHistogramExemplars:
+    def test_exemplar_kept_per_bucket_max_value_wins(self, reg):
+        fam = reg.histogram("lat_ms")
+        fam.observe(5.0, exemplar="q1")
+        fam.observe(5.2, exemplar="q2")  # same bucket, larger value wins
+        fam.observe(5.1, exemplar="q3")
+        fam.observe(100.0, exemplar="q9")  # different bucket
+        exemplars = fam._default.exemplars()
+        assert [e[2] for e in exemplars] == ["q2", "q9"]
+
+    def test_exemplars_in_snapshot_and_tolerated_by_validator(self, reg):
+        fam = reg.histogram("lat_ms")
+        fam.observe(1.0, exemplar="q1")
+        fam.observe(2.0)  # no exemplar: bucket stays bare
+        snap = reg.snapshot()
+        (metric,) = [m for m in snap["metrics"] if m["name"] == "lat_ms"]
+        sample = metric["samples"][0]
+        assert sample["exemplars"]
+        bound, value, exemplar = sample["exemplars"][0]
+        assert exemplar == "q1" and value == 1.0
+        assert validate_snapshot(snap) == []
+        json.loads(json.dumps(snap))  # JSON-serializable
+
+    def test_no_exemplars_key_when_none_attached(self, reg):
+        fam = reg.histogram("lat_ms")
+        fam.observe(1.0)
+        (metric,) = [m for m in reg.snapshot()["metrics"] if m["name"] == "lat_ms"]
+        assert "exemplars" not in metric["samples"][0]
+
+    def test_reset_clears_exemplars(self, reg):
+        fam = reg.histogram("lat_ms")
+        fam.observe(1.0, exemplar="q1")
+        reg.reset()
+        assert fam._default.exemplars() == []
+
+
+class TestLabelCardinalityGuard:
+    def test_overflow_collapses_past_cap(self):
+        reg = MetricsRegistry(max_label_series=4)
+        fam = reg.counter("m", labelnames=("region",))
+        with pytest.warns(RuntimeWarning, match="label combinations"):
+            for i in range(10):
+                fam.labels(region=f"r{i}").inc()
+        # 4 real series + 1 overflow series
+        assert fam.series_count == 5
+        snap = reg.snapshot()
+        (metric,) = [m for m in snap["metrics"] if m["name"] == "m"]
+        overflow = [
+            s for s in metric["samples"]
+            if s["labels"].get("region") == "__overflow__"
+        ]
+        assert len(overflow) == 1
+        assert overflow[0]["value"] == 6  # the 6 collapsed increments
+
+    def test_existing_series_unaffected_by_overflow(self):
+        reg = MetricsRegistry(max_label_series=2)
+        fam = reg.counter("m", labelnames=("region",))
+        fam.labels(region="a").inc()
+        fam.labels(region="b").inc()
+        with pytest.warns(RuntimeWarning):
+            fam.labels(region="c").inc()
+        fam.labels(region="a").inc()  # established series keeps working
+        assert fam.labels(region="a").value == 2
+
+    def test_warns_only_once(self):
+        reg = MetricsRegistry(max_label_series=1)
+        fam = reg.counter("m", labelnames=("x",))
+        fam.labels(x="a").inc()
+        with pytest.warns(RuntimeWarning) as caught:
+            fam.labels(x="b").inc()
+            fam.labels(x="c").inc()
+        assert len(caught) == 1
+
+    def test_cap_is_configurable(self):
+        reg = MetricsRegistry(max_label_series=3)
+        assert reg.max_label_series == 3
+        reg.set_max_label_series(100)
+        assert reg.max_label_series == 100
+        with pytest.raises(MetricError):
+            reg.set_max_label_series(0)
+
+
+class TestTracerConcurrency:
+    def test_export_consistent_under_concurrent_spans(self):
+        """Scheduler worker threads emit spans concurrently; export must
+        stay well-formed (every parent_id resolvable, no torn records)."""
+        tracer = Tracer(capacity=10_000)
+        barrier = threading.Barrier(4)
+
+        def worker(tid: int) -> None:
+            barrier.wait()
+            for i in range(50):
+                with tracer.span(f"outer-{tid}-{i}"):
+                    with tracer.span(f"inner-{tid}-{i}"):
+                        pass
+
+        threads = [threading.Thread(target=worker, args=(t,)) for t in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        spans = spans_from_export(tracer.export())
+        assert len(spans) == 4 * 50 * 2
+        by_id = {s.span_id: s for s in spans}
+        inners = [s for s in spans if s.name.startswith("inner")]
+        assert len(inners) == 200
+        for inner in inners:
+            parent = by_id[inner.parent_id]
+            # nesting is per-thread: the parent is the matching outer span
+            assert parent.name == inner.name.replace("inner", "outer")
+        json.loads(json.dumps(tracer.to_chrome()))  # chrome export intact
+
+    def test_spans_from_scheduler_threads_attributed_during_query(self, demo_tman):
+        tman, data = demo_tman
+        from repro.model import TimeRange
+
+        obs.tracer().clear()
+        tr = data[0].time_range
+        tman.temporal_range_query(TimeRange(tr.start, tr.end))
+        spans = obs.tracer().spans()
+        assert any(s.name == "query.execute" for s in spans)
+        exported = spans_from_export(obs.tracer().export())
+        assert len(exported) == len(spans)
+
+
+class TestSlowQueryLogEviction:
+    def test_eviction_keeps_newest_and_counts_dropped(self):
+        log = SlowQueryLog(threshold_ms=0.0, capacity=3)
+        for i in range(10):
+            log.maybe_record(f"q{i}", "p", elapsed_ms=float(i))
+        assert [e.query for e in log.entries()] == ["q7", "q8", "q9"]
+        assert log.dropped == 7
+        log.clear()
+        assert log.dropped == 0 and len(log) == 0
+
+    def test_concurrent_recording_never_exceeds_capacity(self):
+        log = SlowQueryLog(threshold_ms=0.0, capacity=8)
+
+        def writer(tid: int) -> None:
+            for i in range(100):
+                log.maybe_record(f"t{tid}-q{i}", "p", elapsed_ms=1.0)
+
+        threads = [threading.Thread(target=writer, args=(t,)) for t in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(log) == 8
+        assert log.dropped == 4 * 100 - 8

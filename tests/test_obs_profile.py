@@ -1,0 +1,295 @@
+"""Per-query resource attribution: QueryProfile end-to-end.
+
+The reconciliation tests are the contract of the `IOStats.add` chokepoint:
+every storage counter delta produced while a query's profile is installed
+— including deltas from scan-scheduler worker threads — must appear on
+that query's profile, exactly.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro import TMan, TManConfig
+from repro.datasets import TDRIVE_SPEC, tdrive_like
+from repro.model import MBR, TimeRange
+from repro.obs import (
+    profile_log,
+    profiling_enabled,
+    reset_all,
+    set_profiling_enabled,
+    workload_stats,
+)
+from repro.obs.profile import (
+    QueryProfile,
+    current_profile,
+    profile_scope,
+    run_with_profile,
+)
+from repro.query.types import (
+    IDTemporalQuery,
+    KNNPointQuery,
+    SpatialRangeQuery,
+    STRangeQuery,
+    TemporalRangeQuery,
+    ThresholdSimilarityQuery,
+    TopKSimilarityQuery,
+)
+
+# Snapshot fields mirrored 1:1 onto profiles by the IOStats chokepoint.
+RECONCILED = (
+    "rows_scanned",
+    "rows_returned",
+    "range_scans",
+    "bytes_transferred",
+    "block_reads",
+    "bloom_rejects",
+    "point_gets",
+)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return tdrive_like(120, seed=31)
+
+
+@pytest.fixture(scope="module")
+def tman(dataset):
+    config = TManConfig(
+        boundary=TDRIVE_SPEC.boundary,
+        max_resolution=14,
+        num_shards=2,
+        kv_workers=4,  # worker pool: attribution must cross threads
+        split_rows=400,  # several regions, so parallel_scan fans out
+        window_parallel=True,
+    )
+    t = TMan(config)
+    t.bulk_load(dataset)
+    yield t
+    t.close()
+
+
+def _all_queries(dataset):
+    boundary = TDRIVE_SPEC.boundary
+    span = dataset[0].time_range
+    tr = TimeRange(span.start, span.start + 7200)
+    window = MBR(
+        boundary.x1 + (boundary.x2 - boundary.x1) * 0.25,
+        boundary.y1 + (boundary.y2 - boundary.y1) * 0.25,
+        boundary.x1 + (boundary.x2 - boundary.x1) * 0.75,
+        boundary.y1 + (boundary.y2 - boundary.y1) * 0.75,
+    )
+    return [
+        TemporalRangeQuery(tr),
+        SpatialRangeQuery(window),
+        STRangeQuery(window, tr),
+        IDTemporalQuery(dataset[0].oid, tr),
+        ThresholdSimilarityQuery(dataset[0], 0.5),
+        TopKSimilarityQuery(dataset[0], 3),
+        KNNPointQuery(
+            (boundary.x1 + boundary.x2) / 2, (boundary.y1 + boundary.y2) / 2, 2
+        ),
+    ]
+
+
+class TestReconciliation:
+    def test_every_query_type_reconciles_with_registry_delta(self, tman, dataset):
+        """The acceptance bar: profile totals == process-wide stat deltas."""
+        for query in _all_queries(dataset):
+            before = tman.cluster.stats.snapshot()
+            result = tman.query(query)
+            delta = tman.cluster.stats.snapshot() - before
+            profile = result.profile
+            assert profile is not None, f"no profile on {type(query).__name__}"
+            assert profile.query_type == type(query).__name__
+            for field in RECONCILED:
+                assert getattr(profile, field) == getattr(delta, field), (
+                    f"{type(query).__name__}.{field}: "
+                    f"profile={getattr(profile, field)} delta={getattr(delta, field)}"
+                )
+            assert profile.elapsed_ms > 0
+            assert profile.plan  # executor stamped index/route
+
+    def test_parallel_worker_rows_are_attributed(self, tman, dataset):
+        """window_parallel scans produce rows on pool threads; the profile
+        must still see them (explicit contextvar handoff)."""
+        span = dataset[0].time_range
+        query = TemporalRangeQuery(TimeRange(span.start, span.start + 48 * 3600))
+        before = tman.cluster.stats.snapshot()
+        result = tman.query(query)
+        delta = tman.cluster.stats.snapshot() - before
+        assert delta.rows_scanned > 0, "query scanned nothing; test is vacuous"
+        assert result.profile.rows_scanned == delta.rows_scanned
+        assert result.profile.bytes_transferred == delta.bytes_transferred
+
+    def test_decode_and_similarity_time_attributed(self, tman, dataset):
+        result = tman.query(TopKSimilarityQuery(dataset[0], 3))
+        profile = result.profile
+        assert profile.similarity_rows > 0
+        assert profile.similarity_ms > 0
+        assert profile.attributed_ms <= profile.elapsed_ms * 1.5  # sanity
+
+    def test_profile_rendered_in_trace(self, tman, dataset):
+        span = dataset[0].time_range
+        result = tman.query(TemporalRangeQuery(TimeRange(span.start, span.start + 3600)))
+        assert "profile=" in result.trace.render()
+        assert result.profile.query_id in result.trace.render()
+
+
+class TestProfileMachinery:
+    def test_disabled_profiling_yields_no_profile(self, tman, dataset):
+        span = dataset[0].time_range
+        set_profiling_enabled(False)
+        try:
+            assert not profiling_enabled()
+            result = tman.query(
+                TemporalRangeQuery(TimeRange(span.start, span.start + 3600))
+            )
+            assert result.profile is None
+        finally:
+            set_profiling_enabled(True)
+
+    def test_run_with_profile_crosses_threads(self):
+        profile = QueryProfile("manual", "test")
+        seen = []
+
+        def worker():
+            seen.append(current_profile())
+
+        thread = threading.Thread(target=run_with_profile, args=(profile, worker))
+        thread.start()
+        thread.join()
+        assert seen == [profile]
+        # and a bare thread has no ambient profile
+        seen.clear()
+        thread = threading.Thread(target=worker)
+        thread.start()
+        thread.join()
+        assert seen == [None]
+
+    def test_profile_scope_nesting_reuses_outer(self, tman, dataset):
+        span = dataset[0].time_range
+        outer = QueryProfile("outer", "outer-plan")
+        with profile_scope(outer):
+            result = tman.query(
+                TemporalRangeQuery(TimeRange(span.start, span.start + 3600))
+            )
+        # executor attributed into the installed (outer) profile
+        assert result.profile is outer
+        assert outer.rows_scanned >= 0
+        assert outer.query_type == "TemporalRangeQuery"  # finish() stamped it
+
+    def test_concurrent_queries_attribute_independently(self, tman, dataset):
+        span = dataset[0].time_range
+        results = {}
+
+        def client(name, query):
+            results[name] = tman.query(query)
+
+        threads = [
+            threading.Thread(
+                target=client,
+                args=(i, TemporalRangeQuery(TimeRange(span.start, span.start + 7200))),
+            )
+            for i in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        ids = {r.profile.query_id for r in results.values()}
+        assert len(ids) == 4  # four distinct profiles, no cross-talk
+        for r in results.values():
+            assert r.profile.rows_scanned > 0
+
+    def test_profile_log_records_and_ranks(self, tman, dataset):
+        reset_all()
+        span = dataset[0].time_range
+        tman.query(TemporalRangeQuery(TimeRange(span.start, span.start + 3600)))
+        tman.query(SpatialRangeQuery(TDRIVE_SPEC.boundary))
+        log = profile_log()
+        assert len(log) == 2
+        top = log.top(1)
+        assert len(top) == 1
+        assert top[0].elapsed_ms == max(p.elapsed_ms for p in log.entries())
+
+    def test_as_dict_round_trips_all_fields(self, tman, dataset):
+        span = dataset[0].time_range
+        result = tman.query(
+            TemporalRangeQuery(TimeRange(span.start, span.start + 3600))
+        )
+        doc = result.profile.as_dict()
+        for key in ("query_id", "query_type", "plan", "elapsed_ms", "rows_scanned",
+                    "bytes_transferred", "decode_ms", "admission_wait_ms"):
+            assert key in doc
+
+
+class TestAdmissionAndSlowlog:
+    def test_admission_wait_attributed(self, dataset):
+        config = TManConfig(
+            boundary=TDRIVE_SPEC.boundary,
+            max_resolution=12,
+            num_shards=1,
+            kv_workers=2,
+            admission_max_inflight=1,
+            admission_max_queue=8,
+            admission_queue_timeout_ms=5000.0,
+        )
+        tman = TMan(config)
+        tman.bulk_load(dataset[:40])
+        span = dataset[0].time_range
+        query = TemporalRangeQuery(TimeRange(span.start, span.start + 24 * 3600))
+        try:
+            waits = []
+
+            def client():
+                result = tman.query(query)
+                waits.append(result.profile.admission_wait_ms)
+
+            threads = [threading.Thread(target=client) for _ in range(6)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert len(waits) == 6
+            # with one slot, someone must have queued
+            assert any(w > 0 for w in waits)
+        finally:
+            tman.close()
+
+    def test_slow_query_log_carries_profile(self, tman, dataset):
+        from repro.obs import set_slow_query_ms, slow_query_log
+
+        reset_all()
+        set_slow_query_ms(0.0)  # capture everything
+        try:
+            span = dataset[0].time_range
+            tman.query(TemporalRangeQuery(TimeRange(span.start, span.start + 3600)))
+            entries = slow_query_log().entries()
+            assert entries
+            assert entries[-1].profile is not None
+            assert entries[-1].profile["rows_scanned"] >= 0
+            assert "profile" in entries[-1].as_dict()
+        finally:
+            set_slow_query_ms(None)
+
+
+class TestWorkloadStatsIntegration:
+    def test_queries_feed_workload_stats(self, tman, dataset):
+        reset_all()
+        for query in _all_queries(dataset):
+            tman.query(query)
+        doc = workload_stats().snapshot()
+        types = {g["query_type"] for g in doc["groups"]}
+        assert types == {type(q).__name__ for q in _all_queries(dataset)}
+        assert doc["total_queries"] == 7
+
+    def test_estimate_ratio_recorded_for_range_queries(self, tman, dataset):
+        reset_all()
+        span = dataset[0].time_range
+        tman.query(TemporalRangeQuery(TimeRange(span.start, span.start + 7200)))
+        groups = workload_stats().snapshot()["groups"]
+        (group,) = [g for g in groups if g["query_type"] == "TemporalRangeQuery"]
+        assert group["estimate_ratio"]["count"] == 1
