@@ -46,6 +46,14 @@ HEADLINE_PATHS: dict[str, tuple[str, ...]] = {
         "storage.sstable_ratio_v2_over_v1",
         "topk_similarity.p50_speedup",
     ),
+    "cbo": (
+        "tr_vs_interval.p50_speedup",
+        "tr_vs_interval.interval.p50_ms",
+        "tr_vs_interval.tr.p50_ms",
+        "planner_regret.default.regret",
+        "planner_regret.calibrated.regret",
+        "adaptive_replan.speedup_vs_stale",
+    ),
 }
 
 # Key-name fragments that mark a numeric leaf as a headline candidate in

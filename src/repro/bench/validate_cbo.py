@@ -1,0 +1,151 @@
+"""CLI schema + regret gate for the CBO benchmark report.
+
+``python -m repro.bench.validate_cbo FILE`` exits non-zero when the
+``BENCH_cbo.json`` a benchmark run emitted is missing sections, carries
+wrongly-typed values, or — the part CI actually gates on — when the
+calibrated planner regret exceeds ``--max-regret`` (default 0.15, the
+acceptance bound of the CBO PR).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+_PERCENTILES = {"p50_ms": float, "p99_ms": float}
+_REGRET = {
+    "regret": float,
+    "picked_best": int,
+    "cbo_mean_ms": float,
+    "oracle_mean_ms": float,
+}
+
+SCHEMA = {
+    "profile": str,
+    "smoke": bool,
+    "n_trajectories": int,
+    "max_regret_gate": float,
+    "tr_vs_interval": {
+        "queries": int,
+        "tr": _PERCENTILES,
+        "interval": _PERCENTILES,
+        "tr_windows_p50": int,
+        "interval_windows_p50": int,
+        "p50_speedup": float,
+        "cbo_picks_interval": bool,
+    },
+    "planner_regret": {
+        "queries": int,
+        "calibration_samples": int,
+        "default": _REGRET,
+        "calibrated": _REGRET,
+        "constants": {
+            "seq_row": float,
+            "point_get": float,
+            "window_open": float,
+            "decode_row": float,
+        },
+    },
+    "adaptive_replan": {
+        "estimate": float,
+        "observed": int,
+        "stale_plan": str,
+        "final_plan": str,
+        "triggered": bool,
+        "results_match": bool,
+        "stale_completed_ms": float,
+        "adaptive_ms": float,
+        "final_plan_alone_ms": float,
+        "speedup_vs_stale": float,
+    },
+}
+
+DEFAULT_MAX_REGRET = 0.15
+
+
+def validate_report(doc: object, schema: dict = SCHEMA, path: str = "") -> list[str]:
+    """Return a list of schema violations (empty when the report is valid)."""
+    errors: list[str] = []
+    if not isinstance(doc, dict):
+        return [f"{path or '<root>'}: expected object, got {type(doc).__name__}"]
+    for key, expected in schema.items():
+        here = f"{path}.{key}" if path else key
+        if key not in doc:
+            errors.append(f"{here}: missing")
+            continue
+        value = doc[key]
+        if isinstance(expected, dict):
+            errors.extend(validate_report(value, expected, here))
+        elif expected is float:
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                errors.append(f"{here}: expected number, got {type(value).__name__}")
+        elif not isinstance(value, expected) or (
+            expected is int and isinstance(value, bool)
+        ):
+            errors.append(
+                f"{here}: expected {expected.__name__}, got {type(value).__name__}"
+            )
+    return errors
+
+
+def gate_errors(doc: dict, max_regret: float) -> list[str]:
+    """Quality gates beyond type shape: regret bound, replan soundness."""
+    errors: list[str] = []
+    regret = doc["planner_regret"]["calibrated"]["regret"]
+    if regret > max_regret:
+        errors.append(
+            f"planner_regret.calibrated.regret: {regret} exceeds {max_regret}"
+        )
+    replan = doc["adaptive_replan"]
+    if not replan["triggered"]:
+        errors.append("adaptive_replan.triggered: divergence guard never fired")
+    if not replan["results_match"]:
+        errors.append("adaptive_replan.results_match: re-planned results diverged")
+    return errors
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Validate each report file; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.validate_cbo",
+        description="Schema + regret gate for BENCH_cbo.json reports.",
+    )
+    parser.add_argument("paths", nargs="*", metavar="FILE")
+    parser.add_argument(
+        "--max-regret",
+        type=float,
+        default=DEFAULT_MAX_REGRET,
+        help=f"fail when calibrated regret exceeds this (default {DEFAULT_MAX_REGRET})",
+    )
+    opts = parser.parse_args(sys.argv[1:] if argv is None else argv)
+    if not opts.paths:
+        parser.print_usage(sys.stderr)
+        return 2
+    failed = False
+    for path in opts.paths:
+        try:
+            with open(path) as fh:
+                doc = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"{path}: unreadable ({exc})", file=sys.stderr)
+            failed = True
+            continue
+        errors = validate_report(doc)
+        if not errors:
+            errors = gate_errors(doc, opts.max_regret)
+        if errors:
+            failed = True
+            for error in errors:
+                print(f"{path}: {error}", file=sys.stderr)
+        else:
+            regret = doc["planner_regret"]["calibrated"]["regret"]
+            print(
+                f"{path}: schema-valid (profile={doc['profile']}, "
+                f"calibrated regret={regret} <= {opts.max_regret})"
+            )
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,6 +7,8 @@ Commands:
 - ``query`` — run a temporal/spatial/id query against a saved deployment
   (``--trace-out`` writes a Chrome trace, ``--slow-ms`` arms the slow-query
   log, ``--deadline-ms``/``--allow-partial`` bound end-to-end execution);
+- ``explain`` — show every applicable plan with its estimated cost, run
+  the query, and compare the optimizer's estimate against what it touched;
 - ``info`` — show a saved deployment's configuration and statistics;
 - ``health`` — operational snapshot (admission, memtable pressure, breakers);
 - ``metrics`` — dump the process metrics registry (Prometheus text or JSON);
@@ -124,6 +126,57 @@ def cmd_load(args: argparse.Namespace) -> int:
         f"loaded {report.rows_written} trajectories "
         f"({report.elements_encoded} elements encoded) -> {args.deployment}"
     )
+    return 0
+
+
+def _build_query(args: argparse.Namespace):
+    """The query descriptor shared by ``query`` and ``explain``."""
+    if args.type == "temporal":
+        return TemporalRangeQuery(TimeRange(args.start, args.end))
+    if args.type == "spatial":
+        x1, y1, x2, y2 = (float(v) for v in args.window.split(","))
+        return SpatialRangeQuery(MBR(x1, y1, x2, y2))
+    if args.type == "st":
+        x1, y1, x2, y2 = (float(v) for v in args.window.split(","))
+        return STRangeQuery(MBR(x1, y1, x2, y2), TimeRange(args.start, args.end))
+    return IDTemporalQuery(args.oid, TimeRange(args.start, args.end))
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    """``explain``: candidate plans, estimated costs, and the actual run."""
+    with open_tman(args.deployment) as tman:
+        q = _build_query(args)
+        est = tman.planner.estimate_candidates(q)
+        print(tman.explain(q))
+        print("candidate plans (cost in calibrated I/O units):")
+        for p in tman.explain_plans(q):
+            marker = "*" if p["chosen"] else " "
+            cost = "-" if p["cost"] is None else f"{p['cost']:.0f}"
+            rows = "-" if p["est_rows"] is None else f"{p['est_rows']:.0f}"
+            print(
+                f"  {marker} {p['index'] + '/' + p['route']:<20} "
+                f"cost={cost:>10} est_rows={rows:>8}  {p['reason']}"
+            )
+        if args.no_run:
+            return 0
+        res = tman.query(q)
+        est_text = "n/a" if est is None else f"{est:.0f}"
+        ratio = (
+            "n/a"
+            if est is None or est <= 0
+            else f"{res.candidates / est:.2f}x"
+        )
+        print(
+            f"actual: {len(res)} trajectories, {res.candidates} candidates "
+            f"(estimated {est_text}, ratio {ratio}), {res.windows} scans, "
+            f"{res.elapsed_ms:.1f} ms wall, {res.simulated_ms:.2f} ms simulated"
+        )
+        if res.trace is not None and "replanned_from" in res.trace.annotations:
+            print(
+                f"adaptive re-plan: started on "
+                f"{res.trace.annotations['replanned_from']}, finished on "
+                f"{res.plan}"
+            )
     return 0
 
 
@@ -505,6 +558,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="on deadline expiry return rows produced so far instead of failing",
     )
     q.set_defaults(fn=cmd_query)
+
+    e = sub.add_parser(
+        "explain", help="show candidate plans with estimated vs actual cost"
+    )
+    e.add_argument("deployment")
+    e.add_argument(
+        "--type", choices=["temporal", "spatial", "st", "id"], required=True
+    )
+    e.add_argument("--start", type=float, default=0.0, help="time range start (s)")
+    e.add_argument("--end", type=float, default=0.0, help="time range end (s)")
+    e.add_argument("--window", help="x1,y1,x2,y2 spatial window")
+    e.add_argument("--oid", help="object id for --type id")
+    e.add_argument(
+        "--no-run",
+        action="store_true",
+        help="print the plan table without executing the query",
+    )
+    e.set_defaults(fn=cmd_explain)
 
     i = sub.add_parser("info", help="describe a saved deployment")
     i.add_argument("deployment")

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
 
 from repro.model.timerange import TimeRange
 
@@ -25,6 +26,40 @@ DEFAULT_MAX_PERIODS = 48
 
 class TimeBinOverflowError(ValueError):
     """Raised when a time range spans more periods than the configured N."""
+
+
+@runtime_checkable
+class TemporalIndex(Protocol):
+    """The pluggable temporal-index contract.
+
+    A temporal index maps a trajectory's time range to a single integer
+    index value (the secondary rowkey component) and expands a temporal
+    range query into inclusive value intervals whose union covers every
+    possibly-matching row.  Implementations may over-approximate — the
+    pipeline always refines with the exact push-down
+    :class:`~repro.query.filters.TemporalFilter` — but must never miss a
+    row whose time range intersects the query.
+
+    Conformers: :class:`TRIndex` (the paper's time-bin encoding) and
+    :class:`repro.core.interval.IntervalIndex` (a LIT-style two-tier
+    layout).
+    """
+
+    period_seconds: float
+    max_periods: int
+    origin: float
+
+    def index_time_range(self, tr: TimeRange) -> int:
+        """Index value a row with time range ``tr`` is stored under."""
+        ...
+
+    def query_ranges(self, tr: TimeRange) -> list[tuple[int, int]]:
+        """Inclusive candidate value intervals for a temporal range query."""
+        ...
+
+    def value_matches(self, value: int, tr: TimeRange) -> bool:
+        """Coarse test: may the row behind ``value`` overlap the query?"""
+        ...
 
 
 @dataclass(frozen=True)

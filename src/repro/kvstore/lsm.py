@@ -74,6 +74,9 @@ class LSMStore:
         # Trajectory row versions seen by the most recent compaction
         # (None until one runs); see repro.kvstore.census.
         self.last_format_census: Optional[dict[int, int]] = None
+        # Optional CensusHook observing flushed/compacted rows (settable
+        # attribute so constructor signatures stay stable).
+        self.census_hook = None
         # Backpressure state (None = seed behavior: no locks, sync flush).
         self._limits = (
             write_limits if write_limits is not None and write_limits.enabled else None
@@ -214,7 +217,10 @@ class LSMStore:
     def _build_sstable(self, frozen: MemTable) -> SSTable:
         _FLUSH_TOTAL.inc()
         _FLUSH_BYTES.inc(frozen.approx_bytes)
-        return SSTable(list(frozen.items()), self._stats)
+        entries = list(frozen.items())
+        if self.census_hook is not None:
+            self.census_hook.on_flush(id(self), entries)
+        return SSTable(entries, self._stats)
 
     def _drain_frozen_locked(self) -> None:
         """Flush every frozen memtable inline (lock held; no-flusher path)."""
@@ -277,6 +283,8 @@ class LSMStore:
         _FLUSH_TOTAL.inc()
         _FLUSH_BYTES.inc(self._memtable.approx_bytes)
         entries = list(self._memtable.items())
+        if self.census_hook is not None:
+            self.census_hook.on_flush(id(self), entries)
         self._sstables.append(SSTable(entries, self._stats))
         self._memtable = MemTable()
         if len(self._sstables) > self._max_tables:
@@ -299,6 +307,8 @@ class LSMStore:
         _COMPACT_TOTAL.inc()
         _COMPACT_BYTES.inc(sum(len(k) + len(v) for k, v in live))
         self.last_format_census = census_rows(live)
+        if self.census_hook is not None:
+            self.census_hook.on_compaction(id(self), live)
         self._sstables = [SSTable(live, self._stats)] if live else []
 
     # -- reads --------------------------------------------------------------

@@ -81,6 +81,7 @@ class Table:
         self._breaker_reset_s = breaker_reset_s
         self._write_limits = write_limits
         self._flusher = flusher
+        self._census_hook = None
         self._next_region_id = 0
         self._regions: list[Region] = []
         # _boundaries[i] is the start key of region i+1.
@@ -139,6 +140,8 @@ class Table:
             flusher=self._flusher,
         )
         region.region_id = region_id  # type: ignore[attr-defined]
+        if self._census_hook is not None:
+            region.set_census_hook(self._census_hook)
         return region
 
     def _layout_path(self):
@@ -521,6 +524,21 @@ class Table:
             breaker=region.breaker,
             deadline=deadline,
         )
+
+    def set_census_hook(self, hook) -> None:
+        """Attach a :class:`~repro.kvstore.census.CensusHook` to every region.
+
+        The hook is remembered so regions created by later splits inherit
+        it too.
+        """
+        self._census_hook = hook
+        for region in self._regions:
+            region.set_census_hook(hook)
+
+    def flush(self) -> None:
+        """Flush every region's memtable (fires any attached census hook)."""
+        for region in self._regions:
+            region._store.flush()
 
     def count_rows(self) -> int:
         """Exact live row count (full scan; test/diagnostic use)."""

@@ -64,6 +64,26 @@ def _rule(title: str) -> str:
     return f"-- {title} " + "-" * max(0, pad)
 
 
+SPARK_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def _sparkline(values: Sequence[float], width: int = 16) -> str:
+    """Render recent estimate ratios as a sparkline; 1.0 sits mid-scale.
+
+    Ratios are observed/estimated candidates, so the interesting range is
+    roughly [0, 2]: values are clamped there and 2+ renders full-height.
+    """
+    if not values:
+        return ""
+    tail = list(values)[-width:]
+    out = []
+    for v in tail:
+        clamped = min(2.0, max(0.0, v))
+        idx = min(len(SPARK_BLOCKS) - 1, int(clamped / 2.0 * len(SPARK_BLOCKS)))
+        out.append(SPARK_BLOCKS[idx])
+    return "".join(out)
+
+
 def render_dashboard(
     snapshot: dict,
     health: Optional[dict] = None,
@@ -72,13 +92,16 @@ def render_dashboard(
     interval_s: Optional[float] = None,
     top_n: int = 5,
     title: str = "repro top",
+    workload: Optional[dict] = None,
 ) -> str:
     """Render one dashboard frame as fixed-width text.
 
     ``snapshot`` (and optionally ``prev_snapshot``) are
     :meth:`MetricsRegistry.snapshot` documents; ``health`` is
     :meth:`TMan.health` output; ``profiles`` an iterable of
-    :class:`~repro.obs.profile.QueryProfile` to rank by attributed cost.
+    :class:`~repro.obs.profile.QueryProfile` to rank by attributed cost;
+    ``workload`` a :meth:`WorkloadStatsCollector.snapshot` document that
+    feeds the plan-choice panel (omitted when ``None``).
     """
     lines: list[str] = [title.ljust(WIDTH)]
 
@@ -166,6 +189,28 @@ def render_dashboard(
             f"write stalls={_scalar(snapshot, 'kv_write_stall_total'):.0f}"
         )
 
+    # -- plan choices (CBO) ----------------------------------------------------
+    if workload is not None:
+        lines.append(_rule("plans"))
+        groups = [g for g in workload.get("groups", ()) if g.get("count")]
+        if groups:
+            lines.append(
+                f"{'type':<19}{'plan':<22}{'count':>7}{'ratio':>8}  est ratio (recent)"
+            )
+            for group in groups:
+                est = group.get("estimate_ratio", {}) or {}
+                mean = est.get("mean")
+                recent = est.get("recent") or ()
+                lines.append(
+                    f"{group.get('query_type', '?'):<19}"
+                    f"{group.get('plan', '?'):<22}"
+                    f"{group.get('count', 0):>7}"
+                    f"{(f'{mean:.2f}' if mean is not None else '-'):>8}"
+                    f"  {_sparkline(recent)}"
+                )
+        else:
+            lines.append("  (no plan choices observed)")
+
     # -- top queries by attributed cost ---------------------------------------
     lines.append(_rule(f"top {top_n} queries by elapsed"))
     ranked = sorted(profiles, key=lambda p: p.elapsed_ms, reverse=True)[:top_n]
@@ -206,5 +251,6 @@ def dashboard_frame(
         prev_snapshot=prev_snapshot,
         interval_s=interval_s,
         top_n=top_n,
+        workload=obs.workload_stats().snapshot(),
     )
     return text, snap

@@ -27,6 +27,7 @@ WORKLOAD_STATS_SCHEMA = "repro.obs.workload_stats/v1"
 
 SELECTIVITY_BINS = 10
 LATENCY_RESERVOIR = 512
+ESTIMATE_RECENT = 32
 MAX_MAP_KEYS = 512
 MAX_PERIODS_PER_QUERY = 64
 CELL_GRID = 16
@@ -69,7 +70,7 @@ class _Group:
     __slots__ = ("count", "latencies", "candidates_sum", "candidates_max",
                  "selectivity_hist", "periods", "cells", "est_count",
                  "est_ratio_sum", "est_ratio_min", "est_ratio_max",
-                 "slowest_ms", "slowest_query_id")
+                 "est_recent", "slowest_ms", "slowest_query_id")
 
     def __init__(self):
         self.count = 0
@@ -83,6 +84,7 @@ class _Group:
         self.est_ratio_sum = 0.0
         self.est_ratio_min = math.inf
         self.est_ratio_max = -math.inf
+        self.est_recent: deque[float] = deque(maxlen=ESTIMATE_RECENT)
         self.slowest_ms = -1.0
         self.slowest_query_id = ""
 
@@ -121,6 +123,7 @@ class _Group:
                 if self.est_count else None,
                 "min": round(self.est_ratio_min, 4) if self.est_count else None,
                 "max": round(self.est_ratio_max, 4) if self.est_count else None,
+                "recent": [round(r, 4) for r in self.est_recent],
             },
             "slowest": {
                 "elapsed_ms": round(self.slowest_ms, 4) if self.count else None,
@@ -218,6 +221,7 @@ class WorkloadStatsCollector:
             group.est_ratio_sum += ratio
             group.est_ratio_min = min(group.est_ratio_min, ratio)
             group.est_ratio_max = max(group.est_ratio_max, ratio)
+            group.est_recent.append(ratio)
 
     @property
     def total_queries(self) -> int:

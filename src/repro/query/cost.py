@@ -1,0 +1,132 @@
+"""Calibrated plan costing for the CBO.
+
+Plans are costed in I/O-derived units, not row counts: a plan that touches
+``R`` rows through ``W`` range scans and resolves ``G`` of them through
+point gets costs ``W*window_open + R*seq_row + G*point_get`` (plus a decode
+term for rows the pipeline must decompress).  The constants are expressed
+relative to one sequentially scanned row (``seq_row == 1``); their defaults
+are sane for the embedded store, and :func:`calibrate` re-derives them for
+a concrete deployment from the per-query resource ledgers the profiler
+already collects (``repro.obs.profile.QueryProfile``), replacing the old
+magic ``SECONDARY_LOOKUP_PENALTY`` multiplier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Union
+
+# Least-squares calibration needs a handful of profiles whose counter mix
+# actually varies; below this the fit is noise and defaults are kept.
+MIN_CALIBRATION_SAMPLES = 8
+
+
+@dataclass(frozen=True)
+class CostConstants:
+    """Per-deployment cost of each primitive I/O operation.
+
+    Units are "sequentially scanned rows": ``seq_row`` is pinned at 1.0
+    and every other constant is how many scanned rows one such operation
+    is worth.  ``point_get`` is one primary-key lookup (the secondary
+    route pays it per resolved match — this is the calibrated successor
+    of the old flat lookup penalty), ``window_open`` the fixed cost of
+    opening one range scan (seek + RPC), and ``decode_row`` the CPU cost
+    of decompressing one trajectory row.
+    """
+
+    seq_row: float = 1.0
+    point_get: float = 4.0
+    window_open: float = 8.0
+    decode_row: float = 0.5
+
+    def __post_init__(self) -> None:
+        for name in ("seq_row", "point_get", "window_open", "decode_row"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+        if self.seq_row <= 0:
+            raise ValueError("seq_row must be positive (it is the unit)")
+
+    def cost(
+        self,
+        rows: float,
+        windows: float = 0.0,
+        point_gets: float = 0.0,
+        decodes: float = 0.0,
+    ) -> float:
+        """Total cost of a plan touching these operation counts."""
+        return (
+            rows * self.seq_row
+            + windows * self.window_open
+            + point_gets * self.point_get
+            + decodes * self.decode_row
+        )
+
+
+ProfileLike = Union[Mapping[str, float], object]
+
+
+def _field(profile: ProfileLike, name: str) -> float:
+    if isinstance(profile, Mapping):
+        return float(profile.get(name, 0.0))
+    return float(getattr(profile, name, 0.0))
+
+
+def calibrate(
+    profiles: Iterable[ProfileLike],
+    defaults: CostConstants = CostConstants(),
+) -> CostConstants:
+    """Fit cost constants to observed per-query latencies.
+
+    ``profiles`` are :class:`~repro.obs.profile.QueryProfile` objects (or
+    their ``as_dict`` mappings); the fit solves
+
+        elapsed_ms ≈ a·rows_scanned + b·point_gets + c·range_scans + d·decode_rows
+
+    by non-negative-clamped least squares and renormalizes so one scanned
+    row costs 1.0.  With too few samples, a degenerate counter mix
+    (singular system), or a non-positive row coefficient, the ``defaults``
+    are returned unchanged — calibration only ever refines, never breaks,
+    the planner.
+    """
+    rows = []
+    for p in profiles:
+        scanned = _field(p, "rows_scanned")
+        gets = _field(p, "point_gets")
+        scans = _field(p, "range_scans")
+        decodes = _field(p, "decode_rows")
+        elapsed = _field(p, "elapsed_ms")
+        if elapsed <= 0.0 or (scanned + gets + scans + decodes) <= 0.0:
+            continue
+        rows.append((scanned, gets, scans, decodes, elapsed))
+    if len(rows) < MIN_CALIBRATION_SAMPLES:
+        return defaults
+
+    try:
+        import numpy as np
+    except ImportError:  # pragma: no cover - numpy is part of the toolchain
+        return defaults
+
+    a = np.array([r[:4] for r in rows], dtype=float)
+    y = np.array([r[4] for r in rows], dtype=float)
+    # Guard against a rank-deficient design matrix (e.g. a workload that
+    # never used the secondary route): lstsq still answers, but the
+    # unconstrained coefficients are meaningless for the missing columns.
+    used = a.sum(axis=0) > 0.0
+    coef = np.zeros(4)
+    try:
+        fit, *_ = np.linalg.lstsq(a[:, used], y, rcond=None)
+    except np.linalg.LinAlgError:  # pragma: no cover - lstsq rarely raises
+        return defaults
+    coef[used] = fit
+    seq = float(coef[0])
+    if seq <= 0.0:
+        return defaults
+    point_get = max(0.0, float(coef[1])) / seq if used[1] else defaults.point_get
+    window_open = max(0.0, float(coef[2])) / seq if used[2] else defaults.window_open
+    decode_row = max(0.0, float(coef[3])) / seq if used[3] else defaults.decode_row
+    return CostConstants(
+        seq_row=1.0,
+        point_get=point_get,
+        window_open=window_open,
+        decode_row=decode_row,
+    )

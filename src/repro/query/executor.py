@@ -35,6 +35,8 @@ from repro.obs.profile import (
     profiling_enabled,
 )
 from repro.query.operators import (
+    DivergenceGuard,
+    PlanDivergenceError,
     PointDistanceRefine,
     RegionScan,
     SimilarityRefine,
@@ -83,6 +85,9 @@ _QUERY_DEADLINE = _obs_counter(
     "Queries whose deadline expired, by outcome (error or partial)",
     labelnames=("outcome",),
 )
+_QUERY_REPLAN = _obs_counter(
+    "query_replan_total", "Mid-query adaptive re-plans triggered"
+)
 
 Query = Union[
     TemporalRangeQuery,
@@ -108,6 +113,7 @@ class QueryExecutor:
         query: Query,
         limit: Optional[int] = None,
         deadline: Optional[Deadline] = None,
+        plan: Optional[QueryPlan] = None,
     ) -> QueryResult:
         """Plan the query, assemble its pipeline, and run it.
 
@@ -117,9 +123,13 @@ class QueryExecutor:
         propagates to every scan and point-get; on expiry the query
         raises :class:`QueryTimeoutError`, or — when the deadline was
         created with ``allow_partial`` — returns whatever rows were
-        produced so far with ``result.partial`` set.
+        produced so far with ``result.partial`` set.  ``plan`` forces a
+        specific access path (plan-equivalence testing, benchmarks);
+        forced plans also disable adaptive re-planning.
         """
-        plan = self._t.planner.plan(query)
+        forced = plan is not None
+        if plan is None:
+            plan = self._t.planner.plan(query)
         profile, scope = self._profile_scope(query, plan)
         before = self._t.cluster.stats.snapshot()
         retry_before = retry_counts()
@@ -144,11 +154,9 @@ class QueryExecutor:
                 elif isinstance(query, ThresholdSimilarityQuery) and limit is not None:
                     raise ValueError("limit is not supported for similarity queries")
                 else:
-                    pipeline = build_pipeline(
-                        self._t, query, plan, trace=trace, limit=limit,
-                        deadline=deadline,
+                    trajs, plan = self._run_pipeline(
+                        query, plan, trace, limit, deadline, forced
                     )
-                    trajs = pipeline.run()
             except QueryTimeoutError:
                 if _QUERY_DEADLINE._registry.enabled:
                     _QUERY_DEADLINE.labels(outcome="error").inc()
@@ -200,6 +208,66 @@ class QueryExecutor:
             )
             result.count = count
             return result
+
+    def _run_pipeline(
+        self,
+        query: Query,
+        plan: QueryPlan,
+        trace: Optional[ExecutionTrace],
+        limit: Optional[int],
+        deadline: Optional[Deadline],
+        forced: bool,
+    ) -> tuple[list[Trajectory], QueryPlan]:
+        """Run the single-pass pipeline, adaptively re-planning on divergence.
+
+        With ``adaptive_replan`` enabled and a candidate estimate in hand,
+        a :class:`DivergenceGuard` sits between the access path and the
+        decode stage; when the observed candidate stream blows past
+        ``max(replan_min_candidates, estimate * replan_divergence_ratio)``
+        the pipeline aborts and restarts from scratch on the next-cheapest
+        untried plan.  The last plan gets no guard, so every query
+        completes.  Returns the result rows and the plan that produced
+        them (bit-identical to running that plan directly).
+        """
+        cfg = self._t.config
+        estimate: Optional[float] = None
+        alternatives: list[QueryPlan] = []
+        if cfg.adaptive_replan and not forced:
+            estimate = self._t.planner.estimate_candidates(query)
+            if estimate is not None:
+                alternatives = [
+                    c.plan
+                    for c in self._t.planner.candidate_plans(query)
+                    if (c.plan.index, c.plan.route) != (plan.index, plan.route)
+                ]
+        while True:
+            guard = None
+            if alternatives and estimate is not None:
+                guard = DivergenceGuard(
+                    max(
+                        float(cfg.replan_min_candidates),
+                        estimate * cfg.replan_divergence_ratio,
+                    )
+                )
+            pipeline = build_pipeline(
+                self._t, query, plan, trace=trace, limit=limit,
+                deadline=deadline, guard=guard,
+            )
+            try:
+                return pipeline.run(), plan
+            except PlanDivergenceError as exc:
+                nxt = alternatives.pop(0)
+                _QUERY_REPLAN.inc()
+                if trace is not None:
+                    trace.annotate(
+                        "replanned_from", f"{plan.index}/{plan.route}"
+                    )
+                    trace.annotate("replan_observed_rows", exc.observed)
+                plan = QueryPlan(
+                    nxt.index,
+                    nxt.route,
+                    f"replanned from {plan.index}/{plan.route}: {nxt.reason}",
+                )
 
     @staticmethod
     def _profile_scope(query: Query, plan: QueryPlan):

@@ -361,14 +361,31 @@ def _st_coarse_windows(tman: "TMan", tr_ranges) -> list[tuple[bytes, bytes]]:
     )
 
 
+def _interval_stages(
+    tman: "TMan",
+    time_range,
+    row_filter,
+    deadline: Optional[Deadline] = None,
+) -> list[Operator]:
+    """Secondary route through the LIT-style interval index: two windows
+    (one contiguous main-tier run + the long tier); the exact push-down
+    temporal filter removes the tail false positives."""
+    windows = secondary_windows_inclusive(
+        tman.interval_index.query_ranges(time_range)
+    )
+    return _secondary_stages(tman, "interval", windows, row_filter, deadline)
+
+
 def _trq_stages(
     tman: "TMan",
     query: TemporalRangeQuery,
     plan: "QueryPlan",
     deadline: Optional[Deadline] = None,
 ) -> tuple[list[Operator], bool]:
-    tr_ranges = _tr_query_ranges(tman, query.time_range)
     row_filter = TemporalFilter(query.time_range)
+    if plan.index == "interval":
+        return _interval_stages(tman, query.time_range, row_filter, deadline), False
+    tr_ranges = _tr_query_ranges(tman, query.time_range)
     if plan.route == "primary":
         if plan.index == "st":
             windows = _st_coarse_windows(tman, tr_ranges)
@@ -453,6 +470,8 @@ def _strq_stages(
             return scan_stages(tman, windows, row_filter, deadline), False
         windows = secondary_windows_inclusive(tr_ranges)
         return _secondary_stages(tman, "tr", windows, row_filter, deadline), False
+    if plan.index == "interval":
+        return _interval_stages(tman, query.time_range, row_filter, deadline), False
     return scan_stages(tman, [(None, None)], row_filter, deadline), False
 
 
@@ -480,6 +499,8 @@ def _idt_stages(
     if plan.route == "secondary" and plan.index == "tr":
         windows = secondary_windows_inclusive(tr_ranges)
         return _secondary_stages(tman, "tr", windows, row_filter, deadline), False
+    if plan.index == "interval":
+        return _interval_stages(tman, query.time_range, row_filter, deadline), False
     return scan_stages(tman, [(None, None)], row_filter, deadline), False
 
 
@@ -508,6 +529,7 @@ def build_pipeline(
     limit: Optional[int] = None,
     count: bool = False,
     deadline: Optional[Deadline] = None,
+    guard: Optional[Operator] = None,
 ) -> Pipeline:
     """Assemble the streaming pipeline for a single-pass query.
 
@@ -515,8 +537,12 @@ def build_pipeline(
     counter on the *same* stages — primary-route range counts skip the
     decode stage entirely and parse trajectory ids from rowkeys.
     ``limit`` installs an early-terminating sink instead of ``Collect``.
-    The iterative query types (top-k similarity, kNN point) are driven
-    round-by-round by the executor and cannot be assembled here.
+    ``guard`` (a :class:`~repro.query.operators.DivergenceGuard`) is
+    inserted between the access path and the decode stage on non-count
+    pipelines, where it watches the candidate stream for the adaptive
+    re-planner.  The iterative query types (top-k similarity, kNN point)
+    are driven round-by-round by the executor and cannot be assembled
+    here.
     """
     post_decode: list[Operator] = []
     if isinstance(query, TemporalRangeQuery):
@@ -545,6 +571,8 @@ def build_pipeline(
         stages = stages + [Decode(tman.serializer)] + post_decode
         return Pipeline(stages, Count(), trace, plan, deadline)
 
+    if guard is not None:
+        stages = stages + [guard]
     stages = stages + [Decode(tman.serializer)] + post_decode
     sink = Collect() if limit is None else Limit(limit)
     return Pipeline(stages, sink, trace, plan, deadline)

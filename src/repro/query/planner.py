@@ -1,19 +1,27 @@
 """Rule-based and cost-based query optimization (§V-A).
 
 The RBO encodes the paper's priority ``IDT > primary indexes > secondary
-indexes``.  For spatio-temporal queries on deployments whose primary index
-serves only one dimension, the CBO compares the estimated candidate count of
-the primary-index route against the secondary-index route (which pays a
-key-lookup round trip per match, modeled as a cost multiplier).
+indexes`` and is the fallback whenever no statistics exist.  With
+statistics — the learned per-table histograms maintained at
+flush/compaction time (:mod:`repro.storage.statistics`) when available,
+else the write-path reservoir :class:`DataStatistics` — the CBO costs
+every applicable ``(index, route)`` pair in calibrated I/O units
+(:mod:`repro.query.cost`): range-scan rows, window opens, the point-get
+round trip the secondary route pays per match, and decode work.  The
+old flat ``SECONDARY_LOOKUP_PENALTY`` multiplier is gone; the penalty is
+now the calibrated ``point_get`` constant applied per resolved row.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Union
+from typing import TYPE_CHECKING, Callable, Optional, Union
 
+from repro.core.interval import IntervalIndex
+from repro.core.temporal import TRIndex
 from repro.model.mbr import MBR
 from repro.model.timerange import TimeRange
+from repro.query.cost import CostConstants
 from repro.query.types import (
     IDTemporalQuery,
     KNNPointQuery,
@@ -23,7 +31,11 @@ from repro.query.types import (
     ThresholdSimilarityQuery,
     TopKSimilarityQuery,
 )
+from repro.query.windows import coalesce_inclusive_ranges
 from repro.storage.config import TManConfig
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import
+    from repro.storage.statistics import TableStatistics
 
 Query = Union[
     TemporalRangeQuery,
@@ -34,7 +46,10 @@ Query = Union[
     TopKSimilarityQuery,
 ]
 
-SECONDARY_LOOKUP_PENALTY = 3.0
+# Indexes that can serve a purely temporal predicate, in RBO priority
+# order (the ST index's TR prefix also answers temporal queries; the
+# interval index trades window count for tail false positives).
+TEMPORAL_INDEXES = ("tr", "st", "interval")
 
 
 @dataclass(frozen=True)
@@ -59,7 +74,15 @@ class DataStatistics:
             return hits / len(self.sample)
         span = max(1e-9, self.time_span.duration)
         overlap = tr.intersection(self.time_span)
-        return (overlap.duration / span) if overlap else 0.0
+        if overlap is None:
+            return 0.0
+        frac = overlap.duration / span
+        if frac <= 0.0:
+            # Degenerate (instant) windows inside the span used to
+            # estimate zero rows even though rows at that instant exist;
+            # clamp to the one-row granularity floor instead.
+            return min(1.0, 1.0 / max(1, self.row_count))
+        return frac
 
     def spatial_selectivity(self, window: MBR) -> float:
         """Estimated fraction of rows whose MBR hits ``window``."""
@@ -75,9 +98,22 @@ class DataStatistics:
 class QueryPlan:
     """The optimizer's decision: which index, via which route."""
 
-    index: str  # tr | tshape | st | idt | scan
+    index: str  # tr | tshape | st | idt | interval | scan
     route: str  # primary | secondary | scan
     reason: str
+
+
+@dataclass(frozen=True)
+class PlanCandidate:
+    """One costed alternative from :meth:`QueryPlanner.candidate_plans`.
+
+    ``cost`` and ``est_rows`` are ``None`` when no statistics were
+    available to cost the plan (pure-RBO planning).
+    """
+
+    plan: QueryPlan
+    cost: Optional[float]
+    est_rows: Optional[float]
 
 
 class QueryPlanner:
@@ -86,38 +122,143 @@ class QueryPlanner:
     def __init__(self, config: TManConfig, stats: Optional[DataStatistics] = None):
         self.config = config
         self.stats = stats
+        self.cost_constants = CostConstants()
+        self._table_stats: Optional[
+            Callable[[], Optional["TableStatistics"]]
+        ] = None
+        self._tr = TRIndex(
+            config.tr_period_seconds, config.tr_max_periods, config.time_origin
+        )
+        self._interval = IntervalIndex(
+            config.tr_period_seconds, config.tr_max_periods, config.time_origin
+        )
+        self._spatial_window_counter: Optional[Callable[[MBR], int]] = None
+
+    # -- statistics plumbing --------------------------------------------------
 
     def update_statistics(self, stats: DataStatistics) -> None:
-        """Replace the statistics snapshot the CBO plans with."""
+        """Replace the reservoir statistics snapshot the CBO plans with."""
         self.stats = stats
+
+    def set_statistics_provider(
+        self, provider: Callable[[], Optional["TableStatistics"]]
+    ) -> None:
+        """Attach the learned-statistics source (pulled live per plan).
+
+        The provider is typically
+        :meth:`repro.storage.statistics.TableStatisticsBuilder.snapshot`;
+        because it is called on every estimate, statistics refresh
+        automatically after each flush/compaction with nobody calling
+        :meth:`update_statistics`.
+        """
+        self._table_stats = provider
+
+    def set_cost_constants(self, constants: CostConstants) -> None:
+        """Install (calibrated) cost constants for plan costing."""
+        self.cost_constants = constants
+
+    def set_spatial_window_counter(self, counter: Callable[[MBR], int]) -> None:
+        """Attach a callback returning the range scans a TShape window opens.
+
+        The spatial multirange expansion can produce thousands of key
+        ranges for a wide window — orders of magnitude more than the
+        temporal routes — so costing it at a constant window count makes
+        the CBO prefer catastrophically seek-bound spatial plans.  The
+        deployment wires this to the live index's ``query_ranges`` (cached,
+        so the pipeline reuses the expansion the planner just counted).
+        """
+        self._spatial_window_counter = counter
+
+    def _spatial_windows(self, window: MBR) -> int:
+        if self._spatial_window_counter is None:
+            return 1
+        return max(1, int(self._spatial_window_counter(window)))
+
+    def table_statistics(self) -> Optional["TableStatistics"]:
+        """The current learned statistics snapshot, or None before any flush."""
+        return self._table_stats() if self._table_stats is not None else None
+
+    def _has_stats(self) -> bool:
+        return self.table_statistics() is not None or self.stats is not None
+
+    def _row_count(self) -> int:
+        ts = self.table_statistics()
+        if ts is not None:
+            return ts.row_count
+        return self.stats.row_count if self.stats is not None else 0
+
+    # -- selectivity estimates ------------------------------------------------
+
+    def _est_temporal(self, tr: TimeRange) -> Optional[float]:
+        ts = self.table_statistics()
+        if ts is not None:
+            return ts.estimate_temporal(tr)
+        if self.stats is not None:
+            return self.stats.row_count * self.stats.temporal_selectivity(tr)
+        return None
+
+    def _est_spatial(self, window: MBR) -> Optional[float]:
+        ts = self.table_statistics()
+        if ts is not None:
+            return ts.estimate_spatial(window)
+        if self.stats is not None:
+            return self.stats.row_count * self.stats.spatial_selectivity(window)
+        return None
+
+    def _est_st(self, window: MBR, tr: TimeRange) -> Optional[float]:
+        ts = self.table_statistics()
+        if ts is not None:
+            return ts.estimate_st(window, tr)
+        if self.stats is not None:
+            return (
+                self.stats.row_count
+                * self.stats.temporal_selectivity(tr)
+                * self.stats.spatial_selectivity(window)
+            )
+        return None
+
+    @staticmethod
+    def _first_ring(query: TopKSimilarityQuery) -> MBR:
+        """The executor's first expanding-ring window for a top-k query."""
+        qmbr = query.query.mbr
+        diag = max(1e-4, (qmbr.width**2 + qmbr.height**2) ** 0.5)
+        return qmbr.expanded(diag / 4.0)
 
     def estimate_candidates(self, query: Query) -> Optional[float]:
         """The planner's prior for rows a query will touch.
 
-        ``None`` without statistics or for query shapes the estimator
-        does not model (similarity/kNN rings).  The workload-statistics
-        collector compares this prior against the observed candidate
-        count, which is exactly the feedback signal an adaptive CBO
-        needs.
+        ``None`` without statistics.  Range shapes estimate from the
+        period/cell histograms (or the reservoir sample); similarity and
+        kNN shapes estimate the first expanding ring's spatial candidates
+        via the cell histogram.  The workload-statistics collector
+        compares this prior against the observed candidate count, which
+        is exactly the feedback signal an adaptive CBO needs.
         """
-        if self.stats is None:
-            return None
-        n = self.stats.row_count
         if isinstance(query, TemporalRangeQuery):
-            return n * self.stats.temporal_selectivity(query.time_range)
+            return self._est_temporal(query.time_range)
         if isinstance(query, SpatialRangeQuery):
-            return n * self.stats.spatial_selectivity(query.window)
+            return self._est_spatial(query.window)
         if isinstance(query, STRangeQuery):
             # Independence assumption for the conjunction.
-            return (
-                n
-                * self.stats.temporal_selectivity(query.time_range)
-                * self.stats.spatial_selectivity(query.window)
-            )
+            return self._est_st(query.window, query.time_range)
         if isinstance(query, IDTemporalQuery):
             # No per-object statistics yet: the temporal fraction is the
             # best (over-)estimate available.
-            return n * self.stats.temporal_selectivity(query.time_range)
+            return self._est_temporal(query.time_range)
+        if isinstance(query, ThresholdSimilarityQuery):
+            return self._est_spatial(query.query.mbr.expanded(query.threshold))
+        if isinstance(query, TopKSimilarityQuery):
+            return self._est_spatial(self._first_ring(query))
+        if isinstance(query, KNNPointQuery):
+            ts = self.table_statistics()
+            if ts is not None:
+                return float(ts.cell_count_at(query.x, query.y))
+            if self.stats is not None:
+                b = self.stats.dense_region
+                r = max(1e-9, min(b.width, b.height) / 64.0)
+                ring = MBR(query.x - r, query.y - r, query.x + r, query.y + r)
+                return self.stats.row_count * self.stats.spatial_selectivity(ring)
+            return None
         return None
 
     def plan_pipeline(
@@ -160,22 +301,216 @@ class QueryPlanner:
                 return QueryPlan(index, route, f"RBO: {index} available as secondary")
         return None
 
+    def _temporal_routes(self) -> list[tuple[str, str]]:
+        """Configured temporal ``(index, route)`` pairs in RBO order."""
+        out = []
+        for index in TEMPORAL_INDEXES:
+            route = self._route(index)
+            if route is not None:
+                out.append((index, route))
+        return out
+
+    # -- plan costing ---------------------------------------------------------
+
+    def _tr_window_count(self, tr: TimeRange) -> int:
+        """Range scans the TR route opens (after coalescing, pre-sharding)."""
+        try:
+            ranges = self._tr.query_ranges(tr)
+        except ValueError:  # pre-origin instants: pessimistic N windows
+            return self.config.tr_max_periods
+        if self.config.coalesce_windows:
+            ranges = coalesce_inclusive_ranges(ranges)
+        return max(1, len(ranges))
+
+    def _interval_rows(self, tr: TimeRange) -> float:
+        """Rows the interval route touches: matches plus the tail.
+
+        The merged main-tier run deliberately over-approximates with rows
+        ending up to ``N - 1`` periods past the query end; estimate that
+        tail from the same histogram so the CBO sees the route's real
+        price on dense-tail data.
+        """
+        matches = self._est_temporal(tr) or 0.0
+        n = self.config.tr_max_periods
+        tail = TimeRange(tr.end, tr.end + (n - 1) * self.config.tr_period_seconds)
+        return matches + (self._est_temporal(tail) or 0.0)
+
+    def _cost_candidate(
+        self, query: Query, index: str, route: str
+    ) -> tuple[float, float]:
+        """``(cost, est_rows_touched)`` for one applicable (index, route).
+
+        Costs are in calibrated I/O units (:class:`CostConstants`): rows
+        streamed through range scans, window-open overhead per scan (×
+        shard count on the primary table), one point get per secondary
+        match resolved, and decode work for surviving rows.
+        """
+        c = self.cost_constants
+        shards = max(1, self.config.num_shards)
+        matches = self.estimate_candidates(query) or 0.0
+
+        if index == "scan" or route == "scan":
+            n = float(self._row_count())
+            return c.cost(rows=n, windows=shards, decodes=n), n
+
+        time_range = getattr(query, "time_range", None)
+
+        if index == "interval" and time_range is not None:
+            # Scans matches plus the over-approximated tail, but the
+            # push-down TemporalFilter prunes before resolve: only the
+            # true matches pay a point get.
+            rows = self._interval_rows(time_range)
+            return (
+                c.cost(rows=rows, windows=2, point_gets=matches, decodes=matches),
+                rows,
+            )
+
+        if index in ("tr", "st", "idt") and time_range is not None:
+            rows = self._est_temporal(time_range) or 0.0
+            wins = self._tr_window_count(time_range)
+            if (
+                index == "st"
+                and route == "primary"
+                and isinstance(query, STRangeQuery)
+            ):
+                # Fine ST windows push both predicates into the key space.
+                rows = self._est_st(query.window, time_range) or rows
+            if route == "primary":
+                return (
+                    c.cost(rows=rows, windows=wins * shards, decodes=matches),
+                    rows,
+                )
+            return (
+                c.cost(rows=rows, windows=wins, point_gets=matches, decodes=matches),
+                rows,
+            )
+
+        if index == "tshape":
+            if isinstance(query, ThresholdSimilarityQuery):
+                window = query.query.mbr.expanded(query.threshold)
+            elif isinstance(query, TopKSimilarityQuery):
+                window = self._first_ring(query)
+            elif isinstance(query, KNNPointQuery):
+                b = self.config.boundary
+                r = min(b.width, b.height) / 64.0
+                window = MBR(query.x - r, query.y - r, query.x + r, query.y + r)
+            else:
+                window = query.window
+            rows = self._est_spatial(window) or 0.0
+            wins = self._spatial_windows(window)
+            if route == "primary":
+                return c.cost(rows=rows, windows=wins, decodes=matches), rows
+            return (
+                c.cost(rows=rows, windows=wins, point_gets=matches, decodes=matches),
+                rows,
+            )
+
+        # Unknown combination: infinitely expensive, never chosen.
+        return float("inf"), 0.0
+
+    def _applicable(self, query: Query) -> list[tuple[str, str]]:
+        """Every (index, route) the pipeline can execute, RBO order."""
+        if isinstance(query, IDTemporalQuery):
+            pairs = []
+            idt_route = self._route("idt")
+            if idt_route is not None:
+                pairs.append(("idt", idt_route))
+            pairs.extend(self._temporal_routes())
+            return pairs or [("scan", "scan")]
+        if isinstance(query, TemporalRangeQuery):
+            return self._temporal_routes() or [("scan", "scan")]
+        if isinstance(query, SpatialRangeQuery):
+            route = self._route("tshape")
+            return [("tshape", route)] if route else [("scan", "scan")]
+        if isinstance(query, STRangeQuery):
+            pairs = []
+            if self.config.primary_index == "st":
+                pairs.append(("st", "primary"))
+            tshape_route = self._route("tshape")
+            if tshape_route is not None:
+                pairs.append(("tshape", tshape_route))
+            for index in ("tr", "interval"):
+                route = self._route(index)
+                if route is not None:
+                    pairs.append((index, route))
+            return pairs or [("scan", "scan")]
+        if isinstance(
+            query, (ThresholdSimilarityQuery, TopKSimilarityQuery, KNNPointQuery)
+        ):
+            route = self._route("tshape")
+            return [("tshape", route)] if route else [("scan", "scan")]
+        raise TypeError(f"unknown query type: {type(query).__name__}")
+
+    def candidate_plans(self, query: Query) -> list[PlanCandidate]:
+        """Every applicable plan with its estimated cost, chosen plan first.
+
+        Deterministic: ties and the no-statistics case keep the RBO
+        priority order.  The executor's adaptive re-planner walks this
+        list when the running plan's observed candidates diverge from the
+        estimate; ``repro explain`` renders it.
+        """
+        chosen = self.plan(query)
+        pairs = self._applicable(query)
+        if (chosen.index, chosen.route) not in pairs:
+            pairs.insert(0, (chosen.index, chosen.route))
+        costed: list[PlanCandidate] = []
+        for index, route in pairs:
+            cost = rows = None
+            if self._has_stats():
+                cost, rows = self._cost_candidate(query, index, route)
+            if (index, route) == (chosen.index, chosen.route):
+                plan = chosen
+            else:
+                plan = QueryPlan(
+                    index,
+                    route,
+                    f"alternative to {chosen.index}/{chosen.route}",
+                )
+            costed.append(PlanCandidate(plan, cost, rows))
+        # Chosen plan leads; the rest follow by estimated cost (stable on
+        # the RBO enumeration order for ties / un-costed plans).
+        head = [c for c in costed if c.plan is chosen]
+        tail = [c for c in costed if c.plan is not chosen]
+        tail.sort(key=lambda c: c.cost if c.cost is not None else float("inf"))
+        return head + tail
+
     # -- planning -------------------------------------------------------------
+
+    def _plan_temporal(self, time_range: TimeRange, query: Query) -> QueryPlan:
+        """Choose among the configured temporal indexes for one time range."""
+        routes = self._temporal_routes()
+        if not routes:
+            return QueryPlan("scan", "scan", "no temporal index available")
+        if len(routes) == 1 or not self._has_stats():
+            # RBO: priority order, primary over secondary messaging.
+            plan = self._first_available(*TEMPORAL_INDEXES)
+            assert plan is not None
+            return plan
+        best = None
+        for index, route in routes:
+            cost, rows = self._cost_candidate(query, index, route)
+            if best is None or cost < best[0]:
+                best = (cost, index, route, rows)
+        cost, index, route, rows = best
+        return QueryPlan(
+            index,
+            route,
+            f"CBO: {index}/{route} cheapest temporal route "
+            f"(cost ~{cost:.0f}, ~{rows:.0f} rows)",
+        )
 
     def plan(self, query: Query) -> QueryPlan:
         """Choose the index and route for a query (RBO + CBO)."""
         if isinstance(query, IDTemporalQuery):
-            # IDT has the highest RBO priority (§V-A).
+            # IDT has the highest RBO priority (§V-A) — absolute, never
+            # outbid by cost: its per-object windows are always narrowest.
             plan = self._first_available("idt")
             if plan:
                 return plan
-            plan = self._first_available("tr", "st")
-            return plan or QueryPlan("scan", "scan", "no temporal index available")
+            return self._plan_temporal(query.time_range, query)
 
         if isinstance(query, TemporalRangeQuery):
-            # The ST index's TR prefix also serves pure temporal queries.
-            plan = self._first_available("tr", "st")
-            return plan or QueryPlan("scan", "scan", "no temporal index available")
+            return self._plan_temporal(query.time_range, query)
 
         if isinstance(query, SpatialRangeQuery):
             plan = self._first_available("tshape")
@@ -195,36 +530,46 @@ class QueryPlanner:
             return QueryPlan("st", "primary", "RBO: ST primary serves STRQ directly")
 
         spatial = self._route("tshape")
-        temporal = self._route("tr")
-        if spatial is None and temporal is None:
+        temporal_routes = [
+            (i, r) for i, r in self._temporal_routes() if i != "st"
+        ]
+        if spatial is None and not temporal_routes:
             return QueryPlan("scan", "scan", "no applicable index")
         if spatial is None:
-            return QueryPlan("tr", temporal, "only a temporal index is available")
-        if temporal is None:
+            if len(temporal_routes) == 1 or not self._has_stats():
+                index, route = temporal_routes[0]
+                return QueryPlan(index, route, "only a temporal index is available")
+            return self._plan_temporal(query.time_range, query)
+        if not temporal_routes:
             return QueryPlan("tshape", spatial, "only a spatial index is available")
 
-        # CBO: estimated rows touched on each route; secondary routes pay a
-        # lookup penalty per candidate.
-        if self.stats is None:
+        if not self._has_stats():
             # Without statistics fall back to the RBO priority: primary wins.
             if spatial == "primary":
                 return QueryPlan("tshape", "primary", "RBO: primary over secondary")
-            return QueryPlan("tr", temporal, "RBO: primary over secondary")
+            index, route = temporal_routes[0]
+            return QueryPlan(index, route, "RBO: primary over secondary")
 
-        n = self.stats.row_count
-        cost_spatial = n * self.stats.spatial_selectivity(query.window)
-        if spatial == "secondary":
-            cost_spatial *= SECONDARY_LOOKUP_PENALTY
-        cost_temporal = n * self.stats.temporal_selectivity(query.time_range)
-        if temporal == "secondary":
-            cost_temporal *= SECONDARY_LOOKUP_PENALTY
+        # CBO: calibrated cost of every applicable route; the secondary
+        # routes pay the point-get constant per resolved candidate.
+        cost_spatial, rows_spatial = self._cost_candidate(query, "tshape", spatial)
+        best_t = None
+        for index, route in temporal_routes:
+            cost, rows = self._cost_candidate(query, index, route)
+            if best_t is None or cost < best_t[0]:
+                best_t = (cost, index, route, rows)
+        cost_temporal, t_index, t_route, rows_temporal = best_t
 
         if cost_spatial <= cost_temporal:
             return QueryPlan(
-                "tshape", spatial,
-                f"CBO: spatial route ~{cost_spatial:.0f} rows <= temporal ~{cost_temporal:.0f}",
+                "tshape",
+                spatial,
+                f"CBO: spatial route cost ~{cost_spatial:.0f} "
+                f"(~{rows_spatial:.0f} rows) <= {t_index} ~{cost_temporal:.0f}",
             )
         return QueryPlan(
-            "tr", temporal,
-            f"CBO: temporal route ~{cost_temporal:.0f} rows < spatial ~{cost_spatial:.0f}",
+            t_index,
+            t_route,
+            f"CBO: {t_index} route cost ~{cost_temporal:.0f} "
+            f"(~{rows_temporal:.0f} rows) < spatial ~{cost_spatial:.0f}",
         )

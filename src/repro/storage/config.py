@@ -7,7 +7,7 @@ from dataclasses import dataclass
 from repro.model.mbr import MBR
 
 VALID_INDEXES = ("tshape", "tr", "st")
-VALID_SECONDARY = ("tr", "idt", "st", "tshape")
+VALID_SECONDARY = ("tr", "idt", "st", "tshape", "interval")
 
 
 @dataclass(frozen=True)
@@ -100,6 +100,15 @@ class TManConfig:
     # Deadline applied to every query that does not pass its own
     # deadline_ms (None = unbounded).
     default_deadline_ms: float | None = None
+    # Adaptive mid-query re-planning: when enabled, single-pass queries
+    # carry a divergence guard that counts candidate rows against the
+    # planner's estimate; past max(replan_min_candidates,
+    # estimate * replan_divergence_ratio) the pipeline aborts and the
+    # executor restarts it on the next-cheapest untried plan.  Results
+    # are bit-identical either way (the restart re-runs from scratch).
+    adaptive_replan: bool = False
+    replan_divergence_ratio: float = 4.0
+    replan_min_candidates: int = 128
 
     def __post_init__(self) -> None:
         if self.primary_index not in VALID_INDEXES:
@@ -199,6 +208,16 @@ class TManConfig:
             raise ValueError(
                 "default_deadline_ms must be positive, got "
                 f"{self.default_deadline_ms}"
+            )
+        if self.replan_divergence_ratio < 1.0:
+            raise ValueError(
+                "replan_divergence_ratio must be >= 1, got "
+                f"{self.replan_divergence_ratio}"
+            )
+        if self.replan_min_candidates < 0:
+            raise ValueError(
+                "replan_min_candidates must be non-negative, got "
+                f"{self.replan_min_candidates}"
             )
 
     @property

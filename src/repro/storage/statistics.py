@@ -1,0 +1,279 @@
+"""Learned per-table statistics, maintained at flush/compaction time.
+
+The :class:`TableStatisticsBuilder` is a census hook (see
+:mod:`repro.kvstore.census`) attached to the primary table's stores: every
+flush folds the new rows into a per-store *fragment*, every compaction
+rebuilds that store's fragment exactly from the live rows, and a retired
+store (region split) drops its fragment.  The merged view over all
+fragments is a :class:`TableStatistics` snapshot — a period histogram, a
+``cell_grid`` x ``cell_grid`` spatial histogram, the row count, and the
+average points per row — which the query planner pulls on demand, so
+estimates track the data without anyone calling ``update_statistics``.
+
+Known, accepted drift: overwrites and deletes are not decremented at flush
+time (the memtable hook only sees new values, not what they replace);
+compaction squares the fragment with the live rows again.  Rows moved by a
+region split are counted by the new regions' first flushes, so totals dip
+transiently between retire and re-flush.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.model.mbr import MBR
+from repro.model.timerange import TimeRange
+from repro.storage.serializer import MAGIC, RowSerializer
+
+CELL_GRID = 16
+# Rows fully decoded per census batch to estimate points/row.
+POINTS_SAMPLE_PER_BATCH = 16
+# Hard bound on histogram iteration for degenerate huge queries.
+MAX_QUERY_PERIODS = 8192
+
+
+@dataclass(frozen=True)
+class TableStatistics:
+    """Immutable merged snapshot the planner estimates from.
+
+    ``period_hist`` counts rows per covered time period (a row spanning k
+    periods contributes to each, so sums are clamped to ``row_count``);
+    ``cell_hist`` counts rows by MBR-center cell on a ``cell_grid`` grid
+    over ``boundary``.
+    """
+
+    row_count: int
+    period_hist: dict[int, int]
+    cell_hist: dict[tuple[int, int], int]
+    time_span: Optional[TimeRange]
+    mbr: Optional[MBR]
+    avg_points_per_row: float
+    boundary: MBR
+    period_seconds: float
+    origin: float
+    cell_grid: int = CELL_GRID
+    generation: int = 0
+
+    # -- estimators ----------------------------------------------------------
+
+    def _period(self, t: float) -> int:
+        return max(0, int((t - self.origin) // self.period_seconds))
+
+    def estimate_temporal(self, tr: TimeRange) -> float:
+        """Estimated rows whose time range intersects ``tr``."""
+        if self.row_count <= 0:
+            return 0.0
+        first = self._period(tr.start)
+        last = max(first, self._period(tr.end))
+        last = min(last, first + MAX_QUERY_PERIODS - 1)
+        est = sum(self.period_hist.get(p, 0) for p in range(first, last + 1))
+        return float(min(est, self.row_count))
+
+    def _cell_bounds(self, gx: int, gy: int) -> tuple[float, float, float, float]:
+        b = self.boundary
+        sx = (b.x2 - b.x1) / self.cell_grid
+        sy = (b.y2 - b.y1) / self.cell_grid
+        return (b.x1 + gx * sx, b.y1 + gy * sy, b.x1 + (gx + 1) * sx, b.y1 + (gy + 1) * sy)
+
+    def estimate_spatial(self, window: MBR) -> float:
+        """Estimated rows intersecting ``window`` (overlap-area weighting)."""
+        if self.row_count <= 0:
+            return 0.0
+        est = 0.0
+        for (gx, gy), count in self.cell_hist.items():
+            cx1, cy1, cx2, cy2 = self._cell_bounds(gx, gy)
+            ox = min(cx2, window.x2) - max(cx1, window.x1)
+            oy = min(cy2, window.y2) - max(cy1, window.y1)
+            if ox <= 0 or oy <= 0:
+                continue
+            area = (cx2 - cx1) * (cy2 - cy1)
+            frac = (ox * oy) / area if area > 0 else 1.0
+            est += count * min(1.0, frac)
+        return float(min(est, self.row_count))
+
+    def estimate_st(self, window: MBR, tr: TimeRange) -> float:
+        """Independence product of the temporal and spatial estimates."""
+        if self.row_count <= 0:
+            return 0.0
+        t = self.estimate_temporal(tr) / self.row_count
+        s = self.estimate_spatial(window) / self.row_count
+        return float(self.row_count * t * s)
+
+    def cell_count_at(self, x: float, y: float) -> int:
+        """Rows whose MBR center falls in the cell containing ``(x, y)``."""
+        b = self.boundary
+        sx = max(b.x2 - b.x1, 1e-12)
+        sy = max(b.y2 - b.y1, 1e-12)
+        gx = min(self.cell_grid - 1, max(0, int((x - b.x1) / sx * self.cell_grid)))
+        gy = min(self.cell_grid - 1, max(0, int((y - b.y1) / sy * self.cell_grid)))
+        return self.cell_hist.get((gx, gy), 0)
+
+
+@dataclass
+class _Fragment:
+    """Per-store accumulator (one LSM store = one region's data)."""
+
+    row_count: int = 0
+    period_hist: dict[int, int] = field(default_factory=dict)
+    cell_hist: dict[tuple[int, int], int] = field(default_factory=dict)
+    time_lo: float = float("inf")
+    time_hi: float = float("-inf")
+    x1: float = float("inf")
+    y1: float = float("inf")
+    x2: float = float("-inf")
+    y2: float = float("-inf")
+    points_sum: int = 0
+    points_rows: int = 0
+
+
+class TableStatisticsBuilder:
+    """Census hook building learned statistics from flush/compaction rows.
+
+    Thread-safe: flushes run on flusher pool threads, sometimes under a
+    store lock, so the hook does pure CPU work (header decodes) only and
+    never re-enters the storage layer.
+    """
+
+    def __init__(
+        self,
+        boundary: MBR,
+        period_seconds: float,
+        origin: float = 0.0,
+        cell_grid: int = CELL_GRID,
+        serializer: Optional[RowSerializer] = None,
+    ):
+        self.boundary = boundary
+        self.period_seconds = period_seconds
+        self.origin = origin
+        self.cell_grid = cell_grid
+        self._serializer = serializer
+        self._lock = threading.Lock()
+        self._fragments: dict[int, _Fragment] = {}
+        self._generation = 0
+        self._snapshot: Optional[TableStatistics] = None
+        self._snapshot_generation = -1
+
+    # -- census hook protocol -------------------------------------------------
+
+    def on_flush(self, store_id: int, rows: Iterable[tuple[bytes, bytes]]) -> None:
+        """Fold newly flushed rows into the store's fragment."""
+        with self._lock:
+            frag = self._fragments.setdefault(store_id, _Fragment())
+            self._absorb(frag, rows)
+            self._generation += 1
+
+    def on_compaction(self, store_id: int, rows: Iterable[tuple[bytes, bytes]]) -> None:
+        """Rebuild the store's fragment exactly from its live rows."""
+        frag = _Fragment()
+        self._absorb(frag, rows)
+        with self._lock:
+            self._fragments[store_id] = frag
+            self._generation += 1
+
+    def on_retire(self, store_id: int) -> None:
+        """Drop a retired store's fragment (region split/close)."""
+        with self._lock:
+            if self._fragments.pop(store_id, None) is not None:
+                self._generation += 1
+
+    # -- accumulation ---------------------------------------------------------
+
+    def _absorb(self, frag: _Fragment, rows: Iterable[tuple[bytes, bytes]]) -> None:
+        sampled = 0
+        grid = self.cell_grid
+        b = self.boundary
+        span_x = max(b.x2 - b.x1, 1e-12)
+        span_y = max(b.y2 - b.y1, 1e-12)
+        for _key, value in rows:
+            if not value or value[0] != MAGIC:
+                continue  # tombstone or non-trajectory payload
+            try:
+                header = RowSerializer.decode_header(value)
+            except Exception:
+                continue
+            frag.row_count += 1
+            tr = header.time_range
+            frag.time_lo = min(frag.time_lo, tr.start)
+            frag.time_hi = max(frag.time_hi, tr.end)
+            first = max(0, int((tr.start - self.origin) // self.period_seconds))
+            last = max(first, int((tr.end - self.origin) // self.period_seconds))
+            for p in range(first, min(last, first + MAX_QUERY_PERIODS - 1) + 1):
+                frag.period_hist[p] = frag.period_hist.get(p, 0) + 1
+            m = header.mbr
+            frag.x1 = min(frag.x1, m.x1)
+            frag.y1 = min(frag.y1, m.y1)
+            frag.x2 = max(frag.x2, m.x2)
+            frag.y2 = max(frag.y2, m.y2)
+            cx = (m.x1 + m.x2) / 2.0
+            cy = (m.y1 + m.y2) / 2.0
+            gx = min(grid - 1, max(0, int((cx - b.x1) / span_x * grid)))
+            gy = min(grid - 1, max(0, int((cy - b.y1) / span_y * grid)))
+            frag.cell_hist[(gx, gy)] = frag.cell_hist.get((gx, gy), 0) + 1
+            if self._serializer is not None and sampled < POINTS_SAMPLE_PER_BATCH:
+                try:
+                    traj = self._serializer.decode_trajectory(value).trajectory
+                    frag.points_sum += len(traj)
+                    frag.points_rows += 1
+                    sampled += 1
+                except Exception:
+                    pass
+
+    # -- read side ------------------------------------------------------------
+
+    @property
+    def generation(self) -> int:
+        """Bumps on every flush/compaction/retire the hook observed."""
+        with self._lock:
+            return self._generation
+
+    def snapshot(self) -> Optional[TableStatistics]:
+        """Merged statistics over all live fragments (cached by generation).
+
+        Returns ``None`` until at least one flush/compaction has been
+        observed with trajectory rows in it.
+        """
+        with self._lock:
+            if self._snapshot_generation == self._generation:
+                return self._snapshot
+            row_count = 0
+            period_hist: dict[int, int] = {}
+            cell_hist: dict[tuple[int, int], int] = {}
+            time_lo, time_hi = float("inf"), float("-inf")
+            x1, y1 = float("inf"), float("inf")
+            x2, y2 = float("-inf"), float("-inf")
+            points_sum = points_rows = 0
+            for frag in self._fragments.values():
+                row_count += frag.row_count
+                for p, c in frag.period_hist.items():
+                    period_hist[p] = period_hist.get(p, 0) + c
+                for cell, c in frag.cell_hist.items():
+                    cell_hist[cell] = cell_hist.get(cell, 0) + c
+                time_lo = min(time_lo, frag.time_lo)
+                time_hi = max(time_hi, frag.time_hi)
+                x1, y1 = min(x1, frag.x1), min(y1, frag.y1)
+                x2, y2 = max(x2, frag.x2), max(y2, frag.y2)
+                points_sum += frag.points_sum
+                points_rows += frag.points_rows
+            if row_count <= 0:
+                snap = None
+            else:
+                snap = TableStatistics(
+                    row_count=row_count,
+                    period_hist=period_hist,
+                    cell_hist=cell_hist,
+                    time_span=TimeRange(time_lo, time_hi)
+                    if time_lo <= time_hi else None,
+                    mbr=MBR(x1, y1, x2, y2) if x1 <= x2 and y1 <= y2 else None,
+                    avg_points_per_row=(points_sum / points_rows)
+                    if points_rows else 0.0,
+                    boundary=self.boundary,
+                    period_seconds=self.period_seconds,
+                    origin=self.origin,
+                    cell_grid=self.cell_grid,
+                    generation=self._generation,
+                )
+            self._snapshot = snap
+            self._snapshot_generation = self._generation
+            return snap

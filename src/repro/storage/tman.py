@@ -18,6 +18,7 @@ from typing import Optional, Sequence
 from repro.cache.index_cache import BufferShapeCache, ShapeIndexCache
 from repro.cache.redis_sim import RedisServer
 from repro.core.idt import IDTIndex
+from repro.core.interval import IntervalIndex
 from repro.core.quadtree import QuadTreeGrid
 from repro.core.shape_encoding import ShapeEncoder
 from repro.core.st import STIndex
@@ -37,6 +38,8 @@ from repro.obs.profile import (
     profile_scope,
     profiling_enabled,
 )
+from repro.obs import profile_log as _obs_profile_log
+from repro.query.cost import calibrate
 from repro.query.executor import QueryExecutor
 from repro.query.planner import DataStatistics, QueryPlanner
 from repro.runtime.admission import INTERACTIVE, AdmissionController
@@ -56,6 +59,7 @@ from repro.storage.config import TManConfig
 from repro.storage.meta import MetadataTable
 from repro.storage.schema import RowKeyCodec
 from repro.storage.serializer import RowSerializer
+from repro.storage.statistics import TableStatisticsBuilder
 from repro.storage.writer import StorageWriter, WriteReport
 
 PRIMARY_TABLE = "tman_primary"
@@ -130,6 +134,9 @@ class TMan:
         self.tr_index = TRIndex(
             config.tr_period_seconds, config.tr_max_periods, config.time_origin
         )
+        self.interval_index = IntervalIndex(
+            config.tr_period_seconds, config.tr_max_periods, config.time_origin
+        )
         self.grid = QuadTreeGrid(config.boundary, config.max_resolution)
         self.tshape_index = TShapeIndex(self.grid, config.alpha, config.beta)
         self.idt_index = IDTIndex(self.tr_index)
@@ -152,6 +159,18 @@ class TMan:
             name: self.cluster.create_table(f"tman_sec_{name}", if_not_exists=True)
             for name in config.secondary_indexes
         }
+        # Learned statistics: the builder observes primary-table flushes and
+        # compactions through the census hook and folds row headers into
+        # per-store histogram fragments; the planner pulls fresh snapshots
+        # through the provider below, so estimates track the data with no
+        # manual refresh step.
+        self.stats_builder = TableStatisticsBuilder(
+            config.boundary,
+            config.tr_period_seconds,
+            origin=config.time_origin,
+            serializer=self.serializer,
+        )
+        self.primary_table.set_census_hook(self.stats_builder)
         self.meta = MetadataTable(self.cluster)
         self.meta.record_config(
             {
@@ -170,6 +189,8 @@ class TMan:
 
         # Query processing.
         self.planner = QueryPlanner(config)
+        self.planner.set_statistics_provider(self.stats_builder.snapshot)
+        self.planner.set_spatial_window_counter(self._count_spatial_windows)
         self.executor = QueryExecutor(self, cost_model)
         self._row_count = 0
         self._time_lo: Optional[float] = None
@@ -233,6 +254,44 @@ class TMan:
     def row_count(self) -> int:
         """Number of live trajectories stored."""
         return self._row_count
+
+    def flush(self) -> None:
+        """Flush every table's memtables to SSTables.
+
+        Flushing runs the census hook on the primary table, so the learned
+        statistics (and therefore the planner's estimates) reflect all data
+        written so far immediately after this returns.
+        """
+        self.primary_table.flush()
+        for table in self.secondary_tables.values():
+            table.flush()
+
+    def table_statistics(self):
+        """The current learned-statistics snapshot (None before first flush)."""
+        return self.stats_builder.snapshot()
+
+    def _count_spatial_windows(self, window: MBR) -> int:
+        """Range scans the TShape expansion opens for ``window`` (cached)."""
+        from repro.query.pipeline import shapes_of
+
+        return len(
+            self.tshape_index.query_ranges(
+                window, shapes_of(self), self.config.use_index_cache
+            )
+        )
+
+    def calibrate_costs(self) -> bool:
+        """Fit the planner's cost constants to this deployment's profiles.
+
+        Uses the per-query I/O ledgers accumulated in the profile log; with
+        fewer than the minimum samples the planner keeps its current
+        constants.  Returns True when a calibrated fit was installed.
+        """
+        profiles = list(_obs_profile_log().entries())
+        fitted = calibrate(profiles, defaults=self.planner.cost_constants)
+        changed = fitted != self.planner.cost_constants
+        self.planner.set_cost_constants(fitted)
+        return changed
 
     def rebuild_statistics(self) -> None:
         """Recompute dataset statistics by scanning primary row headers.
@@ -301,6 +360,7 @@ class TMan:
         deadline_ms: Optional[float] = None,
         allow_partial: bool = False,
         priority: str = INTERACTIVE,
+        plan=None,
     ) -> QueryResult:
         """Plan and execute any supported query descriptor.
 
@@ -316,6 +376,8 @@ class TMan:
         ``priority`` ("interactive" or "batch") orders the wait queue;
         an overloaded system sheds with
         :class:`~repro.runtime.admission.AdmissionRejectedError`.
+        ``plan`` forces a specific :class:`~repro.query.planner.QueryPlan`
+        instead of the optimizer's choice (plan-equivalence testing).
         """
         deadline = self._make_deadline(deadline_ms, allow_partial)
         # Install the profile before admission so queue wait is attributed
@@ -323,7 +385,9 @@ class TMan:
         profile, scope = self._profile_scope(q)
         with scope:
             if self.admission is None:
-                return self.executor.execute(q, limit=limit, deadline=deadline)
+                return self.executor.execute(
+                    q, limit=limit, deadline=deadline, plan=plan
+                )
             try:
                 self.admission.acquire(priority=priority, deadline=deadline)
             except QueryTimeoutError:
@@ -340,7 +404,9 @@ class TMan:
                     return result
                 raise
             try:
-                return self.executor.execute(q, limit=limit, deadline=deadline)
+                return self.executor.execute(
+                    q, limit=limit, deadline=deadline, plan=plan
+                )
             finally:
                 self.admission.release()
 
@@ -367,6 +433,25 @@ class TMan:
         plan = self.planner.plan(q)
         stages = pipeline_stage_names(self, q, plan)
         return f"{plan.index}/{plan.route}: " + " -> ".join(stages)
+
+    def explain_plans(self, q) -> list[dict]:
+        """Every applicable plan with its estimated cost, chosen plan first.
+
+        Each entry has ``index``, ``route``, ``reason``, ``cost``,
+        ``est_rows``, and ``chosen``; the ``repro explain`` CLI renders
+        this next to the query's observed cost.
+        """
+        return [
+            {
+                "index": c.plan.index,
+                "route": c.plan.route,
+                "reason": c.plan.reason,
+                "cost": c.cost,
+                "est_rows": c.est_rows,
+                "chosen": i == 0,
+            }
+            for i, c in enumerate(self.planner.candidate_plans(q))
+        ]
 
     def temporal_range_query(
         self, time_range: TimeRange, limit: Optional[int] = None

@@ -138,6 +138,12 @@ class StorageWriter:
             return encode_u64(tshape_value)
         if name == "st":
             return encode_u64(p.tr_value) + encode_u64(tshape_value)
+        if name == "interval":
+            # End-period-keyed LIT-style value; unlike the TR value it is
+            # not precomputed in _Prepared because only this table uses it.
+            return encode_u64(
+                self._t.interval_index.index_time_range(p.traj.time_range)
+            )
         raise ValueError(f"unexpected secondary index {name!r}")
 
     def _write_row(self, p: _Prepared, final_code: int) -> None:

@@ -1,0 +1,257 @@
+"""System-level CBO tests: plan equivalence, learned-statistics refresh,
+and adaptive mid-query re-planning.
+
+The equivalence matrix is the optimizer's core safety property: whatever
+plan the CBO picks — or the re-planner switches to mid-query — the result
+set is bit-identical to every other applicable plan's.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import TMan, TManConfig
+from repro.datasets import TDRIVE_SPEC, tdrive_like
+from repro.model import MBR, TimeRange
+from repro.query.planner import QueryPlan
+from repro.query.types import (
+    IDTemporalQuery,
+    KNNPointQuery,
+    SpatialRangeQuery,
+    STRangeQuery,
+    TemporalRangeQuery,
+    ThresholdSimilarityQuery,
+    TopKSimilarityQuery,
+)
+
+N_TRAJS = 80
+SEED = 515
+
+
+def _make(dataset, **overrides):
+    config = TManConfig(
+        boundary=TDRIVE_SPEC.boundary,
+        max_resolution=12,
+        num_shards=2,
+        kv_workers=2,
+        split_rows=500,
+        **overrides,
+    )
+    tman = TMan(config)
+    tman.bulk_load(dataset)
+    tman.flush()  # populate the learned statistics
+    return tman
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return tdrive_like(N_TRAJS, seed=SEED)
+
+
+@pytest.fixture(scope="module")
+def deployments(dataset):
+    tmans = {
+        "tshape_primary": _make(
+            dataset, secondary_indexes=("tr", "idt", "interval")
+        ),
+        "st_primary": _make(
+            dataset,
+            primary_index="st",
+            secondary_indexes=("tshape", "idt", "interval"),
+        ),
+    }
+    yield tmans
+    for tman in tmans.values():
+        tman.close()
+
+
+def _queries(dataset):
+    span = TDRIVE_SPEC.boundary
+    mid_x = (span.x1 + span.x2) / 2
+    mid_y = (span.y1 + span.y2) / 2
+    window = MBR(span.x1, span.y1, mid_x, mid_y)
+    probe = dataset[7]
+    t0 = probe.time_range.start
+    return {
+        "temporal": TemporalRangeQuery(TimeRange(t0, t0 + 5400)),
+        "spatial": SpatialRangeQuery(window),
+        "st": STRangeQuery(window, TimeRange(t0, t0 + 7200)),
+        "idt": IDTemporalQuery(probe.oid, TimeRange(t0, t0 + 3600)),
+        "threshold": ThresholdSimilarityQuery(probe, 0.2, "frechet"),
+        "topk": TopKSimilarityQuery(probe, 5, "frechet"),
+        "knn": KNNPointQuery(mid_x, mid_y, 5),
+    }
+
+
+QUERY_NAMES = ["temporal", "spatial", "st", "idt", "threshold", "topk", "knn"]
+DEPLOYMENTS = ["tshape_primary", "st_primary"]
+
+
+@pytest.mark.parametrize("dname", DEPLOYMENTS)
+@pytest.mark.parametrize("qname", QUERY_NAMES)
+def test_every_plan_is_equivalent(deployments, dataset, dname, qname):
+    """Forced-TR, forced-interval, and every other applicable plan must
+    produce the CBO-chosen plan's exact candidate set."""
+    tman = deployments[dname]
+    q = _queries(dataset)[qname]
+    base = tman.query(q)
+    base_tids = sorted(t.tid for t in base.trajectories)
+    candidates = tman.planner.candidate_plans(q)
+    assert len(candidates) >= 1
+    for cand in candidates:
+        forced = tman.query(q, plan=cand.plan)
+        assert sorted(t.tid for t in forced.trajectories) == base_tids, (
+            f"{qname} via {cand.plan.index}/{cand.plan.route} diverged"
+        )
+        if base.distances is not None:
+            assert sorted(forced.distances) == pytest.approx(
+                sorted(base.distances)
+            )
+
+
+@pytest.mark.parametrize("dname", DEPLOYMENTS)
+def test_temporal_has_interval_alternative(deployments, dataset, dname):
+    q = _queries(dataset)["temporal"]
+    pairs = [
+        (c.plan.index, c.plan.route)
+        for c in deployments[dname].planner.candidate_plans(q)
+    ]
+    assert ("interval", "secondary") in pairs
+
+
+def test_explain_plans_structure(deployments, dataset):
+    tman = deployments["tshape_primary"]
+    plans = tman.explain_plans(_queries(dataset)["temporal"])
+    assert plans[0]["chosen"] is True
+    assert all(not p["chosen"] for p in plans[1:])
+    for p in plans:
+        assert p["index"] and p["route"] and p["reason"]
+        assert p["cost"] is not None and p["cost"] >= 0
+
+
+class TestStatisticsRefresh:
+    def test_flush_refreshes_estimates_without_manual_update(self):
+        dataset = tdrive_like(40, seed=99)
+        config = TManConfig(
+            boundary=TDRIVE_SPEC.boundary,
+            max_resolution=12,
+            num_shards=2,
+            kv_workers=1,
+            split_rows=5000,
+        )
+        with TMan(config) as tman:
+            assert tman.table_statistics() is None
+            tman.bulk_load(dataset[:20])
+            tman.flush()
+            first = tman.table_statistics()
+            assert first is not None and first.row_count == 20
+
+            span = TimeRange(
+                min(t.time_range.start for t in dataset),
+                max(t.time_range.end for t in dataset),
+            )
+            est_before = tman.planner.estimate_candidates(
+                TemporalRangeQuery(span)
+            )
+            assert est_before == pytest.approx(20.0)
+
+            # Second ingest: nobody calls update_statistics; the flush
+            # census alone must move the planner's estimate.
+            tman.bulk_load(dataset[20:])
+            tman.flush()
+            est_after = tman.planner.estimate_candidates(
+                TemporalRangeQuery(span)
+            )
+            assert est_after == pytest.approx(40.0)
+            assert tman.table_statistics().generation > first.generation
+
+    def test_calibrate_costs_noop_without_profiles(self):
+        from repro.obs import profile_log
+
+        config = TManConfig(boundary=TDRIVE_SPEC.boundary, kv_workers=1)
+        with TMan(config) as tman:
+            profile_log().clear()  # isolate from other tests' queries
+            before = tman.planner.cost_constants
+            assert tman.calibrate_costs() is False
+            assert tman.planner.cost_constants == before
+
+
+class TestAdaptiveReplan:
+    @pytest.fixture()
+    def skewed_tman(self):
+        """Learned statistics stale-low: a large unflushed burst makes the
+        planner's estimate diverge from what a query actually touches."""
+        dataset = tdrive_like(120, seed=77)
+        config = TManConfig(
+            boundary=TDRIVE_SPEC.boundary,
+            max_resolution=12,
+            num_shards=2,
+            kv_workers=1,
+            split_rows=5000,
+            secondary_indexes=("tr", "idt", "interval"),
+            adaptive_replan=True,
+            replan_divergence_ratio=1.5,
+            replan_min_candidates=0,
+        )
+        tman = TMan(config)
+        # Statistics see only the first sliver of data...
+        tman.bulk_load(dataset[:10])
+        tman.flush()
+        # ...while the bulk sits in memtables, invisible to the census.
+        tman.bulk_load(dataset[10:])
+        yield tman, dataset
+        tman.close()
+
+    def _span(self, dataset):
+        return TimeRange(
+            min(t.time_range.start for t in dataset),
+            max(t.time_range.end for t in dataset),
+        )
+
+    def test_replan_triggers_and_results_match(self, skewed_tman):
+        tman, dataset = skewed_tman
+        q = TemporalRangeQuery(self._span(dataset))
+        est = tman.planner.estimate_candidates(q)
+        assert est is not None and est <= 15  # stale-low prior
+        result = tman.query(q)
+        assert result.trace is not None
+        assert "replanned_from" in result.trace.annotations
+        assert result.trace.annotations["replan_observed_rows"] > est
+        # The re-planned run returns exactly what a forced clean run does.
+        chosen_index = result.plan.split("/")[0]
+        forced = tman.query(q, plan=QueryPlan(chosen_index, "secondary", "forced"))
+        assert [t.tid for t in result.trajectories] == [
+            t.tid for t in forced.trajectories
+        ]
+        assert sorted(t.tid for t in result.trajectories) == sorted(
+            t.tid for t in dataset if t.time_range.intersects(q.time_range)
+        )
+
+    def test_forced_plan_never_replans(self, skewed_tman):
+        tman, dataset = skewed_tman
+        q = TemporalRangeQuery(self._span(dataset))
+        plan = tman.planner.plan(q)
+        result = tman.query(q, plan=plan)
+        assert result.trace is not None
+        assert "replanned_from" not in result.trace.annotations
+        assert result.plan == f"{plan.index}/{plan.route}"
+
+    def test_disabled_by_default(self, skewed_tman):
+        tman, dataset = skewed_tman
+        # Same data/skew, replan off: runs to completion on the first plan.
+        dataset2 = dataset
+        config = TManConfig(
+            boundary=TDRIVE_SPEC.boundary,
+            max_resolution=12,
+            num_shards=2,
+            kv_workers=1,
+            split_rows=5000,
+            secondary_indexes=("tr", "idt", "interval"),
+        )
+        with TMan(config) as other:
+            other.bulk_load(dataset2[:10])
+            other.flush()
+            other.bulk_load(dataset2[10:])
+            result = other.query(TemporalRangeQuery(self._span(dataset2)))
+            assert result.trace is not None
+            assert "replanned_from" not in result.trace.annotations

@@ -1,0 +1,131 @@
+"""Tests for the LIT-style interval index: two-tier layout, never-miss."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.interval import LONG_TIER_BASE, LONG_TIER_MAX, IntervalIndex
+from repro.core.temporal import TemporalIndex, TRIndex
+from repro.model import TimeRange
+
+HOUR = 3600.0
+N = 8
+
+
+@pytest.fixture
+def idx():
+    return IntervalIndex(period_seconds=HOUR, max_periods=N)
+
+
+def covered(ranges, value):
+    return any(lo <= value <= hi for lo, hi in ranges)
+
+
+class TestProtocol:
+    def test_both_indexes_conform(self):
+        assert isinstance(TRIndex(), TemporalIndex)
+        assert isinstance(IntervalIndex(), TemporalIndex)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            IntervalIndex(period_seconds=0)
+        with pytest.raises(ValueError):
+            IntervalIndex(max_periods=0)
+
+
+class TestEncoding:
+    def test_main_tier_roundtrip(self, idx):
+        for s in range(0, 20):
+            for span in range(0, N):
+                value = idx.index_time_range(
+                    TimeRange(s * HOUR, (s + span) * HOUR + 1.0)
+                )
+                assert value == (s + span) * N + span
+                assert idx.decode(value) == (s, s + span)
+
+    def test_ordered_by_end_period(self, idx):
+        # All rows ending in period e sort before any row ending in e+1,
+        # regardless of span — the property the contiguous run relies on.
+        ending_5 = [idx.index_time_range(TimeRange(s * HOUR, 5 * HOUR)) for s in range(6)]
+        ending_6 = [idx.index_time_range(TimeRange(s * HOUR, 6 * HOUR)) for s in range(6)]
+        assert max(ending_5) < min(ending_6)
+
+    def test_long_tier(self, idx):
+        # Spans >= N overflow the TR encoding but land in the long tier here.
+        long_row = TimeRange(0.0, (N + 3) * HOUR)
+        value = idx.index_time_range(long_row)
+        assert LONG_TIER_BASE <= value <= LONG_TIER_MAX
+        start, end = idx.decode(value)
+        assert start is None and end == N + 3
+
+    def test_decode_rejects_negative(self, idx):
+        with pytest.raises(ValueError):
+            idx.decode(-1)
+
+
+class TestQueryRanges:
+    def test_exactly_two_windows(self, idx):
+        for q in (TimeRange(0, 1), TimeRange(0, 50 * HOUR), TimeRange(7 * HOUR, 7 * HOUR)):
+            ranges = idx.query_ranges(q)
+            assert len(ranges) == 2
+            assert ranges[1] == (LONG_TIER_BASE + idx.period_of(q.start), LONG_TIER_MAX)
+
+    def test_main_run_is_contiguous(self, idx):
+        qi, qj = 3, 5
+        lo, hi = idx.query_ranges(TimeRange(qi * HOUR, qj * HOUR))[0]
+        assert lo == qi * N
+        assert hi == (qj + N - 1) * N + (N - 1)
+
+    @settings(max_examples=300, deadline=None)
+    @given(
+        row_start=st.integers(min_value=0, max_value=40),
+        row_span=st.integers(min_value=0, max_value=2 * N),
+        q_start=st.integers(min_value=0, max_value=40),
+        q_span=st.integers(min_value=0, max_value=12),
+    )
+    def test_never_misses(self, row_start, row_span, q_start, q_span):
+        # Any row whose periods overlap the query's periods must have its
+        # index value inside one of the two returned windows.
+        idx = IntervalIndex(period_seconds=HOUR, max_periods=N)
+        row = TimeRange(row_start * HOUR + 1.0, (row_start + row_span) * HOUR + 2.0)
+        query = TimeRange(q_start * HOUR + 1.0, (q_start + q_span) * HOUR + 2.0)
+        value = idx.index_time_range(row)
+        overlaps = row_start <= q_start + q_span and row_start + row_span >= q_start
+        if overlaps:
+            assert covered(idx.query_ranges(query), value)
+            assert idx.value_matches(value, query)
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        row_start=st.integers(min_value=0, max_value=40),
+        row_span=st.integers(min_value=0, max_value=N - 1),
+        q_start=st.integers(min_value=0, max_value=40),
+        q_span=st.integers(min_value=0, max_value=12),
+    )
+    def test_value_matches_is_exact_on_main_tier(self, row_start, row_span, q_start, q_span):
+        idx = IntervalIndex(period_seconds=HOUR, max_periods=N)
+        row = TimeRange(row_start * HOUR + 1.0, (row_start + row_span) * HOUR + 2.0)
+        query = TimeRange(q_start * HOUR + 1.0, (q_start + q_span) * HOUR + 2.0)
+        value = idx.index_time_range(row)
+        overlaps = row_start <= q_start + q_span and row_start + row_span >= q_start
+        assert idx.value_matches(value, query) == overlaps
+
+    def test_matches_tr_candidates_on_main_tier(self, idx):
+        # The interval windows must cover every value the TR expansion
+        # covers (same rows, different key layout).
+        tr = TRIndex(period_seconds=HOUR, max_periods=N)
+        query = TimeRange(4 * HOUR, 6 * HOUR)
+        for s in range(0, 20):
+            for span in range(0, N):
+                row = TimeRange(s * HOUR + 1.0, (s + span) * HOUR + 2.0)
+                if covered(tr.query_ranges(query), tr.index_time_range(row)):
+                    assert covered(idx.query_ranges(query), idx.index_time_range(row))
+
+    def test_long_rows_found(self, idx):
+        row = TimeRange(0.0, (3 * N) * HOUR)
+        value = idx.index_time_range(row)
+        assert covered(idx.query_ranges(TimeRange(2 * HOUR, 3 * HOUR)), value)
+
+    def test_expected_fraction(self, idx):
+        assert idx.expected_fraction_retrieved(1) == float(N)
+        assert idx.expected_fraction_retrieved(4) == float(4 + N - 1)

@@ -1,0 +1,301 @@
+"""Property suite for the cost-based planner.
+
+Invariants: planning is deterministic, never names an index the deployment
+did not configure, and the learned-statistics estimator stays within a
+bounded factor of brute-force counting on uniform and skewed data.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.model import MBR, TimeRange
+from repro.query.planner import DataStatistics, QueryPlanner
+from repro.query.types import (
+    IDTemporalQuery,
+    KNNPointQuery,
+    SpatialRangeQuery,
+    STRangeQuery,
+    TemporalRangeQuery,
+    ThresholdSimilarityQuery,
+    TopKSimilarityQuery,
+)
+from repro.storage.config import VALID_INDEXES, VALID_SECONDARY, TManConfig
+from repro.storage.statistics import TableStatistics
+
+from .conftest import make_line_trajectory
+
+BOUNDARY = MBR(0.0, 0.0, 16.0, 16.0)
+HOUR = 3600.0
+
+
+def stats_from_rows(rows, boundary=BOUNDARY, period=HOUR, grid=16):
+    """Build a TableStatistics the way the census builder would.
+
+    ``rows`` are (MBR, TimeRange) pairs; each row contributes to every
+    period it covers and to the cell under its MBR center.
+    """
+    period_hist: dict[int, int] = {}
+    cell_hist: dict[tuple[int, int], int] = {}
+    lo, hi = float("inf"), float("-inf")
+    for mbr, tr in rows:
+        lo, hi = min(lo, tr.start), max(hi, tr.end)
+        first = max(0, int(tr.start // period))
+        last = max(first, int(tr.end // period))
+        for p in range(first, last + 1):
+            period_hist[p] = period_hist.get(p, 0) + 1
+        cx = (mbr.x1 + mbr.x2) / 2.0
+        cy = (mbr.y1 + mbr.y2) / 2.0
+        gx = min(grid - 1, max(0, int((cx - boundary.x1) / (boundary.x2 - boundary.x1) * grid)))
+        gy = min(grid - 1, max(0, int((cy - boundary.y1) / (boundary.y2 - boundary.y1) * grid)))
+        cell_hist[(gx, gy)] = cell_hist.get((gx, gy), 0) + 1
+    return TableStatistics(
+        row_count=len(rows),
+        period_hist=period_hist,
+        cell_hist=cell_hist,
+        time_span=TimeRange(lo, hi) if rows else None,
+        mbr=None,
+        avg_points_per_row=20.0,
+        boundary=boundary,
+        period_seconds=period,
+        origin=0.0,
+        cell_grid=grid,
+    )
+
+
+def uniform_rows(n, rng):
+    rows = []
+    for _ in range(n):
+        x = rng.uniform(0.5, 15.0)
+        y = rng.uniform(0.5, 15.0)
+        t = rng.uniform(0.0, 47.0) * HOUR
+        rows.append(
+            (MBR(x, y, x + 0.5, y + 0.5), TimeRange(t, t + rng.uniform(0.1, 2.5) * HOUR))
+        )
+    return rows
+
+
+def skewed_rows(n, rng):
+    """90% of rows in one spatial corner and one 4-hour burst window."""
+    rows = []
+    for i in range(n):
+        if i % 10:
+            x = rng.uniform(0.5, 3.0)
+            y = rng.uniform(0.5, 3.0)
+            t = rng.uniform(40.0, 44.0) * HOUR
+        else:
+            x = rng.uniform(4.0, 15.0)
+            y = rng.uniform(4.0, 15.0)
+            t = rng.uniform(0.0, 40.0) * HOUR
+        rows.append(
+            (MBR(x, y, x + 0.3, y + 0.3), TimeRange(t, t + rng.uniform(0.1, 1.5) * HOUR))
+        )
+    return rows
+
+
+def random_queries(rng, n=40):
+    traj = make_line_trajectory(start=(2.0, 2.0), end=(6.0, 5.0), t0=1000.0)
+    out = []
+    for _ in range(n):
+        t0 = rng.uniform(0.0, 46.0) * HOUR
+        tr = TimeRange(t0, t0 + rng.uniform(0.0, 6.0) * HOUR)
+        x = rng.uniform(0.0, 12.0)
+        y = rng.uniform(0.0, 12.0)
+        w = MBR(x, y, x + rng.uniform(0.5, 4.0), y + rng.uniform(0.5, 4.0))
+        out.extend(
+            [
+                TemporalRangeQuery(tr),
+                SpatialRangeQuery(w),
+                STRangeQuery(w, tr),
+                IDTemporalQuery("o", tr),
+                ThresholdSimilarityQuery(traj, rng.uniform(0.1, 1.0), "frechet"),
+                TopKSimilarityQuery(traj, 3, "frechet"),
+                KNNPointQuery(x, y, 3),
+            ]
+        )
+    return out
+
+
+def random_configs(rng, n=12):
+    configs = []
+    for _ in range(n):
+        primary = rng.choice(VALID_INDEXES)
+        pool = [s for s in VALID_SECONDARY if s != primary]
+        secondaries = tuple(
+            sorted(rng.sample(pool, rng.randrange(0, len(pool) + 1)))
+        )
+        configs.append(
+            TManConfig(
+                boundary=BOUNDARY,
+                primary_index=primary,
+                secondary_indexes=secondaries,
+                tr_period_seconds=HOUR,
+                tr_max_periods=8,
+            )
+        )
+    return configs
+
+
+class TestPlannerInvariants:
+    def test_deterministic(self):
+        rng = random.Random(7)
+        queries = random_queries(rng)
+        stats = stats_from_rows(uniform_rows(500, random.Random(8)))
+        for config in random_configs(random.Random(9)):
+            a = QueryPlanner(config)
+            b = QueryPlanner(config)
+            for p in (a, b):
+                p.set_statistics_provider(lambda: stats)
+            for q in queries:
+                assert a.plan(q) == b.plan(q)
+                assert [c.plan for c in a.candidate_plans(q)] == [
+                    c.plan for c in b.candidate_plans(q)
+                ]
+
+    def test_never_names_unconfigured_index(self):
+        rng = random.Random(21)
+        queries = random_queries(rng, n=20)
+        stats = stats_from_rows(uniform_rows(300, random.Random(22)))
+        for with_stats in (False, True):
+            for config in random_configs(random.Random(23)):
+                allowed = set(config.available_indexes()) | {"scan"}
+                planner = QueryPlanner(config)
+                if with_stats:
+                    planner.set_statistics_provider(lambda: stats)
+                for q in queries:
+                    plan = planner.plan(q)
+                    assert plan.index in allowed, (config, q, plan)
+                    for cand in planner.candidate_plans(q):
+                        assert cand.plan.index in allowed
+
+    def test_candidate_plans_start_with_chosen(self):
+        stats = stats_from_rows(uniform_rows(300, random.Random(31)))
+        config = TManConfig(
+            boundary=BOUNDARY,
+            secondary_indexes=("tr", "idt", "interval"),
+            tr_period_seconds=HOUR,
+            tr_max_periods=8,
+        )
+        planner = QueryPlanner(config)
+        planner.set_statistics_provider(lambda: stats)
+        for q in random_queries(random.Random(32), n=10):
+            cands = planner.candidate_plans(q)
+            assert cands[0].plan == planner.plan(q)
+            pairs = [(c.plan.index, c.plan.route) for c in cands]
+            assert len(pairs) == len(set(pairs))
+
+
+class TestEstimatorAccuracy:
+    @pytest.mark.parametrize("make_rows", [uniform_rows, skewed_rows])
+    def test_temporal_estimate_bounded(self, make_rows):
+        rng = random.Random(41)
+        rows = make_rows(800, rng)
+        stats = stats_from_rows(rows)
+        config = TManConfig(boundary=BOUNDARY, tr_period_seconds=HOUR, tr_max_periods=8)
+        planner = QueryPlanner(config)
+        planner.set_statistics_provider(lambda: stats)
+        for _ in range(30):
+            t0 = rng.uniform(0.0, 44.0) * HOUR
+            tr = TimeRange(t0, t0 + rng.uniform(0.5, 5.0) * HOUR)
+            actual = sum(1 for _, row_tr in rows if row_tr.intersects(tr))
+            est = planner.estimate_candidates(TemporalRangeQuery(tr))
+            assert est is not None
+            # Period-granularity histogram: within a bounded factor either
+            # way, modulo a small additive slack for boundary effects.
+            assert est <= 6.0 * actual + 48.0
+            assert est >= actual / 6.0 - 48.0
+
+    @pytest.mark.parametrize("make_rows", [uniform_rows, skewed_rows])
+    def test_spatial_estimate_bounded(self, make_rows):
+        rng = random.Random(43)
+        rows = make_rows(800, rng)
+        stats = stats_from_rows(rows)
+        config = TManConfig(boundary=BOUNDARY, tr_period_seconds=HOUR, tr_max_periods=8)
+        planner = QueryPlanner(config)
+        planner.set_statistics_provider(lambda: stats)
+        for _ in range(30):
+            x = rng.uniform(0.0, 12.0)
+            y = rng.uniform(0.0, 12.0)
+            w = MBR(x, y, x + rng.uniform(1.0, 4.0), y + rng.uniform(1.0, 4.0))
+            actual = sum(1 for mbr, _ in rows if mbr.intersects(w))
+            est = planner.estimate_candidates(SpatialRangeQuery(w))
+            assert est is not None
+            assert est <= 6.0 * actual + 48.0
+            assert est >= actual / 6.0 - 48.0
+
+
+class TestDegenerateSelectivity:
+    def test_instant_window_not_zero(self):
+        # Regression: a zero-duration TimeRange inside the span used to
+        # estimate selectivity 0 (no sample), starving the CBO of the fact
+        # that rows at that instant exist.
+        stats = DataStatistics(
+            row_count=10_000,
+            time_span=TimeRange(0.0, 1_000_000.0),
+            dense_region=MBR(0, 0, 10, 10),
+        )
+        instant = TimeRange(500_000.0, 500_000.0)
+        sel = stats.temporal_selectivity(instant)
+        assert sel == pytest.approx(1.0 / 10_000)
+
+    def test_normal_windows_unchanged(self):
+        stats = DataStatistics(
+            row_count=1000,
+            time_span=TimeRange(0.0, 1000.0),
+            dense_region=MBR(0, 0, 10, 10),
+        )
+        assert stats.temporal_selectivity(TimeRange(0.0, 100.0)) == pytest.approx(0.1)
+        assert stats.temporal_selectivity(TimeRange(2000.0, 3000.0)) == 0.0
+
+    def test_instant_clamped_to_one(self):
+        stats = DataStatistics(
+            row_count=0,
+            time_span=TimeRange(0.0, 1000.0),
+            dense_region=MBR(0, 0, 10, 10),
+        )
+        assert stats.temporal_selectivity(TimeRange(10.0, 10.0)) == 1.0
+
+
+class TestIntervalPlanning:
+    def config(self, **kw):
+        return TManConfig(
+            boundary=BOUNDARY,
+            primary_index="tshape",
+            secondary_indexes=("tr", "interval", "idt"),
+            tr_period_seconds=HOUR,
+            tr_max_periods=8,
+            **kw,
+        )
+
+    def test_no_stats_prefers_tr_priority(self):
+        planner = QueryPlanner(self.config())
+        plan = planner.plan(TemporalRangeQuery(TimeRange(0.0, HOUR)))
+        assert plan.index == "tr"
+        assert "RBO" in plan.reason
+
+    def test_cbo_costs_both_temporal_routes(self):
+        rng = random.Random(51)
+        stats = stats_from_rows(uniform_rows(500, rng))
+        planner = QueryPlanner(self.config())
+        planner.set_statistics_provider(lambda: stats)
+        plan = planner.plan(TemporalRangeQuery(TimeRange(0.0, 2 * HOUR)))
+        assert plan.index in ("tr", "interval")
+        assert "CBO" in plan.reason
+
+    def test_interval_wins_when_tail_is_empty(self):
+        # Recent-window query on increasing-ending-time data: the interval
+        # tail covers empty keyspace, so 2 windows beat TR's N.
+        rng = random.Random(52)
+        rows = []
+        for i in range(500):
+            t = (i / 500.0) * 40.0 * HOUR
+            x = rng.uniform(1.0, 15.0)
+            rows.append((MBR(x, 1.0, x + 0.3, 1.3), TimeRange(t, t + 0.5 * HOUR)))
+        stats = stats_from_rows(rows)
+        planner = QueryPlanner(self.config())
+        planner.set_statistics_provider(lambda: stats)
+        # Query the most recent hour: everything after has no rows.
+        plan = planner.plan(TemporalRangeQuery(TimeRange(39.0 * HOUR, 40.5 * HOUR)))
+        assert plan.index == "interval"

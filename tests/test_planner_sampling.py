@@ -70,10 +70,14 @@ class TestReservoirInTMan:
             assert len(tman.planner.stats.sample) == 100
 
     def test_cbo_uses_data_aware_estimate(self):
-        """The CBO routes an empty-region STRQ to the spatial index because
-        the sample shows ~zero spatial selectivity."""
+        """The sample drives the estimate: an empty-region STRQ costs the
+        spatial route at ~zero rows, and the costed pick matches the plan
+        that is actually cheapest to run (the spatial expansion's window
+        count is priced live, so a many-window tshape scan can lose to a
+        single-window TR scan even at zero selectivity)."""
         from repro import TMan, TManConfig
         from repro.datasets import TDRIVE_SPEC, tdrive_like
+        from repro.query.planner import QueryPlan
         from repro.query.types import STRangeQuery
 
         data = tdrive_like(200, seed=35)
@@ -83,6 +87,22 @@ class TestReservoirInTMan:
             b = TDRIVE_SPEC.boundary
             empty_corner = MBR(b.x2 - 0.05, b.y1, b.x2, b.y1 + 0.05)
             wide_time = TimeRange(0, TDRIVE_SPEC.time_span)
-            plan = tman.planner.plan(STRangeQuery(empty_corner, wide_time))
-            assert plan.index == "tshape"
+            query = STRangeQuery(empty_corner, wide_time)
+            candidates = tman.planner.candidate_plans(query)
+            spatial = next(
+                c for c in candidates if c.plan.index == "tshape"
+            )
+            assert spatial.est_rows == 0  # the sample sees the empty corner
+            plan = tman.planner.plan(query)
             assert "CBO" in plan.reason
+            # The costed pick must be the plan that actually runs cheapest.
+            best = min(
+                candidates,
+                key=lambda c: tman.query(
+                    query, plan=QueryPlan(c.plan.index, c.plan.route, "forced")
+                ).simulated_ms,
+            )
+            assert (plan.index, plan.route) == (
+                best.plan.index,
+                best.plan.route,
+            )

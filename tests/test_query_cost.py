@@ -1,0 +1,78 @@
+"""Tests for calibrated plan costing: the linear model and its fitting."""
+
+import pytest
+
+from repro.query.cost import MIN_CALIBRATION_SAMPLES, CostConstants, calibrate
+
+
+def synth_profiles(n, seq=0.01, get=0.05, win=0.2, dec=0.004):
+    """Synthetic ledgers following elapsed = seq*R + get*G + win*W + dec*D."""
+    out = []
+    for i in range(n):
+        scanned = 100 + 37 * i
+        gets = (i * 13) % 90
+        scans = 1 + i % 7
+        decodes = (i * 29) % 50
+        out.append(
+            {
+                "rows_scanned": scanned,
+                "point_gets": gets,
+                "range_scans": scans,
+                "decode_rows": decodes,
+                "elapsed_ms": seq * scanned + get * gets + win * scans + dec * decodes,
+            }
+        )
+    return out
+
+
+class TestCostConstants:
+    def test_linear_combination(self):
+        c = CostConstants(seq_row=1.0, point_get=4.0, window_open=8.0, decode_row=0.5)
+        assert c.cost(rows=10, windows=2, point_gets=3, decodes=4) == pytest.approx(
+            10 + 16 + 12 + 2.0
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CostConstants(seq_row=0.0)
+        with pytest.raises(ValueError):
+            CostConstants(point_get=-1.0)
+
+
+class TestCalibrate:
+    def test_recovers_planted_constants(self):
+        fitted = calibrate(synth_profiles(32))
+        # Normalized to seq_row == 1: point_get = 0.05/0.01 etc.
+        assert fitted.seq_row == 1.0
+        assert fitted.point_get == pytest.approx(5.0, rel=1e-3)
+        assert fitted.window_open == pytest.approx(20.0, rel=1e-3)
+        assert fitted.decode_row == pytest.approx(0.4, rel=1e-3)
+
+    def test_too_few_samples_keeps_defaults(self):
+        defaults = CostConstants()
+        assert calibrate(synth_profiles(MIN_CALIBRATION_SAMPLES - 1), defaults) is defaults
+
+    def test_unused_column_keeps_default(self):
+        # A workload that never resolved through point gets can't calibrate
+        # the point_get constant; the default must survive.
+        profiles = synth_profiles(32, get=0.0)
+        for p in profiles:
+            p["point_gets"] = 0
+        fitted = calibrate(profiles)
+        assert fitted.point_get == CostConstants().point_get
+        assert fitted.window_open == pytest.approx(20.0, rel=1e-3)
+
+    def test_accepts_profile_objects(self):
+        class Ledger:
+            def __init__(self, d):
+                self.__dict__.update(d)
+
+        fitted = calibrate([Ledger(d) for d in synth_profiles(16)])
+        assert fitted.point_get == pytest.approx(5.0, rel=1e-3)
+
+    def test_degenerate_latencies_keep_defaults(self):
+        profiles = [
+            {"rows_scanned": 10, "elapsed_ms": 0.0} for _ in range(32)
+        ]
+        defaults = CostConstants()
+        assert calibrate(profiles, defaults) is defaults

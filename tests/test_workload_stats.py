@@ -6,9 +6,11 @@ import json
 
 import pytest
 
+from repro.obs.dashboard import render_dashboard
 from repro.obs.profile import QueryProfile
 from repro.obs.stats import (
     CELL_GRID,
+    ESTIMATE_RECENT,
     MAX_MAP_KEYS,
     OVERFLOW_KEY,
     SELECTIVITY_BINS,
@@ -105,6 +107,16 @@ class TestCollector:
         assert ratio["min"] == 0.5
         assert ratio["max"] == 2.0
 
+    def test_estimate_ratio_recent_window(self):
+        ws = WorkloadStatsCollector()
+        for i in range(ESTIMATE_RECENT + 10):
+            ws.record_estimate("TRQ", "tr/primary", observed=i, estimated=10.0)
+        ws.record(_profile(qtype="TRQ", plan="tr/primary"))
+        (group,) = ws.snapshot()["groups"]
+        recent = group["estimate_ratio"]["recent"]
+        assert len(recent) == ESTIMATE_RECENT  # bounded, newest kept
+        assert recent[-1] == pytest.approx((ESTIMATE_RECENT + 9) / 10.0)
+
     def test_map_key_overflow_collapses(self):
         ws = WorkloadStatsCollector()
         for i in range(MAX_MAP_KEYS + 50):
@@ -167,3 +179,33 @@ class TestValidation:
         bad = tmp_path / "bad.json"
         bad.write_text(json.dumps({"schema": "nope", "groups": []}))
         assert main(["--stats", str(bad)]) == 1
+
+
+class TestDashboardPlanPanel:
+    def _frame(self, workload):
+        return render_dashboard({"metrics": []}, workload=workload)
+
+    def test_panel_lists_plans_with_sparkline(self):
+        ws = WorkloadStatsCollector()
+        ws.record(_profile(qtype="TemporalRangeQuery", plan="interval/secondary"))
+        ws.record(_profile(qtype="TemporalRangeQuery", plan="tr/secondary"))
+        for obs_n in (5, 20, 10):
+            ws.record_estimate(
+                "TemporalRangeQuery", "tr/secondary", observed=obs_n, estimated=10.0
+            )
+        frame = self._frame(ws.snapshot())
+        assert "-- plans" in frame
+        assert "interval/secondary" in frame
+        plan_line = next(
+            line for line in frame.splitlines() if "tr/secondary" in line
+        )
+        # mean ratio (5+20+10)/3/10 = 1.17 and a 3-sample sparkline
+        assert "1.17" in plan_line
+        assert sum(plan_line.count(c) for c in "▁▂▃▄▅▆▇█") == 3
+
+    def test_panel_omitted_without_workload(self):
+        assert "-- plans" not in render_dashboard({"metrics": []})
+
+    def test_panel_empty_placeholder(self):
+        frame = self._frame(WorkloadStatsCollector().snapshot())
+        assert "(no plan choices observed)" in frame
