@@ -1,0 +1,157 @@
+"""Cluster benchmark: thread vs process mode, and the price of quorums.
+
+Runs the same TRQ/SRQ workload through three deployments of identical
+data — thread mode (the in-process reference), process mode with
+``read_quorum=1``, and process mode with ``read_quorum=2`` (digest
+verification on every scan page) — and reports wall-clock percentiles
+plus the derived overhead ratios:
+
+- **process_over_thread_p50** — what the RPC boundary costs: serialized
+  pages over unix sockets instead of in-process iterators.
+- **quorum_read_overhead_p50** — what ``read_quorum=2`` adds on top:
+  one extra digest RPC per scan page.
+
+Results must be bit-identical across all three deployments
+(``results_identical`` — the only timing-independent gate CI enforces;
+wall-clock ratios are reported, not gated, because shared CI runners
+make latency gates flaky).
+
+Emits ``benchmarks/results/BENCH_cluster.json``.  ``BENCH_SMOKE=1``
+shrinks the workload so CI can run the full path in seconds.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import statistics
+import time
+
+from benchmarks.conftest import RESULTS_DIR
+from repro import TMan, TManConfig
+from repro.datasets import TDRIVE_SPEC, tdrive_like
+from repro.model import TimeRange
+
+SMOKE = os.environ.get("BENCH_SMOKE", "") not in ("", "0")
+PROFILE = "smoke" if SMOKE else "full"
+N_TRAJS = 80 if SMOKE else 300
+N_QUERIES = 5 if SMOKE else 20
+NODES = 2 if SMOKE else 3
+REPLICATION_FACTOR = 2
+
+
+def _percentiles(samples_ms):
+    ordered = sorted(samples_ms)
+    return {
+        "p50_ms": round(statistics.median(ordered), 4),
+        "p99_ms": round(ordered[min(len(ordered) - 1, int(0.99 * len(ordered)))], 4),
+    }
+
+
+def _make_tman(data, mode: str, read_quorum: int = 1) -> TMan:
+    tman = TMan(
+        TManConfig(
+            boundary=TDRIVE_SPEC.boundary,
+            max_resolution=12,
+            num_shards=2,
+            kv_workers=2,
+            split_rows=50_000,
+            cluster_mode=mode,
+            cluster_nodes=NODES,
+            replication_factor=REPLICATION_FACTOR,
+            read_quorum=read_quorum,
+            write_quorum=REPLICATION_FACTOR,
+        )
+    )
+    tman.bulk_load(data)
+    return tman
+
+
+def _make_queries(data):
+    """Deterministic TRQ windows and SRQ windows drawn around real rows."""
+    rng = random.Random(17)
+    trqs, srqs = [], []
+    for _ in range(N_QUERIES):
+        probe = data[rng.randrange(len(data))]
+        tr = probe.time_range
+        trqs.append(TimeRange(tr.start - 600.0, tr.end + 600.0))
+        srqs.append(probe.mbr.expanded(0.002))
+    return trqs, srqs
+
+
+def _run_workload(tman, trqs, srqs):
+    """Wall-clock samples per query type plus a result signature."""
+    samples = {"trq": [], "srq": []}
+    signature = []
+    for window in trqs:
+        t0 = time.perf_counter()
+        res = tman.temporal_range_query(window)
+        samples["trq"].append((time.perf_counter() - t0) * 1000.0)
+        signature.append(tuple(t.tid for t in res.trajectories))
+    for window in srqs:
+        t0 = time.perf_counter()
+        res = tman.spatial_range_query(window)
+        samples["srq"].append((time.perf_counter() - t0) * 1000.0)
+        signature.append(tuple(t.tid for t in res.trajectories))
+    return samples, signature
+
+
+def _ratio(numer, denom):
+    return round(numer / max(denom, 1e-9), 4)
+
+
+def test_cluster_benchmark():
+    data = tdrive_like(N_TRAJS, seed=42, max_points=50)
+    trqs, srqs = _make_queries(data)
+
+    runs = {}
+    signatures = {}
+    for label, mode, read_quorum in (
+        ("threads", "threads", 1),
+        ("processes_r1", "processes", 1),
+        ("processes_r2", "processes", 2),
+    ):
+        tman = _make_tman(data, mode, read_quorum)
+        try:
+            samples, signature = _run_workload(tman, trqs, srqs)
+        finally:
+            tman.close()
+        runs[label] = {q: _percentiles(ms) for q, ms in samples.items()}
+        signatures[label] = signature
+
+    results_identical = (
+        signatures["threads"]
+        == signatures["processes_r1"]
+        == signatures["processes_r2"]
+    )
+    assert any(any(sig) for sig in signatures["threads"])  # non-vacuous
+    assert results_identical
+
+    report = {
+        "profile": PROFILE,
+        "smoke": SMOKE,
+        "n_trajectories": N_TRAJS,
+        "queries_per_type": N_QUERIES,
+        "nodes": NODES,
+        "replication_factor": REPLICATION_FACTOR,
+        "modes": runs,
+        "process_over_thread_p50": {
+            q: _ratio(
+                runs["processes_r1"][q]["p50_ms"], runs["threads"][q]["p50_ms"]
+            )
+            for q in ("trq", "srq")
+        },
+        "quorum_read_overhead_p50": {
+            q: _ratio(
+                runs["processes_r2"][q]["p50_ms"],
+                runs["processes_r1"][q]["p50_ms"],
+            )
+            for q in ("trq", "srq")
+        },
+        "results_identical": results_identical,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    out = RESULTS_DIR / "BENCH_cluster.json"
+    out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print("\n" + json.dumps(report, indent=2, sort_keys=True))

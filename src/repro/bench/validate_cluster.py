@@ -1,0 +1,114 @@
+"""CLI schema + equivalence gate for the cluster benchmark report.
+
+``python -m repro.bench.validate_cluster FILE`` exits non-zero when the
+``BENCH_cluster.json`` a benchmark run emitted is missing sections,
+carries wrongly-typed values, or — the part CI actually gates on — when
+``results_identical`` is false (process mode or quorum reads changed a
+query result).  Wall-clock ratios are validated for shape and sanity
+but not bounded: shared CI runners make latency gates flaky.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+_PERCENTILES = {"p50_ms": float, "p99_ms": float}
+_QUERY_TYPES = ("trq", "srq")
+_RATIOS = {q: float for q in _QUERY_TYPES}
+_MODE = {q: _PERCENTILES for q in _QUERY_TYPES}
+
+SCHEMA = {
+    "profile": str,
+    "smoke": bool,
+    "n_trajectories": int,
+    "queries_per_type": int,
+    "nodes": int,
+    "replication_factor": int,
+    "modes": {
+        "threads": _MODE,
+        "processes_r1": _MODE,
+        "processes_r2": _MODE,
+    },
+    "process_over_thread_p50": _RATIOS,
+    "quorum_read_overhead_p50": _RATIOS,
+    "results_identical": bool,
+}
+
+
+def validate_report(doc: object, schema: dict = SCHEMA, path: str = "") -> list[str]:
+    """Return a list of schema violations (empty when the report is valid)."""
+    errors: list[str] = []
+    if not isinstance(doc, dict):
+        return [f"{path or '<root>'}: expected object, got {type(doc).__name__}"]
+    for key, expected in schema.items():
+        here = f"{path}.{key}" if path else key
+        if key not in doc:
+            errors.append(f"{here}: missing")
+            continue
+        value = doc[key]
+        if isinstance(expected, dict):
+            errors.extend(validate_report(value, expected, here))
+        elif expected is float:
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                errors.append(f"{here}: expected number, got {type(value).__name__}")
+        elif not isinstance(value, expected) or (
+            expected is int and isinstance(value, bool)
+        ):
+            errors.append(
+                f"{here}: expected {expected.__name__}, got {type(value).__name__}"
+            )
+    return errors
+
+
+def gate_errors(doc: dict) -> list[str]:
+    """Quality gates beyond type shape: equivalence and ratio sanity."""
+    errors: list[str] = []
+    if not doc["results_identical"]:
+        errors.append(
+            "results_identical: process-mode or quorum-read results diverged"
+        )
+    for section in ("process_over_thread_p50", "quorum_read_overhead_p50"):
+        for qtype, ratio in doc[section].items():
+            if ratio <= 0:
+                errors.append(f"{section}.{qtype}: non-positive ratio {ratio}")
+    if doc["queries_per_type"] < 1:
+        errors.append("queries_per_type: empty workload")
+    return errors
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Validate each report file; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.validate_cluster",
+        description="Schema + equivalence gate for BENCH_cluster.json reports.",
+    )
+    parser.add_argument("paths", nargs="*", metavar="FILE")
+    opts = parser.parse_args(sys.argv[1:] if argv is None else argv)
+    if not opts.paths:
+        parser.print_usage(sys.stderr)
+        return 2
+    failed = False
+    for path in opts.paths:
+        try:
+            with open(path) as fh:
+                doc = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"{path}: unreadable ({exc})", file=sys.stderr)
+            failed = True
+            continue
+        errors = validate_report(doc)
+        if not errors:
+            errors = gate_errors(doc)
+        if errors:
+            failed = True
+            for error in errors:
+                print(f"{path}: {error}", file=sys.stderr)
+        else:
+            print(f"{path}: ok")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

@@ -356,6 +356,22 @@ def cmd_health(args: argparse.Namespace) -> int:
             f"soft_watermark={soft} hard_watermark={hard} "
             f"stall_timeout_ms={w['stall_timeout_ms']:g}"
         )
+        cl = doc.get("cluster")
+        if cl is None:
+            print("cluster: threads (in-process regions)")
+        else:
+            print(
+                f"cluster: processes, {len(cl['nodes'])} nodes, "
+                f"rf={cl['replication_factor']} "
+                f"R={cl['read_quorum']} W={cl['write_quorum']} "
+                f"stores={cl['stores']}"
+            )
+            for node in sorted(cl["nodes"]):
+                n = cl["nodes"][node]
+                print(
+                    f"  {node}: {n['state']} pid={n['pid']} "
+                    f"pending_hints={n['pending_hints']}"
+                )
         b = doc["breakers"]
         print(f"breakers: {b['open']} open of {b['regions']} regions")
         for name in sorted(b["tables"]):

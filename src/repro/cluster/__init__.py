@@ -1,0 +1,28 @@
+"""``repro.cluster`` — shared-nothing scale-out for the region store.
+
+Promotes regions from threads in one process to worker *processes* behind
+a length-prefixed binary RPC protocol: a consistent-hash ring places each
+region's N replicas on the fleet, writes need a tunable write quorum
+(missed replicas get hinted handoff), reads are served by fresh replicas
+with mid-scan failover, and the fleet can grow with ~1/N rebalancing.
+
+Enable with ``TManConfig(cluster_mode="processes")``; the default
+``"threads"`` keeps the embedded in-process cluster, bit-identical to
+before this package existed.  See ``docs/architecture.md`` §6.
+"""
+
+from repro.cluster import metrics as _metrics  # register cluster_* instruments
+from repro.cluster.client import NodeClient, WorkerHandle
+from repro.cluster.process_cluster import ProcessCluster
+from repro.cluster.replication import ReplicatedStore
+from repro.cluster.ring import ConsistentHashRing
+
+__all__ = [
+    "ConsistentHashRing",
+    "NodeClient",
+    "ProcessCluster",
+    "ReplicatedStore",
+    "WorkerHandle",
+]
+
+del _metrics

@@ -1,0 +1,237 @@
+"""Coordinator-side handles for region-server processes.
+
+:class:`NodeClient` pools unix-socket connections to one worker and turns
+transport failures (connection refused/reset, EOF mid-frame — how a dead
+worker presents) into
+:class:`~repro.kvstore.errors.ReplicaDownError`.  Every call carries the
+caller's remaining deadline budget on the wire, and the socket timeout is
+derived from that budget plus a margin — a wedged worker can never hang a
+query past its deadline.
+
+:class:`WorkerHandle` owns the process lifecycle: ``spawn`` (default) or
+``fork`` start method, readiness probing via PING, SIGKILL for fault
+drills, graceful SHUTDOWN otherwise.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import socket
+import threading
+import time
+from pathlib import Path
+from typing import Any, Optional
+
+from repro.cluster import rpc
+from repro.cluster.metrics import RPC_FAILURE_TOTAL, RPC_MS, RPC_TOTAL
+from repro.cluster.worker import worker_main
+from repro.kvstore import errors as kv_errors
+from repro.kvstore.errors import KVError, ReplicaDownError
+from repro.runtime.deadline import Deadline, QueryTimeoutError
+
+# Ceiling on any single RPC; the no-hang backstop for unbounded calls.
+DEFAULT_RPC_TIMEOUT_S = 30.0
+# Slack added to the deadline-derived socket timeout so the worker's own
+# cooperative expiry (which returns a partial page) wins the race against
+# the client-side socket timeout.
+RPC_TIMEOUT_MARGIN_S = 2.0
+
+_OP_NAMES = {
+    rpc.OP_PING: "ping",
+    rpc.OP_OPEN: "open",
+    rpc.OP_PUT: "put",
+    rpc.OP_DELETE: "delete",
+    rpc.OP_GET: "get",
+    rpc.OP_GET_BATCH: "get_batch",
+    rpc.OP_SCAN_PAGE: "scan_page",
+    rpc.OP_DIGEST: "digest",
+    rpc.OP_FLUSH: "flush",
+    rpc.OP_DROP: "drop",
+    rpc.OP_STATS: "stats",
+    rpc.OP_ARM_CRASH: "arm_crash",
+    rpc.OP_SHUTDOWN: "shutdown",
+    rpc.OP_PUT_BATCH: "put_batch",
+}
+
+
+def _rebuild_error(name: str, message: str) -> Exception:
+    """Map a worker-side ``(class name, message)`` back to an exception."""
+    cls = getattr(kv_errors, name, None)
+    if isinstance(cls, type) and issubclass(cls, Exception):
+        return cls(message)
+    if name == "ValueError":
+        return ValueError(message)
+    return KVError(f"{name}: {message}")
+
+
+class NodeClient:
+    """A pooled RPC client for one region-server node."""
+
+    def __init__(self, node_id: str, socket_path: Path):
+        self.node_id = node_id
+        self.socket_path = Path(socket_path)
+        self._pool: list[socket.socket] = []
+        self._mu = threading.Lock()
+
+    def _checkout(self) -> socket.socket:
+        with self._mu:
+            if self._pool:
+                return self._pool.pop()
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        try:
+            sock.settimeout(DEFAULT_RPC_TIMEOUT_S)
+            sock.connect(str(self.socket_path))
+        except OSError as exc:
+            sock.close()
+            raise ReplicaDownError(
+                f"connect to {self.node_id} failed: {exc}"
+            ) from exc
+        return sock
+
+    def _checkin(self, sock: socket.socket) -> None:
+        with self._mu:
+            self._pool.append(sock)
+
+    def close(self) -> None:
+        """Drop every pooled connection (idempotent)."""
+        with self._mu:
+            pool, self._pool = self._pool, []
+        for sock in pool:
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    def call(
+        self,
+        op: int,
+        args: tuple,
+        deadline: Optional[Deadline] = None,
+    ) -> Any:
+        """One RPC round trip; returns the response body.
+
+        Raises :class:`ReplicaDownError` on transport failure,
+        :class:`QueryTimeoutError` when the worker reported the deadline
+        spent before it could start the op, and the rebuilt worker-side
+        exception on ``STATUS_ERROR``.
+        """
+        op_name = _OP_NAMES.get(op, str(op))
+        remaining = rpc.deadline_budget_ms(deadline)
+        timeout = DEFAULT_RPC_TIMEOUT_S
+        if remaining != float("inf"):
+            timeout = min(timeout, remaining / 1000.0 + RPC_TIMEOUT_MARGIN_S)
+        sock = self._checkout()
+        t0 = time.perf_counter()
+        try:
+            sock.settimeout(timeout)
+            rpc.send_request(sock, op, args, remaining)
+            status, body = rpc.recv_response(sock)
+        except (OSError, rpc.ConnectionClosed, rpc.RPCProtocolError) as exc:
+            sock.close()
+            RPC_FAILURE_TOTAL.labels(node=self.node_id).inc()
+            raise ReplicaDownError(
+                f"rpc {op_name} to {self.node_id} failed: {exc}"
+            ) from exc
+        self._checkin(sock)
+        RPC_TOTAL.labels(op=op_name, node=self.node_id).inc()
+        RPC_MS.labels(op=op_name).observe((time.perf_counter() - t0) * 1000.0)
+        if status == rpc.STATUS_OK:
+            return body
+        if status == rpc.STATUS_EXPIRED:
+            budget = deadline.budget_ms if deadline is not None else 0.0
+            raise QueryTimeoutError(f"rpc.{op_name}", budget)
+        name, message = body
+        raise _rebuild_error(name, message)
+
+    def ping(self, timeout_s: float = 1.0) -> bool:
+        """True when the worker answers a PING within ``timeout_s``."""
+        try:
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            try:
+                sock.settimeout(timeout_s)
+                sock.connect(str(self.socket_path))
+                rpc.send_request(sock, rpc.OP_PING, ())
+                status, _ = rpc.recv_response(sock)
+                return status == rpc.STATUS_OK
+            finally:
+                sock.close()
+        except (OSError, rpc.ConnectionClosed):
+            return False
+
+
+class WorkerHandle:
+    """Lifecycle of one region-server process."""
+
+    def __init__(
+        self,
+        node_id: str,
+        cluster_dir: Path,
+        start_method: str = "spawn",
+        wal_sync: bool = False,
+    ):
+        self.node_id = node_id
+        self.cluster_dir = Path(cluster_dir)
+        self.socket_path = self.cluster_dir / f"{node_id}.sock"
+        self.data_dir = self.cluster_dir / node_id
+        self._ctx = multiprocessing.get_context(start_method)
+        self._wal_sync = wal_sync
+        self._process: Optional[multiprocessing.process.BaseProcess] = None
+        self.client = NodeClient(node_id, self.socket_path)
+
+    @property
+    def alive(self) -> bool:
+        return self._process is not None and self._process.is_alive()
+
+    @property
+    def pid(self) -> Optional[int]:
+        return self._process.pid if self._process is not None else None
+
+    def start(self, ready_timeout_s: float = 30.0) -> None:
+        """Spawn the worker and block until it answers PING."""
+        if self.alive:
+            return
+        self.socket_path.unlink(missing_ok=True)
+        self._process = self._ctx.Process(
+            target=worker_main,
+            args=(self.node_id, str(self.data_dir), str(self.socket_path)),
+            kwargs={"wal_sync": self._wal_sync},
+            name=f"region-server-{self.node_id}",
+            daemon=True,
+        )
+        self._process.start()
+        give_up = time.monotonic() + ready_timeout_s
+        while time.monotonic() < give_up:
+            if self.client.ping(timeout_s=0.5):
+                return
+            if not self._process.is_alive():
+                raise ReplicaDownError(
+                    f"worker {self.node_id} died during startup "
+                    f"(exit {self._process.exitcode})"
+                )
+            time.sleep(0.02)
+        raise ReplicaDownError(
+            f"worker {self.node_id} not ready after {ready_timeout_s:.0f}s"
+        )
+
+    def kill(self) -> None:
+        """SIGKILL the worker — the fault-drill path, nothing is drained."""
+        if self._process is not None and self._process.is_alive():
+            self._process.kill()
+            self._process.join(timeout=5.0)
+        self.client.close()
+
+    def stop(self) -> None:
+        """Graceful shutdown: drain, fsync, exit (idempotent)."""
+        if self._process is None:
+            return
+        if self._process.is_alive():
+            try:
+                self.client.call(rpc.OP_SHUTDOWN, ())
+            except (ReplicaDownError, QueryTimeoutError):
+                pass
+            self._process.join(timeout=10.0)
+            if self._process.is_alive():
+                self._process.kill()
+                self._process.join(timeout=5.0)
+        self.client.close()
+        self._process = None

@@ -1,0 +1,65 @@
+"""The ``cluster_*`` metric family (coordinator side).
+
+Registered at import time like every other layer's instruments, so the
+family shows up in ``repro.obs.snapshot()`` (and the metric-catalog lint)
+whether or not a deployment actually runs in process mode.  Workers are
+separate processes with their own registries; everything observable from
+outside — RPC latency, replica state, handoff depth — is measured here,
+where the coordinator issues the calls.
+"""
+
+from __future__ import annotations
+
+from repro.obs import counter as _counter, gauge as _gauge, histogram as _histogram
+
+RPC_MS = _histogram(
+    "cluster_rpc_ms",
+    "Region-server RPC round-trip latency",
+    labelnames=("op",),
+)
+RPC_TOTAL = _counter(
+    "cluster_rpc_total",
+    "Region-server RPCs issued",
+    labelnames=("op", "node"),
+)
+RPC_FAILURE_TOTAL = _counter(
+    "cluster_rpc_failure_total",
+    "Region-server RPCs that failed at the transport layer",
+    labelnames=("node",),
+)
+REPLICA_STATE = _gauge(
+    "cluster_replica_state",
+    "Replica node state: 2=up, 1=stale (pending hints), 0=down",
+    labelnames=("node",),
+)
+HINTS_QUEUED_TOTAL = _counter(
+    "cluster_hints_queued_total",
+    "Writes queued as hints for an unreachable replica",
+)
+HANDOFF_DEPTH = _gauge(
+    "cluster_handoff_depth",
+    "Hinted writes queued per down/stale replica",
+    labelnames=("node",),
+)
+HANDOFF_DELIVERED_TOTAL = _counter(
+    "cluster_handoff_delivered_total",
+    "Hinted writes delivered to a returned replica",
+)
+FAILOVER_TOTAL = _counter(
+    "cluster_failover_total",
+    "Reads failed over to another replica mid-operation",
+    labelnames=("op",),
+)
+DIGEST_MISMATCH_TOTAL = _counter(
+    "cluster_digest_mismatch_total",
+    "Quorum-read digest comparisons that disagreed with the primary page",
+)
+REBALANCE_MOVES_TOTAL = _counter(
+    "cluster_rebalance_moves_total",
+    "Region-replica moves executed by ring rebalances",
+)
+QUORUM_DENIED_TOTAL = _counter(
+    "cluster_quorum_denied_total",
+    "Operations rejected for lack of a live quorum",
+    labelnames=("op",),
+)

@@ -1,0 +1,143 @@
+"""Length-prefixed binary framing for the region-server RPC protocol.
+
+Request frame::
+
+    u32 length | u8 op | f8 deadline_remaining_ms | pickled args tuple
+
+Response frame::
+
+    u32 length | u8 status | pickled body
+
+``length`` counts everything after itself.  ``deadline_remaining_ms`` is
+the caller's *remaining* budget (``inf`` when the call is unbounded):
+monotonic-clock instants are meaningless across processes, so the worker
+re-anchors a fresh :class:`~repro.runtime.deadline.Deadline` of that many
+milliseconds on its own clock (see :func:`reanchor_deadline`).
+
+Statuses: ``STATUS_OK`` carries the op's return value; ``STATUS_ERROR``
+carries ``(exception_class_name, message)``; ``STATUS_EXPIRED`` means the
+worker noticed deadline expiry mid-operation and carries whatever partial
+body the op defines (scans return the rows produced so far).
+
+Pickle is safe here: both ends are the same trusted codebase on one
+machine, talking over a mode-0700 unix socket the coordinator created.
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import struct
+from typing import Any, Optional
+
+from repro.runtime.deadline import Deadline
+
+_LEN = struct.Struct(">I")
+_REQ_HEAD = struct.Struct(">Bd")  # op, deadline_remaining_ms
+_RESP_HEAD = struct.Struct(">B")  # status
+
+MAX_FRAME_BYTES = 256 * 1024 * 1024
+
+# Op codes.
+OP_PING = 1
+OP_OPEN = 2
+OP_PUT = 3
+OP_DELETE = 4
+OP_GET = 5
+OP_GET_BATCH = 6
+OP_SCAN_PAGE = 7
+OP_DIGEST = 8
+OP_FLUSH = 9
+OP_DROP = 10
+OP_STATS = 11
+OP_ARM_CRASH = 12
+OP_SHUTDOWN = 13
+OP_PUT_BATCH = 14
+
+STATUS_OK = 0
+STATUS_ERROR = 1
+STATUS_EXPIRED = 2
+
+
+class RPCProtocolError(Exception):
+    """The peer sent a frame this protocol cannot parse."""
+
+
+class ConnectionClosed(Exception):
+    """The peer closed the socket mid-frame (worker death shows up here)."""
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes:
+    buf = bytearray()
+    while len(buf) < n:
+        chunk = sock.recv(n - len(buf))
+        if not chunk:
+            raise ConnectionClosed(f"peer closed after {len(buf)}/{n} bytes")
+        buf.extend(chunk)
+    return bytes(buf)
+
+
+def _recv_frame(sock: socket.socket) -> bytes:
+    (length,) = _LEN.unpack(_recv_exact(sock, 4))
+    if length > MAX_FRAME_BYTES:
+        raise RPCProtocolError(f"frame of {length} bytes exceeds the cap")
+    return _recv_exact(sock, length)
+
+
+def send_request(
+    sock: socket.socket, op: int, args: tuple, remaining_ms: float = float("inf")
+) -> None:
+    """Write one request frame."""
+    payload = _REQ_HEAD.pack(op, remaining_ms) + pickle.dumps(
+        args, protocol=pickle.HIGHEST_PROTOCOL
+    )
+    sock.sendall(_LEN.pack(len(payload)) + payload)
+
+
+def recv_request(sock: socket.socket) -> tuple[int, float, tuple]:
+    """Read one request frame as ``(op, remaining_ms, args)``."""
+    frame = _recv_frame(sock)
+    if len(frame) < _REQ_HEAD.size:
+        raise RPCProtocolError(f"short request frame ({len(frame)} bytes)")
+    op, remaining_ms = _REQ_HEAD.unpack_from(frame)
+    args = pickle.loads(frame[_REQ_HEAD.size :])
+    if not isinstance(args, tuple):
+        raise RPCProtocolError(f"request args must be a tuple, got {type(args)}")
+    return op, remaining_ms, args
+
+
+def send_response(sock: socket.socket, status: int, body: Any) -> None:
+    """Write one response frame."""
+    payload = _RESP_HEAD.pack(status) + pickle.dumps(
+        body, protocol=pickle.HIGHEST_PROTOCOL
+    )
+    sock.sendall(_LEN.pack(len(payload)) + payload)
+
+
+def recv_response(sock: socket.socket) -> tuple[int, Any]:
+    """Read one response frame as ``(status, body)``."""
+    frame = _recv_frame(sock)
+    if len(frame) < _RESP_HEAD.size:
+        raise RPCProtocolError(f"short response frame ({len(frame)} bytes)")
+    (status,) = _RESP_HEAD.unpack_from(frame)
+    return status, pickle.loads(frame[_RESP_HEAD.size :])
+
+
+def deadline_budget_ms(deadline: Optional[Deadline]) -> float:
+    """The remaining-budget value to put on the wire (``inf`` = unbounded)."""
+    if deadline is None:
+        return float("inf")
+    return max(0.0, deadline.remaining_ms())
+
+
+def reanchor_deadline(remaining_ms: float) -> Optional[Deadline]:
+    """Rebuild a worker-side deadline from a wire budget.
+
+    ``inf`` (unbounded) maps to ``None``; a budget that arrived already
+    spent maps to a token expiring in 1e-6 ms — effectively immediately,
+    but still a valid :class:`Deadline` so the op's cooperative checks
+    fire through the normal path.
+    """
+    if remaining_ms == float("inf"):
+        return None
+    return Deadline(max(1e-6, remaining_ms))

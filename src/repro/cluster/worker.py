@@ -1,0 +1,301 @@
+"""The region-server worker process.
+
+One worker == one shared-nothing node: it owns a private data directory
+(``<cluster_dir>/<node_id>/``), opens one
+:class:`~repro.kvstore.durable.DurableLSMStore` per hosted region replica
+(*lazily, post-spawn* — the parent's WAL/SSTable handles are never
+inherited, see the fork-safety notes in :mod:`repro.kvstore.wal`), and
+serves the :mod:`repro.cluster.rpc` protocol over a unix-domain socket
+with one thread per coordinator connection.
+
+Scans are stateless pages: ``SCAN_PAGE(store_id, start, stop, max_rows)``
+materializes up to ``max_rows`` rows and tells the client whether the
+range is exhausted.  The client resumes from ``last_key + b"\\x00"`` — and
+because no cursor lives on the worker, it can resume the same page walk
+on a *different replica* when this one dies, yielding a byte-identical
+stream (the replication layer's failover contract).
+
+Deadlines arrive as remaining-budget milliseconds and are re-anchored on
+this process's monotonic clock (:func:`repro.cluster.rpc.reanchor_deadline`);
+a page that runs out of budget returns the rows produced so far with
+``expired=True`` instead of hanging.
+
+The ``rpc.scan`` / ``rpc.get`` crash points (armed via ``OP_ARM_CRASH``)
+kill the worker with ``os._exit(1)`` mid-request — the real-process
+analogue of the thread-mode :class:`~repro.kvstore.simfault.SimulatedCrash`,
+observed by the coordinator as a dead connection.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import socket
+import threading
+from pathlib import Path
+from typing import Optional
+
+from repro.cluster import rpc
+from repro.kvstore import simfault
+from repro.kvstore.durable import DurableLSMStore
+from repro.kvstore.memtable import TOMBSTONE
+from repro.runtime.deadline import Deadline
+
+# Rows between cooperative deadline checks inside a scan page (mirrors
+# repro.kvstore.region.DEADLINE_CHECK_ROWS).
+DEADLINE_CHECK_ROWS = 64
+
+
+class _Worker:
+    """Per-process state: the stores this node hosts, and their locks."""
+
+    def __init__(self, node_id: str, data_dir: Path, wal_sync: bool):
+        self.node_id = node_id
+        self.data_dir = data_dir
+        self.wal_sync = wal_sync
+        self._stores: dict[str, DurableLSMStore] = {}
+        self._locks: dict[str, threading.RLock] = {}
+        self._mu = threading.Lock()
+        self.shutting_down = threading.Event()
+
+    def store(self, store_id: str) -> tuple[DurableLSMStore, threading.RLock]:
+        """The (lazily opened) store and its op lock for ``store_id``."""
+        with self._mu:
+            store = self._stores.get(store_id)
+            if store is None:
+                store = DurableLSMStore(
+                    self.data_dir / store_id, sync=self.wal_sync
+                )
+                self._stores[store_id] = store
+                self._locks[store_id] = threading.RLock()
+            return store, self._locks[store_id]
+
+    def drop(self, store_id: str) -> None:
+        """Close a store and delete its directory (replica moved away)."""
+        with self._mu:
+            store = self._stores.pop(store_id, None)
+            self._locks.pop(store_id, None)
+        if store is not None:
+            store.close()
+        shutil.rmtree(self.data_dir / store_id, ignore_errors=True)
+
+    def close_all(self) -> None:
+        with self._mu:
+            stores = list(self._stores.values())
+            self._stores.clear()
+            self._locks.clear()
+        for store in stores:
+            store.close()
+
+    def stats(self) -> dict:
+        with self._mu:
+            return {
+                "node": self.node_id,
+                "pid": os.getpid(),
+                "stores": {
+                    sid: {"memtable_bytes": store.memtable_bytes}
+                    for sid, store in sorted(self._stores.items())
+                },
+            }
+
+
+def _scan_page(
+    store: DurableLSMStore,
+    start: Optional[bytes],
+    stop: Optional[bytes],
+    max_rows: int,
+    deadline: Optional[Deadline],
+) -> tuple[list[tuple[bytes, bytes]], bool, bool]:
+    """``(rows, done, expired)`` for one stateless page of a range scan."""
+    rows: list[tuple[bytes, bytes]] = []
+    scanned = 0
+    for key, value in store.scan(start, stop):
+        scanned += 1
+        if (
+            deadline is not None
+            and scanned % DEADLINE_CHECK_ROWS == 0
+            and deadline.expired()
+        ):
+            return rows, False, True
+        rows.append((key, value))
+        if len(rows) >= max_rows:
+            return rows, False, False
+    return rows, True, False
+
+
+def _page_digest(rows: list[tuple[bytes, bytes]]) -> int:
+    """CRC32 over a page's keys and values (length-delimited).
+
+    The quorum read path compares this against the digest of the page the
+    primary replica streamed; replicas that agree need not ship the rows.
+    """
+    import zlib
+
+    crc = 0
+    for key, value in rows:
+        crc = zlib.crc32(len(key).to_bytes(4, "big") + key, crc)
+        crc = zlib.crc32(len(value).to_bytes(4, "big") + value, crc)
+    return crc
+
+
+def _handle(worker: _Worker, op: int, remaining_ms: float, args: tuple):
+    """Execute one request; returns ``(status, body)``."""
+    deadline = rpc.reanchor_deadline(remaining_ms)
+    if deadline is not None and deadline.expired() and op != rpc.OP_PING:
+        return rpc.STATUS_EXPIRED, None
+
+    if op == rpc.OP_PING:
+        return rpc.STATUS_OK, ("pong", os.getpid(), worker.node_id)
+
+    if op == rpc.OP_OPEN:
+        (store_id,) = args
+        worker.store(store_id)
+        return rpc.STATUS_OK, True
+
+    if op == rpc.OP_PUT:
+        store_id, key, value = args
+        store, lock = worker.store(store_id)
+        with lock:
+            store.put(key, value)
+        return rpc.STATUS_OK, True
+
+    if op == rpc.OP_PUT_BATCH:
+        store_id, rows = args
+        store, lock = worker.store(store_id)
+        with lock:
+            for key, value in rows:
+                if value == TOMBSTONE:
+                    store.delete(key)
+                else:
+                    store.put(key, value)
+        return rpc.STATUS_OK, len(rows)
+
+    if op == rpc.OP_DELETE:
+        store_id, key = args
+        store, lock = worker.store(store_id)
+        with lock:
+            store.delete(key)
+        return rpc.STATUS_OK, True
+
+    if op == rpc.OP_GET:
+        store_id, key = args
+        simfault.crash_point("rpc.get")
+        store, lock = worker.store(store_id)
+        with lock:
+            return rpc.STATUS_OK, store.get(key)
+
+    if op == rpc.OP_GET_BATCH:
+        store_id, keys = args
+        simfault.crash_point("rpc.get")
+        store, lock = worker.store(store_id)
+        with lock:
+            return rpc.STATUS_OK, [store.get(key) for key in keys]
+
+    if op == rpc.OP_SCAN_PAGE:
+        store_id, start, stop, max_rows = args
+        simfault.crash_point("rpc.scan")
+        store, lock = worker.store(store_id)
+        with lock:
+            return rpc.STATUS_OK, _scan_page(store, start, stop, max_rows, deadline)
+
+    if op == rpc.OP_DIGEST:
+        store_id, start, stop, max_rows = args
+        store, lock = worker.store(store_id)
+        with lock:
+            rows, done, expired = _scan_page(store, start, stop, max_rows, deadline)
+        return rpc.STATUS_OK, (_page_digest(rows), len(rows), done, expired)
+
+    if op == rpc.OP_FLUSH:
+        (store_id,) = args
+        store, lock = worker.store(store_id)
+        with lock:
+            store.flush()
+        return rpc.STATUS_OK, True
+
+    if op == rpc.OP_DROP:
+        (store_id,) = args
+        worker.drop(store_id)
+        return rpc.STATUS_OK, True
+
+    if op == rpc.OP_STATS:
+        return rpc.STATUS_OK, worker.stats()
+
+    if op == rpc.OP_ARM_CRASH:
+        (point,) = args
+        injector = simfault.fault_injector()
+        if injector is None:
+            injector = simfault.FaultInjector(simfault.FaultConfig())
+            simfault.set_fault_injector(injector)
+        injector.arm(point)
+        return rpc.STATUS_OK, True
+
+    if op == rpc.OP_SHUTDOWN:
+        worker.shutting_down.set()
+        return rpc.STATUS_OK, True
+
+    return rpc.STATUS_ERROR, ("RPCProtocolError", f"unknown op {op}")
+
+
+def _serve_connection(worker: _Worker, conn: socket.socket) -> None:
+    try:
+        while True:
+            try:
+                op, remaining_ms, args = rpc.recv_request(conn)
+            except (rpc.ConnectionClosed, OSError):
+                return
+            try:
+                status, body = _handle(worker, op, remaining_ms, args)
+            except simfault.SimulatedCrash:
+                # The armed crash point fired: die the way a killed
+                # process would — no response, no cleanup, no close.
+                os._exit(1)
+            except Exception as exc:  # noqa: BLE001 - wire errors to caller
+                status, body = rpc.STATUS_ERROR, (type(exc).__name__, str(exc))
+            try:
+                rpc.send_response(conn, status, body)
+            except OSError:
+                return
+            if worker.shutting_down.is_set():
+                return
+    finally:
+        conn.close()
+
+
+def worker_main(
+    node_id: str,
+    data_dir: str,
+    socket_path: str,
+    wal_sync: bool = False,
+) -> None:
+    """Entry point of a region-server process (importable for ``spawn``)."""
+    worker = _Worker(node_id, Path(data_dir), wal_sync)
+    Path(socket_path).unlink(missing_ok=True)
+    listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    listener.bind(socket_path)
+    os.chmod(socket_path, 0o700)
+    listener.listen(16)
+    # Wake the accept loop periodically so SHUTDOWN can drain it.
+    listener.settimeout(0.2)
+    threads: list[threading.Thread] = []
+    try:
+        while not worker.shutting_down.is_set():
+            try:
+                conn, _ = listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                break
+            t = threading.Thread(
+                target=_serve_connection,
+                args=(worker, conn),
+                daemon=True,
+                name=f"rs-{node_id}-conn",
+            )
+            t.start()
+            threads.append(t)
+    finally:
+        listener.close()
+        for t in threads:
+            t.join(timeout=2.0)
+        worker.close_all()
+        Path(socket_path).unlink(missing_ok=True)

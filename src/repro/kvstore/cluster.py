@@ -62,6 +62,10 @@ class Cluster:
             if self.write_limits is not None and data_dir is None
             else None
         )
+        # Subclasses (the process-mode cluster) install a factory that
+        # backs new regions with remote replicated engines; None keeps
+        # the in-process LSM/durable engines.
+        self._table_store_factory = None
         self._tables: dict[str, Table] = {}
         if data_dir is not None:
             self._discover_tables()
@@ -94,6 +98,7 @@ class Cluster:
             breaker_reset_s=self._breaker_reset_s,
             write_limits=self.write_limits,
             flusher=self._flusher,
+            store_factory=self._table_store_factory,
         )
         self._tables[name] = table
         return table

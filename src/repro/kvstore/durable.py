@@ -38,7 +38,7 @@ from repro.kvstore import simfault
 from repro.kvstore.block_cache import BlockCache
 from repro.kvstore.census import census_rows
 from repro.kvstore.disk_sstable import DiskSSTable, write_disk_sstable
-from repro.kvstore.errors import CorruptionError
+from repro.kvstore.errors import CorruptionError, StoreLockedError
 from repro.kvstore.memtable import TOMBSTONE, MemTable
 from repro.kvstore.retry import RetryPolicy
 from repro.kvstore.stats import IOStats
@@ -73,6 +73,17 @@ _TORN_SKIPPED = _obs_counter(
 )
 
 
+def _pid_alive(pid: int) -> bool:
+    """True when ``pid`` names a live process we could signal."""
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - exists, owned by another user
+        return True
+    return True
+
+
 def _fsync_dir(path: Path) -> None:
     """Persist a directory entry change (rename/unlink) to stable storage."""
     fd = os.open(path, os.O_RDONLY)
@@ -98,6 +109,13 @@ class DurableLSMStore:
     ):
         self.data_dir = Path(data_dir)
         self.data_dir.mkdir(parents=True, exist_ok=True)
+        # Single-writer ownership: two processes appending to one WAL
+        # interleave records and corrupt the log, so the directory is
+        # claimed with a pid lockfile before anything is opened.  A lock
+        # left by a dead process (crash, SIGKILL) is stale and reclaimed;
+        # a lock held by a *live* different process is a hard error.
+        self._lock_path = self.data_dir / "LOCK"
+        self._acquire_lock()
         self._stats = stats
         self._flush_bytes = flush_bytes
         self._max_tables = max_tables
@@ -152,6 +170,19 @@ class DurableLSMStore:
                 self._memtable.put(key, value)
             else:
                 self._memtable.delete(key)
+
+    def _acquire_lock(self) -> None:
+        """Claim the directory for this pid, or raise StoreLockedError."""
+        try:
+            owner = int(self._lock_path.read_text().strip())
+        except (FileNotFoundError, ValueError):
+            owner = None
+        if owner is not None and owner != os.getpid() and _pid_alive(owner):
+            raise StoreLockedError(
+                f"{self.data_dir} is owned by live process {owner} "
+                f"(this is pid {os.getpid()})"
+            )
+        self._lock_path.write_text(str(os.getpid()))
 
     # -- writes -------------------------------------------------------------
 
@@ -347,6 +378,13 @@ class DurableLSMStore:
         self._wal.close()
         for table in self._sstables:
             table.release_cache()
+        # Release single-writer ownership — but only if this pid still
+        # holds it (a restarted process may have reclaimed a stale lock).
+        try:
+            if int(self._lock_path.read_text().strip()) == os.getpid():
+                self._lock_path.unlink()
+        except (FileNotFoundError, ValueError, OSError):
+            pass
 
     def __enter__(self) -> "DurableLSMStore":
         return self

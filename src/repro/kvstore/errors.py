@@ -44,6 +44,36 @@ class TransientIOError(TransientError):
     transiently and left no visible state behind."""
 
 
+class ReplicaDownError(TransientRPCError):
+    """An RPC to a region-server replica failed at the transport layer
+    (connection refused, reset, or closed mid-frame — how a killed worker
+    process presents).
+
+    Transient by classification: the replication layer fails over to
+    another replica, and the retry layer may re-resolve after the node
+    is restarted.
+    """
+
+
+class NoQuorumError(KVError):
+    """Too few live replicas acknowledged an operation to meet its quorum.
+
+    Deliberately *not* transient: by the time this is raised the
+    replication layer has already tried every replica in the preference
+    list; an immediate retry would fail the same way.  Recovery requires
+    a replica to return (``restart_node`` / ``revive_node``).
+    """
+
+
+class StoreLockedError(KVError):
+    """A durable store directory is owned by another live process.
+
+    Each :class:`~repro.kvstore.durable.DurableLSMStore` asserts
+    single-writer ownership with a pid lockfile; two processes appending
+    to one WAL would interleave records and corrupt the log.
+    """
+
+
 class WriteStalledError(KVError):
     """A write stalled at the hard memtable watermark past its bounded
     timeout and was rejected.

@@ -163,11 +163,26 @@ class Region:
         This is the region half of ``Table.multi_get``: a batch costs a
         single round trip however many keys it carries, versus one per
         key through :meth:`get`.  Like :meth:`get`, the whole batch fails
-        as one RPC under fault injection.
+        as one RPC under fault injection.  Engines that expose their own
+        ``get_batch`` (the replicated process-mode store) resolve the
+        whole batch in one real RPC; the per-key I/O accounting stays
+        here either way, so candidate counts match across engines.
         """
         simfault.get_fault()
         simlatency.get_delay()
-        return [self._get_local(key) for key in keys]
+        batch = getattr(self._store, "get_batch", None)
+        if batch is None:
+            return [self._get_local(key) for key in keys]
+        values = batch(list(keys))
+        for key, value in zip(keys, values):
+            _POINT_GETS.inc()
+            if value is not None:
+                self._stats.add(
+                    rows_scanned=1,
+                    rows_returned=1,
+                    bytes_transferred=len(key) + len(value),
+                )
+        return values
 
     def _get_local(self, key: bytes) -> Optional[bytes]:
         _POINT_GETS.inc()
@@ -215,7 +230,7 @@ class Region:
             return
         returned = 0
         scanned = 0
-        for key, value in self._store.scan(start, stop):
+        for key, value in self._store_scan(start, stop, deadline):
             scanned += 1
             if deadline is not None and scanned % DEADLINE_CHECK_ROWS == 0:
                 deadline.check("region.scan")
@@ -240,7 +255,7 @@ class Region:
         scanned = returned = 0
         try:
             t0 = perf()
-            for key, value in self._store.scan(start, stop):
+            for key, value in self._store_scan(start, stop, deadline):
                 scanned += 1
                 if deadline is not None and scanned % DEADLINE_CHECK_ROWS == 0:
                     deadline.check("region.scan")
@@ -269,6 +284,24 @@ class Region:
             if returned:
                 _ROWS_RETURNED.inc(returned)
 
+    def _store_scan(
+        self,
+        start: Optional[bytes],
+        stop: Optional[bytes],
+        deadline,
+    ) -> Iterator[tuple[bytes, bytes]]:
+        """Open the engine scan, forwarding the deadline when supported.
+
+        The engine protocol has no deadline parameter; engines that can
+        stop producing on expiry themselves (the process-mode replicated
+        store, whose pages are cut worker-side) advertise
+        ``accepts_deadline = True`` and receive the token explicitly —
+        explicit rather than ambient, like every other deadline hand-off.
+        """
+        if deadline is not None and getattr(self._store, "accepts_deadline", False):
+            return self._store.scan(start, stop, deadline=deadline)
+        return self._store.scan(start, stop)
+
     def split_key(self) -> Optional[bytes]:
         """Median key of the region, or None when too small to split."""
         self._store.flush()
@@ -292,6 +325,12 @@ class Region:
         """
         if self._census_hook is not None:
             self._census_hook.on_retire(id(self._store))
+        # Engines that manage remote or external state (the replicated
+        # process-mode store) expose destroy(); it deletes the data on
+        # every replica before the local close.
+        destroy = getattr(self._store, "destroy", None)
+        if callable(destroy):
+            destroy()
         close = getattr(self._store, "close", None)
         if callable(close):
             close()

@@ -46,12 +46,18 @@ _FAULTS_INJECTED = _obs_counter(
 #: Crash points recognised by :meth:`FaultInjector.crash`.  ``pre_rename``
 #: fires with the new SSTable still at its ``.tmp`` path; ``post_rename``
 #: fires with the SSTable visible but the WAL not yet truncated (flush) or
-#: the superseded runs not yet unlinked (compact).
+#: the superseded runs not yet unlinked (compact).  The ``rpc.*`` points
+#: fire inside a region-server worker's request handlers
+#: (:mod:`repro.cluster.worker`), where the armed crash kills the whole
+#: worker process — the coordinator observes a dead connection, marks the
+#: replica down, and fails the read over to another replica.
 CRASH_POINTS = (
     "flush.pre_rename",
     "flush.post_rename",
     "compact.pre_rename",
     "compact.post_rename",
+    "rpc.scan",
+    "rpc.get",
 )
 
 

@@ -69,12 +69,17 @@ class Table:
         breaker_reset_s: float = 5.0,
         write_limits: Optional[WriteLimits] = None,
         flusher: Optional[ThreadPoolExecutor] = None,
+        store_factory=None,
     ):
         self.name = name
         self._stats = stats
         self._split_rows = split_rows
         self._executor = executor
         self._data_dir = data_dir
+        # store_factory(table_name, region_id) -> engine: supplied by the
+        # process-mode cluster to back regions with replicated remote
+        # stores; takes precedence over the data_dir durable branch.
+        self._store_factory = store_factory
         self._block_cache = block_cache
         self._retry = retry if retry is not None else RetryPolicy()
         self._breaker_threshold = breaker_threshold
@@ -105,14 +110,18 @@ class Table:
 
     def _build_region(self, start, end, region_id: Optional[int] = None) -> Region:
         store = None
-        if self._data_dir is not None:
+        if region_id is None and (
+            self._store_factory is not None or self._data_dir is not None
+        ):
+            region_id = self._next_region_id
+            self._next_region_id += 1
+        if self._store_factory is not None:
+            store = self._store_factory(self.name, region_id)
+        elif self._data_dir is not None:
             from pathlib import Path
 
             from repro.kvstore.durable import DurableLSMStore
 
-            if region_id is None:
-                region_id = self._next_region_id
-                self._next_region_id += 1
             region_dir = Path(self._data_dir) / self.name / f"region-{region_id:04d}"
             # Group-commit WAL (sync=False): records reach the OS per write
             # and are fsynced at flush/close, which keeps bulk loads usable.

@@ -35,13 +35,39 @@ _WAL_SYNC_TOTAL = _obs_counter(
 
 
 class WriteAheadLog:
-    """Append-only intent log with CRC-checked replay."""
+    """Append-only intent log with CRC-checked replay.
+
+    **Fork safety:** the log records the pid that opened its file handle
+    and refuses to write through an inherited one.  A ``fork()`` (or any
+    start method that copies the parent's open descriptors) leaves parent
+    and child sharing one file *offset*; interleaved appends through the
+    shared handle tear records and corrupt the log.  Every mutating entry
+    point re-checks ``os.getpid()`` and transparently reopens a private
+    handle in the child, so a forked worker appends through its own
+    descriptor from the first write.
+    """
 
     def __init__(self, path: Union[str, Path], sync: bool = True):
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self.sync = sync
         self._fh = open(self.path, "ab")
+        self._owner_pid = os.getpid()
+
+    def _handle(self):
+        """The file handle, reopened if this process is not its opener."""
+        if os.getpid() != self._owner_pid:
+            # Inherited across a fork: abandon the shared descriptor
+            # (closing it would also close the parent's offset sharing —
+            # harmless for 'ab' handles, and it drops our refcount) and
+            # open a private one owned by this process.
+            try:
+                self._fh.close()
+            except OSError:  # pragma: no cover - defensive
+                pass
+            self._fh = open(self.path, "ab")
+            self._owner_pid = os.getpid()
+        return self._fh
 
     def append(self, op: int, key: bytes, value: bytes = b"") -> None:
         """Durably record one operation.
@@ -54,12 +80,13 @@ class WriteAheadLog:
             raise ValueError(f"unknown WAL op {op}")
         body = bytes([op]) + _LEN.pack(len(key)) + key + _LEN.pack(len(value)) + value
         crc = zlib.crc32(body) & 0xFFFFFFFF
-        self._fh.write(_LEN.pack(crc) + body)
-        self._fh.flush()
+        fh = self._handle()
+        fh.write(_LEN.pack(crc) + body)
+        fh.flush()
         _WAL_APPEND_TOTAL.inc()
         _WAL_APPEND_BYTES.inc(4 + len(body))
         if self.sync:
-            os.fsync(self._fh.fileno())
+            os.fsync(fh.fileno())
             _WAL_SYNC_TOTAL.inc()
 
     def fsync(self) -> None:
@@ -71,8 +98,9 @@ class WriteAheadLog:
         """
         if self._fh.closed:
             return
-        self._fh.flush()
-        os.fsync(self._fh.fileno())
+        fh = self._handle()
+        fh.flush()
+        os.fsync(fh.fileno())
         _WAL_SYNC_TOTAL.inc()
 
     def append_put(self, key: bytes, value: bytes) -> None:
@@ -85,7 +113,9 @@ class WriteAheadLog:
 
     def replay(self) -> Iterator[tuple[int, bytes, bytes]]:
         """Yield ``(op, key, value)`` for every intact record on disk."""
-        self._fh.flush()
+        # _handle(), not _fh: a forked child flushing the inherited handle
+        # would write out the *parent's* buffered bytes a second time.
+        self._handle().flush()
         with open(self.path, "rb") as fh:
             data = fh.read()
         pos = 0
@@ -112,12 +142,13 @@ class WriteAheadLog:
 
     def truncate(self) -> None:
         """Discard the log (after a successful memtable flush)."""
-        self._fh.close()
+        self._handle().close()
         self._fh = open(self.path, "wb")
         self._fh.flush()
         os.fsync(self._fh.fileno())
         self._fh.close()
         self._fh = open(self.path, "ab")
+        self._owner_pid = os.getpid()
 
     def close(self) -> None:
         """Release the resources held by this object (idempotent)."""

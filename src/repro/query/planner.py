@@ -14,8 +14,10 @@ now the calibrated ``point_get`` constant applied per resolved row.
 
 from __future__ import annotations
 
+import threading
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable, Optional, Union
+from typing import TYPE_CHECKING, Callable, Iterator, Optional, Union
 
 from repro.core.interval import IntervalIndex
 from repro.core.temporal import TRIndex
@@ -133,6 +135,10 @@ class QueryPlanner:
             config.tr_period_seconds, config.tr_max_periods, config.time_origin
         )
         self._spatial_window_counter: Optional[Callable[[MBR], int]] = None
+        # Per-thread frozen statistics snapshot for the duration of one
+        # planning call (see _stats_scope); thread-local because one
+        # planner serves concurrent queries.
+        self._stats_scope_state = threading.local()
 
     # -- statistics plumbing --------------------------------------------------
 
@@ -143,13 +149,14 @@ class QueryPlanner:
     def set_statistics_provider(
         self, provider: Callable[[], Optional["TableStatistics"]]
     ) -> None:
-        """Attach the learned-statistics source (pulled live per plan).
+        """Attach the learned-statistics source (pulled once per plan).
 
         The provider is typically
         :meth:`repro.storage.statistics.TableStatisticsBuilder.snapshot`;
-        because it is called on every estimate, statistics refresh
-        automatically after each flush/compaction with nobody calling
-        :meth:`update_statistics`.
+        each planning entry point (:meth:`plan`, :meth:`candidate_plans`,
+        :meth:`estimate_candidates`) pulls it exactly once and costs the
+        whole candidate matrix against that frozen snapshot, so statistics
+        refresh automatically between plans but never mutate mid-plan.
         """
         self._table_stats = provider
 
@@ -174,8 +181,41 @@ class QueryPlanner:
             return 1
         return max(1, int(self._spatial_window_counter(window)))
 
+    @contextmanager
+    def _stats_scope(self) -> Iterator[None]:
+        """Freeze one statistics snapshot for the whole planning call.
+
+        Without the scope, every selectivity estimate re-pulled the live
+        provider, so a flush landing mid-plan could cost half the
+        candidate matrix against the old histograms and half against the
+        new ones — inconsistent costs, and a chosen plan that none of the
+        printed candidates actually describes.  Nested scopes (``plan``
+        inside ``candidate_plans``) reuse the outer snapshot; the state is
+        thread-local so concurrent queries each freeze their own.
+        """
+        state = self._stats_scope_state
+        if getattr(state, "active", False):
+            yield
+            return
+        state.active = True
+        state.snapshot = (
+            self._table_stats() if self._table_stats is not None else None
+        )
+        try:
+            yield
+        finally:
+            state.active = False
+            state.snapshot = None
+
     def table_statistics(self) -> Optional["TableStatistics"]:
-        """The current learned statistics snapshot, or None before any flush."""
+        """The current learned statistics snapshot, or None before any flush.
+
+        Inside a planning call this returns the snapshot frozen at plan
+        start; outside one it pulls the provider live.
+        """
+        state = self._stats_scope_state
+        if getattr(state, "active", False):
+            return state.snapshot
         return self._table_stats() if self._table_stats is not None else None
 
     def _has_stats(self) -> bool:
@@ -234,6 +274,10 @@ class QueryPlanner:
         compares this prior against the observed candidate count, which
         is exactly the feedback signal an adaptive CBO needs.
         """
+        with self._stats_scope():
+            return self._estimate_candidates(query)
+
+    def _estimate_candidates(self, query: Query) -> Optional[float]:
         if isinstance(query, TemporalRangeQuery):
             return self._est_temporal(query.time_range)
         if isinstance(query, SpatialRangeQuery):
@@ -449,6 +493,10 @@ class QueryPlanner:
         list when the running plan's observed candidates diverge from the
         estimate; ``repro explain`` renders it.
         """
+        with self._stats_scope():
+            return self._candidate_plans(query)
+
+    def _candidate_plans(self, query: Query) -> list[PlanCandidate]:
         chosen = self.plan(query)
         pairs = self._applicable(query)
         if (chosen.index, chosen.route) not in pairs:
@@ -501,6 +549,10 @@ class QueryPlanner:
 
     def plan(self, query: Query) -> QueryPlan:
         """Choose the index and route for a query (RBO + CBO)."""
+        with self._stats_scope():
+            return self._plan(query)
+
+    def _plan(self, query: Query) -> QueryPlan:
         if isinstance(query, IDTemporalQuery):
             # IDT has the highest RBO priority (§V-A) — absolute, never
             # outbid by cost: its per-object windows are always narrowest.

@@ -13,6 +13,15 @@ rows, every chunk wait, before every retry sleep) and raises
 stream instead, and the query returns the rows produced so far flagged
 ``partial=True`` — the deep layers always raise; only the stream guard at
 the sink decides whether expiry is an error or a truncation.
+
+Deadline tokens never cross a process boundary: monotonic-clock instants
+are meaningless in another process.  The cluster RPC layer instead wires
+the *remaining budget* in milliseconds into every request frame
+(:func:`repro.cluster.rpc.deadline_budget_ms`) and the worker re-anchors
+a fresh token on its own clock (:func:`repro.cluster.rpc.reanchor_deadline`),
+so a query whose deadline expires mid-RPC gets ``STATUS_EXPIRED`` back
+from the worker and travels the same cooperative path — partial results,
+never a hang.
 """
 
 from __future__ import annotations

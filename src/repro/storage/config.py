@@ -100,6 +100,26 @@ class TManConfig:
     # Deadline applied to every query that does not pass its own
     # deadline_ms (None = unbounded).
     default_deadline_ms: float | None = None
+    # Shared-nothing scale-out.  "threads" keeps the embedded in-process
+    # cluster (bit-identical to before the knob existed); "processes"
+    # promotes regions to region-server worker processes behind the
+    # binary RPC layer, with cluster_nodes workers hosting
+    # replication_factor replicas of each region, quorum-gated
+    # reads/writes, and hinted handoff for replicas that miss writes.
+    cluster_mode: str = "threads"
+    cluster_nodes: int = 3
+    replication_factor: int = 2
+    read_quorum: int = 1
+    write_quorum: int = 1
+    # Rows per stateless scan page shipped over the RPC boundary.
+    cluster_page_rows: int = 512
+    # Worker start method: "spawn" (default; nothing is inherited, the
+    # fork-safe choice) or "fork" (faster start, exercises the WAL's
+    # inherited-handle guards).
+    cluster_start_method: str = "spawn"
+    # Root directory for worker node data (None = private tempdir,
+    # removed on close).
+    cluster_data_dir: str | None = None
     # Adaptive mid-query re-planning: when enabled, single-pass queries
     # carry a divergence guard that counts candidate rows against the
     # planner's estimate; past max(replan_min_candidates,
@@ -203,6 +223,35 @@ class TManConfig:
             raise ValueError(
                 f"write_throttle_ms must be non-negative, got "
                 f"{self.write_throttle_ms}"
+            )
+        if self.cluster_mode not in ("threads", "processes"):
+            raise ValueError(
+                f"cluster_mode must be 'threads' or 'processes', got "
+                f"{self.cluster_mode!r}"
+            )
+        if self.cluster_nodes < 1:
+            raise ValueError(
+                f"cluster_nodes must be positive, got {self.cluster_nodes}"
+            )
+        if not 1 <= self.replication_factor <= self.cluster_nodes:
+            raise ValueError(
+                "need 1 <= replication_factor <= cluster_nodes, got "
+                f"{self.replication_factor}/{self.cluster_nodes}"
+            )
+        for name in ("read_quorum", "write_quorum"):
+            q = getattr(self, name)
+            if not 1 <= q <= self.replication_factor:
+                raise ValueError(
+                    f"need 1 <= {name} <= replication_factor, got "
+                    f"{q}/{self.replication_factor}"
+                )
+        if self.cluster_page_rows <= 0:
+            raise ValueError(
+                f"cluster_page_rows must be positive, got {self.cluster_page_rows}"
+            )
+        if self.cluster_start_method not in ("spawn", "fork", "forkserver"):
+            raise ValueError(
+                f"unknown cluster_start_method {self.cluster_start_method!r}"
             )
         if self.default_deadline_ms is not None and self.default_deadline_ms <= 0:
             raise ValueError(

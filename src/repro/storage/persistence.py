@@ -72,6 +72,12 @@ def save_tman(tman: TMan, directory: Union[str, Path]) -> None:
         "write_stall_timeout_ms": cfg.write_stall_timeout_ms,
         "write_throttle_ms": cfg.write_throttle_ms,
         "default_deadline_ms": cfg.default_deadline_ms,
+        # Snapshots always reopen in thread mode: the table dump below
+        # streams every row out of the live deployment (works identically
+        # over the cluster RPC layer), and the restored copy is a
+        # self-contained single-process deployment.  Re-enable process
+        # mode explicitly via config_overrides at open time.
+        "cluster_mode": "threads",
         "row_count": tman.row_count,
     }
     (directory / CONFIG_FILE).write_text(json.dumps(doc, indent=2))

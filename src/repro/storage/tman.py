@@ -25,6 +25,7 @@ from repro.core.st import STIndex
 from repro.core.temporal import TRIndex
 from repro.core.tshape import TShapeIndex
 from repro.compression.traj_codec import TrajectoryCodec
+from repro.cluster.process_cluster import ProcessCluster
 from repro.kvstore import simfault
 from repro.kvstore.cluster import Cluster
 from repro.kvstore.retry import RetryPolicy
@@ -75,6 +76,36 @@ def retry_policy_from(config: TManConfig) -> RetryPolicy:
     )
 
 
+def cluster_from(config: TManConfig) -> Cluster:
+    """Build the deployment's cluster for its ``cluster_mode``.
+
+    ``"threads"`` is the embedded in-process cluster; ``"processes"``
+    spawns ``cluster_nodes`` region-server worker processes and backs
+    every region with an N-way replicated remote store.
+    """
+    common = dict(
+        workers=config.kv_workers,
+        split_rows=config.split_rows,
+        block_cache_bytes=config.block_cache_bytes,
+        retry=retry_policy_from(config),
+        breaker_threshold=config.breaker_failure_threshold,
+        breaker_reset_s=config.breaker_reset_s,
+        write_limits=write_limits_from(config),
+    )
+    if config.cluster_mode == "processes":
+        return ProcessCluster(
+            nodes=config.cluster_nodes,
+            replication_factor=config.replication_factor,
+            read_quorum=config.read_quorum,
+            write_quorum=config.write_quorum,
+            page_rows=config.cluster_page_rows,
+            start_method=config.cluster_start_method,
+            cluster_data_dir=config.cluster_data_dir,
+            **common,
+        )
+    return Cluster(**common)
+
+
 def write_limits_from(config: TManConfig) -> Optional[WriteLimits]:
     """The deployment's memtable watermarks, or None when unconfigured."""
     if config.memtable_soft_bytes is None and config.memtable_hard_bytes is None:
@@ -98,15 +129,7 @@ class TMan:
         cost_model: Optional[CostModel] = None,
     ):
         self.config = config
-        self.cluster = cluster if cluster is not None else Cluster(
-            workers=config.kv_workers,
-            split_rows=config.split_rows,
-            block_cache_bytes=config.block_cache_bytes,
-            retry=retry_policy_from(config),
-            breaker_threshold=config.breaker_failure_threshold,
-            breaker_reset_s=config.breaker_reset_s,
-            write_limits=write_limits_from(config),
-        )
+        self.cluster = cluster if cluster is not None else cluster_from(config)
         self._owns_cluster = cluster is None
         # Admission control: created only when the deployment bounds
         # inflight queries; None keeps query() on the unguarded fast path.
@@ -537,9 +560,10 @@ class TMan:
         """Operational snapshot: admission slots, memtable pressure, breakers.
 
         The ``repro health`` CLI renders this; tests assert on it.  Keys
-        are stable: ``admission`` (controller stats or None), ``write``
-        (memtable bytes plus the configured watermarks), ``breakers``
-        (open-breaker count and per-table totals).
+        are stable: ``admission`` (controller stats or None), ``cluster``
+        (per-node replica states in process mode, None in thread mode),
+        ``write`` (memtable bytes plus the configured watermarks),
+        ``breakers`` (open-breaker count and per-table totals).
         """
         tables = {PRIMARY_TABLE: self.primary_table}
         tables.update(
@@ -559,8 +583,10 @@ class TMan:
                 "open_breakers": opened,
                 "memtable_bytes": table.memtable_bytes(),
             }
+        cluster_health = getattr(self.cluster, "cluster_health", None)
         return {
             "admission": None if self.admission is None else self.admission.stats(),
+            "cluster": cluster_health() if cluster_health is not None else None,
             "write": {
                 "memtable_bytes": self.cluster.memtable_bytes(),
                 "soft_bytes": self.config.memtable_soft_bytes,

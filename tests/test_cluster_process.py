@@ -1,0 +1,313 @@
+"""Process-mode cluster: KV round trips, splits, handoff, TMan equivalence.
+
+Thread mode stays the default and is the reference: everything the
+process cluster does — replication, paged scans, failover, splits — must
+be invisible at the query layer.  The equivalence tests here run the
+same workload through both modes and require bit-identical results.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro import TMan, TManConfig
+from repro.cluster import rpc
+from repro.cluster.process_cluster import ProcessCluster
+from repro.datasets import TDRIVE_SPEC, tdrive_like
+from repro.kvstore.errors import NoQuorumError
+from repro.kvstore.scan import Scan
+from repro.model import MBR, TimeRange
+from repro.runtime.deadline import Deadline, QueryTimeoutError
+
+N_TRAJS = 40
+SEED = 99
+
+QUERY_NAMES = ["temporal", "spatial", "st", "idt", "threshold", "topk", "knn"]
+
+
+def _rows(n: int) -> list[tuple[bytes, bytes]]:
+    return [(f"k{i:05d}".encode(), f"v{i}".encode() * 3) for i in range(n)]
+
+
+# -- KV-level ---------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def kv():
+    pc = ProcessCluster(
+        nodes=2, replication_factor=2, read_quorum=2, write_quorum=2, workers=2
+    )
+    yield pc
+    pc.close()
+
+
+def test_put_get_delete_scan(kv):
+    t = kv.create_table("basic")
+    for key, value in _rows(30):
+        t.put(key, value)
+    t.delete(b"k00010")
+    assert t.get(b"k00003") == b"v3v3v3"
+    assert t.get(b"k00010") is None
+    assert t.get(b"missing") is None
+    got = list(t.scan(Scan(None, None)))
+    assert len(got) == 29
+    assert got == sorted(got)
+
+
+def test_flush_persists_through_worker_engines(kv):
+    t = kv.create_table("flushy")
+    for key, value in _rows(20):
+        t.put(key, value)
+    t.flush()
+    assert t.count_rows() == 20
+    assert list(t.scan(Scan(b"k00005", b"k00008"))) == [
+        (b"k00005", b"v5v5v5"),
+        (b"k00006", b"v6v6v6"),
+        (b"k00007", b"v7v7v7"),
+    ]
+
+
+def test_scan_pages_resume_across_page_boundaries():
+    pc = ProcessCluster(
+        nodes=2, replication_factor=2, read_quorum=1, write_quorum=2,
+        page_rows=7, workers=2,
+    )
+    try:
+        t = pc.create_table("paged")
+        rows = _rows(100)
+        for key, value in rows:
+            t.put(key, value)
+        assert list(t.scan(Scan(None, None))) == rows
+    finally:
+        pc.close()
+
+
+def test_region_split_spans_processes():
+    pc = ProcessCluster(
+        nodes=2, replication_factor=2, read_quorum=1, write_quorum=2,
+        workers=2, split_rows=40,
+    )
+    try:
+        t = pc.create_table("splitty")
+        rows = _rows(200)
+        for key, value in rows:
+            t.put(key, value)
+        assert len(t.regions) > 1
+        # Every region got its own replicated store on the ring.
+        assert len(pc._stores) == len(t.regions)
+        assert list(t.scan(Scan(None, None))) == rows
+        assert t.get(b"k00150") == rows[150][1]
+    finally:
+        pc.close()
+
+
+def test_expired_deadline_surfaces_as_timeout_not_hang(kv):
+    t = kv.create_table("deadliner")
+    for key, value in _rows(50):
+        t.put(key, value)
+    store = kv._stores["deadliner/region-0000"]
+    deadline = Deadline(30_000.0)
+    deadline.cancel()  # force-expired before the RPC leaves
+    started = time.monotonic()
+    with pytest.raises(QueryTimeoutError) as err:
+        list(store.scan(None, None, deadline=deadline))
+    assert time.monotonic() - started < 5.0
+    assert "rpc.scan" in str(err.value)
+
+
+def test_write_quorum_denied_when_replica_down():
+    pc = ProcessCluster(
+        nodes=2, replication_factor=2, read_quorum=1, write_quorum=2, workers=2
+    )
+    try:
+        t = pc.create_table("wq")
+        t.put(b"a", b"1")
+        pc.kill_node(pc.nodes[0])
+        with pytest.raises(NoQuorumError):
+            t.put(b"b", b"2")
+        # Reads survive on the remaining replica (read_quorum=1).
+        assert t.get(b"a") == b"1"
+    finally:
+        pc.close()
+
+
+def test_hinted_handoff_delivers_after_restart():
+    pc = ProcessCluster(
+        nodes=2, replication_factor=2, read_quorum=1, write_quorum=1, workers=2
+    )
+    try:
+        t = pc.create_table("handoff")
+        t.put(b"before", b"1")
+        victim = pc.nodes[0]
+        pc.kill_node(victim)
+        # write_quorum=1: the surviving replica acks, the dead one is hinted.
+        t.put(b"during", b"2")
+        t.delete(b"before")
+        health = pc.cluster_health()
+        assert health["nodes"][victim]["state"] == "down"
+        assert health["nodes"][victim]["pending_hints"] == 2
+        assert t.get(b"during") == b"2"
+
+        pc.restart_node(victim)
+        health = pc.cluster_health()
+        assert health["nodes"][victim]["state"] == "up"
+        assert health["nodes"][victim]["pending_hints"] == 0
+        # The hinted write and tombstone really reached the victim's own
+        # engine — read it directly, bypassing the replication layer.
+        client = pc.client(victim)
+        assert client.call(rpc.OP_GET, ("handoff/region-0000", b"during")) == b"2"
+        assert client.call(rpc.OP_GET, ("handoff/region-0000", b"before")) is None
+    finally:
+        pc.close()
+
+
+def test_add_node_rebalances_and_preserves_data():
+    pc = ProcessCluster(
+        nodes=2, replication_factor=2, read_quorum=1, write_quorum=2,
+        workers=2, split_rows=30,
+    )
+    try:
+        t = pc.create_table("grow")
+        rows = _rows(150)
+        for key, value in rows:
+            t.put(key, value)
+        stores_before = len(pc._stores)
+        assert stores_before > 1
+        node_id, moves = pc.add_node()
+        assert node_id == "node-2"
+        assert moves > 0
+        assert len(pc.nodes) == 3
+        assert list(t.scan(Scan(None, None))) == rows
+        assert t.get(b"k00042") == rows[42][1]
+    finally:
+        pc.close()
+
+
+def test_fork_start_method_round_trip():
+    pc = ProcessCluster(
+        nodes=1, replication_factor=1, start_method="fork", workers=2
+    )
+    try:
+        t = pc.create_table("forky")
+        for key, value in _rows(10):
+            t.put(key, value)
+        t.flush()
+        assert t.get(b"k00004") == b"v4v4v4"
+        assert len(list(t.scan(Scan(None, None)))) == 10
+    finally:
+        pc.close()
+
+
+# -- TMan-level equivalence -------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return tdrive_like(N_TRAJS, seed=SEED)
+
+
+def _config(mode: str, **overrides) -> TManConfig:
+    return TManConfig(
+        boundary=TDRIVE_SPEC.boundary,
+        max_resolution=12,
+        num_shards=2,
+        kv_workers=2,
+        cluster_mode=mode,
+        cluster_nodes=3,
+        replication_factor=2,
+        read_quorum=2,
+        write_quorum=2,
+        **overrides,
+    )
+
+
+@pytest.fixture(scope="module")
+def thread_tman(dataset):
+    t = TMan(_config("threads"))
+    t.bulk_load(dataset)
+    yield t
+    t.close()
+
+
+@pytest.fixture(scope="module")
+def process_tman(dataset):
+    t = TMan(_config("processes"))
+    t.bulk_load(dataset)
+    yield t
+    t.close()
+
+
+def _queries(dataset):
+    span = TDRIVE_SPEC.boundary
+    mid_x = (span.x1 + span.x2) / 2
+    mid_y = (span.y1 + span.y2) / 2
+    window = MBR(span.x1, span.y1, mid_x, mid_y)
+    probe = dataset[7]
+    t0 = probe.time_range.start
+    return {
+        "temporal": lambda t: t.temporal_range_query(TimeRange(t0, t0 + 5400)),
+        "spatial": lambda t: t.spatial_range_query(window),
+        "st": lambda t: t.st_range_query(window, TimeRange(t0, t0 + 7200)),
+        "idt": lambda t: t.id_temporal_query(probe.oid, TimeRange(t0, t0 + 3600)),
+        "threshold": lambda t: t.threshold_similarity_query(
+            probe, 0.2, measure="frechet"
+        ),
+        "topk": lambda t: t.top_k_similarity_query(probe, 5, measure="frechet"),
+        "knn": lambda t: t.knn_point_query(mid_x, mid_y, 5),
+    }
+
+
+@pytest.mark.parametrize("qname", QUERY_NAMES)
+def test_query_types_bit_identical_across_modes(
+    thread_tman, process_tman, dataset, qname
+):
+    run = _queries(dataset)[qname]
+    expected = run(thread_tman)
+    got = run(process_tman)
+    assert len(expected.trajectories) > 0  # guard against vacuous equality
+    assert [t.tid for t in got.trajectories] == [
+        t.tid for t in expected.trajectories
+    ]
+    assert got.distances == expected.distances
+
+
+def test_row_counts_match_across_modes(thread_tman, process_tman):
+    assert process_tman.row_count == thread_tman.row_count
+
+
+def test_health_reports_cluster_panel(thread_tman, process_tman):
+    assert thread_tman.health()["cluster"] is None
+    panel = process_tman.health()["cluster"]
+    assert panel["mode"] == "processes"
+    assert panel["replication_factor"] == 2
+    assert panel["read_quorum"] == 2
+    assert panel["write_quorum"] == 2
+    assert len(panel["nodes"]) == 3
+    for node in panel["nodes"].values():
+        assert node["state"] == "up"
+        assert node["alive"] is True
+        assert node["pending_hints"] == 0
+
+
+def test_deadline_mid_query_returns_partial_without_hanging(dataset):
+    # Tiny pages force many scan RPCs; a short budget expires mid-stream.
+    # The worker answers STATUS_EXPIRED, the sink guard truncates, and
+    # the query returns partial=True — it must never hang on the socket.
+    t = TMan(_config("processes", cluster_page_rows=8, split_rows=2000))
+    try:
+        t.bulk_load(dataset)
+        from repro.query.types import TemporalRangeQuery
+
+        span = dataset[0].time_range
+        started = time.monotonic()
+        res = t.query(
+            TemporalRangeQuery(TimeRange(span.start, span.start + 5400)),
+            deadline_ms=5.0,
+            allow_partial=True,
+        )
+        assert time.monotonic() - started < 10.0
+        assert res.partial is True
+    finally:
+        t.close()

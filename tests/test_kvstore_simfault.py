@@ -166,6 +166,8 @@ class TestCrashPoints:
             "flush.post_rename",
             "compact.pre_rename",
             "compact.post_rename",
+            "rpc.scan",
+            "rpc.get",
         }
 
 
